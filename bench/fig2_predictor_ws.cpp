@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 2: weighted speedup achieved with each dynamic
+ * predictor on Jsb(6,3,3), against the best, worst and average of all
+ * ten schedules.
+ */
+
+#include <cstdio>
+
+#include "core/predictor.hh"
+#include "sim/batch_experiment.hh"
+#include "sim/reporting.hh"
+
+int
+main()
+{
+    using namespace sos;
+
+    const SimConfig config = benchConfigFromEnv();
+    const ExperimentSpec &spec = experimentByLabel("Jsb(6,3,3)");
+
+    BatchExperiment exp(spec, config);
+    exp.runSamplePhase();
+    exp.runSymbiosValidation();
+
+    printBanner("Figure 2: predictor WS on " + spec.label);
+    TablePrinter table({"bar", "WS", "vs avg%"}, {12, 6, 8});
+    table.printHeader();
+
+    const double avg = exp.averageWs();
+    auto bar = [&](const std::string &name, double ws) {
+        table.printRow(
+            {name, fmt(ws, 3), fmt(100.0 * (ws - avg) / avg, 1)});
+    };
+
+    bar("Best", exp.bestWs());
+    bar("Worst", exp.worstWs());
+    bar("Average", avg);
+    for (const auto &predictor : makeAllPredictors())
+        bar(predictor->name(), exp.wsOfPredictor(*predictor));
+
+    std::printf("\n(Paper: best is 17%% over worst and 9%% over "
+                "average; IPC, Dcache, FQ, Composite and Score come "
+                "within 2%% of best.)\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Microbenchmarks of the simulator's own components (google-benchmark):
+ * trace generation, cache access, branch prediction, core simulation
+ * throughput, and predictor scoring. These bound how much simulated
+ * time the experiment harnesses can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.hh"
+#include "cpu/smt_core.hh"
+#include "mem/cache.hh"
+#include "sched/job.hh"
+#include "trace/trace_generator.hh"
+#include "trace/workload_library.hh"
+
+namespace {
+
+using namespace sos;
+
+void
+BM_TraceGenerator(benchmark::State &state)
+{
+    TraceGenerator gen(WorkloadLibrary::instance().get("GCC"), 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.next());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_TraceGenerator);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheParams{"bench", 64 * 1024, 64, 4});
+    Rng rng(7);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = rng.below(1 << 20);
+        benchmark::DoNotOptimize(cache.access(1, addr));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    BranchPredictor bp(16);
+    std::uint64_t pc = 0x1000;
+    for (auto _ : state) {
+        pc = (pc + 4) & 0xffff;
+        benchmark::DoNotOptimize(
+            bp.predictAndUpdate(3, pc, (pc & 8) != 0));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_BranchPredictor);
+
+/** Core throughput in simulated cycles/second at a given SMT level. */
+void
+BM_SmtCoreCycles(benchmark::State &state)
+{
+    const int level = static_cast<int>(state.range(0));
+    CoreParams params;
+    params.numContexts = level;
+    SmtCore core(params, MemParams{});
+    const char *names[] = {"EP", "FP", "MG", "GCC", "GO", "WAVE"};
+    std::vector<std::unique_ptr<Job>> jobs;
+    for (int t = 0; t < level; ++t) {
+        jobs.push_back(std::make_unique<Job>(
+            static_cast<std::uint32_t>(t + 1),
+            WorkloadLibrary::instance().get(names[t % 6]),
+            0xb0b0 + static_cast<std::uint64_t>(t), 1, false));
+        ThreadBinding binding;
+        binding.gen = &jobs.back()->generator(0);
+        binding.asid = jobs.back()->asid();
+        core.attachThread(t, binding);
+    }
+    PerfCounters pc;
+    for (auto _ : state) {
+        core.run(10000, pc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 10000));
+    state.counters["IPC"] = pc.ipc();
+}
+BENCHMARK(BM_SmtCoreCycles)->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_PredictorScoring(benchmark::State &state)
+{
+    std::vector<ScheduleProfile> profiles(10);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        profiles[i].counters.cycles = 100000;
+        profiles[i].counters.retired = 150000 + 1000 * i;
+        profiles[i].counters.confFpQueue = 5000 + 700 * i;
+        profiles[i].counters.confFpUnits = 3000 + 500 * i;
+        profiles[i].counters.l1dHits = 90000;
+        profiles[i].counters.l1dMisses = 10000;
+        profiles[i].counters.fpOps = 40000;
+        profiles[i].counters.intOps = 60000;
+        profiles[i].sliceIpc = {1.5, 1.7, 1.6, 1.4 + 0.01 * i};
+    }
+    const auto score = makeScorePredictor();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(score->best(profiles));
+    }
+}
+BENCHMARK(BM_PredictorScoring);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: symbiotic scheduling of four jobs on a 2-context SMT.
+ *
+ * Demonstrates the whole public API in one page:
+ *  1. build a jobmix,
+ *  2. calibrate solo IPC references,
+ *  3. sample the schedule space while making fair progress,
+ *  4. let the Score predictor pick a schedule,
+ *  5. run the symbios phase and compare weighted speedups.
+ */
+
+#include <cstdio>
+
+#include "core/predictor.hh"
+#include "sim/batch_experiment.hh"
+#include "sim/reporting.hh"
+
+int
+main()
+{
+    using namespace sos;
+
+    // Jsb(4,2,2): FP, MG, GCC, IS run two at a time; the whole running
+    // set is replaced every timeslice. Only three schedules exist:
+    // which pairs should run together?
+    SimConfig config = benchConfigFromEnv();
+    const ExperimentSpec &spec = experimentByLabel("Jsb(4,2,2)");
+
+    BatchExperiment experiment(spec, config);
+    experiment.runSamplePhase();
+    experiment.runSymbiosValidation();
+
+    printBanner("Quickstart: " + spec.label);
+    std::printf("sample phase: %s simulated cycles (paper-equivalent "
+                "%s)\n\n",
+                fmtCycles(experiment.samplePhaseCycles()).c_str(),
+                fmtCycles(experiment.samplePhaseCycles() *
+                          config.cycleScale)
+                    .c_str());
+
+    TablePrinter table({"schedule", "sample WS", "symbios WS"},
+                       {12, 10, 11});
+    table.printHeader();
+    for (std::size_t i = 0; i < experiment.schedules().size(); ++i) {
+        table.printRow({experiment.schedules()[i].label(),
+                        fmt(experiment.profiles()[i].sampleWs, 3),
+                        fmt(experiment.symbiosWs()[i], 3)});
+    }
+
+    const auto score = makeScorePredictor();
+    const int picked = experiment.predictedIndex(*score);
+    std::printf("\nScore picks schedule %s\n",
+                experiment.schedules()[static_cast<std::size_t>(picked)]
+                    .label()
+                    .c_str());
+    std::printf("WS: best %.3f  worst %.3f  average %.3f  SOS %.3f\n",
+                experiment.bestWs(), experiment.worstWs(),
+                experiment.averageWs(), experiment.wsOfPredictor(*score));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example: characterize every workload model running alone.
+ *
+ * Prints the solo IPC, instruction mix, branch mispredict rate and
+ * cache behaviour of each benchmark in the library -- the "natural
+ * offer rates" that weighted speedup normalizes against. Also reports
+ * raw simulator throughput, which is useful when choosing a cycle
+ * scale for larger experiments.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "cpu/smt_core.hh"
+#include "metrics/calibrator.hh"
+#include "sched/job.hh"
+#include "sim/reporting.hh"
+#include "sim/sim_config.hh"
+#include "trace/workload_library.hh"
+
+int
+main()
+{
+    using namespace sos;
+
+    const SimConfig config = benchConfigFromEnv();
+    const std::uint64_t warmup = 100000;
+    const std::uint64_t measure = 400000;
+
+    printBanner("Workload zoo: solo characteristics");
+    TablePrinter table(
+        {"workload", "IPC", "fp%", "ld%", "bmiss%", "L1D%", "L2miss%",
+         "Mcyc/s"},
+        {10, 6, 6, 6, 7, 6, 8, 7});
+    table.printHeader();
+
+    for (const std::string &name : WorkloadLibrary::instance().names()) {
+        const WorkloadProfile &profile =
+            WorkloadLibrary::instance().get(name);
+        Job job(1, profile, 0xfeedULL, 1, false);
+
+        SmtCore core(config.coreFor(1), config.mem);
+        ThreadBinding binding;
+        binding.gen = &job.generator(0);
+        binding.sync = job.syncDomain();
+        binding.asid = job.asid();
+        core.attachThread(0, binding);
+
+        PerfCounters discard;
+        core.run(warmup, discard);
+
+        PerfCounters pc;
+        const auto start = std::chrono::steady_clock::now();
+        core.run(measure, pc);
+        const auto stop = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        const double total_ops = static_cast<double>(pc.dispatched);
+        const double fp_pct =
+            100.0 * static_cast<double>(pc.fpOps) / total_ops;
+        const double ld_pct =
+            100.0 * static_cast<double>(pc.loads) / total_ops;
+        const double bmiss_pct =
+            pc.branches
+                ? 100.0 * static_cast<double>(pc.branchMispredicts) /
+                      static_cast<double>(pc.branches)
+                : 0.0;
+        const double l2_miss_pct =
+            (pc.l2Hits + pc.l2Misses)
+                ? 100.0 * static_cast<double>(pc.l2Misses) /
+                      static_cast<double>(pc.l2Hits + pc.l2Misses)
+                : 0.0;
+
+        table.printRow({name, fmt(pc.ipc(), 2), fmt(fp_pct, 1),
+                        fmt(ld_pct, 1), fmt(bmiss_pct, 2),
+                        fmt(100.0 * pc.l1dHitRate(), 1),
+                        fmt(l2_miss_pct, 1),
+                        fmt(static_cast<double>(measure) / seconds / 1e6,
+                            1)});
+    }
+    return 0;
+}

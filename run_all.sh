@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates test_output.txt and bench_output.txt (the reproduction record).
+set -u
+cd "$(dirname "$0")"
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        echo "===== $b ====="
+        "$b"
+    fi
+done 2>&1 | tee bench_output.txt

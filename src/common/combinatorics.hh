@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Enumeration and counting of the combinatorial objects underlying SMT
+ * job schedules.
+ *
+ * Two families of objects appear in the paper's schedule space
+ * (Table 2):
+ *
+ *  - Full-swap schedules (Z == Y, Y | X): unordered partitions of X
+ *    jobs into X/Y groups of exactly Y. Count:
+ *    X! / ((Y!)^(X/Y) * (X/Y)!).
+ *
+ *  - Rotating schedules (Z < Y, or X not divisible by Y): circular
+ *    orders of the X jobs up to rotation and reflection; the running
+ *    set is a window of Y jobs advanced by Z each timeslice. Count:
+ *    (X-1)!/2 for X >= 3.
+ */
+
+#ifndef SOS_COMMON_COMBINATORICS_HH
+#define SOS_COMMON_COMBINATORICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sos {
+
+class Rng;
+
+/** A grouping of element indices into equal-size groups. */
+using Partition = std::vector<std::vector<int>>;
+
+/** n! as a 64-bit value; panics on overflow (n <= 20). */
+std::uint64_t factorial(int n);
+
+/** Binomial coefficient C(n, k) as a 64-bit value. */
+std::uint64_t binomial(int n, int k);
+
+/**
+ * Number of unordered partitions of n distinct elements into groups of
+ * exactly k (requires k | n): n! / ((k!)^(n/k) * (n/k)!).
+ */
+std::uint64_t equalPartitionCount(int n, int k);
+
+/** Number of circular orders of n elements up to rotation+reflection. */
+std::uint64_t circularOrderCount(int n);
+
+/**
+ * Enumerate all unordered partitions of {0..n-1} into groups of
+ * exactly k, each group sorted ascending and groups sorted by their
+ * first element (canonical form). Requires k | n and a total count
+ * small enough to materialize.
+ */
+std::vector<Partition> enumerateEqualPartitions(int n, int k);
+
+/**
+ * Enumerate all circular orders of {0..n-1} up to rotation and
+ * reflection, in canonical form: element 0 first and second element
+ * smaller than the last (n >= 3).
+ */
+std::vector<std::vector<int>> enumerateCircularOrders(int n);
+
+/**
+ * Draw a uniformly random partition of {0..n-1} into groups of k, in
+ * canonical form.
+ */
+Partition randomEqualPartition(int n, int k, Rng &rng);
+
+/**
+ * Draw a uniformly random circular order of {0..n-1} in canonical
+ * form (element 0 first, second element < last element).
+ */
+std::vector<int> randomCircularOrder(int n, Rng &rng);
+
+/** Canonicalize a partition: sort members, then sort groups. */
+Partition canonicalPartition(Partition p);
+
+/**
+ * Canonicalize a circular sequence up to rotation and reflection:
+ * rotate so the smallest element is first, then reflect if that makes
+ * the second element smaller.
+ */
+std::vector<int> canonicalCircular(std::vector<int> order);
+
+/** Greatest common divisor of two positive integers. */
+int gcdInt(int a, int b);
+
+} // namespace sos
+
+#endif // SOS_COMMON_COMBINATORICS_HH

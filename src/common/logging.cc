@@ -1,0 +1,16 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace sos {
+namespace detail {
+
+void
+logMessage(const char *level, const std::string &msg)
+{
+    std::fprintf(stderr, "[sos:%s] %s\n", level, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace sos

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting for the sossim libraries.
+ *
+ * Follows the gem5 discipline:
+ *  - inform(): normal operating messages, no connotation of error.
+ *  - warn():   something may not be modelled as well as it could be.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits with
+ *              status 1.
+ *  - panic():  an internal invariant was violated (a simulator bug);
+ *              aborts so a core dump / debugger can be used.
+ */
+
+#ifndef SOS_COMMON_LOGGING_HH
+#define SOS_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sos {
+
+namespace detail {
+
+/** Emit one formatted log record to stderr. */
+void logMessage(const char *level, const std::string &msg);
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user-caused error (bad configuration or
+ * arguments). Exits with status 1; does not dump core.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::logMessage("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate because an internal invariant was violated -- a bug in the
+ * simulator itself. Aborts so the failure can be debugged.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::logMessage("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() unless the given condition holds. */
+#define SOS_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sos::panic("assertion failed: ", #cond, " at ", __FILE__,     \
+                         ":", __LINE__, " ", ##__VA_ARGS__);                \
+        }                                                                   \
+    } while (0)
+
+} // namespace sos
+
+#endif // SOS_COMMON_LOGGING_HH

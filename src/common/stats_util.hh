@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small statistics helpers shared across the simulator.
+ */
+
+#ifndef SOS_COMMON_STATS_UTIL_HH
+#define SOS_COMMON_STATS_UTIL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sos {
+
+/**
+ * Single-pass running mean / variance accumulator (Welford).
+ *
+ * Used for per-timeslice IPC series (the Balance predictor), response
+ * time aggregation, and reporting.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Forget all observations. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Mean of a vector (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a vector (0 when size < 2). */
+double stddev(const std::vector<double> &xs);
+
+/** Ratio a/b that returns 0 when b is 0 (counter-safe division). */
+double safeDiv(double a, double b);
+
+/** Percentile (0..100) by linear interpolation; input need not be sorted. */
+double percentile(std::vector<double> xs, double pct);
+
+} // namespace sos
+
+#endif // SOS_COMMON_STATS_UTIL_HH

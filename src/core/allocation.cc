@@ -1,0 +1,68 @@
+#include "allocation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+int
+AllocationPlan::totalUnits() const
+{
+    int total = 0;
+    for (int t : threadsPerJob)
+        total += t;
+    return total;
+}
+
+std::string
+AllocationPlan::label() const
+{
+    std::string out = "[";
+    for (std::size_t j = 0; j < threadsPerJob.size(); ++j) {
+        if (j > 0)
+            out += ",";
+        out += std::to_string(threadsPerJob[j]);
+    }
+    out += "]";
+    return out;
+}
+
+namespace {
+
+void
+recurse(const std::vector<bool> &adaptive, int level, int max_threads,
+        std::size_t index, AllocationPlan &current,
+        std::vector<AllocationPlan> &out)
+{
+    if (index == adaptive.size()) {
+        if (current.totalUnits() >= level)
+            out.push_back(current);
+        return;
+    }
+    const int limit =
+        adaptive[index] ? std::min(level, max_threads) : 1;
+    for (int t = 1; t <= limit; ++t) {
+        current.threadsPerJob.push_back(t);
+        recurse(adaptive, level, max_threads, index + 1, current, out);
+        current.threadsPerJob.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<AllocationPlan>
+enumerateAllocationPlans(const std::vector<bool> &adaptive, int level,
+                         int max_threads_per_job)
+{
+    SOS_ASSERT(!adaptive.empty());
+    SOS_ASSERT(level >= 1 && max_threads_per_job >= 1);
+    std::vector<AllocationPlan> out;
+    AllocationPlan current;
+    recurse(adaptive, level, max_threads_per_job, 0, current, out);
+    SOS_ASSERT(!out.empty(),
+               "no allocation plan can cover the SMT level");
+    return out;
+}
+
+} // namespace sos

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Context-allocation plans for hierarchical symbiosis (Section 7).
+ *
+ * When the jobmix contains adaptive multithreaded jobs (compiled, like
+ * MTA code, to run with however many contexts they are given), SOS
+ * gains a second degree of freedom: besides choosing which jobs to
+ * coschedule, it chooses how many hardware contexts each adaptive job
+ * receives. An AllocationPlan fixes a thread count per job; for each
+ * plan, the ordinary schedule space over the expanded thread units
+ * applies.
+ */
+
+#ifndef SOS_CORE_ALLOCATION_HH
+#define SOS_CORE_ALLOCATION_HH
+
+#include <string>
+#include <vector>
+
+namespace sos {
+
+/** One choice of thread counts, indexed like the jobmix's jobs. */
+struct AllocationPlan
+{
+    std::vector<int> threadsPerJob;
+
+    /** Total schedulable units under this plan. */
+    int totalUnits() const;
+
+    /** Display form, e.g. "[1,2,1]". */
+    std::string label() const;
+};
+
+/**
+ * Enumerate every allocation plan.
+ *
+ * @param adaptive Per-job flag; non-adaptive jobs always get 1 thread.
+ * @param level SMT level: no job may have more threads than contexts,
+ *        and every plan must provide at least @p level units in total
+ *        (otherwise contexts would sit provably idle).
+ * @param max_threads_per_job Upper bound on any single job's threads.
+ */
+std::vector<AllocationPlan>
+enumerateAllocationPlans(const std::vector<bool> &adaptive, int level,
+                         int max_threads_per_job);
+
+} // namespace sos
+
+#endif // SOS_CORE_ALLOCATION_HH

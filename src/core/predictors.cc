@@ -1,0 +1,342 @@
+#include "predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+int
+Predictor::best(const std::vector<ScheduleProfile> &profiles) const
+{
+    SOS_ASSERT(!profiles.empty(), "cannot rank an empty sample");
+    const std::vector<double> scores = score(profiles);
+    SOS_ASSERT(scores.size() == profiles.size());
+    int best_index = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+        if (scores[i] > scores[static_cast<std::size_t>(best_index)])
+            best_index = static_cast<int>(i);
+    }
+    return best_index;
+}
+
+namespace {
+
+/** Guard against division by an exactly-zero best conflict count. */
+constexpr double confFloor = 1e-6;
+
+/** Floor for the Balance denominator (a perfectly smooth sample). */
+constexpr double balanceFloor = 0.01;
+
+/** High observed IPC in the sample predicts symbiosis. */
+class IpcPredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "IPC"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(p.counters.ipc());
+        return out;
+    }
+};
+
+/** Low total conflicts across all eight shared resources. */
+class AllConfPredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "AllConf"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(-p.counters.allConflictPct());
+        return out;
+    }
+};
+
+/** High L1 data-cache hit rate. */
+class DcachePredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "Dcache"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(p.counters.l1dHitRate());
+        return out;
+    }
+};
+
+/** Low conflicts on the floating-point issue queue. */
+class FqPredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "FQ"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(-p.counters.conflictPct(p.counters.confFpQueue));
+        return out;
+    }
+};
+
+/** Low conflicts on the floating-point units. */
+class FpPredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "FP"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(-p.counters.conflictPct(p.counters.confFpUnits));
+        return out;
+    }
+};
+
+/** Low combined FP-queue + FP-unit conflicts. */
+class Sum2Predictor : public Predictor
+{
+  public:
+    std::string name() const override { return "Sum2"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles) {
+            out.push_back(
+                -(p.counters.conflictPct(p.counters.confFpQueue) +
+                  p.counters.conflictPct(p.counters.confFpUnits)));
+        }
+        return out;
+    }
+};
+
+/**
+ * A balanced FP/integer instruction mix, measured over the whole
+ * schedule as in the paper's Table 3 (whose Diversity column scores
+ * the segregated schedule best -- which is why the paper finds the
+ * predictor ineffective; see SliceDiversityPredictor for the repaired
+ * variant this library adds as an extension).
+ */
+class DiversityPredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "Diversity"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(-p.counters.mixImbalance());
+        return out;
+    }
+};
+
+/**
+ * Extension (not part of the paper's predictor set): diversity
+ * evaluated per timeslice, so a schedule that alternates an FP-only
+ * tuple with an integer-only tuple is correctly penalized even though
+ * its aggregate mix looks balanced.
+ */
+class SliceDiversityPredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "SliceDiversity"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(-p.diversity());
+        return out;
+    }
+};
+
+/** Low variation of IPC between consecutive timeslices. */
+class BalancePredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "Balance"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles)
+            out.push_back(-p.balance());
+        return out;
+    }
+};
+
+/**
+ * The paper's experimental fit:
+ *
+ *   0.9 / min(FQ/lowFQ, FP/lowFP, Sum2/lowSum2)  +  0.1 / Balance
+ *
+ * smoothness-dominated with weight on the critical FP resources (the
+ * typeset formula in the paper is ambiguous; DESIGN.md records this
+ * literal fractional reading).
+ */
+class CompositePredictor : public Predictor
+{
+  public:
+    std::string name() const override { return "Composite"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        double low_fq = 1e300;
+        double low_fp = 1e300;
+        double low_sum2 = 1e300;
+        for (const auto &p : profiles) {
+            const double fq =
+                p.counters.conflictPct(p.counters.confFpQueue);
+            const double fp =
+                p.counters.conflictPct(p.counters.confFpUnits);
+            low_fq = std::min(low_fq, fq);
+            low_fp = std::min(low_fp, fp);
+            low_sum2 = std::min(low_sum2, fq + fp);
+        }
+        low_fq = std::max(low_fq, confFloor);
+        low_fp = std::max(low_fp, confFloor);
+        low_sum2 = std::max(low_sum2, confFloor);
+
+        std::vector<double> out;
+        out.reserve(profiles.size());
+        for (const auto &p : profiles) {
+            const double fq = std::max(
+                p.counters.conflictPct(p.counters.confFpQueue), confFloor);
+            const double fp = std::max(
+                p.counters.conflictPct(p.counters.confFpUnits), confFloor);
+            const double sum2 = std::max(fq + fp, confFloor);
+            const double ratio = std::min(
+                {fq / low_fq, fp / low_fp, sum2 / low_sum2});
+            const double balance = std::max(p.balance(), balanceFloor);
+            out.push_back(0.9 / ratio + 0.1 / balance);
+        }
+        return out;
+    }
+};
+
+/**
+ * Score: one vote per base predictor for its top-ranked schedule;
+ * ties broken by the summed min-max-normalized goodness across all
+ * base predictors ("relative magnitude of goodness").
+ */
+class ScorePredictor : public Predictor
+{
+  public:
+    ScorePredictor() : components_(makeBasePredictors()) {}
+
+    std::string name() const override { return "Score"; }
+
+    std::vector<double>
+    score(const std::vector<ScheduleProfile> &profiles) const override
+    {
+        SOS_ASSERT(!profiles.empty());
+        std::vector<double> votes(profiles.size(), 0.0);
+        std::vector<double> magnitude(profiles.size(), 0.0);
+        for (const auto &predictor : components_) {
+            const std::vector<double> raw = predictor->score(profiles);
+            const auto [mn_it, mx_it] =
+                std::minmax_element(raw.begin(), raw.end());
+            const double mn = *mn_it;
+            const double span = *mx_it - mn;
+            int best_index = 0;
+            for (std::size_t i = 0; i < raw.size(); ++i) {
+                if (raw[i] >
+                    raw[static_cast<std::size_t>(best_index)]) {
+                    best_index = static_cast<int>(i);
+                }
+                if (span > 0.0)
+                    magnitude[i] += (raw[i] - mn) / span;
+            }
+            votes[static_cast<std::size_t>(best_index)] += 1.0;
+        }
+        // Fold normalized magnitude in below the quantum of one vote.
+        const double tiebreak =
+            0.5 / static_cast<double>(components_.size());
+        for (std::size_t i = 0; i < votes.size(); ++i) {
+            votes[i] += tiebreak * magnitude[i] /
+                        static_cast<double>(components_.size());
+        }
+        return votes;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Predictor>> components_;
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Predictor>>
+makeBasePredictors()
+{
+    std::vector<std::unique_ptr<Predictor>> out;
+    out.push_back(std::make_unique<IpcPredictor>());
+    out.push_back(std::make_unique<AllConfPredictor>());
+    out.push_back(std::make_unique<DcachePredictor>());
+    out.push_back(std::make_unique<FqPredictor>());
+    out.push_back(std::make_unique<FpPredictor>());
+    out.push_back(std::make_unique<Sum2Predictor>());
+    out.push_back(std::make_unique<DiversityPredictor>());
+    out.push_back(std::make_unique<BalancePredictor>());
+    out.push_back(std::make_unique<CompositePredictor>());
+    return out;
+}
+
+std::unique_ptr<Predictor>
+makeScorePredictor()
+{
+    return std::make_unique<ScorePredictor>();
+}
+
+std::vector<std::unique_ptr<Predictor>>
+makeAllPredictors()
+{
+    std::vector<std::unique_ptr<Predictor>> out = makeBasePredictors();
+    out.push_back(makeScorePredictor());
+    return out;
+}
+
+std::unique_ptr<Predictor>
+makePredictor(const std::string &name)
+{
+    if (name == "SliceDiversity")
+        return std::make_unique<SliceDiversityPredictor>();
+    for (auto &predictor : makeAllPredictors()) {
+        if (predictor->name() == name)
+            return std::move(predictor);
+    }
+    fatal("unknown predictor '", name, "'");
+}
+
+} // namespace sos

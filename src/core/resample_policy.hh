@@ -1,0 +1,71 @@
+/**
+ * @file
+ * When should SOS leave the symbios phase and resample? (Section 9.)
+ *
+ * Three events trigger a new sample phase: a job arrival, a job
+ * departure, or expiry of the symbiosis-phase timer. The timer starts
+ * at a base interval (the paper uses the mean interarrival time); if
+ * it expires and the fresh sample yields the *same* prediction as
+ * before, the interval doubles (exponential backoff) -- a stable
+ * jobmix is sampled ever less often. Any job change, or a changed
+ * prediction, resets the interval to its base value.
+ */
+
+#ifndef SOS_CORE_RESAMPLE_POLICY_HH
+#define SOS_CORE_RESAMPLE_POLICY_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+/** Exponential-backoff resampling timer. */
+class ResamplePolicy
+{
+  public:
+    /** @param base_interval Initial symbios duration in cycles. */
+    explicit ResamplePolicy(std::uint64_t base_interval)
+        : base_(base_interval), current_(base_interval)
+    {
+        SOS_ASSERT(base_interval > 0);
+    }
+
+    /** Cycles the current symbios phase should run before resampling. */
+    std::uint64_t symbiosDuration() const { return current_; }
+
+    /** A job arrived or departed: resample immediately, reset backoff. */
+    void
+    onJobChange()
+    {
+        current_ = base_;
+    }
+
+    /**
+     * A timer-triggered sample completed.
+     *
+     * @param prediction_changed True if the new best schedule differs
+     *        from the previous one.
+     */
+    void
+    onTimerSample(bool prediction_changed)
+    {
+        if (prediction_changed) {
+            current_ = base_;
+        } else {
+            // Cap the doubling well below overflow.
+            if (current_ < (std::uint64_t{1} << 60))
+                current_ *= 2;
+        }
+    }
+
+    std::uint64_t baseInterval() const { return base_; }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t current_;
+};
+
+} // namespace sos
+
+#endif // SOS_CORE_RESAMPLE_POLICY_HH

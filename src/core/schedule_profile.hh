@@ -1,0 +1,71 @@
+/**
+ * @file
+ * What the sample phase learns about one schedule.
+ */
+
+#ifndef SOS_CORE_SCHEDULE_PROFILE_HH
+#define SOS_CORE_SCHEDULE_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats_util.hh"
+#include "cpu/perf_counters.hh"
+
+namespace sos {
+
+/**
+ * Counter snapshot gathered while one candidate schedule ran during
+ * the sample phase. This is all a predictor may look at: the paper's
+ * scheduler has no advance knowledge of the workload, only what the
+ * hardware counters reveal.
+ */
+struct ScheduleProfile
+{
+    /** Paper-style schedule label (e.g. "012_345"). */
+    std::string label;
+
+    /** Counters accumulated over the schedule's sample run. */
+    PerfCounters counters;
+
+    /** IPC of each timeslice, in order (the Balance signal). */
+    std::vector<double> sliceIpc;
+
+    /**
+     * FP/integer mix imbalance of each timeslice (the Diversity
+     * signal). The paper asks for a diverse mix "in all of its
+     * timeslices": aggregated over a whole period, a segregated
+     * schedule would look deceptively balanced.
+     */
+    std::vector<double> sliceMixImbalance;
+
+    /**
+     * Weighted speedup observed during the sample itself. Recorded
+     * for reporting; predictors other than those defined on it do not
+     * consult it.
+     */
+    double sampleWs = 0.0;
+
+    /** Standard deviation of per-timeslice IPC (lower = smoother). */
+    double
+    balance() const
+    {
+        return stddev(sliceIpc);
+    }
+
+    /**
+     * Mean per-timeslice mix imbalance (lower = more diverse); falls
+     * back to the aggregate imbalance when no slice data is present.
+     */
+    double
+    diversity() const
+    {
+        if (sliceMixImbalance.empty())
+            return counters.mixImbalance();
+        return mean(sliceMixImbalance);
+    }
+};
+
+} // namespace sos
+
+#endif // SOS_CORE_SCHEDULE_PROFILE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared branch direction predictor.
+ *
+ * A per-address table of 2-bit saturating counters (bimodal), salted
+ * with a per-thread hash so that coscheduled jobs -- whose synthetic
+ * code occupies the same virtual addresses -- spread across the shared
+ * table and interfere only through genuine capacity pressure, as on a
+ * real SMT front end. History-based indexing is deliberately not used:
+ * the synthetic branch outcomes are per-site biases, so history bits
+ * would only alias the table without adding predictable correlation.
+ *
+ * Targets are not predicted: the trace carries the architectural
+ * target, and a taken branch simply ends the thread's fetch block for
+ * the cycle, which is the first-order cost.
+ */
+
+#ifndef SOS_CPU_BRANCH_PREDICTOR_HH
+#define SOS_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sos {
+
+/** ASID-salted bimodal predictor with 2-bit saturating counters. */
+class BranchPredictor
+{
+  public:
+    /** @param index_bits log2 of the counter-table size. */
+    explicit BranchPredictor(int index_bits);
+
+    /**
+     * Predict a branch and train the table with the actual outcome.
+     *
+     * @param salt Per-thread table salt (hash of the ASID).
+     * @param pc Branch instruction address.
+     * @param taken Architectural outcome from the trace.
+     * @return The predicted direction (before training).
+     */
+    bool predictAndUpdate(std::uint32_t salt, std::uint64_t pc,
+                          bool taken);
+
+    /** Reset all counters to weakly not-taken. */
+    void reset();
+
+    /** Lifetime predictions made. */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** Lifetime mispredictions. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::uint32_t mask_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_BRANCH_PREDICTOR_HH

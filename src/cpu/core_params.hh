@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Static configuration of the SMT core.
+ *
+ * Defaults model the Compaq Alpha 21264 with the modest SMT additions
+ * the paper assumes: per-context architectural state, shared rename
+ * register pools, shared issue queues and functional units, and
+ * ICOUNT.2.8 fetch (up to 8 instructions from up to 2 threads per
+ * cycle, favouring threads with the fewest in-flight instructions).
+ */
+
+#ifndef SOS_CPU_CORE_PARAMS_HH
+#define SOS_CPU_CORE_PARAMS_HH
+
+namespace sos {
+
+/** Maximum number of hardware contexts any core can be built with. */
+constexpr int MaxContexts = 8;
+
+/** Microarchitectural parameters of the SMT core. */
+struct CoreParams
+{
+    /** Hardware contexts (the multithreading level). */
+    int numContexts = 4;
+
+    /** @name Front end @{ */
+    int fetchWidth = 8;          ///< instructions fetched per cycle
+    int fetchThreads = 2;        ///< threads fetched from per cycle
+    int fetchQueueSize = 32;     ///< per-context fetch/decode buffer
+    int frontendDelay = 4;       ///< fetch-to-dispatch pipeline depth
+    int mispredictRedirect = 2;  ///< redirect cycles after resolution
+    /** @} */
+
+    /** @name Dispatch / issue / commit @{ */
+    int dispatchWidth = 8;
+    int commitWidth = 8;
+    int intQueueSize = 20;  ///< 21264 integer issue queue
+    int fpQueueSize = 15;   ///< 21264 FP issue queue
+    int intRenameRegs = 48; ///< shared INT rename pool (80 - 32 arch)
+    int fpRenameRegs = 40;  ///< shared FP rename pool (72 - 32 arch)
+    int robSize = 128;      ///< shared reorder/scoreboard entries
+    /** @} */
+
+    /** @name Functional units @{ */
+    int numIntUnits = 4; ///< integer ALUs (branches resolve here)
+    /**
+     * FP pipelines, split by type as on the 21264: adds/compares go
+     * down the add pipe, multiplies (and the non-pipelined divide)
+     * down the multiply pipe. The split is what makes FP-concentrated
+     * coschedules saturate -- the conflict signature the paper's FQ /
+     * FP / Sum2 predictors key on.
+     */
+    int fpAddPipes = 1;
+    int fpMulPipes = 1;
+    int numLsPorts = 2; ///< load/store ports into the L1D
+    /** @} */
+
+    /** @name Operation latencies (cycles) @{ */
+    int intAluLat = 1;
+    int intMultLat = 7;
+    int fpAddLat = 4;
+    int fpMultLat = 4;
+    int fpDivLat = 12;
+    int l1dHitLat = 3; ///< load-to-use on an L1D hit
+    /** @} */
+
+    /** @name Branch prediction @{ */
+    int predictorBits = 16; ///< log2 of predictor counter-table entries
+    /** @} */
+
+    /**
+     * Fetch-policy ablation: when true, fetch rotates round-robin over
+     * the active contexts instead of favouring low-ICOUNT threads.
+     */
+    bool roundRobinFetch = false;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_CORE_PARAMS_HH

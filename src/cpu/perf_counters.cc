@@ -1,0 +1,87 @@
+#include "perf_counters.hh"
+
+#include <cmath>
+
+#include "common/stats_util.hh"
+
+namespace sos {
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &other)
+{
+    cycles += other.cycles;
+    fetched += other.fetched;
+    dispatched += other.dispatched;
+    issued += other.issued;
+    retired += other.retired;
+    intOps += other.intOps;
+    fpOps += other.fpOps;
+    loads += other.loads;
+    stores += other.stores;
+    branches += other.branches;
+    barriers += other.barriers;
+    branchMispredicts += other.branchMispredicts;
+    spinOps += other.spinOps;
+    confIntQueue += other.confIntQueue;
+    confFpQueue += other.confFpQueue;
+    confIntRegs += other.confIntRegs;
+    confFpRegs += other.confFpRegs;
+    confRob += other.confRob;
+    confIntUnits += other.confIntUnits;
+    confFpUnits += other.confFpUnits;
+    confLsPorts += other.confLsPorts;
+    l1iHits += other.l1iHits;
+    l1iMisses += other.l1iMisses;
+    l1dHits += other.l1dHits;
+    l1dMisses += other.l1dMisses;
+    l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
+    itlbMisses += other.itlbMisses;
+    dtlbMisses += other.dtlbMisses;
+    for (std::size_t s = 0; s < slotRetired.size(); ++s)
+        slotRetired[s] += other.slotRetired[s];
+    return *this;
+}
+
+double
+PerfCounters::ipc() const
+{
+    return safeDiv(static_cast<double>(retired),
+                   static_cast<double>(cycles));
+}
+
+double
+PerfCounters::l1dHitRate() const
+{
+    return safeDiv(static_cast<double>(l1dHits),
+                   static_cast<double>(l1dHits + l1dMisses));
+}
+
+double
+PerfCounters::conflictPct(std::uint64_t conflict_cycles) const
+{
+    return 100.0 * safeDiv(static_cast<double>(conflict_cycles),
+                           static_cast<double>(cycles));
+}
+
+double
+PerfCounters::allConflictPct() const
+{
+    return conflictPct(confIntQueue) + conflictPct(confFpQueue) +
+           conflictPct(confIntRegs) + conflictPct(confFpRegs) +
+           conflictPct(confRob) + conflictPct(confIntUnits) +
+           conflictPct(confFpUnits) + conflictPct(confLsPorts);
+}
+
+double
+PerfCounters::mixImbalance() const
+{
+    const double arith = static_cast<double>(intOps + fpOps);
+    if (arith == 0.0)
+        return 0.0;
+    const double fp_share = static_cast<double>(fpOps) / arith;
+    const double int_share = static_cast<double>(intOps) / arith;
+    return std::abs(fp_share - int_share);
+}
+
+} // namespace sos

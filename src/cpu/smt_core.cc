@@ -1,0 +1,774 @@
+#include "smt_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "cpu/sync_domain.hh"
+
+namespace sos {
+
+SmtCore::SmtCore(const CoreParams &params, const MemParams &mem_params)
+    : params_(params), mem_(mem_params), bpred_(params.predictorBits)
+{
+    SOS_ASSERT(params.numContexts >= 1 &&
+                   params.numContexts <= MaxContexts,
+               "unsupported context count");
+    SOS_ASSERT(params.fpAddPipes >= 1 && params.fpMulPipes >= 1);
+    SOS_ASSERT(params.fpMulPipes <=
+               static_cast<int>(fpBusyUntil_.size()));
+    ctxs_.resize(static_cast<std::size_t>(params.numContexts));
+
+    const std::size_t slab_size = static_cast<std::size_t>(
+        params.robSize + params.numContexts * params.fetchQueueSize + 8);
+    slab_.resize(slab_size);
+    freeList_.reserve(slab_size);
+    for (std::size_t i = 0; i < slab_size; ++i)
+        freeList_.push_back(static_cast<std::uint32_t>(slab_size - 1 - i));
+
+    intQ_.reserve(static_cast<std::size_t>(params.intQueueSize));
+    fpQ_.reserve(static_cast<std::size_t>(params.fpQueueSize));
+
+    intRenameFree_ = params.intRenameRegs;
+    fpRenameFree_ = params.fpRenameRegs;
+    robFree_ = params.robSize;
+}
+
+void
+SmtCore::attachThread(int slot, const ThreadBinding &binding)
+{
+    SOS_ASSERT(slot >= 0 && slot < params_.numContexts, "bad slot");
+    Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+    SOS_ASSERT(!ctx.active, "slot already bound");
+    SOS_ASSERT(binding.gen != nullptr, "binding needs a generator");
+
+    ctx.active = true;
+    ctx.bind = binding;
+    ctx.fetchQ.clear();
+    ctx.rob.clear();
+    ctx.lastWriter.fill(noInst);
+    ctx.lastWriterSeq.fill(0);
+    ctx.icount = 0;
+    ctx.fetchStallUntil = 0;
+    // A thread parked at a barrier stays parked across scheduling.
+    ctx.atBarrier =
+        binding.sync != nullptr && binding.sync->blocked(binding.syncIndex);
+    ctx.hasPending = false;
+    ctx.lastFetchLine = ~std::uint64_t{0};
+    ctx.predSalt =
+        static_cast<std::uint32_t>(mix64(binding.asid) >> 17);
+    ctx.retired = 0;
+}
+
+void
+SmtCore::squashCtx(int slot)
+{
+    Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+    const auto byCtx = [slot](const InFlight &inst) {
+        return inst.ctx == static_cast<std::uint8_t>(slot);
+    };
+    auto strip = [&](std::vector<QEntry> &queue) {
+        queue.erase(std::remove_if(queue.begin(), queue.end(),
+                                   [&](const QEntry &entry) {
+                                       return byCtx(slab_[entry.id]);
+                                   }),
+                    queue.end());
+    };
+    strip(intQ_);
+    strip(fpQ_);
+    for (std::uint32_t id : ctx.rob) {
+        releaseResources(slab_[id]);
+        freeList_.push_back(id);
+    }
+    ctx.rob.clear();
+    ctx.fetchQ.clear();
+    ctx.hasPending = false;
+    ctx.icount = 0;
+}
+
+void
+SmtCore::detachThread(int slot)
+{
+    SOS_ASSERT(slot >= 0 && slot < params_.numContexts, "bad slot");
+    Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+    SOS_ASSERT(ctx.active, "slot not bound");
+    squashCtx(slot);
+    ctx.active = false;
+    ctx.bind = ThreadBinding();
+}
+
+void
+SmtCore::detachAll()
+{
+    for (int slot = 0; slot < params_.numContexts; ++slot) {
+        if (ctxs_[static_cast<std::size_t>(slot)].active)
+            detachThread(slot);
+    }
+}
+
+bool
+SmtCore::slotActive(int slot) const
+{
+    SOS_ASSERT(slot >= 0 && slot < params_.numContexts, "bad slot");
+    return ctxs_[static_cast<std::size_t>(slot)].active;
+}
+
+int
+SmtCore::inFlightCount() const
+{
+    int n = 0;
+    for (const Ctx &ctx : ctxs_)
+        n += static_cast<int>(ctx.rob.size());
+    return n;
+}
+
+bool
+SmtCore::producerDone(std::uint32_t pid, std::uint64_t seq) const
+{
+    if (pid == noInst)
+        return true;
+    const InFlight &producer = slab_[pid];
+    if (producer.seq != seq)
+        return true; // producer retired (or squashed); value available
+    return producer.completed && producer.completeCycle <= cycle_;
+}
+
+std::uint64_t
+SmtCore::producerRecheck(std::uint32_t pid, std::uint64_t seq) const
+{
+    if (pid == noInst)
+        return 0;
+    const InFlight &producer = slab_[pid];
+    if (producer.seq != seq)
+        return 0; // producer retired (or squashed); value available
+    if (!producer.completed)
+        return cycle_ + 1; // completion time unknown: recheck soon
+    return producer.completeCycle <= cycle_ ? 0 : producer.completeCycle;
+}
+
+std::uint64_t
+SmtCore::readyOrRecheck(InFlight &inst) const
+{
+    std::uint64_t recheck = 0;
+    if (!inst.aDone) {
+        const std::uint64_t r =
+            producerRecheck(inst.prodA, inst.prodASeq);
+        if (r == 0)
+            inst.aDone = true;
+        else
+            recheck = r;
+    }
+    if (!inst.bDone) {
+        const std::uint64_t r =
+            producerRecheck(inst.prodB, inst.prodBSeq);
+        if (r == 0)
+            inst.bDone = true;
+        else
+            recheck = std::max(recheck, r);
+    }
+    return recheck;
+}
+
+void
+SmtCore::debugDump() const
+{
+    std::fprintf(stderr, "cycle=%llu intQ=%zu fpQ=%zu robFree=%d "
+                         "intRen=%d fpRen=%d\n",
+                 static_cast<unsigned long long>(cycle_), intQ_.size(),
+                 fpQ_.size(), robFree_, intRenameFree_, fpRenameFree_);
+    auto dumpQ = [&](const char *name,
+                     const std::vector<QEntry> &queue) {
+        for (std::size_t i = 0; i < std::min<std::size_t>(queue.size(), 6);
+             ++i) {
+            const InFlight &inst = slab_[queue[i].id];
+            std::fprintf(stderr,
+                         "  %s[%zu] cls=%d srcA=%d(%d) srcB=%d(%d) "
+                         "dst=%d issued=%d\n",
+                         name, i, static_cast<int>(inst.op.cls),
+                         inst.op.srcA,
+                         producerDone(inst.prodA, inst.prodASeq) ? 1 : 0,
+                         inst.op.srcB,
+                         producerDone(inst.prodB, inst.prodBSeq) ? 1 : 0,
+                         inst.op.dst, inst.issued ? 1 : 0);
+        }
+    };
+    dumpQ("intQ", intQ_);
+    dumpQ("fpQ", fpQ_);
+    for (std::size_t s = 0; s < ctxs_.size(); ++s) {
+        const Ctx &ctx = ctxs_[s];
+        std::fprintf(
+            stderr,
+            "  ctx%zu active=%d fq=%zu rob=%zu icount=%d stall=%llu "
+            "barrier=%d pending=%d\n",
+            s, ctx.active ? 1 : 0, ctx.fetchQ.size(), ctx.rob.size(),
+            ctx.icount,
+            static_cast<unsigned long long>(ctx.fetchStallUntil),
+            ctx.atBarrier ? 1 : 0, ctx.hasPending ? 1 : 0);
+    }
+}
+
+std::uint32_t
+SmtCore::allocInst()
+{
+    SOS_ASSERT(!freeList_.empty(), "instruction slab exhausted");
+    const std::uint32_t id = freeList_.back();
+    freeList_.pop_back();
+    slab_[id].seq = ++seqCounter_;
+    return id;
+}
+
+void
+SmtCore::releaseResources(const InFlight &inst)
+{
+    ++robFree_;
+    if (inst.op.dst != NoReg) {
+        if (isFpReg(inst.op.dst))
+            ++fpRenameFree_;
+        else
+            ++intRenameFree_;
+    }
+}
+
+void
+SmtCore::run(std::uint64_t cycles, PerfCounters &counters)
+{
+    // Memory-system counters are derived from component deltas.
+    const std::uint64_t l1i_h0 = mem_.l1i().hits();
+    const std::uint64_t l1i_m0 = mem_.l1i().misses();
+    const std::uint64_t l1d_h0 = mem_.l1d().hits();
+    const std::uint64_t l1d_m0 = mem_.l1d().misses();
+    const std::uint64_t l2_h0 = mem_.l2().hits();
+    const std::uint64_t l2_m0 = mem_.l2().misses();
+    const std::uint64_t itlb_m0 = mem_.itlb().misses();
+    const std::uint64_t dtlb_m0 = mem_.dtlb().misses();
+
+    for (Ctx &ctx : ctxs_)
+        ctx.retired = 0;
+
+    const std::uint64_t end = cycle_ + cycles;
+    while (cycle_ < end) {
+        doCommit(counters);
+        doIssue(counters);
+        doDispatch(counters);
+        doFetch(counters);
+        ++cycle_;
+        ++counters.cycles;
+    }
+
+    for (int slot = 0; slot < params_.numContexts; ++slot) {
+        counters.slotRetired[static_cast<std::size_t>(slot)] +=
+            ctxs_[static_cast<std::size_t>(slot)].retired;
+    }
+    counters.l1iHits += mem_.l1i().hits() - l1i_h0;
+    counters.l1iMisses += mem_.l1i().misses() - l1i_m0;
+    counters.l1dHits += mem_.l1d().hits() - l1d_h0;
+    counters.l1dMisses += mem_.l1d().misses() - l1d_m0;
+    counters.l2Hits += mem_.l2().hits() - l2_h0;
+    counters.l2Misses += mem_.l2().misses() - l2_m0;
+    counters.itlbMisses += mem_.itlb().misses() - itlb_m0;
+    counters.dtlbMisses += mem_.dtlb().misses() - dtlb_m0;
+}
+
+int
+SmtCore::activeSlots(std::array<int, MaxContexts> &slots) const
+{
+    int n = 0;
+    for (int slot = 0; slot < params_.numContexts; ++slot) {
+        if (ctxs_[static_cast<std::size_t>(slot)].active)
+            slots[static_cast<std::size_t>(n++)] = slot;
+    }
+    return n;
+}
+
+void
+SmtCore::doCommit(PerfCounters &pc)
+{
+    int budget = params_.commitWidth;
+    // Rotate priority over the *active* contexts; rotating over all
+    // slots would hand the lowest-numbered context first pick whenever
+    // the rotation lands on an empty slot.
+    std::array<int, MaxContexts> slots{};
+    const int n = activeSlots(slots);
+    for (int i = 0; i < n && budget > 0; ++i) {
+        const int slot = slots[static_cast<std::size_t>(
+            (commitRR_ + i) % n)];
+        Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+        while (budget > 0 && !ctx.rob.empty()) {
+            const std::uint32_t id = ctx.rob.front();
+            const InFlight &inst = slab_[id];
+            if (!inst.completed || inst.completeCycle > cycle_)
+                break;
+            releaseResources(inst);
+            ctx.rob.pop_front();
+            freeList_.push_back(id);
+            if (!inst.spin) {
+                ++ctx.retired;
+                ++pc.retired;
+            }
+            --budget;
+        }
+    }
+    if (n > 0)
+        commitRR_ = (commitRR_ + 1) % n;
+}
+
+void
+SmtCore::doIssue(PerfCounters &pc)
+{
+    int int_used = 0;
+    int ls_used = 0;
+    int fp_add_used = 0;
+    int fp_mul_used = 0;
+    // Multiply pipes still executing a non-pipelined divide are
+    // unavailable this cycle.
+    int fp_mul_open = 0;
+    for (int u = 0; u < params_.fpMulPipes; ++u) {
+        if (fpBusyUntil_[static_cast<std::size_t>(u)] <= cycle_)
+            ++fp_mul_open;
+    }
+
+    bool conf_int_units = false;
+    bool conf_fp_units = false;
+    bool conf_ls_ports = false;
+
+    // Integer queue: oldest first. Loads and stores live here (their
+    // address generation is integer work) but issue through the
+    // load/store ports.
+    for (std::size_t qi = 0; qi < intQ_.size();) {
+        QEntry &entry = intQ_[qi];
+        if (entry.recheckAt > cycle_) {
+            ++qi;
+            continue;
+        }
+        const std::uint32_t id = entry.id;
+        InFlight &inst = slab_[id];
+        Ctx &ctx = ctxs_[inst.ctx];
+        const UOp &op = inst.op;
+
+        if (const std::uint64_t recheck = readyOrRecheck(inst)) {
+            entry.recheckAt = recheck;
+            ++qi;
+            continue;
+        }
+
+        if (op.isMem()) {
+            if (ls_used >= params_.numLsPorts) {
+                conf_ls_ports = true;
+                ++qi;
+                continue;
+            }
+            ++ls_used;
+            const std::uint32_t extra =
+                mem_.dataAccess(ctx.bind.asid, op.addr,
+                                op.cls == OpClass::Store, op.pc);
+            if (op.cls == OpClass::Load) {
+                inst.completeCycle =
+                    cycle_ + static_cast<std::uint64_t>(params_.l1dHitLat) +
+                    extra;
+            } else {
+                // Stores retire through a write buffer.
+                inst.completeCycle = cycle_ + 1;
+            }
+        } else {
+            if (int_used >= params_.numIntUnits) {
+                conf_int_units = true;
+                ++qi;
+                continue;
+            }
+            ++int_used;
+            const int lat = op.cls == OpClass::IntMult ? params_.intMultLat
+                                                       : params_.intAluLat;
+            inst.completeCycle = cycle_ + static_cast<std::uint64_t>(lat);
+        }
+
+        inst.issued = true;
+        inst.completed = true;
+        if (inst.mispredicted) {
+            // The front end was parked on this branch; release it when
+            // the branch resolves, plus the redirect penalty.
+            ctx.fetchStallUntil =
+                inst.completeCycle +
+                static_cast<std::uint64_t>(params_.mispredictRedirect);
+        }
+        --ctx.icount;
+        if (!inst.spin)
+            ++pc.issued;
+        intQ_.erase(intQ_.begin() + static_cast<std::ptrdiff_t>(qi));
+    }
+
+    // FP queue.
+    for (std::size_t qi = 0; qi < fpQ_.size();) {
+        QEntry &entry = fpQ_[qi];
+        if (entry.recheckAt > cycle_) {
+            ++qi;
+            continue;
+        }
+        const std::uint32_t id = entry.id;
+        InFlight &inst = slab_[id];
+        Ctx &ctx = ctxs_[inst.ctx];
+        const UOp &op = inst.op;
+
+        if (const std::uint64_t recheck = readyOrRecheck(inst)) {
+            entry.recheckAt = recheck;
+            ++qi;
+            continue;
+        }
+        int lat;
+        if (op.cls == OpClass::FpAdd) {
+            if (fp_add_used >= params_.fpAddPipes) {
+                conf_fp_units = true;
+                ++qi;
+                continue;
+            }
+            ++fp_add_used;
+            lat = params_.fpAddLat;
+        } else if (op.cls == OpClass::FpMult) {
+            if (fp_mul_used >= fp_mul_open) {
+                conf_fp_units = true;
+                ++qi;
+                continue;
+            }
+            ++fp_mul_used;
+            lat = params_.fpMultLat;
+        } else { // FpDiv
+            if (fp_mul_used >= fp_mul_open) {
+                conf_fp_units = true;
+                ++qi;
+                continue;
+            }
+            lat = params_.fpDivLat;
+            // Divide monopolizes a multiply pipe (non-pipelined).
+            for (int u = 0; u < params_.fpMulPipes; ++u) {
+                auto &busy = fpBusyUntil_[static_cast<std::size_t>(u)];
+                if (busy <= cycle_) {
+                    busy = cycle_ + static_cast<std::uint64_t>(lat);
+                    --fp_mul_open;
+                    break;
+                }
+            }
+        }
+        inst.issued = true;
+        inst.completed = true;
+        inst.completeCycle = cycle_ + static_cast<std::uint64_t>(lat);
+        --ctx.icount;
+        if (!inst.spin)
+            ++pc.issued;
+        fpQ_.erase(fpQ_.begin() + static_cast<std::ptrdiff_t>(qi));
+    }
+
+    if (conf_int_units)
+        ++pc.confIntUnits;
+    if (conf_fp_units)
+        ++pc.confFpUnits;
+    if (conf_ls_ports)
+        ++pc.confLsPorts;
+}
+
+void
+SmtCore::doDispatch(PerfCounters &pc)
+{
+    int budget = params_.dispatchWidth;
+    std::array<int, MaxContexts> slots{};
+    const int n = activeSlots(slots);
+
+    bool conf_rob = false;
+    bool conf_int_q = false;
+    bool conf_fp_q = false;
+    bool conf_int_regs = false;
+    bool conf_fp_regs = false;
+
+    for (int i = 0; i < n && budget > 0; ++i) {
+        const int slot = slots[static_cast<std::size_t>(
+            (dispatchRR_ + i) % n)];
+        Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+        while (budget > 0 && !ctx.fetchQ.empty()) {
+            const Fetched &front = ctx.fetchQ.front();
+            if (front.readyAt > cycle_)
+                break;
+            const UOp &op = front.op;
+
+            if (robFree_ == 0) {
+                conf_rob = true;
+                break;
+            }
+            const bool is_fp_q = op.isFp();
+            if (is_fp_q) {
+                if (static_cast<int>(fpQ_.size()) >= params_.fpQueueSize) {
+                    conf_fp_q = true;
+                    break;
+                }
+            } else {
+                if (static_cast<int>(intQ_.size()) >=
+                    params_.intQueueSize) {
+                    conf_int_q = true;
+                    break;
+                }
+            }
+            if (op.dst != NoReg) {
+                if (isFpReg(op.dst)) {
+                    if (fpRenameFree_ == 0) {
+                        conf_fp_regs = true;
+                        break;
+                    }
+                } else {
+                    if (intRenameFree_ == 0) {
+                        conf_int_regs = true;
+                        break;
+                    }
+                }
+            }
+
+            // All resources available: dispatch.
+            const std::uint32_t id = allocInst();
+            InFlight &inst = slab_[id];
+            inst.op = op;
+            inst.ctx = static_cast<std::uint8_t>(slot);
+            inst.issued = false;
+            inst.completed = false;
+            inst.completeCycle = 0;
+            inst.mispredicted = front.mispredicted;
+            inst.spin = front.spin;
+
+            // Capture the program-order producers now; the register
+            // name may be recycled by a younger writer before this
+            // instruction issues.
+            inst.prodA = noInst;
+            inst.prodB = noInst;
+            if (op.srcA != NoReg) {
+                inst.prodA = ctx.lastWriter[op.srcA];
+                inst.prodASeq = ctx.lastWriterSeq[op.srcA];
+            }
+            if (op.srcB != NoReg) {
+                inst.prodB = ctx.lastWriter[op.srcB];
+                inst.prodBSeq = ctx.lastWriterSeq[op.srcB];
+            }
+            inst.aDone = producerDone(inst.prodA, inst.prodASeq);
+            inst.bDone = producerDone(inst.prodB, inst.prodBSeq);
+
+            --robFree_;
+            if (op.dst != NoReg) {
+                if (isFpReg(op.dst))
+                    --fpRenameFree_;
+                else
+                    --intRenameFree_;
+                ctx.lastWriter[op.dst] = id;
+                ctx.lastWriterSeq[op.dst] = inst.seq;
+            }
+            ctx.rob.push_back(id);
+            if (is_fp_q)
+                fpQ_.push_back(QEntry{id, 0});
+            else
+                intQ_.push_back(QEntry{id, 0});
+
+            if (front.spin) {
+                ++pc.spinOps;
+            } else {
+                switch (op.cls) {
+                  case OpClass::IntAlu:
+                  case OpClass::IntMult:
+                    ++pc.intOps;
+                    break;
+                  case OpClass::Branch:
+                    ++pc.intOps;
+                    ++pc.branches;
+                    break;
+                  case OpClass::FpAdd:
+                  case OpClass::FpMult:
+                  case OpClass::FpDiv:
+                    ++pc.fpOps;
+                    break;
+                  case OpClass::Load:
+                    ++pc.loads;
+                    break;
+                  case OpClass::Store:
+                    ++pc.stores;
+                    break;
+                  case OpClass::Barrier:
+                    panic("barriers never enter the dispatch stream");
+                }
+                ++pc.dispatched;
+            }
+            ctx.fetchQ.pop_front();
+            --budget;
+        }
+    }
+    if (n > 0)
+        dispatchRR_ = (dispatchRR_ + 1) % n;
+
+    if (conf_rob)
+        ++pc.confRob;
+    if (conf_int_q)
+        ++pc.confIntQueue;
+    if (conf_fp_q)
+        ++pc.confFpQueue;
+    if (conf_int_regs)
+        ++pc.confIntRegs;
+    if (conf_fp_regs)
+        ++pc.confFpRegs;
+}
+
+bool
+SmtCore::tryFetchOne(Ctx &ctx, PerfCounters &pc)
+{
+    // Returns true if fetch for this thread may continue this cycle.
+    UOp op;
+    bool spin = false;
+    if (ctx.atBarrier) {
+        // Busy-wait: a parked thread spins on the barrier flag. With
+        // ICOUNT fetch the spinner's near-empty window gives it top
+        // fetch priority every cycle, so the loop (flag load, a few
+        // dependent test ops, a taken branch) soaks up fetch slots,
+        // queue entries and a load port -- the resource drag that
+        // makes splitting tightly-synchronized threads so expensive on
+        // an SMT (Section 6).
+        spin = true;
+        op = UOp();
+        const std::uint32_t phase = ctx.spinPhase++ % 5;
+        op.pc = 0xf00 + 4 * phase;
+        switch (phase) {
+          case 0:
+            op.cls = OpClass::Load;
+            op.addr = 0x7c0; // barrier flag: L1-resident
+            op.dst = 30;
+            break;
+          case 1:
+          case 2:
+          case 3:
+            op.cls = OpClass::IntAlu;
+            op.srcA = static_cast<std::uint8_t>(31 - phase);
+            op.dst = static_cast<std::uint8_t>(30 - phase);
+            break;
+          default:
+            op.cls = OpClass::Branch;
+            op.srcA = 27;
+            op.taken = true; // loop back to the flag load
+            break;
+        }
+    } else if (ctx.hasPending) {
+        op = ctx.pendingOp;
+        ctx.hasPending = false;
+    } else {
+        op = ctx.bind.gen->next();
+    }
+
+    if (op.cls == OpClass::Barrier) {
+        SOS_ASSERT(ctx.bind.sync != nullptr,
+                   "barrier from a thread with no sync domain");
+        ctx.bind.sync->arrive(ctx.bind.syncIndex);
+        ++pc.barriers;
+        if (ctx.bind.sync->blocked(ctx.bind.syncIndex)) {
+            ctx.atBarrier = true;
+            return false;
+        }
+        return true; // barrier consumed for free; keep fetching
+    }
+
+    const std::uint64_t line = op.pc / mem_.params().l1i.lineBytes;
+    if (line != ctx.lastFetchLine) {
+        ctx.lastFetchLine = line;
+        const std::uint32_t extra = mem_.instAccess(ctx.bind.asid, op.pc);
+        if (extra > 0) {
+            ctx.pendingOp = op;
+            ctx.hasPending = true;
+            ctx.fetchStallUntil = cycle_ + extra;
+            return false;
+        }
+    }
+
+    Fetched fetched;
+    fetched.op = op;
+    fetched.readyAt = cycle_ + static_cast<std::uint64_t>(
+                                   params_.frontendDelay);
+    fetched.mispredicted = false;
+    fetched.spin = spin;
+
+    bool stop = false;
+    if (op.cls == OpClass::Branch) {
+        const bool predicted =
+            bpred_.predictAndUpdate(ctx.predSalt, op.pc, op.taken);
+        if (predicted != op.taken) {
+            fetched.mispredicted = true;
+            if (!spin)
+                ++pc.branchMispredicts;
+            // Park the front end until the branch resolves at issue.
+            ctx.fetchStallUntil = redirectPending;
+            stop = true;
+        } else if (op.taken) {
+            stop = true; // a taken branch ends the fetch block
+        }
+    }
+
+    ctx.fetchQ.push_back(fetched);
+    ++ctx.icount;
+    if (!spin)
+        ++pc.fetched;
+    return !stop;
+}
+
+void
+SmtCore::doFetch(PerfCounters &pc)
+{
+    // ICOUNT: fetch from the threads with the fewest in-flight
+    // pre-issue instructions.
+    std::array<int, MaxContexts> picked{};
+    int num_candidates = 0;
+    for (int slot = 0; slot < params_.numContexts; ++slot) {
+        Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+        if (!ctx.active)
+            continue;
+        if (ctx.atBarrier &&
+            !ctx.bind.sync->blocked(ctx.bind.syncIndex)) {
+            ctx.atBarrier = false; // barrier released; resume for real
+        }
+        if (ctx.fetchStallUntil > cycle_)
+            continue;
+        if (static_cast<int>(ctx.fetchQ.size()) >= params_.fetchQueueSize)
+            continue;
+        picked[static_cast<std::size_t>(num_candidates++)] = slot;
+    }
+    // Insertion sort by icount; ties go to the least-recently-fetched
+    // context so equal threads share the front end evenly. The
+    // round-robin ablation ignores occupancy entirely.
+    const bool round_robin = params_.roundRobinFetch;
+    const auto before = [this, round_robin](int a, int b) {
+        const Ctx &ca = ctxs_[static_cast<std::size_t>(a)];
+        const Ctx &cb = ctxs_[static_cast<std::size_t>(b)];
+        if (!round_robin && ca.icount != cb.icount)
+            return ca.icount < cb.icount;
+        return ca.lastFetchCycle < cb.lastFetchCycle;
+    };
+    for (int i = 1; i < num_candidates; ++i) {
+        const int slot = picked[static_cast<std::size_t>(i)];
+        int j = i - 1;
+        while (j >= 0 &&
+               before(slot, picked[static_cast<std::size_t>(j)])) {
+            picked[static_cast<std::size_t>(j + 1)] =
+                picked[static_cast<std::size_t>(j)];
+            --j;
+        }
+        picked[static_cast<std::size_t>(j + 1)] = slot;
+    }
+
+    const int num_threads = std::min(num_candidates, params_.fetchThreads);
+    int budget = params_.fetchWidth;
+    for (int t = 0; t < num_threads && budget > 0; ++t) {
+        const int slot = picked[static_cast<std::size_t>(t)];
+        Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+        bool fetched_any = false;
+        while (budget > 0 &&
+               static_cast<int>(ctx.fetchQ.size()) <
+                   params_.fetchQueueSize) {
+            const std::size_t before = ctx.fetchQ.size();
+            const bool keep_going = tryFetchOne(ctx, pc);
+            if (ctx.fetchQ.size() > before) {
+                --budget;
+                fetched_any = true;
+            }
+            if (!keep_going)
+                break;
+        }
+        if (fetched_any)
+            ctx.lastFetchCycle = cycle_;
+    }
+}
+
+} // namespace sos

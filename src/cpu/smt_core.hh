@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cycle-level simultaneous multithreading out-of-order core.
+ *
+ * Models the pipeline the paper's evaluation rests on: ICOUNT.2.8
+ * fetch across hardware contexts, shared rename register pools,
+ * shared INT/FP issue queues (20/15 entries as on the 21264), a
+ * shared reorder buffer ("scoreboard"), a pool of functional units,
+ * and a shared memory hierarchy. Every structure a thread can be
+ * denied in a cycle has a conflict counter; those counters are the
+ * raw material of the SOS predictors.
+ *
+ * Deliberate simplifications (documented in DESIGN.md):
+ *  - wrong-path instructions are not executed; a mispredicted branch
+ *    stalls its thread's fetch until the branch resolves, plus a
+ *    redirect penalty;
+ *  - loads and stores occupy a load/store port rather than an integer
+ *    unit subcluster;
+ *  - rename registers are released at commit of the writing
+ *    instruction.
+ */
+
+#ifndef SOS_CPU_SMT_CORE_HH
+#define SOS_CPU_SMT_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/core_params.hh"
+#include "cpu/perf_counters.hh"
+#include "cpu/thread_binding.hh"
+#include "mem/cache_hierarchy.hh"
+#include "trace/trace_generator.hh"
+#include "trace/uop.hh"
+
+namespace sos {
+
+/** The simulated SMT processor. */
+class SmtCore
+{
+  public:
+    SmtCore(const CoreParams &params, const MemParams &mem_params);
+
+    /** Bind a software thread to context slot (slot must be free). */
+    void attachThread(int slot, const ThreadBinding &binding);
+
+    /**
+     * Unbind the thread in the given slot, squashing its in-flight
+     * instructions (the pipeline drain of a context switch).
+     */
+    void detachThread(int slot);
+
+    /** Detach every bound thread. */
+    void detachAll();
+
+    /** True if the slot currently has a thread bound. */
+    bool slotActive(int slot) const;
+
+    /**
+     * Simulate the given number of cycles, accumulating counters.
+     * Per-slot retired counts land in counters.slotRetired.
+     */
+    void run(std::uint64_t cycles, PerfCounters &counters);
+
+    /** Absolute simulated cycle count since construction. */
+    std::uint64_t now() const { return cycle_; }
+
+    /** The shared memory hierarchy (for flushing and inspection). */
+    CacheHierarchy &memory() { return mem_; }
+    const CacheHierarchy &memory() const { return mem_; }
+
+    /** The shared branch predictor (for inspection). */
+    const BranchPredictor &predictor() const { return bpred_; }
+
+    const CoreParams &params() const { return params_; }
+
+    /** Instructions currently dispatched but not committed. */
+    int inFlightCount() const;
+
+    /** Print internal pipeline state to stderr (debugging aid). */
+    void debugDump() const;
+
+  private:
+    /** Fetched, pre-dispatch instruction. */
+    struct Fetched
+    {
+        UOp op;
+        std::uint64_t readyAt = 0; ///< earliest dispatch cycle
+        bool mispredicted = false;
+        bool spin = false; ///< busy-wait op: consumes resources only
+    };
+
+    /** Dispatched instruction tracked until commit. */
+    struct InFlight
+    {
+        UOp op;
+        std::uint64_t completeCycle = 0;
+        std::uint64_t seq = 0; ///< allocation stamp (detects slab reuse)
+        /**
+         * Program-order producers of the sources, captured at dispatch
+         * (slab id + its seq). Capturing at dispatch avoids the false
+         * write-after-read waits that re-reading a register scoreboard
+         * at issue time would introduce once architectural registers
+         * are reused by younger instructions.
+         */
+        std::uint32_t prodA = ~std::uint32_t{0};
+        std::uint64_t prodASeq = 0;
+        std::uint32_t prodB = ~std::uint32_t{0};
+        std::uint64_t prodBSeq = 0;
+        std::uint8_t ctx = 0;
+        bool issued = false;
+        bool completed = false;
+        bool mispredicted = false;
+        /**
+         * Busy-wait instruction from a barrier spin loop: occupies
+         * pipeline resources like any other op but retires without
+         * being counted as progress.
+         */
+        bool spin = false;
+        /**
+         * Sticky operand-ready flags: once a producer's value is
+         * available it stays available, so the issue scan only pays
+         * the producer lookup until the first success.
+         */
+        bool aDone = false;
+        bool bDone = false;
+    };
+
+    /** Per-hardware-context state. */
+    struct Ctx
+    {
+        bool active = false;
+        ThreadBinding bind;
+        std::deque<Fetched> fetchQ;
+        std::deque<std::uint32_t> rob; ///< in-order slab ids
+        std::array<std::uint32_t, NumArchRegs> lastWriter{};
+        std::array<std::uint64_t, NumArchRegs> lastWriterSeq{};
+        int icount = 0; ///< instructions in pre-issue stages + queues
+        std::uint64_t fetchStallUntil = 0;
+        bool atBarrier = false;
+        bool hasPending = false;
+        UOp pendingOp; ///< op stalled behind an icache miss
+        std::uint64_t lastFetchLine = ~std::uint64_t{0};
+        std::uint32_t predSalt = 0; ///< per-thread predictor salt
+        std::uint64_t retired = 0; ///< within the current run()
+        std::uint32_t spinPhase = 0; ///< spin-loop op alternator
+        std::uint64_t lastFetchCycle = 0; ///< ICOUNT tie-breaking
+    };
+
+    /** Sentinel: fetch stalled until a mispredicted branch resolves. */
+    static constexpr std::uint64_t redirectPending = ~std::uint64_t{0};
+
+    /** Sentinel: no instruction. */
+    static constexpr std::uint32_t noInst = ~std::uint32_t{0};
+
+    /** Collect active slot indices; returns how many. */
+    int activeSlots(std::array<int, MaxContexts> &slots) const;
+
+    void doCommit(PerfCounters &pc);
+    void doIssue(PerfCounters &pc);
+    void doDispatch(PerfCounters &pc);
+    void doFetch(PerfCounters &pc);
+
+    std::uint32_t allocInst();
+    void releaseResources(const InFlight &inst);
+    bool tryFetchOne(Ctx &ctx, PerfCounters &pc);
+    void squashCtx(int slot);
+
+    /** True once the captured producer's value is available. */
+    bool producerDone(std::uint32_t pid, std::uint64_t seq) const;
+
+    /**
+     * 0 when the producer's value is available; otherwise the earliest
+     * cycle at which re-examining it could succeed.
+     */
+    std::uint64_t producerRecheck(std::uint32_t pid,
+                                  std::uint64_t seq) const;
+
+    /**
+     * 0 when both operands are ready; otherwise the earliest cycle at
+     * which the instruction could become ready.
+     */
+    std::uint64_t readyOrRecheck(InFlight &inst) const;
+
+    CoreParams params_;
+    CacheHierarchy mem_;
+    BranchPredictor bpred_;
+    std::vector<Ctx> ctxs_;
+
+    std::vector<InFlight> slab_;
+    std::vector<std::uint32_t> freeList_;
+    std::uint64_t seqCounter_ = 0;
+
+    /** Issue-queue entry: slab id plus a readiness-recheck hint. */
+    struct QEntry
+    {
+        std::uint32_t id = 0;
+        /**
+         * Do not re-examine before this cycle: when an operand waits
+         * on an already-issued producer, its completion time is known,
+         * so the scan can skip the entry without touching the slab.
+         */
+        std::uint64_t recheckAt = 0;
+    };
+
+    std::vector<QEntry> intQ_; ///< age-ordered
+    std::vector<QEntry> fpQ_;
+
+    int intRenameFree_;
+    int fpRenameFree_;
+    int robFree_;
+
+    std::array<std::uint64_t, 8> fpBusyUntil_{};
+
+    std::uint64_t cycle_ = 0;
+    int commitRR_ = 0;
+    int dispatchRR_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_SMT_CORE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Barrier synchronization domain of a parallel job.
+ *
+ * Each multithreaded job owns one SyncDomain shared by its threads.
+ * A thread arriving at its k-th barrier blocks until every sibling has
+ * also arrived at barrier k. Arrival state lives with the job, not
+ * the hardware context, so it persists across descheduling: a thread
+ * whose sibling is not coscheduled simply stays blocked until the
+ * sibling eventually runs -- which is exactly why splitting the
+ * paper's tightly-synchronized ARRAY threads across timeslices
+ * collapses their throughput (Section 6).
+ */
+
+#ifndef SOS_CPU_SYNC_DOMAIN_HH
+#define SOS_CPU_SYNC_DOMAIN_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+/** Tracks barrier arrivals of one parallel job's threads. */
+class SyncDomain
+{
+  public:
+    /** @param num_threads Sibling threads in the job (>= 1). */
+    explicit SyncDomain(int num_threads) { reset(num_threads); }
+
+    /** Restart with a (possibly different) thread count. */
+    void
+    reset(int num_threads)
+    {
+        SOS_ASSERT(num_threads >= 1);
+        arrived_.assign(static_cast<std::size_t>(num_threads), 0);
+        released_ = 0;
+    }
+
+    /** Thread t announces arrival at its next barrier. */
+    void
+    arrive(int t)
+    {
+        auto &count = arrived_.at(static_cast<std::size_t>(t));
+        ++count;
+        released_ = *std::min_element(arrived_.begin(), arrived_.end());
+    }
+
+    /**
+     * True while thread t has arrived at a barrier that some sibling
+     * has not yet reached.
+     */
+    bool
+    blocked(int t) const
+    {
+        return arrived_.at(static_cast<std::size_t>(t)) > released_;
+    }
+
+    /** Number of barrier generations fully completed. */
+    std::uint64_t completed() const { return released_; }
+
+    /** Sibling thread count. */
+    int
+    numThreads() const
+    {
+        return static_cast<int>(arrived_.size());
+    }
+
+  private:
+    std::vector<std::uint64_t> arrived_;
+    std::uint64_t released_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_SYNC_DOMAIN_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * What the jobscheduler attaches to a hardware context for a timeslice.
+ */
+
+#ifndef SOS_CPU_THREAD_BINDING_HH
+#define SOS_CPU_THREAD_BINDING_HH
+
+#include <cstdint>
+
+namespace sos {
+
+class TraceGenerator;
+class SyncDomain;
+
+/**
+ * Binding of one software thread to one hardware context.
+ *
+ * The generator and sync domain are owned by the Job; the core only
+ * borrows them for the duration of the timeslice.
+ */
+struct ThreadBinding
+{
+    /** Instruction stream of the thread (must outlive the binding). */
+    TraceGenerator *gen = nullptr;
+
+    /** Barrier domain for parallel jobs; nullptr for sequential. */
+    SyncDomain *sync = nullptr;
+
+    /** This thread's index within its sync domain. */
+    int syncIndex = 0;
+
+    /** Address space id (per job; siblings share one). */
+    std::uint16_t asid = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_THREAD_BINDING_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement.
+ *
+ * All caches in the hierarchy are shared among the hardware contexts
+ * of the SMT core. Tags incorporate the accessor's address-space id,
+ * so distinct jobs with overlapping virtual addresses conflict in the
+ * cache exactly the way competing working sets do on real hardware --
+ * this is what makes cache-sweeping jobs anti-symbiotic and produces
+ * the cold-start effects of the paper's Section 8.
+ */
+
+#ifndef SOS_MEM_CACHE_HH
+#define SOS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sos {
+
+/** Geometry of one cache (or, degenerately, a TLB). */
+struct CacheParams
+{
+    /** Human-readable name for reporting. */
+    std::string name = "cache";
+    /** Total capacity in bytes. */
+    std::uint32_t sizeBytes = 32 * 1024;
+    /** Line size in bytes (page size for a TLB). */
+    std::uint32_t lineBytes = 64;
+    /** Associativity; sizeBytes / lineBytes / assoc sets. */
+    std::uint32_t assoc = 2;
+};
+
+/**
+ * Timing-model cache: tracks only tags and recency, not data.
+ *
+ * Writes allocate (write-back write-allocate policy); write-back
+ * traffic is not separately modelled, which affects only absolute
+ * bandwidth numbers, not the relative contention the scheduler
+ * observes.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up (and on miss, allocate) the line containing addr.
+     *
+     * @param asid Address-space id of the accessor (distinct per job).
+     * @param addr Virtual byte address.
+     * @return True on hit.
+     */
+    bool access(std::uint16_t asid, std::uint64_t addr);
+
+    /** True if the line is resident (no allocation, no LRU update). */
+    bool probe(std::uint16_t asid, std::uint64_t addr) const;
+
+    /**
+     * Allocate the line without touching the demand hit/miss counters
+     * (prefetch fills must not pollute the Dcache predictor signal).
+     */
+    void prefetchFill(std::uint16_t asid, std::uint64_t addr);
+
+    /** Invalidate every line. */
+    void flush();
+
+    /** Invalidate all lines belonging to one address space. */
+    void flushAsid(std::uint16_t asid);
+
+    /** Number of lines currently valid (for tests and reporting). */
+    std::uint64_t residentLines() const;
+
+    /** Lifetime hits. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Lifetime misses. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Zero the hit/miss counters (contents are kept). */
+    void resetStats();
+
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t lineFor(std::uint16_t asid, std::uint64_t addr) const;
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::uint32_t lruClock_ = 0;
+    std::vector<Way> ways_; // numSets_ * assoc, set-major
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_MEM_CACHE_HH

@@ -1,0 +1,63 @@
+#include "cache_hierarchy.hh"
+
+namespace sos {
+
+CacheHierarchy::CacheHierarchy(const MemParams &params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2),
+      itlb_(params.itlb), dtlb_(params.dtlb), prefetcher_(params.prefetch)
+{
+}
+
+std::uint32_t
+CacheHierarchy::dataAccess(std::uint16_t asid, std::uint64_t addr,
+                           bool write, std::uint64_t pc)
+{
+    std::uint32_t extra = 0;
+    if (!dtlb_.access(asid, addr))
+        extra += params_.tlbMissLatency;
+    if (!l1d_.access(asid, addr)) {
+        extra += params_.l2HitLatency;
+        if (!l2_.access(asid, addr))
+            extra += params_.memLatency;
+    }
+
+    if (!write && pc != 0 && prefetcher_.enabled()) {
+        prefetchScratch_.clear();
+        prefetcher_.observe(asid, pc, addr, prefetchScratch_);
+        for (std::uint64_t target : prefetchScratch_) {
+            // Hardware prefetchers drop requests that would require a
+            // page walk.
+            if (!dtlb_.probe(asid, target))
+                continue;
+            l2_.prefetchFill(asid, target);
+            l1d_.prefetchFill(asid, target);
+        }
+    }
+    return extra;
+}
+
+std::uint32_t
+CacheHierarchy::instAccess(std::uint16_t asid, std::uint64_t pc)
+{
+    std::uint32_t extra = 0;
+    if (!itlb_.access(asid, pc))
+        extra += params_.tlbMissLatency;
+    if (!l1i_.access(asid, pc)) {
+        extra += params_.l2HitLatency;
+        if (!l2_.access(asid, pc))
+            extra += params_.memLatency;
+    }
+    return extra;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    itlb_.flush();
+    dtlb_.flush();
+}
+
+} // namespace sos

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Two-level cache hierarchy with TLBs, shared by all SMT contexts.
+ */
+
+#ifndef SOS_MEM_CACHE_HIERARCHY_HH
+#define SOS_MEM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "mem/prefetcher.hh"
+
+namespace sos {
+
+/** Configuration of the memory subsystem. */
+struct MemParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 64, 2};
+    CacheParams l1d{"l1d", 64 * 1024, 64, 4};
+    /**
+     * Board-level cache: 21264 systems shipped 2-8 MB. Sized so a
+     * whole 12-job mix's data fits, as in the paper's regime where
+     * "none [of the kernels] are large enough to seriously stress the
+     * capacity of the cache even when run in combination".
+     */
+    CacheParams l2{"l2", 2 * 1024 * 1024, 64, 8};
+    CacheParams itlb{"itlb", 128 * 8192, 8192, 4}; // 128 x 8K pages
+    CacheParams dtlb{"dtlb", 256 * 8192, 8192, 4}; // 256 entries
+
+    /** Additional latency beyond L1 on an L1 miss that hits in L2. */
+    std::uint32_t l2HitLatency = 12;
+    /** Additional latency on an L2 miss (main memory). */
+    std::uint32_t memLatency = 90;
+    /** Added latency for a TLB miss (software/hardware walk). */
+    std::uint32_t tlbMissLatency = 30;
+
+    /** Optional stride prefetcher (off by default; see ablation). */
+    PrefetcherParams prefetch;
+};
+
+/**
+ * The shared memory system of the SMT core.
+ *
+ * Latency-only model: misses overlap freely (the out-of-order core
+ * provides the MLP limit through its queues and rename registers).
+ * All structures are shared and ASID-tagged, so coscheduled jobs evict
+ * each other's lines -- the mechanism behind the Dcache predictor and
+ * the Section 8 cold-start effects.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const MemParams &params);
+
+    /**
+     * Perform a data access.
+     *
+     * @param asid Address space of the accessing job.
+     * @param addr Virtual byte address.
+     * @param write True for stores.
+     * @param pc Address of the accessing instruction (trains the
+     *        prefetcher on loads; 0 disables training for the access).
+     * @return Extra cycles beyond the L1 hit latency (0 on L1 hit).
+     */
+    std::uint32_t dataAccess(std::uint16_t asid, std::uint64_t addr,
+                             bool write, std::uint64_t pc = 0);
+
+    /**
+     * Perform an instruction fetch access for one cache line.
+     *
+     * @return Extra stall cycles (0 when the line is in L1I).
+     */
+    std::uint32_t instAccess(std::uint16_t asid, std::uint64_t pc);
+
+    /** Invalidate everything (used between independent experiments). */
+    void flushAll();
+
+    const MemParams &params() const { return params_; }
+
+    /** @name Component access for stats and tests. @{ */
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &itlb() const { return itlb_; }
+    const Cache &dtlb() const { return dtlb_; }
+    const StridePrefetcher &prefetcher() const { return prefetcher_; }
+    /** @} */
+
+  private:
+    MemParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache itlb_;
+    Cache dtlb_;
+    StridePrefetcher prefetcher_;
+    std::vector<std::uint64_t> prefetchScratch_;
+};
+
+} // namespace sos
+
+#endif // SOS_MEM_CACHE_HIERARCHY_HH

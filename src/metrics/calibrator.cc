@@ -1,0 +1,72 @@
+#include "calibrator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "cpu/smt_core.hh"
+#include "sched/job.hh"
+#include "sched/jobmix.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+
+Calibrator::Calibrator(const CoreParams &core, const MemParams &mem,
+                       std::uint64_t warmup_cycles,
+                       std::uint64_t measure_cycles)
+    : coreParams_(core), memParams_(mem), warmupCycles_(warmup_cycles),
+      measureCycles_(measure_cycles)
+{
+    SOS_ASSERT(measure_cycles > 0);
+}
+
+double
+Calibrator::soloIpc(const std::string &workload, int threads)
+{
+    SOS_ASSERT(threads >= 1 && threads <= coreParams_.numContexts,
+               "solo run cannot use more threads than contexts");
+    const auto key = std::make_pair(workload, threads);
+    const auto cached = cache_.find(key);
+    if (cached != cache_.end())
+        return cached->second;
+
+    // A private job on a private core: the reference must not perturb
+    // or observe the experiment's machine state.
+    const WorkloadProfile &profile =
+        WorkloadLibrary::instance().get(workload);
+    Job job(1, profile, 0xca11b7a7eULL, threads,
+            /*adaptive=*/false);
+    SmtCore core(coreParams_, memParams_);
+    for (int t = 0; t < threads; ++t) {
+        ThreadBinding binding;
+        binding.gen = &job.generator(t);
+        binding.sync = job.syncDomain();
+        binding.syncIndex = t;
+        binding.asid = job.asid();
+        core.attachThread(t, binding);
+    }
+
+    PerfCounters warmup;
+    core.run(warmupCycles_, warmup);
+    PerfCounters measured;
+    core.run(measureCycles_, measured);
+
+    const double ipc = measured.ipc();
+    SOS_ASSERT(ipc > 0.0, "calibration produced zero IPC for ", workload);
+    cache_.emplace(key, ipc);
+    return ipc;
+}
+
+void
+Calibrator::calibrate(Job &job)
+{
+    job.soloIpc = soloIpc(job.name(), job.numThreads());
+}
+
+void
+Calibrator::calibrate(JobMix &mix)
+{
+    for (int j = 0; j < mix.numJobs(); ++j)
+        calibrate(mix.job(j));
+}
+
+} // namespace sos

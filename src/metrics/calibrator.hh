@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Single-job reference IPC calibration.
+ *
+ * Weighted speedup divides each job's realized IPC by its "natural
+ * offer rate" -- the IPC it achieves running alone on the machine.
+ * The paper extends the definition to multithreaded jobs by using the
+ * issue rate of the job running alone with no other jobs coscheduled
+ * (Section 7), so a parallel job's reference depends on its thread
+ * count. The Calibrator measures these references on a private core
+ * with the same configuration as the experiment's core, and memoizes
+ * them per (workload, thread count).
+ */
+
+#ifndef SOS_METRICS_CALIBRATOR_HH
+#define SOS_METRICS_CALIBRATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "cpu/core_params.hh"
+#include "mem/cache_hierarchy.hh"
+
+namespace sos {
+
+class Job;
+class JobMix;
+
+/** Measures and caches solo IPC references. */
+class Calibrator
+{
+  public:
+    /**
+     * @param core Core configuration the experiment uses.
+     * @param mem Memory configuration the experiment uses.
+     * @param warmup_cycles Cycles run before measuring (cache warmup).
+     * @param measure_cycles Measurement interval length.
+     */
+    Calibrator(const CoreParams &core, const MemParams &mem,
+               std::uint64_t warmup_cycles = 300000,
+               std::uint64_t measure_cycles = 500000);
+
+    /**
+     * Reference IPC of a workload running alone with the given number
+     * of threads (1 for sequential jobs).
+     */
+    double soloIpc(const std::string &workload, int threads = 1);
+
+    /** Set job.soloIpc from its workload and current thread count. */
+    void calibrate(Job &job);
+
+    /** Calibrate every job of a mix. */
+    void calibrate(JobMix &mix);
+
+  private:
+    CoreParams coreParams_;
+    MemParams memParams_;
+    std::uint64_t warmupCycles_;
+    std::uint64_t measureCycles_;
+    std::map<std::pair<std::string, int>, double> cache_;
+};
+
+} // namespace sos
+
+#endif // SOS_METRICS_CALIBRATOR_HH

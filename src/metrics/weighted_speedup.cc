@@ -1,0 +1,44 @@
+#include "weighted_speedup.hh"
+
+#include "common/logging.hh"
+#include "sched/jobmix.hh"
+
+namespace sos {
+
+double
+weightedSpeedup(const std::vector<JobProgress> &jobs, std::uint64_t cycles)
+{
+    SOS_ASSERT(cycles > 0, "weighted speedup needs a non-empty interval");
+    double ws = 0.0;
+    for (const JobProgress &job : jobs) {
+        SOS_ASSERT(job.soloIpc > 0.0,
+                   "job must be calibrated before computing WS");
+        const double realized =
+            static_cast<double>(job.retired) / static_cast<double>(cycles);
+        ws += realized / job.soloIpc;
+    }
+    return ws;
+}
+
+double
+weightedSpeedup(const JobMix &mix,
+                const std::vector<std::uint64_t> &job_retired,
+                std::uint64_t cycles)
+{
+    SOS_ASSERT(static_cast<int>(job_retired.size()) == mix.numJobs(),
+               "retired counts must cover every job");
+    std::vector<JobProgress> jobs;
+    jobs.reserve(job_retired.size());
+    for (int j = 0; j < mix.numJobs(); ++j) {
+        // A parallel job's threads are separate entries in the paper's
+        // jobmix, but summing per-thread terms normalized by the
+        // per-thread share of the job's solo rate is algebraically the
+        // same as one whole-job term, so jobs are accounted whole.
+        jobs.push_back(JobProgress{
+            job_retired[static_cast<std::size_t>(j)],
+            mix.job(j).soloIpc});
+    }
+    return weightedSpeedup(jobs, cycles);
+}
+
+} // namespace sos

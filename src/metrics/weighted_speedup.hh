@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Weighted speedup, the paper's progress metric (Section 4).
+ *
+ *   WS(t) = sum_i realizedIPC_i / singleThreadedIPC_i
+ *
+ * over all jobs i of the mix, where realizedIPC_i is the job's retired
+ * instructions divided by the *total* interval cycles (not just the
+ * cycles the job was resident). WS of any fair or unfair time-shared
+ * single-threaded system is 1; values above 1 measure genuine
+ * multithreading speedup, and pathological interference can push WS
+ * below 1.
+ */
+
+#ifndef SOS_METRICS_WEIGHTED_SPEEDUP_HH
+#define SOS_METRICS_WEIGHTED_SPEEDUP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sos {
+
+class JobMix;
+
+/** Per-job inputs to the weighted-speedup sum. */
+struct JobProgress
+{
+    /** Instructions the job retired in the interval (all threads). */
+    std::uint64_t retired = 0;
+    /** The job's reference IPC running alone (its "natural offer rate"). */
+    double soloIpc = 1.0;
+};
+
+/**
+ * Weighted speedup of an interval.
+ *
+ * @param jobs Progress of every job in the mix.
+ * @param cycles Length of the interval in cycles.
+ */
+double weightedSpeedup(const std::vector<JobProgress> &jobs,
+                       std::uint64_t cycles);
+
+/**
+ * Convenience overload: compute WS from per-job retired counts and a
+ * calibrated JobMix (every job's soloIpc must be set).
+ */
+double weightedSpeedup(const JobMix &mix,
+                       const std::vector<std::uint64_t> &job_retired,
+                       std::uint64_t cycles);
+
+} // namespace sos
+
+#endif // SOS_METRICS_WEIGHTED_SPEEDUP_HH

@@ -1,0 +1,83 @@
+#include "jobmix.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+
+Job &
+JobMix::addInternal(const std::string &workload, int threads, bool adaptive)
+{
+    const WorkloadProfile &profile = WorkloadLibrary::instance().get(
+        workload);
+    const auto id = static_cast<std::uint32_t>(jobs_.size() + 1);
+    jobs_.push_back(std::make_unique<Job>(
+        id, profile, seed_ ^ mix64(id), threads, adaptive));
+    return *jobs_.back();
+}
+
+Job &
+JobMix::addJob(const std::string &workload)
+{
+    return addInternal(workload, 1, false);
+}
+
+Job &
+JobMix::addParallelJob(const std::string &workload, int threads)
+{
+    SOS_ASSERT(threads >= 2, "parallel jobs have at least two threads");
+    return addInternal(workload, threads, false);
+}
+
+Job &
+JobMix::addAdaptiveJob(const std::string &workload)
+{
+    return addInternal(workload, 1, true);
+}
+
+int
+JobMix::numUnits() const
+{
+    int n = 0;
+    for (const auto &job : jobs_)
+        n += job->numThreads();
+    return n;
+}
+
+ThreadRef
+JobMix::unit(int index) const
+{
+    SOS_ASSERT(index >= 0, "bad unit index");
+    int remaining = index;
+    for (const auto &job : jobs_) {
+        if (remaining < job->numThreads())
+            return ThreadRef{job.get(), remaining};
+        remaining -= job->numThreads();
+    }
+    panic("unit index ", index, " out of range");
+}
+
+std::string
+JobMix::unitName(int index) const
+{
+    const ThreadRef ref = unit(index);
+    std::string name = ref.job->name();
+    if (ref.job->numThreads() > 1)
+        name += "." + std::to_string(ref.thread);
+    return name;
+}
+
+std::vector<ThreadRef>
+JobMix::units() const
+{
+    std::vector<ThreadRef> out;
+    out.reserve(static_cast<std::size_t>(numUnits()));
+    for (const auto &job : jobs_) {
+        for (int t = 0; t < job->numThreads(); ++t)
+            out.push_back(ThreadRef{job.get(), t});
+    }
+    return out;
+}
+
+} // namespace sos

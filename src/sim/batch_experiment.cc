@@ -1,0 +1,138 @@
+#include "batch_experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "metrics/weighted_speedup.hh"
+
+namespace sos {
+
+namespace {
+
+std::uint64_t
+hashLabel(const std::string &label)
+{
+    // FNV-1a: stable per-label seed derivation.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : label)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    return h;
+}
+
+} // namespace
+
+BatchExperiment::BatchExperiment(const ExperimentSpec &spec,
+                                 const SimConfig &config)
+    : spec_(spec), config_(config),
+      mix_(spec.makeMix(config.seed ^ hashLabel(spec.label))),
+      core_(config.coreFor(spec.level), config.mem),
+      engine_(core_, spec.little ? config.littleTimesliceCycles()
+                                 : config.timesliceCycles())
+{
+    Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
+                          config_.calibWarmupCycles,
+                          config_.calibMeasureCycles);
+    calibrator.calibrate(mix_);
+}
+
+void
+BatchExperiment::runSamplePhase()
+{
+    SOS_ASSERT(profiles_.empty(), "sample phase already ran");
+    Rng rng(config_.seed ^ hashLabel(spec_.label) ^ 0x5a3217e1ULL);
+
+    const ScheduleSpace space(spec_.numUnits(), spec_.level, spec_.swap);
+    schedules_ = space.sample(config_.sampleSchedules, rng);
+
+    // Neutral warmup: cycle every job through the machine once before
+    // any schedule is profiled, so the first candidate is not charged
+    // for compulsory cache and predictor misses. (The paper's 5 M-cycle
+    // timeslices amortize cold start; our scaled ones need this.)
+    {
+        std::vector<int> order(static_cast<std::size_t>(spec_.numUnits()));
+        for (std::size_t u = 0; u < order.size(); ++u)
+            order[u] = static_cast<int>(u);
+        const Schedule warm =
+            spec_.numUnits() == spec_.level
+                ? Schedule::fromPartition({order})
+                : Schedule::fromRotation(order, spec_.level, spec_.swap);
+        engine_.runSchedule(mix_, warm, warm.periodTimeslices());
+    }
+
+    const auto periods =
+        static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
+    for (const Schedule &schedule : schedules_) {
+        const TimesliceEngine::ScheduleRunResult run =
+            engine_.runSchedule(mix_, schedule,
+                                schedule.periodTimeslices() * periods);
+        ScheduleProfile profile;
+        profile.label = schedule.label();
+        profile.counters = run.total;
+        profile.sliceIpc = run.sliceIpc;
+        profile.sliceMixImbalance = run.sliceMixImbalance;
+        profile.sampleWs =
+            weightedSpeedup(mix_, run.jobRetired, run.cycles);
+        profiles_.push_back(std::move(profile));
+        sampleCycles_ += run.cycles;
+    }
+}
+
+void
+BatchExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
+{
+    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
+    SOS_ASSERT(symbiosWs_.empty(), "symbios validation already ran");
+    const std::uint64_t cycles =
+        symbios_cycles > 0 ? symbios_cycles : config_.symbiosCycles();
+    const std::uint64_t timeslices =
+        std::max<std::uint64_t>(1, cycles / engine_.timesliceCycles());
+
+    for (const Schedule &schedule : schedules_) {
+        const TimesliceEngine::ScheduleRunResult run =
+            engine_.runSchedule(mix_, schedule, timeslices);
+        symbiosWs_.push_back(
+            weightedSpeedup(mix_, run.jobRetired, run.cycles));
+    }
+}
+
+double
+BatchExperiment::bestWs() const
+{
+    SOS_ASSERT(!symbiosWs_.empty());
+    return *std::max_element(symbiosWs_.begin(), symbiosWs_.end());
+}
+
+double
+BatchExperiment::worstWs() const
+{
+    SOS_ASSERT(!symbiosWs_.empty());
+    return *std::min_element(symbiosWs_.begin(), symbiosWs_.end());
+}
+
+double
+BatchExperiment::averageWs() const
+{
+    SOS_ASSERT(!symbiosWs_.empty());
+    double total = 0.0;
+    for (double ws : symbiosWs_)
+        total += ws;
+    return total / static_cast<double>(symbiosWs_.size());
+}
+
+int
+BatchExperiment::predictedIndex(const Predictor &predictor) const
+{
+    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
+    return predictor.best(profiles_);
+}
+
+double
+BatchExperiment::wsOfPredictor(const Predictor &predictor) const
+{
+    SOS_ASSERT(!symbiosWs_.empty(), "run the symbios validation first");
+    return symbiosWs_[static_cast<std::size_t>(
+        predictedIndex(predictor))];
+}
+
+} // namespace sos

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Closed-system (fixed jobmix) SOS experiment.
+ *
+ * Reproduces the paper's Section 5 methodology: sample a set of
+ * distinct schedules (10, or the whole space when smaller), profile
+ * each for one full period of timeslices while the mix makes fair
+ * progress, then run every sampled schedule for the symbios duration
+ * and measure its weighted speedup. Predictors are then judged by
+ * the symbios WS of the schedule they would have picked from the
+ * sample-phase profiles alone (Table 3, Figures 1-3).
+ */
+
+#ifndef SOS_SIM_BATCH_EXPERIMENT_HH
+#define SOS_SIM_BATCH_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "core/schedule_profile.hh"
+#include "cpu/smt_core.hh"
+#include "metrics/calibrator.hh"
+#include "sched/jobmix.hh"
+#include "sched/schedule.hh"
+#include "sim/experiment_defs.hh"
+#include "sim/sim_config.hh"
+#include "sim/timeslice_engine.hh"
+
+namespace sos {
+
+/** Runs the sample and symbios phases of one Table 1 experiment. */
+class BatchExperiment
+{
+  public:
+    BatchExperiment(const ExperimentSpec &spec, const SimConfig &config);
+
+    /**
+     * Sample phase: draw the candidate schedules and profile each for
+     * one full period of timeslices.
+     */
+    void runSamplePhase();
+
+    /**
+     * Symbios validation: run every sampled schedule for the symbios
+     * duration and record its measured weighted speedup. Requires a
+     * completed sample phase.
+     *
+     * @param symbios_cycles Override; 0 uses the config default.
+     */
+    void runSymbiosValidation(std::uint64_t symbios_cycles = 0);
+
+    const ExperimentSpec &spec() const { return spec_; }
+    const SimConfig &config() const { return config_; }
+    JobMix &mix() { return mix_; }
+
+    const std::vector<Schedule> &schedules() const { return schedules_; }
+    const std::vector<ScheduleProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+    /** Simulated cycles spent in the sample phase. */
+    std::uint64_t samplePhaseCycles() const { return sampleCycles_; }
+
+    /** Measured symbios-phase WS per sampled schedule. */
+    const std::vector<double> &symbiosWs() const { return symbiosWs_; }
+
+    /** @name Summary statistics over the symbios runs @{ */
+    double bestWs() const;
+    double worstWs() const;
+    double averageWs() const; ///< the oblivious-scheduler expectation
+    /** @} */
+
+    /** Index of the schedule the predictor picks from the profiles. */
+    int predictedIndex(const Predictor &predictor) const;
+
+    /** Symbios WS attained by trusting the given predictor. */
+    double wsOfPredictor(const Predictor &predictor) const;
+
+  private:
+    ExperimentSpec spec_;
+    SimConfig config_;
+    JobMix mix_;
+    SmtCore core_;
+    TimesliceEngine engine_;
+
+    std::vector<Schedule> schedules_;
+    std::vector<ScheduleProfile> profiles_;
+    std::vector<double> symbiosWs_;
+    std::uint64_t sampleCycles_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_BATCH_EXPERIMENT_HH

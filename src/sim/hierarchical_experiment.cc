@@ -1,0 +1,158 @@
+#include "hierarchical_experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "metrics/calibrator.hh"
+#include "metrics/weighted_speedup.hh"
+
+namespace sos {
+
+HierarchicalExperiment::HierarchicalExperiment(
+    const HierarchicalSpec &spec, const SimConfig &config,
+    int max_candidates)
+    : spec_(spec), config_(config),
+      mix_(spec.makeMix(config.seed ^ 0x41e7a11cULL)),
+      core_(config.coreFor(spec.level), config.mem),
+      engine_(core_, config.timesliceCycles()),
+      calibrator_(config.coreFor(spec.level), config.mem,
+                  config.calibWarmupCycles, config.calibMeasureCycles)
+{
+    SOS_ASSERT(max_candidates >= 1);
+
+    std::vector<bool> adaptive;
+    adaptive.reserve(static_cast<std::size_t>(mix_.numJobs()));
+    for (int j = 0; j < mix_.numJobs(); ++j)
+        adaptive.push_back(mix_.job(j).adaptive());
+
+    const std::vector<AllocationPlan> plans = enumerateAllocationPlans(
+        adaptive, spec.level, /*max_threads_per_job=*/spec.level);
+
+    const int per_plan = std::max(
+        1, max_candidates / static_cast<int>(plans.size()));
+    Rng rng(config.seed ^ 0x1e8a12c1ULL);
+
+    for (const AllocationPlan &plan : plans) {
+        const ScheduleSpace space(plan.totalUnits(), spec.level,
+                                  spec.level);
+        for (Schedule &schedule : space.sample(per_plan, rng)) {
+            HierarchicalCandidate candidate;
+            candidate.plan = plan;
+            candidate.schedule = std::move(schedule);
+            candidates_.push_back(std::move(candidate));
+        }
+    }
+    SOS_ASSERT(!candidates_.empty());
+}
+
+void
+HierarchicalExperiment::applyPlan(const AllocationPlan &plan)
+{
+    // Re-spawning invalidates generator pointers the core may hold.
+    engine_.evictAll();
+    for (int j = 0; j < mix_.numJobs(); ++j) {
+        Job &job = mix_.job(j);
+        const int threads =
+            plan.threadsPerJob[static_cast<std::size_t>(j)];
+        if (job.adaptive() && job.numThreads() != threads)
+            job.setThreadCount(threads);
+        SOS_ASSERT(job.adaptive() || threads == 1);
+        calibrator_.calibrate(job);
+    }
+}
+
+void
+HierarchicalExperiment::run(std::uint64_t symbios_cycles)
+{
+    const std::uint64_t symbios =
+        symbios_cycles > 0 ? symbios_cycles
+                           : config_.symbiosCycles() / 4;
+
+    // Sample phase: a few periods per candidate (see samplePeriods).
+    const auto periods =
+        static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
+    for (HierarchicalCandidate &candidate : candidates_) {
+        applyPlan(candidate.plan);
+        const TimesliceEngine::ScheduleRunResult run = engine_.runSchedule(
+            mix_, candidate.schedule,
+            candidate.schedule.periodTimeslices() * periods);
+        candidate.profile.label =
+            candidate.plan.label() + " " + candidate.schedule.label();
+        candidate.profile.counters = run.total;
+        candidate.profile.sliceIpc = run.sliceIpc;
+        candidate.profile.sliceMixImbalance = run.sliceMixImbalance;
+        candidate.profile.sampleWs =
+            weightedSpeedup(mix_, run.jobRetired, run.cycles);
+    }
+
+    // Symbios validation: what each candidate would have delivered.
+    for (HierarchicalCandidate &candidate : candidates_) {
+        applyPlan(candidate.plan);
+        const std::uint64_t timeslices = std::max<std::uint64_t>(
+            candidate.schedule.periodTimeslices(),
+            symbios / engine_.timesliceCycles());
+        const TimesliceEngine::ScheduleRunResult run =
+            engine_.runSchedule(mix_, candidate.schedule, timeslices);
+        candidate.symbiosWs =
+            weightedSpeedup(mix_, run.jobRetired, run.cycles);
+    }
+}
+
+double
+HierarchicalExperiment::bestWs() const
+{
+    double best = candidates_.front().symbiosWs;
+    for (const auto &candidate : candidates_)
+        best = std::max(best, candidate.symbiosWs);
+    return best;
+}
+
+double
+HierarchicalExperiment::worstWs() const
+{
+    double worst = candidates_.front().symbiosWs;
+    for (const auto &candidate : candidates_)
+        worst = std::min(worst, candidate.symbiosWs);
+    return worst;
+}
+
+double
+HierarchicalExperiment::averageWs() const
+{
+    double total = 0.0;
+    for (const auto &candidate : candidates_)
+        total += candidate.symbiosWs;
+    return total / static_cast<double>(candidates_.size());
+}
+
+int
+HierarchicalExperiment::scoreBestIndex() const
+{
+    std::vector<ScheduleProfile> profiles;
+    profiles.reserve(candidates_.size());
+    for (const auto &candidate : candidates_)
+        profiles.push_back(candidate.profile);
+    return makeScorePredictor()->best(profiles);
+}
+
+double
+HierarchicalExperiment::scoreWs() const
+{
+    return candidates_[static_cast<std::size_t>(scoreBestIndex())]
+        .symbiosWs;
+}
+
+double
+HierarchicalExperiment::improvementOverAveragePct() const
+{
+    return 100.0 * (scoreWs() - averageWs()) / averageWs();
+}
+
+double
+HierarchicalExperiment::improvementOverWorstPct() const
+{
+    return 100.0 * (scoreWs() - worstWs()) / worstWs();
+}
+
+} // namespace sos

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hierarchical symbiosis experiment (Section 7, Figure 4).
+ *
+ * With adaptive multithreaded jobs in the mix, SOS chooses at two
+ * levels: which jobs to coschedule, and how many hardware contexts to
+ * grant each adaptive job. A candidate is therefore an
+ * (AllocationPlan, Schedule) pair; the sample phase profiles each
+ * candidate, Score picks one, and the symbios phase measures what
+ * every candidate would have delivered -- reproducing the paper's
+ * improvement-over-average and improvement-over-worst bars.
+ */
+
+#ifndef SOS_SIM_HIERARCHICAL_EXPERIMENT_HH
+#define SOS_SIM_HIERARCHICAL_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hh"
+#include "core/predictor.hh"
+#include "core/schedule_profile.hh"
+#include "cpu/smt_core.hh"
+#include "metrics/calibrator.hh"
+#include "sched/jobmix.hh"
+#include "sched/schedule.hh"
+#include "sim/experiment_defs.hh"
+#include "sim/sim_config.hh"
+#include "sim/timeslice_engine.hh"
+
+namespace sos {
+
+/** One (allocation, schedule) choice available to hierarchical SOS. */
+struct HierarchicalCandidate
+{
+    AllocationPlan plan;
+    Schedule schedule;
+    ScheduleProfile profile; ///< filled by the sample phase
+    double symbiosWs = 0.0;  ///< filled by the symbios validation
+};
+
+/** Runs one Section 7 mix at one SMT level. */
+class HierarchicalExperiment
+{
+  public:
+    /**
+     * @param max_candidates Cap on sampled (plan, schedule) pairs;
+     *        schedules are spread evenly across allocation plans.
+     */
+    HierarchicalExperiment(const HierarchicalSpec &spec,
+                           const SimConfig &config,
+                           int max_candidates = 24);
+
+    /** Sample every candidate, then measure its symbios WS. */
+    void run(std::uint64_t symbios_cycles = 0);
+
+    const HierarchicalSpec &spec() const { return spec_; }
+    const std::vector<HierarchicalCandidate> &candidates() const
+    {
+        return candidates_;
+    }
+
+    double bestWs() const;
+    double worstWs() const;
+    double averageWs() const;
+
+    /** Candidate index Score picks from the sample profiles. */
+    int scoreBestIndex() const;
+
+    /** Symbios WS of the Score-selected candidate. */
+    double scoreWs() const;
+
+    /** Figure 4 bars: Score's % improvement over the average/worst. */
+    double improvementOverAveragePct() const;
+    double improvementOverWorstPct() const;
+
+  private:
+    void applyPlan(const AllocationPlan &plan);
+
+    HierarchicalSpec spec_;
+    SimConfig config_;
+    JobMix mix_;
+    SmtCore core_;
+    TimesliceEngine engine_;
+    Calibrator calibrator_; ///< memoizes per (workload, threads)
+    std::vector<HierarchicalCandidate> candidates_;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_HIERARCHICAL_EXPERIMENT_HH

@@ -1,0 +1,426 @@
+#include "open_system.hh"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/combinatorics.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/predictor.hh"
+#include "core/resample_policy.hh"
+#include "core/schedule_profile.hh"
+#include "cpu/smt_core.hh"
+#include "metrics/calibrator.hh"
+#include "sched/schedule.hh"
+#include "sim/experiment_defs.hh"
+#include "sim/timeslice_engine.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+
+namespace {
+
+/**
+ * Rough weighted-speedup capacity of the machine per SMT level, used
+ * only to derive a default arrival rate that keeps the queue stable
+ * around N = 2 x SMT (the paper sizes lambda by Little's law).
+ */
+double
+capacityGuess(int level)
+{
+    // Roughly the naive scheduler's weighted-speedup capacity on the
+    // open-system workload population, measured on this substrate.
+    switch (level) {
+      case 1:
+        return 0.95;
+      case 2:
+        return 1.45;
+      case 3:
+        return 1.70;
+      case 4:
+        return 1.95;
+      case 6:
+        return 2.20;
+      default:
+        return 1.0 + 0.2 * static_cast<double>(level);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+OpenSystemConfig::effectiveInterarrivalPaper() const
+{
+    if (meanInterarrivalPaper > 0)
+        return meanInterarrivalPaper;
+    // High but sub-saturation load: the paper sizes lambda so the
+    // queue holds about 2 x SMT jobs.
+    const double rate = 0.85 * capacityGuess(level);
+    return static_cast<std::uint64_t>(
+        static_cast<double>(meanJobPaperCycles) / rate);
+}
+
+std::vector<JobArrival>
+makeArrivalTrace(const SimConfig &sim, const OpenSystemConfig &config)
+{
+    SOS_ASSERT(config.numJobs > 0);
+    Rng rng(config.seed ^ 0x7ace7aceULL);
+    Calibrator calibrator(sim.coreFor(config.level), sim.mem,
+                          sim.calibWarmupCycles, sim.calibMeasureCycles);
+
+    const double interarrival = static_cast<double>(
+        sim.scaled(config.effectiveInterarrivalPaper()));
+    const double mean_cycles =
+        static_cast<double>(sim.scaled(config.meanJobPaperCycles));
+    const auto &workloads = openSystemWorkloads();
+
+    std::vector<JobArrival> trace;
+    trace.reserve(static_cast<std::size_t>(config.numJobs));
+    double clock = 0.0;
+    for (int j = 0; j < config.numJobs; ++j) {
+        clock += rng.exponential(interarrival);
+        JobArrival arrival;
+        arrival.arrivalCycle = static_cast<std::uint64_t>(clock);
+        arrival.workload = workloads[rng.below(workloads.size())];
+        // Duration in solo cycles, clamped so no job is shorter than a
+        // few timeslices or absurdly long.
+        double duration = rng.exponential(mean_cycles);
+        duration = std::clamp(duration, mean_cycles * 0.05,
+                              mean_cycles * 6.0);
+        const double solo = calibrator.soloIpc(arrival.workload);
+        arrival.sizeInstructions = std::max<std::uint64_t>(
+            1000, static_cast<std::uint64_t>(duration * solo));
+        trace.push_back(std::move(arrival));
+    }
+    return trace;
+}
+
+namespace {
+
+/** One job currently in the system. */
+struct ActiveJob
+{
+    std::unique_ptr<Job> job;
+    int arrivalIndex = 0;
+};
+
+/** SOS scheduling state machine over the open job pool. */
+class SosDriver
+{
+  public:
+    SosDriver(int level, int sample_schedules,
+              const std::string &predictor,
+              std::uint64_t base_interval, std::uint64_t timeslice,
+              std::uint64_t seed)
+        : level_(level), sampleSchedules_(sample_schedules),
+          timeslice_(timeslice), resample_(base_interval),
+          predictor_(makePredictor(predictor)), rng_(seed)
+    {
+    }
+
+    /** The job pool changed; resample immediately. */
+    void
+    onMembershipChange(int num_jobs)
+    {
+        resample_.onJobChange();
+        beginPhase(num_jobs, /*timer_triggered=*/false);
+    }
+
+    /** Pick the unit indices (into the active list) for a timeslice. */
+    std::vector<int>
+    chooseTuple(int num_jobs)
+    {
+        SOS_ASSERT(num_jobs >= 1);
+        if (num_jobs <= level_) {
+            std::vector<int> everyone(static_cast<std::size_t>(num_jobs));
+            for (int j = 0; j < num_jobs; ++j)
+                everyone[static_cast<std::size_t>(j)] = j;
+            return everyone;
+        }
+        if (sampling_) {
+            return candidates_[candidate_].tupleAt(phaseOffset_ +
+                                                   candidateSlice_);
+        }
+        return current_.tupleAt(phaseOffset_ + symbiosSlice_);
+    }
+
+    /** Account a finished timeslice; advances the state machine. */
+    void
+    onSliceDone(int num_jobs, const PerfCounters &counters)
+    {
+        if (num_jobs <= level_)
+            return; // nothing to learn: only one possible schedule
+        if (sampling_) {
+            ++sampleCyclesSpent_;
+            profileInProgress_.counters += counters;
+            profileInProgress_.sliceIpc.push_back(counters.ipc());
+            profileInProgress_.sliceMixImbalance.push_back(
+                counters.mixImbalance());
+            ++candidateSlice_;
+            if (candidateSlice_ >= candidateSlices_) {
+                profileInProgress_.label =
+                    candidates_[candidate_].label();
+                profiles_.push_back(std::move(profileInProgress_));
+                profileInProgress_ = ScheduleProfile();
+                candidateSlice_ = 0;
+                ++candidate_;
+                if (candidate_ >= candidates_.size())
+                    finishSampling();
+            }
+        } else {
+            symbiosElapsed_ += timeslice_;
+            ++symbiosSlice_;
+            if (symbiosElapsed_ >= resample_.symbiosDuration())
+                beginPhase(num_jobs, /*timer_triggered=*/true);
+        }
+    }
+
+    bool sampling() const { return sampling_; }
+    std::uint64_t
+    sampleCyclesSpent() const
+    {
+        return sampleCyclesSpent_ * timeslice_;
+    }
+    int samplePhases() const { return samplePhases_; }
+
+  private:
+    void
+    beginPhase(int num_jobs, bool timer_triggered)
+    {
+        timerTriggered_ = timer_triggered;
+        profiles_.clear();
+        profileInProgress_ = ScheduleProfile();
+        candidate_ = 0;
+        candidateSlice_ = 0;
+        symbiosSlice_ = 0;
+        symbiosElapsed_ = 0;
+        // Start at a random point of each schedule's period: arrivals
+        // restart sampling so often that always beginning at the
+        // canonical first tuple would systematically starve the jobs
+        // that only appear late in the period.
+        phaseOffset_ = rng_.next() & 0xffff;
+        if (num_jobs <= level_) {
+            sampling_ = false;
+            return;
+        }
+        // Profiling window per candidate: a full period is fair but
+        // can be as long as N timeslices for awkward N; a couple of
+        // sweeps over the pool is statistically enough and lets the
+        // sample phase finish between arrivals.
+        candidateSlices_ = std::min<std::uint64_t>(
+            ScheduleSpace(num_jobs, level_, level_).periodTimeslices(),
+            2 * static_cast<std::uint64_t>(
+                    (num_jobs + level_ - 1) / level_));
+        // Spend at most about half the expected inter-arrival gap
+        // sampling, so a symbios phase usually gets to run; always
+        // compare at least two schedules.
+        const std::uint64_t budget_slices =
+            resample_.baseInterval() / (2 * timeslice_);
+        const int count = static_cast<int>(std::clamp<std::uint64_t>(
+            budget_slices / std::max<std::uint64_t>(1, candidateSlices_),
+            2, static_cast<std::uint64_t>(sampleSchedules_)));
+        const ScheduleSpace space(num_jobs, level_, level_);
+        candidates_ = space.sample(count, rng_);
+        sampling_ = true;
+        ++samplePhases_;
+    }
+
+    void
+    finishSampling()
+    {
+        const int best = predictor_->best(profiles_);
+        current_ = candidates_[static_cast<std::size_t>(best)];
+        const bool changed = current_.key() != previousKey_;
+        previousKey_ = current_.key();
+        if (timerTriggered_)
+            resample_.onTimerSample(changed);
+        sampling_ = false;
+        symbiosSlice_ = 0;
+        symbiosElapsed_ = 0;
+    }
+
+    int level_;
+    int sampleSchedules_;
+    std::uint64_t timeslice_;
+    ResamplePolicy resample_;
+    std::unique_ptr<Predictor> predictor_;
+    Rng rng_;
+
+    bool sampling_ = false;
+    bool timerTriggered_ = false;
+    std::vector<Schedule> candidates_;
+    std::size_t candidate_ = 0;
+    std::uint64_t candidateSlice_ = 0;
+    std::uint64_t candidateSlices_ = 1; ///< profiling window
+    std::vector<ScheduleProfile> profiles_;
+    ScheduleProfile profileInProgress_;
+    std::uint64_t phaseOffset_ = 0;
+
+    Schedule current_;
+    std::string previousKey_;
+    std::uint64_t symbiosSlice_ = 0;
+    std::uint64_t symbiosElapsed_ = 0;
+    std::uint64_t sampleCyclesSpent_ = 0; // in timeslices
+    int samplePhases_ = 0;
+};
+
+} // namespace
+
+OpenSystemResult
+runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
+              const std::vector<JobArrival> &trace, OpenPolicy policy)
+{
+    SOS_ASSERT(!trace.empty());
+    const std::uint64_t timeslice = sim.timesliceCycles();
+
+    SmtCore core(sim.coreFor(config.level), sim.mem);
+    TimesliceEngine engine(core, timeslice);
+    Calibrator calibrator(sim.coreFor(config.level), sim.mem,
+                          sim.calibWarmupCycles, sim.calibMeasureCycles);
+
+    SosDriver sos(config.level, config.sampleSchedules,
+                  config.predictor,
+                  sim.scaled(config.effectiveInterarrivalPaper()),
+                  timeslice, config.seed ^ 0x5051d67eULL);
+
+    OpenSystemResult result;
+    result.responseByArrival.assign(trace.size(), 0);
+
+    std::vector<ActiveJob> active;
+    std::size_t next_arrival = 0;
+    std::uint64_t now = 0;
+    std::size_t completed = 0;
+    std::size_t naive_cursor = 0;
+    double jobs_in_system_integral = 0.0;
+    std::uint64_t slices = 0;
+
+    // Generous runaway bound: the run should end when all jobs finish.
+    const std::uint64_t max_slices =
+        2000 * trace.size() + 4000000000ULL / timeslice;
+
+    while (completed < trace.size()) {
+        SOS_ASSERT(slices < max_slices,
+                   "open system did not drain: unstable configuration");
+
+        // Admit arrivals due by now.
+        bool membership_changed = false;
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrivalCycle <= now) {
+            const JobArrival &arrival = trace[next_arrival];
+            const WorkloadProfile &profile =
+                WorkloadLibrary::instance().get(arrival.workload);
+            auto job = std::make_unique<Job>(
+                static_cast<std::uint32_t>(next_arrival + 1), profile,
+                config.seed ^ mix64(next_arrival + 101), 1, false);
+            job->arrivalCycle = arrival.arrivalCycle;
+            job->sizeInstructions = arrival.sizeInstructions;
+            job->soloIpc = calibrator.soloIpc(arrival.workload);
+            active.push_back(
+                ActiveJob{std::move(job),
+                          static_cast<int>(next_arrival)});
+            ++next_arrival;
+            membership_changed = true;
+        }
+
+        if (active.empty()) {
+            // Idle until the next arrival, on the timeslice grid.
+            SOS_ASSERT(next_arrival < trace.size());
+            const std::uint64_t target =
+                trace[next_arrival].arrivalCycle;
+            now = (target / timeslice + 1) * timeslice;
+            continue;
+        }
+
+        if (membership_changed && policy == OpenPolicy::Sos)
+            sos.onMembershipChange(static_cast<int>(active.size()));
+
+        // Choose the running set.
+        std::vector<int> tuple;
+        const int n = static_cast<int>(active.size());
+        if (policy == OpenPolicy::Naive) {
+            const int count = std::min(n, config.level);
+            tuple.reserve(static_cast<std::size_t>(count));
+            for (int k = 0; k < count; ++k)
+                tuple.push_back(
+                    static_cast<int>((naive_cursor + k) % active.size()));
+            naive_cursor = (naive_cursor + static_cast<std::size_t>(
+                                               count)) %
+                           active.size();
+        } else {
+            tuple = sos.chooseTuple(n);
+        }
+
+        std::vector<ThreadRef> units;
+        units.reserve(tuple.size());
+        for (int index : tuple) {
+            units.push_back(ThreadRef{
+                active[static_cast<std::size_t>(index)].job.get(), 0});
+        }
+        const TimesliceEngine::SliceResult slice =
+            engine.runTimeslice(units);
+        if (policy == OpenPolicy::Sos)
+            sos.onSliceDone(n, slice.counters);
+
+        now += timeslice;
+        ++slices;
+        jobs_in_system_integral += static_cast<double>(active.size());
+
+        // Retire finished jobs.
+        bool any_finished = false;
+        for (std::size_t i = active.size(); i-- > 0;) {
+            Job &job = *active[i].job;
+            if (job.retired() >= job.sizeInstructions) {
+                result.responseByArrival[static_cast<std::size_t>(
+                    active[i].arrivalIndex)] = now - job.arrivalCycle;
+                engine.evictJob(&job);
+                active.erase(active.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                ++completed;
+                any_finished = true;
+            }
+        }
+        if (any_finished) {
+            naive_cursor = active.empty()
+                               ? 0
+                               : naive_cursor % active.size();
+            if (policy == OpenPolicy::Sos && !active.empty())
+                sos.onMembershipChange(static_cast<int>(active.size()));
+        }
+    }
+
+    result.completed = static_cast<int>(completed);
+    double total_response = 0.0;
+    for (std::uint64_t r : result.responseByArrival)
+        total_response += static_cast<double>(r);
+    result.meanResponseCycles =
+        total_response / static_cast<double>(trace.size());
+    result.meanJobsInSystem =
+        slices > 0 ? jobs_in_system_integral / static_cast<double>(slices)
+                   : 0.0;
+    result.totalCycles = now;
+    result.sampleCycles = sos.sampleCyclesSpent();
+    result.samplePhases = sos.samplePhases();
+    return result;
+}
+
+ResponseComparison
+compareResponseTimes(const SimConfig &sim, const OpenSystemConfig &config)
+{
+    const std::vector<JobArrival> trace = makeArrivalTrace(sim, config);
+    ResponseComparison comparison;
+    comparison.naive =
+        runOpenSystem(sim, config, trace, OpenPolicy::Naive);
+    comparison.sos = runOpenSystem(sim, config, trace, OpenPolicy::Sos);
+    comparison.jobsCompared = static_cast<int>(trace.size());
+    if (comparison.naive.meanResponseCycles > 0.0) {
+        comparison.improvementPct =
+            100.0 *
+            (comparison.naive.meanResponseCycles -
+             comparison.sos.meanResponseCycles) /
+            comparison.naive.meanResponseCycles;
+    }
+    return comparison;
+}
+
+} // namespace sos

@@ -1,0 +1,203 @@
+#include "params_io.hh"
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+namespace {
+
+/** Typed accessor for one configurable field. */
+struct Field
+{
+    const char *key;
+    const char *description;
+    std::function<void(SimConfig &, const std::string &)> set;
+    std::function<std::string(const SimConfig &)> get;
+};
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("value for ", key, " is not an unsigned integer: '",
+              value, "'");
+    return parsed;
+}
+
+int
+parseInt(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("value for ", key, " is not an integer: '", value, "'");
+    return static_cast<int>(parsed);
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    fatal("value for ", key, " is not a boolean: '", value, "'");
+}
+
+#define SOS_FIELD_U64(path, doc)                                            \
+    Field{#path, doc,                                                       \
+          [](SimConfig &c, const std::string &v) {                          \
+              c.path = parseU64(#path, v);                                  \
+          },                                                                \
+          [](const SimConfig &c) { return std::to_string(c.path); }}
+
+#define SOS_FIELD_U32(path, doc)                                            \
+    Field{#path, doc,                                                       \
+          [](SimConfig &c, const std::string &v) {                          \
+              c.path = static_cast<std::uint32_t>(parseU64(#path, v));      \
+          },                                                                \
+          [](const SimConfig &c) { return std::to_string(c.path); }}
+
+#define SOS_FIELD_INT(path, doc)                                            \
+    Field{#path, doc,                                                       \
+          [](SimConfig &c, const std::string &v) {                          \
+              c.path = parseInt(#path, v);                                  \
+          },                                                                \
+          [](const SimConfig &c) { return std::to_string(c.path); }}
+
+#define SOS_FIELD_BOOL(path, doc)                                           \
+    Field{#path, doc,                                                       \
+          [](SimConfig &c, const std::string &v) {                          \
+              c.path = parseBool(#path, v);                                 \
+          },                                                                \
+          [](const SimConfig &c) {                                          \
+              return std::string(c.path ? "1" : "0");                       \
+          }}
+
+const std::vector<Field> &
+fields()
+{
+    static const std::vector<Field> table = {
+        // Experiment harness.
+        SOS_FIELD_U64(cycleScale, "paper cycles per simulated cycle"),
+        SOS_FIELD_U64(symbiosSimCycles,
+                      "symbios-phase length (simulated cycles)"),
+        SOS_FIELD_U64(seed, "master seed"),
+        SOS_FIELD_INT(sampleSchedules,
+                      "schedules profiled per sample phase"),
+        SOS_FIELD_INT(samplePeriods,
+                      "schedule periods per profiled candidate"),
+        SOS_FIELD_U64(calibWarmupCycles, "calibration warmup"),
+        SOS_FIELD_U64(calibMeasureCycles, "calibration measurement"),
+        // Core.
+        SOS_FIELD_INT(core.fetchWidth, "instructions fetched per cycle"),
+        SOS_FIELD_INT(core.fetchThreads, "threads fetched per cycle"),
+        SOS_FIELD_INT(core.fetchQueueSize, "per-context fetch buffer"),
+        SOS_FIELD_INT(core.frontendDelay, "fetch-to-dispatch stages"),
+        SOS_FIELD_INT(core.mispredictRedirect,
+                      "redirect cycles after branch resolution"),
+        SOS_FIELD_INT(core.dispatchWidth, "dispatch width"),
+        SOS_FIELD_INT(core.commitWidth, "commit width"),
+        SOS_FIELD_INT(core.intQueueSize, "integer issue queue entries"),
+        SOS_FIELD_INT(core.fpQueueSize, "FP issue queue entries"),
+        SOS_FIELD_INT(core.intRenameRegs, "shared INT rename registers"),
+        SOS_FIELD_INT(core.fpRenameRegs, "shared FP rename registers"),
+        SOS_FIELD_INT(core.robSize, "shared reorder-buffer entries"),
+        SOS_FIELD_INT(core.numIntUnits, "integer ALUs"),
+        SOS_FIELD_INT(core.fpAddPipes, "FP add pipelines"),
+        SOS_FIELD_INT(core.fpMulPipes, "FP multiply pipelines"),
+        SOS_FIELD_INT(core.numLsPorts, "load/store ports"),
+        SOS_FIELD_INT(core.intAluLat, "integer ALU latency"),
+        SOS_FIELD_INT(core.intMultLat, "integer multiply latency"),
+        SOS_FIELD_INT(core.fpAddLat, "FP add latency"),
+        SOS_FIELD_INT(core.fpMultLat, "FP multiply latency"),
+        SOS_FIELD_INT(core.fpDivLat, "FP divide latency"),
+        SOS_FIELD_INT(core.l1dHitLat, "load-to-use latency on L1 hit"),
+        SOS_FIELD_INT(core.predictorBits,
+                      "log2 branch-predictor entries"),
+        SOS_FIELD_BOOL(core.roundRobinFetch,
+                       "round-robin fetch instead of ICOUNT"),
+        // Memory.
+        SOS_FIELD_U32(mem.l1i.sizeBytes, "L1I capacity (bytes)"),
+        SOS_FIELD_U32(mem.l1i.assoc, "L1I associativity"),
+        SOS_FIELD_U32(mem.l1d.sizeBytes, "L1D capacity (bytes)"),
+        SOS_FIELD_U32(mem.l1d.assoc, "L1D associativity"),
+        SOS_FIELD_U32(mem.l2.sizeBytes, "L2 capacity (bytes)"),
+        SOS_FIELD_U32(mem.l2.assoc, "L2 associativity"),
+        SOS_FIELD_U32(mem.l2HitLatency, "extra cycles for an L2 hit"),
+        SOS_FIELD_U32(mem.memLatency, "extra cycles for an L2 miss"),
+        SOS_FIELD_U32(mem.tlbMissLatency, "TLB miss penalty"),
+        SOS_FIELD_BOOL(mem.prefetch.enabled, "stride prefetcher"),
+        SOS_FIELD_INT(mem.prefetch.degree, "prefetch degree"),
+        SOS_FIELD_INT(mem.prefetch.confidenceThreshold,
+                      "stride confidence threshold"),
+        SOS_FIELD_INT(mem.prefetch.tableBits,
+                      "log2 prefetcher table entries"),
+    };
+    return table;
+}
+
+#undef SOS_FIELD_U64
+#undef SOS_FIELD_U32
+#undef SOS_FIELD_INT
+#undef SOS_FIELD_BOOL
+
+} // namespace
+
+std::vector<ParamInfo>
+configurableParams()
+{
+    const SimConfig defaults;
+    std::vector<ParamInfo> out;
+    out.reserve(fields().size());
+    for (const Field &field : fields())
+        out.push_back(
+            {field.key, field.get(defaults), field.description});
+    return out;
+}
+
+void
+applyOverride(SimConfig &config, const std::string &assignment)
+{
+    const std::size_t eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("override must look like key=value, got '", assignment,
+              "'");
+    const std::string key = assignment.substr(0, eq);
+    const std::string value = assignment.substr(eq + 1);
+    for (const Field &field : fields()) {
+        if (key == field.key) {
+            field.set(config, value);
+            return;
+        }
+    }
+    fatal("unknown configuration key '", key,
+          "' (see `sossim params` for the full list)");
+}
+
+void
+applyOverrides(SimConfig &config,
+               const std::vector<std::string> &assignments)
+{
+    for (const std::string &assignment : assignments)
+        applyOverride(config, assignment);
+}
+
+std::string
+renderConfig(const SimConfig &config)
+{
+    std::ostringstream os;
+    for (const Field &field : fields())
+        os << field.key << "=" << field.get(config) << "\n";
+    return os.str();
+}
+
+} // namespace sos

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Textual configuration overrides ("key=value") for SimConfig.
+ *
+ * Lets tools, scripts and the sossim CLI change any tunable of the
+ * simulated machine or the experiment harness without recompiling,
+ * e.g. `core.intQueueSize=32` or `mem.prefetch.enabled=1`. Unknown
+ * keys and malformed values are user errors and fatal().
+ */
+
+#ifndef SOS_SIM_PARAMS_IO_HH
+#define SOS_SIM_PARAMS_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+
+namespace sos {
+
+/** One configurable key, for help output. */
+struct ParamInfo
+{
+    std::string key;
+    std::string currentValue; ///< rendered from a default SimConfig
+    std::string description;
+};
+
+/** All keys applyOverride() accepts, with defaults and descriptions. */
+std::vector<ParamInfo> configurableParams();
+
+/** Apply a single "key=value" assignment; fatal() on any error. */
+void applyOverride(SimConfig &config, const std::string &assignment);
+
+/** Apply several assignments in order. */
+void applyOverrides(SimConfig &config,
+                    const std::vector<std::string> &assignments);
+
+/** Render the full configuration as "key=value" lines. */
+std::string renderConfig(const SimConfig &config);
+
+} // namespace sos
+
+#endif // SOS_SIM_PARAMS_IO_HH

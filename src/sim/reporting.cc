@@ -1,0 +1,109 @@
+#include "reporting.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "sim/sim_config.hh"
+
+namespace sos {
+
+std::string
+fmt(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+fmtCycles(std::uint64_t cycles)
+{
+    char buffer[64];
+    if (cycles >= 1000000000ULL) {
+        std::snprintf(buffer, sizeof(buffer), "%.1fG",
+                      static_cast<double>(cycles) / 1e9);
+    } else if (cycles >= 1000000ULL) {
+        std::snprintf(buffer, sizeof(buffer), "%.1fM",
+                      static_cast<double>(cycles) / 1e6);
+    } else if (cycles >= 1000ULL) {
+        std::snprintf(buffer, sizeof(buffer), "%.1fK",
+                      static_cast<double>(cycles) / 1e3);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%llu",
+                      static_cast<unsigned long long>(cycles));
+    }
+    return buffer;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths))
+{
+    SOS_ASSERT(headers_.size() == widths_.size(),
+               "one width per header");
+}
+
+void
+TablePrinter::printHeader() const
+{
+    printRow(headers_);
+    printRule();
+}
+
+void
+TablePrinter::printRow(const std::vector<std::string> &cells) const
+{
+    SOS_ASSERT(cells.size() == widths_.size(), "cell count mismatch");
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::string cell = cells[c];
+        const auto width = static_cast<std::size_t>(widths_[c]);
+        if (cell.size() > width)
+            cell = cell.substr(0, width);
+        if (c == 0) {
+            // Left-align the first column, right-align the rest.
+            cell.append(width - cell.size(), ' ');
+        } else {
+            cell.insert(0, width - cell.size(), ' ');
+        }
+        line += cell;
+        if (c + 1 < cells.size())
+            line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+}
+
+void
+TablePrinter::printRule() const
+{
+    std::size_t total = 0;
+    for (int w : widths_)
+        total += static_cast<std::size_t>(w);
+    total += 2 * (widths_.size() - 1);
+    std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+SimConfig
+benchConfigFromEnv()
+{
+    SimConfig config = makeBenchConfig();
+    if (const char *scale = std::getenv("SOS_CYCLE_SCALE")) {
+        const long value = std::strtol(scale, nullptr, 10);
+        if (value <= 0)
+            fatal("SOS_CYCLE_SCALE must be a positive integer");
+        config.cycleScale = static_cast<std::uint64_t>(value);
+    }
+    if (const char *seed = std::getenv("SOS_SEED")) {
+        config.seed = std::strtoull(seed, nullptr, 10);
+    }
+    return config;
+}
+
+} // namespace sos

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-width table and series printing for the benchmark harnesses.
+ */
+
+#ifndef SOS_SIM_REPORTING_HH
+#define SOS_SIM_REPORTING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sos {
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 3);
+
+/** Format a cycle count as "123.4M" / "2.0G" style. */
+std::string fmtCycles(std::uint64_t cycles);
+
+/** Prints an aligned text table. */
+class TablePrinter
+{
+  public:
+    /** @param widths Column widths; headers sized to match. */
+    TablePrinter(std::vector<std::string> headers,
+                 std::vector<int> widths);
+
+    /** Print the header row and a separator line. */
+    void printHeader() const;
+
+    /** Print one data row (cells truncated/padded to width). */
+    void printRow(const std::vector<std::string> &cells) const;
+
+    /** Print a separator line. */
+    void printRule() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<int> widths_;
+};
+
+/** Print a section banner. */
+void printBanner(const std::string &title);
+
+/**
+ * Read the standard environment overrides used by every bench binary:
+ * SOS_CYCLE_SCALE (cycle scale divisor) and SOS_SEED.
+ */
+struct SimConfig;
+SimConfig benchConfigFromEnv();
+
+} // namespace sos
+
+#endif // SOS_SIM_REPORTING_HH

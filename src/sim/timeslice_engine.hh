@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The timeslice engine: binds scheduler decisions to the SMT core.
+ *
+ * Each timeslice the jobscheduler names a set of thread units; the
+ * engine diffs that set against the currently resident one, so that
+ * units staying resident keep their hardware context and pipeline
+ * state (the "warmstart" effect of Section 8 -- under partial swap
+ * only the replaced job cold-starts), swaps the rest, runs the core
+ * for the quantum, and credits retired instructions to jobs.
+ */
+
+#ifndef SOS_SIM_TIMESLICE_ENGINE_HH
+#define SOS_SIM_TIMESLICE_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/smt_core.hh"
+#include "sched/job.hh"
+#include "sched/jobmix.hh"
+#include "sched/schedule.hh"
+
+namespace sos {
+
+/** Drives one SmtCore timeslice by timeslice. */
+class TimesliceEngine
+{
+  public:
+    /** Outcome of one timeslice. */
+    struct SliceResult
+    {
+        PerfCounters counters;
+        /** Retired instructions per unit, ordered as the input set. */
+        std::vector<std::uint64_t> unitRetired;
+    };
+
+    /** Outcome of running a whole schedule for several timeslices. */
+    struct ScheduleRunResult
+    {
+        PerfCounters total;
+        std::vector<double> sliceIpc;       ///< IPC of each timeslice
+        std::vector<double> sliceMixImbalance; ///< per-slice |fp-int|
+        std::vector<std::uint64_t> jobRetired; ///< per mix job index
+        std::uint64_t cycles = 0;
+    };
+
+    TimesliceEngine(SmtCore &core, std::uint64_t timeslice_cycles);
+
+    /**
+     * Run one timeslice with the given units resident. Units already
+     * on the core stay put; others are swapped in/out.
+     */
+    SliceResult runTimeslice(const std::vector<ThreadRef> &units);
+
+    /** Detach everything (e.g. before re-spawning adaptive jobs). */
+    void evictAll();
+
+    /** Detach any resident threads of one job (before destroying it). */
+    void evictJob(const Job *job);
+
+    std::uint64_t timesliceCycles() const { return timeslice_; }
+    void setTimesliceCycles(std::uint64_t cycles);
+
+    /**
+     * Run @p timeslices quanta of @p schedule over @p mix, crediting
+     * per-job progress. Schedule job identifiers index mix units.
+     */
+    ScheduleRunResult runSchedule(JobMix &mix, const Schedule &schedule,
+                                  std::uint64_t timeslices);
+
+  private:
+    struct Slot
+    {
+        bool occupied = false;
+        ThreadRef unit;
+    };
+
+    SmtCore &core_;
+    std::uint64_t timeslice_;
+    std::array<Slot, MaxContexts> slots_;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_TIMESLICE_ENGINE_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * sossim: command-line driver for the library.
+ *
+ * Subcommands:
+ *   sossim workloads                     list the workload models
+ *   sossim experiments                   list the paper's experiments
+ *   sossim params                        list configurable keys
+ *   sossim run <label> [--set k=v]...    run one throughput experiment
+ *   sossim open [--level N] [--jobs N] [--set k=v]...
+ *                                        naive-vs-SOS response times
+ *   sossim hier [--level N] [--set k=v]...
+ *                                        hierarchical symbiosis
+ *
+ * Every subcommand accepts repeated --set key=value overrides (see
+ * `sossim params`), plus the SOS_CYCLE_SCALE / SOS_SEED environment
+ * variables handled by the bench harnesses.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/predictor.hh"
+#include "sim/batch_experiment.hh"
+#include "sim/hierarchical_experiment.hh"
+#include "sim/open_system.hh"
+#include "sim/params_io.hh"
+#include "sim/reporting.hh"
+#include "trace/workload_library.hh"
+
+namespace {
+
+using namespace sos;
+
+/** Parsed command line: positionals plus --flag value pairs. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::vector<std::string> overrides; ///< from --set
+    std::vector<std::pair<std::string, std::string>> flags;
+
+    std::string
+    flag(const std::string &name, const std::string &fallback) const
+    {
+        for (const auto &[key, value] : flags) {
+            if (key == name)
+                return value;
+        }
+        return fallback;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--set") {
+            if (i + 1 >= argc)
+                fatal("--set needs a key=value argument");
+            args.overrides.push_back(argv[++i]);
+        } else if (arg.rfind("--", 0) == 0) {
+            if (i + 1 >= argc)
+                fatal(arg, " needs a value");
+            args.flags.emplace_back(arg.substr(2), argv[++i]);
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+SimConfig
+configFor(const Args &args)
+{
+    SimConfig config = benchConfigFromEnv();
+    applyOverrides(config, args.overrides);
+    return config;
+}
+
+int
+cmdWorkloads()
+{
+    printBanner("Workload models");
+    TablePrinter table({"name", "fp%", "load%", "store%", "avg BB",
+                        "dep", "WS KiB", "code KiB", "sync"},
+                       {10, 6, 6, 6, 6, 5, 7, 8, 8});
+    table.printHeader();
+    const auto &lib = WorkloadLibrary::instance();
+    for (const std::string &name : lib.names()) {
+        const WorkloadProfile &p = lib.get(name);
+        table.printRow(
+            {name, fmt(100.0 * p.fpFraction(), 0),
+             fmt(100.0 * p.fracLoad, 0), fmt(100.0 * p.fracStore, 0),
+             fmt(p.avgBasicBlock, 0), fmt(p.avgDepDistance, 1),
+             std::to_string(p.workingSetBytes / 1024),
+             std::to_string(p.codeBytes / 1024),
+             p.syncInterval ? std::to_string(p.syncInterval) : "-"});
+    }
+    return 0;
+}
+
+int
+cmdExperiments()
+{
+    printBanner("Throughput experiments (paper Table 1/2)");
+    TablePrinter table({"label", "jobs", "level", "swap", "schedules"},
+                       {14, 5, 6, 5, 10});
+    table.printHeader();
+    for (const ExperimentSpec &spec : paperExperiments()) {
+        table.printRow({spec.label, std::to_string(spec.numUnits()),
+                        std::to_string(spec.level),
+                        std::to_string(spec.swap),
+                        std::to_string(expectedDistinctSchedules(spec))});
+    }
+    printBanner("Hierarchical experiments (Section 7)");
+    for (const HierarchicalSpec &spec : hierarchicalExperiments())
+        std::printf("  %s\n", spec.label.c_str());
+    return 0;
+}
+
+int
+cmdParams()
+{
+    printBanner("Configurable parameters (--set key=value)");
+    TablePrinter table({"key", "default", "description"}, {30, 10, 44});
+    table.printHeader();
+    for (const ParamInfo &info : configurableParams())
+        table.printRow({info.key, info.currentValue, info.description});
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("usage: sossim run <experiment label>");
+    const SimConfig config = configFor(args);
+    const ExperimentSpec &spec = experimentByLabel(args.positional[0]);
+
+    BatchExperiment exp(spec, config);
+    exp.runSamplePhase();
+    exp.runSymbiosValidation();
+
+    printBanner(spec.label);
+    TablePrinter table({"schedule", "sample IPC", "symbios WS"},
+                       {30, 10, 11});
+    table.printHeader();
+    for (std::size_t i = 0; i < exp.schedules().size(); ++i) {
+        table.printRow({exp.schedules()[i].label(),
+                        fmt(exp.profiles()[i].counters.ipc(), 2),
+                        fmt(exp.symbiosWs()[i], 3)});
+    }
+    std::printf("\nWS: worst %.3f  avg %.3f  best %.3f\n",
+                exp.worstWs(), exp.averageWs(), exp.bestWs());
+    for (const auto &predictor : makeAllPredictors()) {
+        std::printf("  %-10s -> WS %.3f\n", predictor->name().c_str(),
+                    exp.wsOfPredictor(*predictor));
+    }
+    return 0;
+}
+
+int
+cmdOpen(const Args &args)
+{
+    const SimConfig config = configFor(args);
+    OpenSystemConfig open;
+    open.level = std::stoi(args.flag("level", "3"));
+    open.numJobs = std::stoi(args.flag("jobs", "24"));
+    open.seed = config.seed ^ 0x09e2ULL;
+
+    const ResponseComparison comparison =
+        compareResponseTimes(config, open);
+    printBanner("Open system, SMT level " + std::to_string(open.level));
+    std::printf("jobs completed: %d\n", comparison.jobsCompared);
+    std::printf("naive mean response: %s cycles\n",
+                fmtCycles(static_cast<std::uint64_t>(
+                              comparison.naive.meanResponseCycles))
+                    .c_str());
+    std::printf("SOS mean response:   %s cycles (%d sample phases)\n",
+                fmtCycles(static_cast<std::uint64_t>(
+                              comparison.sos.meanResponseCycles))
+                    .c_str(),
+                comparison.sos.samplePhases);
+    std::printf("improvement: %.1f%%\n", comparison.improvementPct);
+    return 0;
+}
+
+int
+cmdHier(const Args &args)
+{
+    const SimConfig config = configFor(args);
+    const int level = std::stoi(args.flag("level", "2"));
+    const HierarchicalSpec *chosen = nullptr;
+    for (const HierarchicalSpec &spec : hierarchicalExperiments()) {
+        if (spec.level == level)
+            chosen = &spec;
+    }
+    if (chosen == nullptr)
+        fatal("no hierarchical experiment at SMT level ", level);
+
+    HierarchicalExperiment exp(*chosen, config);
+    exp.run();
+    printBanner(chosen->label);
+    TablePrinter table({"allocation", "schedule", "WS"}, {14, 22, 7});
+    table.printHeader();
+    for (const auto &candidate : exp.candidates()) {
+        table.printRow({candidate.plan.label(),
+                        candidate.schedule.label(),
+                        fmt(candidate.symbiosWs, 3)});
+    }
+    std::printf("\nSOS: WS %.3f (%+.1f%% vs avg, %+.1f%% vs worst)\n",
+                exp.scoreWs(), exp.improvementOverAveragePct(),
+                exp.improvementOverWorstPct());
+    return 0;
+}
+
+int
+cmdHelp()
+{
+    std::printf(
+        "sossim -- symbiotic jobscheduling simulator (Snavely & "
+        "Tullsen, ASPLOS 2000)\n\n"
+        "usage: sossim <command> [options]\n\n"
+        "commands:\n"
+        "  workloads              list the workload models\n"
+        "  experiments            list the paper's experiments\n"
+        "  params                 list --set keys\n"
+        "  run <label>            run a throughput experiment\n"
+        "  open [--level N] [--jobs N]\n"
+        "                         naive-vs-SOS response times\n"
+        "  hier [--level N]       hierarchical symbiosis\n"
+        "  config                 print the effective configuration\n\n"
+        "options: repeated --set key=value; env SOS_CYCLE_SCALE, "
+        "SOS_SEED\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return cmdHelp();
+    const std::string command = argv[1];
+    const Args args = parseArgs(argc, argv);
+
+    if (command == "workloads")
+        return cmdWorkloads();
+    if (command == "experiments")
+        return cmdExperiments();
+    if (command == "params")
+        return cmdParams();
+    if (command == "run")
+        return cmdRun(args);
+    if (command == "open")
+        return cmdOpen(args);
+    if (command == "hier")
+        return cmdHier(args);
+    if (command == "config") {
+        std::fputs(renderConfig(configFor(args)).c_str(), stdout);
+        return 0;
+    }
+    if (command == "help" || command == "--help")
+        return cmdHelp();
+    fatal("unknown command '", command, "' (try `sossim help`)");
+}

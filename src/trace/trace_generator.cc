@@ -1,0 +1,253 @@
+#include "trace_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
+                               std::uint64_t code_seed,
+                               std::uint64_t data_seed)
+    : profile_(&profile),
+      rng_((data_seed == 0 ? code_seed : data_seed) ^
+           0xabcddcba12344321ULL),
+      seed_(code_seed)
+{
+    SOS_ASSERT(profile.avgBasicBlock >= 2.0,
+               "basic blocks must hold at least a branch and one op");
+    SOS_ASSERT(profile.syncInterval == 0 || profile.syncInterval >= 2,
+               "sync interval of 1 would emit only barriers");
+    fillGeometricTable(bbTable_, profile.avgBasicBlock, 2.0);
+    fillGeometricTable(depTable_, profile.avgDepDistance, 1.0);
+    pc_ = 0x1000;
+    bbRemaining_ = blockLen(pc_);
+    const std::uint64_t ws = std::max<std::uint64_t>(
+        profile.workingSetBytes, 64);
+    for (std::size_t s = 0; s < streamPos_.size(); ++s)
+        streamPos_[s] = ws / streamPos_.size() * s;
+}
+
+void
+TraceGenerator::fillGeometricTable(
+    std::array<std::uint16_t, geomTableSize> &table, double mean,
+    double floor)
+{
+    // Precomputed inverse-CDF samples of a shifted geometric
+    // distribution; sampling then costs one RNG draw and one load
+    // instead of a logarithm (this sits on the simulator's innermost
+    // path, several calls per micro-op).
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const double u =
+            (static_cast<double>(i) + 0.5) / static_cast<double>(
+                                                 table.size());
+        const double value = std::max(floor, -mean * std::log(1.0 - u));
+        table[i] = static_cast<std::uint16_t>(std::min(
+            value, 60000.0));
+    }
+}
+
+std::uint64_t
+TraceGenerator::sampleTable(
+    const std::array<std::uint16_t, geomTableSize> &table)
+{
+    return table[rng_.next() & (geomTableSize - 1)];
+}
+
+std::uint64_t
+TraceGenerator::blockLen(std::uint64_t entry_pc) const
+{
+    // Deterministic per entry point: the synthetic CFG is a fixed
+    // graph, so branch *sites* are stable addresses a real predictor
+    // can train on, and their count scales with the code footprint.
+    return bbTable_[mix64(entry_pc ^ seed_) & (geomTableSize - 1)];
+}
+
+std::uint8_t
+TraceGenerator::allocDst(bool fp)
+{
+    if (fp) {
+        // FP destinations rotate through f0..f23 (arch ids 32..55).
+        const std::uint8_t reg = static_cast<std::uint8_t>(
+            NumIntArchRegs + (fpDstCursor_++ % 24));
+        fpRing_[fpProduced_++ % fpRing_.size()] = reg;
+        return reg;
+    }
+    // Integer destinations rotate through r0..r23; r31 is reserved for
+    // pointer-chase chains.
+    const std::uint8_t reg = static_cast<std::uint8_t>(intDstCursor_++ % 24);
+    intRing_[intProduced_++ % intRing_.size()] = reg;
+    return reg;
+}
+
+std::uint8_t
+TraceGenerator::pickSrc(bool fp)
+{
+    const auto &ring = fp ? fpRing_ : intRing_;
+    const std::uint32_t produced = fp ? fpProduced_ : intProduced_;
+    if (produced == 0)
+        return NoReg;
+    // Distance to the producer: geometric around the profile mean,
+    // clamped to the producers actually in the ring. Small distances
+    // serialize the stream; large distances expose ILP.
+    std::uint64_t dist = sampleTable(depTable_);
+    const std::uint64_t max_dist =
+        std::min<std::uint64_t>(produced, ring.size());
+    dist = std::min<std::uint64_t>(dist, max_dist);
+    const std::uint32_t index =
+        (produced - static_cast<std::uint32_t>(dist)) %
+        static_cast<std::uint32_t>(ring.size());
+    return ring[index];
+}
+
+std::uint64_t
+TraceGenerator::dataAddress(bool &serialized)
+{
+    serialized = false;
+    const WorkloadProfile &p = *profile_;
+    const std::uint64_t ws = std::max<std::uint64_t>(p.workingSetBytes, 64);
+    const double u = rng_.uniform();
+    std::uint64_t addr;
+    if (u < p.streamFraction) {
+        // Unit-stride walk; four interleaved streams model the several
+        // concurrent array traversals of a loop nest.
+        const std::size_t s = streamCursor_++ % streamPos_.size();
+        streamPos_[s] = (streamPos_[s] + 8) % ws;
+        addr = streamPos_[s];
+    } else if (u < p.streamFraction + p.hotFraction) {
+        const std::uint64_t hot = std::max<std::uint64_t>(p.hotBytes, 64);
+        addr = ws + rng_.below(hot); // hot region sits above the arrays
+    } else {
+        addr = rng_.below(ws);
+        serialized = rng_.chance(p.chaseFraction);
+    }
+    return addr & ~std::uint64_t{7};
+}
+
+void
+TraceGenerator::advancePc(const UOp &op)
+{
+    if (op.cls == OpClass::Branch && op.taken) {
+        // Deterministic target per branch PC: the synthetic CFG is a
+        // fixed graph, so the BTB and icache see stable code.
+        const std::uint64_t code =
+            std::max<std::uint64_t>(profile_->codeBytes, blockBytes);
+        const std::uint64_t num_blocks = code / blockBytes;
+        const std::uint64_t target_block =
+            mix64(op.pc ^ seed_ ^ 0x5ca1ab1eULL) % num_blocks;
+        pc_ = 0x1000 + target_block * blockBytes;
+    } else {
+        pc_ += 4;
+        const std::uint64_t code =
+            std::max<std::uint64_t>(profile_->codeBytes, blockBytes);
+        if (pc_ >= 0x1000 + code)
+            pc_ = 0x1000;
+    }
+}
+
+UOp
+TraceGenerator::next()
+{
+    const WorkloadProfile &p = *profile_;
+    UOp op;
+    op.pc = pc_;
+
+    // Barriers fire on a fixed instruction period so sibling threads
+    // of a parallel job reach them in lockstep amounts of work.
+    if (p.syncInterval > 0 && count_ > 0 && count_ % p.syncInterval == 0) {
+        op.cls = OpClass::Barrier;
+        ++count_;
+        advancePc(op);
+        return op;
+    }
+
+    if (bbRemaining_ == 0) {
+        // Terminate the basic block with a conditional branch.
+        op.cls = OpClass::Branch;
+        op.srcA = pickSrc(false);
+        ++branchCount_;
+        if (rng_.chance(p.branchPredictability)) {
+            // Predictable instances follow a fixed per-PC bias (the
+            // strongly-biased loop and guard branches of real code,
+            // which saturating counters learn perfectly); the biases
+            // themselves are distributed to honour branchTakenRate.
+            const std::uint64_t bias_hash =
+                mix64(op.pc ^ seed_ ^ 0xb1a5b1a5ULL);
+            op.taken = static_cast<double>(bias_hash & 0xffff) <
+                       65536.0 * p.branchTakenRate;
+        } else {
+            op.taken = rng_.chance(p.branchTakenRate);
+        }
+        ++count_;
+        advancePc(op);
+        bbRemaining_ = blockLen(pc_);
+        return op;
+    }
+    --bbRemaining_;
+
+    const double u = rng_.uniform();
+    double acc = p.fracFpAdd;
+    if (u < acc) {
+        op.cls = OpClass::FpAdd;
+    } else if (u < (acc += p.fracFpMult)) {
+        op.cls = OpClass::FpMult;
+    } else if (u < (acc += p.fracFpDiv)) {
+        op.cls = OpClass::FpDiv;
+    } else if (u < (acc += p.fracIntMult)) {
+        op.cls = OpClass::IntMult;
+    } else if (u < (acc += p.fracLoad)) {
+        op.cls = OpClass::Load;
+    } else if (u < (acc += p.fracStore)) {
+        op.cls = OpClass::Store;
+    } else {
+        op.cls = OpClass::IntAlu;
+    }
+
+    switch (op.cls) {
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        op.srcA = pickSrc(true);
+        op.srcB = pickSrc(true);
+        op.dst = allocDst(true);
+        break;
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+        op.srcA = pickSrc(false);
+        op.srcB = pickSrc(false);
+        op.dst = allocDst(false);
+        break;
+      case OpClass::Load: {
+        bool serialized = false;
+        op.addr = dataAddress(serialized);
+        if (serialized) {
+            // Pointer chase: the address depends on the previous chase
+            // load, and the result feeds the next one.
+            op.srcA = chaseReg;
+            op.dst = chaseReg;
+        } else {
+            op.srcA = pickSrc(false); // address register
+            const bool fp_dest =
+                rng_.chance(std::min(1.0, p.fpFraction() * 1.5));
+            op.dst = allocDst(fp_dest);
+        }
+        break;
+      }
+      case OpClass::Store: {
+        bool serialized = false;
+        op.addr = dataAddress(serialized);
+        op.srcA = pickSrc(false); // address register
+        op.srcB = pickSrc(p.fpFraction() > 0.0 && rng_.chance(0.5));
+        break;
+      }
+      default:
+        panic("unreachable op class");
+    }
+
+    ++count_;
+    advancePc(op);
+    return op;
+}
+
+} // namespace sos

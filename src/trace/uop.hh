@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Micro-operation model consumed by the SMT core.
+ *
+ * The simulator is trace-driven: a TraceGenerator emits a deterministic
+ * stream of UOps per thread, and the core models their flow through the
+ * pipeline and memory hierarchy. A UOp carries exactly the information
+ * contention modelling needs: operation class (which functional unit
+ * and issue queue it wants), register dependences, a fetch PC (icache
+ * and branch predictor), an effective address for memory operations,
+ * and the architectural branch outcome.
+ */
+
+#ifndef SOS_TRACE_UOP_HH
+#define SOS_TRACE_UOP_HH
+
+#include <cstdint>
+
+namespace sos {
+
+/** Functional classes of micro-operations. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< single-cycle integer op
+    IntMult,  ///< pipelined integer multiply
+    FpAdd,    ///< pipelined FP add/compare
+    FpMult,   ///< pipelined FP multiply
+    FpDiv,    ///< non-pipelined FP divide
+    Load,     ///< memory read through L1D
+    Store,    ///< memory write through L1D
+    Branch,   ///< conditional branch (resolved in an integer unit)
+    Barrier,  ///< synchronization point of a parallel job
+};
+
+/** Sentinel register id meaning "no register". */
+constexpr std::uint8_t NoReg = 0xff;
+
+/** Number of architectural integer registers per thread. */
+constexpr int NumIntArchRegs = 32;
+
+/** Number of architectural FP registers per thread. */
+constexpr int NumFpArchRegs = 32;
+
+/**
+ * Total architectural register namespace per thread: integer registers
+ * occupy ids [0, 32), FP registers [32, 64).
+ */
+constexpr int NumArchRegs = NumIntArchRegs + NumFpArchRegs;
+
+/** True if the register id names an FP architectural register. */
+inline bool
+isFpReg(std::uint8_t reg)
+{
+    return reg != NoReg && reg >= NumIntArchRegs;
+}
+
+/** One micro-operation of a synthetic instruction stream. */
+struct UOp
+{
+    /** Virtual address of the instruction, for icache and prediction. */
+    std::uint64_t pc = 0;
+
+    /** Effective data address (Load/Store only). */
+    std::uint64_t addr = 0;
+
+    /** Operation class. */
+    OpClass cls = OpClass::IntAlu;
+
+    /** First source architectural register, or NoReg. */
+    std::uint8_t srcA = NoReg;
+
+    /** Second source architectural register, or NoReg. */
+    std::uint8_t srcB = NoReg;
+
+    /** Destination architectural register, or NoReg. */
+    std::uint8_t dst = NoReg;
+
+    /** Architectural outcome for Branch uops. */
+    bool taken = false;
+
+    /** True for FP-pipeline operations (FP queue, FP units). */
+    bool
+    isFp() const
+    {
+        return cls == OpClass::FpAdd || cls == OpClass::FpMult ||
+               cls == OpClass::FpDiv;
+    }
+
+    /** True for memory operations. */
+    bool
+    isMem() const
+    {
+        return cls == OpClass::Load || cls == OpClass::Store;
+    }
+};
+
+} // namespace sos
+
+#endif // SOS_TRACE_UOP_HH

@@ -1,0 +1,356 @@
+#include "workload_library.hh"
+
+#include "common/logging.hh"
+
+namespace sos {
+
+const WorkloadLibrary &
+WorkloadLibrary::instance()
+{
+    static const WorkloadLibrary library;
+    return library;
+}
+
+const WorkloadProfile &
+WorkloadLibrary::get(const std::string &name) const
+{
+    const auto it = profiles_.find(name);
+    if (it == profiles_.end())
+        fatal("unknown workload '", name, "'");
+    return it->second;
+}
+
+bool
+WorkloadLibrary::has(const std::string &name) const
+{
+    return profiles_.count(name) != 0;
+}
+
+std::vector<std::string>
+WorkloadLibrary::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(profiles_.size());
+    for (const auto &[name, profile] : profiles_)
+        out.push_back(name);
+    return out;
+}
+
+void
+WorkloadLibrary::add(WorkloadProfile profile)
+{
+    SOS_ASSERT(profiles_.count(profile.name) == 0, "duplicate workload");
+    profiles_.emplace(profile.name, std::move(profile));
+}
+
+WorkloadLibrary::WorkloadLibrary()
+{
+    const std::uint64_t KiB = 1024;
+
+    // FP is fpppp (SPEC95): famously huge basic blocks, FP-dense, high
+    // ILP, small data footprint. The archetypal high-IPC FP job.
+    {
+        WorkloadProfile p;
+        p.name = "FP";
+        p.fracFpAdd = 0.30;
+        p.fracFpMult = 0.24;
+        p.fracFpDiv = 0.010;
+        p.fracIntMult = 0.0;
+        p.fracLoad = 0.24;
+        p.fracStore = 0.08;
+        p.avgBasicBlock = 40.0;
+        p.branchTakenRate = 0.70;
+        p.branchPredictability = 0.97;
+        p.codeBytes = 48 * KiB;
+        p.avgDepDistance = 6.5;
+        p.workingSetBytes = 24 * KiB;
+        p.streamFraction = 0.30;
+        p.hotFraction = 0.50;
+        p.hotBytes = 4 * KiB;
+        add(p);
+    }
+
+    // MG is mgrid (SPEC95): multigrid solver, long unit-stride sweeps
+    // over a large grid, very regular control.
+    {
+        WorkloadProfile p;
+        p.name = "MG";
+        p.fracFpAdd = 0.26;
+        p.fracFpMult = 0.16;
+        p.fracLoad = 0.33;
+        p.fracStore = 0.09;
+        p.avgBasicBlock = 28.0;
+        p.branchTakenRate = 0.80;
+        p.branchPredictability = 0.97;
+        p.codeBytes = 8 * KiB;
+        p.avgDepDistance = 5.5;
+        p.workingSetBytes = 128 * KiB;
+        p.streamFraction = 0.88;
+        p.hotFraction = 0.06;
+        p.hotBytes = 2 * KiB;
+        add(p);
+    }
+
+    // WAVE is wave5 (SPEC95): particle-in-cell plasma code; FP with a
+    // mix of regular and scattered access.
+    {
+        WorkloadProfile p;
+        p.name = "WAVE";
+        p.fracFpAdd = 0.22;
+        p.fracFpMult = 0.14;
+        p.fracFpDiv = 0.008;
+        p.fracLoad = 0.30;
+        p.fracStore = 0.10;
+        p.avgBasicBlock = 18.0;
+        p.branchTakenRate = 0.70;
+        p.branchPredictability = 0.95;
+        p.codeBytes = 24 * KiB;
+        p.avgDepDistance = 4.5;
+        p.workingSetBytes = 96 * KiB;
+        p.streamFraction = 0.70;
+        p.hotFraction = 0.15;
+        p.hotBytes = 4 * KiB;
+        add(p);
+    }
+
+    // SWIM (SPEC95): shallow-water model; bandwidth-bound streaming
+    // over big arrays, modest ILP.
+    {
+        WorkloadProfile p;
+        p.name = "SWIM";
+        p.fracFpAdd = 0.20;
+        p.fracFpMult = 0.14;
+        p.fracLoad = 0.36;
+        p.fracStore = 0.14;
+        p.avgBasicBlock = 30.0;
+        p.branchTakenRate = 0.85;
+        p.branchPredictability = 0.98;
+        p.codeBytes = 6 * KiB;
+        p.avgDepDistance = 4.0;
+        p.workingSetBytes = 160 * KiB;
+        p.streamFraction = 0.92;
+        p.hotFraction = 0.04;
+        p.hotBytes = 2 * KiB;
+        add(p);
+    }
+
+    // SU2COR (SPEC95): quantum physics Monte Carlo; FP with moderate
+    // irregularity and occasional divides.
+    {
+        WorkloadProfile p;
+        p.name = "SU2COR";
+        p.fracFpAdd = 0.18;
+        p.fracFpMult = 0.12;
+        p.fracFpDiv = 0.010;
+        p.fracLoad = 0.32;
+        p.fracStore = 0.10;
+        p.avgBasicBlock = 16.0;
+        p.branchTakenRate = 0.65;
+        p.branchPredictability = 0.94;
+        p.codeBytes = 24 * KiB;
+        p.avgDepDistance = 4.0;
+        p.workingSetBytes = 128 * KiB;
+        p.streamFraction = 0.60;
+        p.hotFraction = 0.20;
+        p.hotBytes = 4 * KiB;
+        add(p);
+    }
+
+    // TURB3D (SPEC95): turbulence simulation; FFT-like strided FP.
+    {
+        WorkloadProfile p;
+        p.name = "TURB3D";
+        p.fracFpAdd = 0.19;
+        p.fracFpMult = 0.13;
+        p.fracFpDiv = 0.012;
+        p.fracLoad = 0.30;
+        p.fracStore = 0.11;
+        p.avgBasicBlock = 16.0;
+        p.branchTakenRate = 0.70;
+        p.branchPredictability = 0.94;
+        p.codeBytes = 28 * KiB;
+        p.avgDepDistance = 4.5;
+        p.workingSetBytes = 112 * KiB;
+        p.streamFraction = 0.60;
+        p.hotFraction = 0.20;
+        p.hotBytes = 4 * KiB;
+        add(p);
+    }
+
+    // GCC (SPEC95 INT): compiler; branchy, pointer-heavy, large code
+    // footprint, low IPC. The archetypal workstation integer job.
+    {
+        WorkloadProfile p;
+        p.name = "GCC";
+        p.fracIntMult = 0.010;
+        p.fracLoad = 0.26;
+        p.fracStore = 0.12;
+        p.avgBasicBlock = 6.0;
+        p.branchTakenRate = 0.60;
+        p.branchPredictability = 0.88;
+        p.codeBytes = 192 * KiB;
+        p.avgDepDistance = 3.0;
+        p.workingSetBytes = 64 * KiB;
+        p.streamFraction = 0.20;
+        p.hotFraction = 0.35;
+        p.hotBytes = 4 * KiB;
+        p.chaseFraction = 0.10;
+        add(p);
+    }
+
+    // GO (SPEC95 INT): game tree search; the least predictable
+    // branches in the suite, small data, low IPC.
+    {
+        WorkloadProfile p;
+        p.name = "GO";
+        p.fracIntMult = 0.005;
+        p.fracLoad = 0.22;
+        p.fracStore = 0.08;
+        p.avgBasicBlock = 5.0;
+        p.branchTakenRate = 0.55;
+        p.branchPredictability = 0.82;
+        p.codeBytes = 96 * KiB;
+        p.avgDepDistance = 3.0;
+        p.workingSetBytes = 32 * KiB;
+        p.streamFraction = 0.15;
+        p.hotFraction = 0.40;
+        p.hotBytes = 4 * KiB;
+        p.chaseFraction = 0.05;
+        add(p);
+    }
+
+    // IS (NPB): integer bucket sort; integer, memory bound, highly
+    // irregular access over a large key array -- a cache sweeper.
+    {
+        WorkloadProfile p;
+        p.name = "IS";
+        p.fracFpAdd = 0.02;
+        p.fracIntMult = 0.01;
+        p.fracLoad = 0.34;
+        p.fracStore = 0.16;
+        p.avgBasicBlock = 20.0;
+        p.branchTakenRate = 0.80;
+        p.branchPredictability = 0.97;
+        p.codeBytes = 4 * KiB;
+        p.avgDepDistance = 3.5;
+        p.workingSetBytes = 176 * KiB;
+        p.streamFraction = 0.25;
+        p.hotFraction = 0.10;
+        p.hotBytes = 2 * KiB;
+        add(p);
+    }
+
+    // CG (NPB): conjugate gradient on a sparse matrix; latency bound
+    // with serialized indirections (gather through an index vector).
+    {
+        WorkloadProfile p;
+        p.name = "CG";
+        p.fracFpAdd = 0.16;
+        p.fracFpMult = 0.08;
+        p.fracLoad = 0.40;
+        p.fracStore = 0.06;
+        p.avgBasicBlock = 14.0;
+        p.branchTakenRate = 0.80;
+        p.branchPredictability = 0.96;
+        p.codeBytes = 6 * KiB;
+        p.avgDepDistance = 3.0;
+        p.workingSetBytes = 144 * KiB;
+        p.streamFraction = 0.30;
+        p.hotFraction = 0.10;
+        p.hotBytes = 2 * KiB;
+        p.chaseFraction = 0.35;
+        add(p);
+    }
+
+    // EP (NPB): embarrassingly parallel random-number kernel; compute
+    // bound, tiny footprint, high ILP -- the perfect SMT partner.
+    {
+        WorkloadProfile p;
+        p.name = "EP";
+        p.fracFpAdd = 0.25;
+        p.fracFpMult = 0.20;
+        p.fracFpDiv = 0.020;
+        p.fracLoad = 0.12;
+        p.fracStore = 0.04;
+        p.avgBasicBlock = 22.0;
+        p.branchTakenRate = 0.75;
+        p.branchPredictability = 0.97;
+        p.codeBytes = 4 * KiB;
+        p.avgDepDistance = 7.0;
+        p.workingSetBytes = 12 * KiB;
+        p.streamFraction = 0.50;
+        p.hotFraction = 0.40;
+        p.hotBytes = 2 * KiB;
+        add(p);
+    }
+
+    // FT (NPB): 3-D FFT; FP streaming with a large footprint.
+    {
+        WorkloadProfile p;
+        p.name = "FT";
+        p.fracFpAdd = 0.24;
+        p.fracFpMult = 0.18;
+        p.fracLoad = 0.32;
+        p.fracStore = 0.12;
+        p.avgBasicBlock = 24.0;
+        p.branchTakenRate = 0.80;
+        p.branchPredictability = 0.96;
+        p.codeBytes = 10 * KiB;
+        p.avgDepDistance = 5.0;
+        p.workingSetBytes = 176 * KiB;
+        p.streamFraction = 0.75;
+        p.hotFraction = 0.10;
+        p.hotBytes = 2 * KiB;
+        add(p);
+    }
+
+    // ARRAY: the paper's hand-written parallel prefix program; its
+    // threads synchronize tightly, so descheduling one sibling stalls
+    // the other at the next barrier.
+    {
+        WorkloadProfile p;
+        p.name = "ARRAY";
+        p.fracFpAdd = 0.14;
+        p.fracFpMult = 0.06;
+        p.fracLoad = 0.30;
+        p.fracStore = 0.14;
+        p.avgBasicBlock = 20.0;
+        p.branchTakenRate = 0.80;
+        p.branchPredictability = 0.97;
+        p.codeBytes = 4 * KiB;
+        p.avgDepDistance = 5.0;
+        p.workingSetBytes = 64 * KiB;
+        p.streamFraction = 0.80;
+        p.hotFraction = 0.10;
+        p.hotBytes = 2 * KiB;
+        p.syncInterval = 1500;
+        add(p);
+    }
+
+    // ARRAY2: the J2pb variant of ARRAY "that does little
+    // synchronization"; its threads barely interact, so splitting them
+    // across timeslices is free (and often profitable).
+    {
+        WorkloadProfile p = get("ARRAY");
+        p.name = "ARRAY2";
+        p.syncInterval = 400000;
+        add(p);
+    }
+
+    // Adaptive multithreaded variants for hierarchical symbiosis
+    // (Section 7): the job runs with as many threads as the scheduler
+    // allocates contexts.
+    {
+        WorkloadProfile p = get("ARRAY");
+        p.name = "mt_ARRAY";
+        add(p);
+    }
+    {
+        WorkloadProfile p = get("EP");
+        p.name = "mt_EP";
+        p.syncInterval = 200000; // rare coordination only
+        add(p);
+    }
+}
+
+} // namespace sos

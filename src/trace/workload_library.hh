@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Registry of the benchmark models used by the paper's jobmixes.
+ *
+ * Names follow the paper's Table 1: FP (fpppp), MG (mgrid), WAVE
+ * (wave5), SWIM, SU2COR, TURB3D, GCC, GO, IS, CG, EP, FT, ARRAY, plus
+ * the low-synchronization ARRAY2 used by jobmix J2pb(10,2,2) and the
+ * adaptive multithreaded variants mt_ARRAY / mt_EP of Section 7.
+ */
+
+#ifndef SOS_TRACE_WORKLOAD_LIBRARY_HH
+#define SOS_TRACE_WORKLOAD_LIBRARY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/workload_profile.hh"
+
+namespace sos {
+
+/** Immutable library of named workload profiles. */
+class WorkloadLibrary
+{
+  public:
+    /** The process-wide library instance. */
+    static const WorkloadLibrary &instance();
+
+    /** Look up a profile by name; fatal() on an unknown name. */
+    const WorkloadProfile &get(const std::string &name) const;
+
+    /** True if the library defines the given name. */
+    bool has(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    WorkloadLibrary();
+
+    void add(WorkloadProfile profile);
+
+    std::map<std::string, WorkloadProfile> profiles_;
+};
+
+} // namespace sos
+
+#endif // SOS_TRACE_WORKLOAD_LIBRARY_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parameterized description of a synthetic benchmark.
+ *
+ * The paper evaluates SOS on SPEC95 INT/FP and NAS Parallel Benchmark
+ * programs run under SMTSIM. Those binaries (and an Alpha toolchain)
+ * are unavailable, so each benchmark is replaced by a WorkloadProfile:
+ * a statistical model whose instruction mix, dependence structure,
+ * control behaviour, and memory footprint are tuned to the published
+ * characteristics of the original program. The scheduler never sees
+ * the profile -- only the performance-counter signature the profile
+ * produces on the simulated core -- so the reproduction exercises the
+ * same code paths as the paper's system.
+ */
+
+#ifndef SOS_TRACE_WORKLOAD_PROFILE_HH
+#define SOS_TRACE_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sos {
+
+/** Statistical model of one benchmark's dynamic instruction stream. */
+struct WorkloadProfile
+{
+    /** Benchmark name as used in the paper's Table 1 (e.g. "FP"). */
+    std::string name;
+
+    /**
+     * @name Instruction mix
+     * Fractions of the dynamic stream; IntAlu receives the remainder
+     * after all listed classes. Branch frequency is implied by
+     * avgBasicBlock (one branch terminates each block).
+     * @{
+     */
+    double fracFpAdd = 0.0;
+    double fracFpMult = 0.0;
+    double fracFpDiv = 0.0;
+    double fracIntMult = 0.0;
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    /** @} */
+
+    /**
+     * @name Control flow
+     * @{
+     */
+    /** Mean instructions per basic block (block ends with a branch). */
+    double avgBasicBlock = 12.0;
+    /** Fraction of branches taken. */
+    double branchTakenRate = 0.6;
+    /**
+     * Fraction of branch instances whose outcome follows a short
+     * periodic (loop-like) pattern that a gshare predictor can learn;
+     * the rest are independent coin flips at branchTakenRate.
+     */
+    double branchPredictability = 0.9;
+    /** Static code footprint in bytes (drives icache behaviour). */
+    std::uint64_t codeBytes = 16 * 1024;
+    /** @} */
+
+    /**
+     * @name Dependences / ILP
+     * @{
+     */
+    /**
+     * Mean register-dependence distance in instructions; larger means
+     * more independent work in flight (higher ILP).
+     */
+    double avgDepDistance = 4.0;
+    /** @} */
+
+    /**
+     * @name Memory behaviour
+     * @{
+     */
+    /** Total data footprint in bytes. */
+    std::uint64_t workingSetBytes = 64 * 1024;
+    /** Fraction of accesses that stream sequentially (unit stride). */
+    double streamFraction = 0.5;
+    /** Fraction hitting a small hot region (stack / scalars). */
+    double hotFraction = 0.3;
+    /** Size of the hot region in bytes. */
+    std::uint64_t hotBytes = 2 * 1024;
+    /**
+     * Among non-stream non-hot accesses, fraction that are
+     * pointer-chasing loads serialized on the previous chase load.
+     */
+    double chaseFraction = 0.0;
+    /** @} */
+
+    /**
+     * @name Parallelism
+     * @{
+     */
+    /**
+     * Instructions between barrier synchronizations for threads of a
+     * parallel job; 0 means the workload never synchronizes.
+     */
+    std::uint64_t syncInterval = 0;
+    /** @} */
+
+    /** Fraction of the dynamic stream that is FP arithmetic. */
+    double
+    fpFraction() const
+    {
+        return fracFpAdd + fracFpMult + fracFpDiv;
+    }
+};
+
+} // namespace sos
+
+#endif // SOS_TRACE_WORKLOAD_PROFILE_HH

@@ -1,0 +1,73 @@
+/** @file Unit tests for hierarchical context-allocation plans. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/allocation.hh"
+
+namespace sos {
+namespace {
+
+TEST(AllocationPlan, TotalsAndLabel)
+{
+    AllocationPlan plan;
+    plan.threadsPerJob = {1, 2, 1};
+    EXPECT_EQ(plan.totalUnits(), 4);
+    EXPECT_EQ(plan.label(), "[1,2,1]");
+}
+
+TEST(EnumerateAllocationPlans, NonAdaptiveIsSingleton)
+{
+    const auto plans =
+        enumerateAllocationPlans({false, false, false}, 2, 2);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans.front().threadsPerJob,
+              (std::vector<int>{1, 1, 1}));
+}
+
+TEST(EnumerateAllocationPlans, AdaptiveJobSweepsThreadCounts)
+{
+    // Section 7's SMT level 2 mix: CG, mt_ARRAY, EP.
+    const auto plans =
+        enumerateAllocationPlans({false, true, false}, 2, 2);
+    ASSERT_EQ(plans.size(), 2u);
+    EXPECT_EQ(plans[0].threadsPerJob, (std::vector<int>{1, 1, 1}));
+    EXPECT_EQ(plans[1].threadsPerJob, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(EnumerateAllocationPlans, TwoAdaptiveJobsCrossProduct)
+{
+    // Section 7's EP/ARRAY example at SMT 3: both jobs adaptive.
+    const auto plans = enumerateAllocationPlans({true, true}, 3, 3);
+    // 9 combinations minus (1,1) which cannot cover 3 contexts.
+    EXPECT_EQ(plans.size(), 8u);
+    std::set<std::vector<int>> seen;
+    for (const auto &plan : plans) {
+        EXPECT_GE(plan.totalUnits(), 3);
+        for (int t : plan.threadsPerJob) {
+            EXPECT_GE(t, 1);
+            EXPECT_LE(t, 3);
+        }
+        seen.insert(plan.threadsPerJob);
+    }
+    EXPECT_EQ(seen.size(), plans.size());
+    EXPECT_TRUE(seen.count({1, 2}));
+    EXPECT_TRUE(seen.count({2, 1}));
+    EXPECT_TRUE(seen.count({3, 3})); // the "alternate 3 with 3" case
+}
+
+TEST(EnumerateAllocationPlans, RespectsMaxThreadsPerJob)
+{
+    const auto plans = enumerateAllocationPlans({true, false}, 2, 1);
+    ASSERT_EQ(plans.size(), 1u); // adaptive job capped at 1 thread
+    EXPECT_EQ(plans.front().totalUnits(), 2);
+}
+
+TEST(EnumerateAllocationPlans, ImpossibleCoverageIsFatal)
+{
+    EXPECT_DEATH(enumerateAllocationPlans({false}, 2, 2), "cover");
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,106 @@
+/** @file Unit tests for the shared branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "cpu/branch_predictor.hh"
+
+namespace sos {
+namespace {
+
+TEST(BranchPredictor, LearnsABiasedBranch)
+{
+    BranchPredictor bp(10);
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (bp.predictAndUpdate(0, 0x1000, true) != true)
+            ++wrong;
+    }
+    EXPECT_LE(wrong, 2); // only the warmup transitions
+}
+
+TEST(BranchPredictor, LearnsNotTakenToo)
+{
+    BranchPredictor bp(10);
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (bp.predictAndUpdate(0, 0x2000, false) != false)
+            ++wrong;
+    }
+    EXPECT_EQ(wrong, 0); // initialized weakly not-taken
+}
+
+TEST(BranchPredictor, TracksOppositeBiasesAtDifferentPcs)
+{
+    BranchPredictor bp(10);
+    for (int i = 0; i < 50; ++i) {
+        bp.predictAndUpdate(0, 0x1000, true);
+        bp.predictAndUpdate(0, 0x1004, false);
+    }
+    EXPECT_TRUE(bp.predictAndUpdate(0, 0x1000, true));
+    EXPECT_FALSE(bp.predictAndUpdate(0, 0x1004, false));
+}
+
+TEST(BranchPredictor, SaltSeparatesThreads)
+{
+    // Two jobs at the same pc with opposite biases: different salts
+    // must keep their counters apart.
+    BranchPredictor bp(12);
+    for (int i = 0; i < 50; ++i) {
+        bp.predictAndUpdate(0x111, 0x1000, true);
+        bp.predictAndUpdate(0x777, 0x1000, false);
+    }
+    EXPECT_TRUE(bp.predictAndUpdate(0x111, 0x1000, true));
+    EXPECT_FALSE(bp.predictAndUpdate(0x777, 0x1000, false));
+}
+
+TEST(BranchPredictor, SameSaltShares)
+{
+    BranchPredictor bp(12);
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndUpdate(0x5, 0x1000, true);
+    // The same salt and pc read the trained counter.
+    EXPECT_TRUE(bp.predictAndUpdate(0x5, 0x1000, true));
+}
+
+TEST(BranchPredictor, CountsLookupsAndMispredicts)
+{
+    BranchPredictor bp(10);
+    bp.predictAndUpdate(0, 0x100, true);  // predicts NT: mispredict
+    bp.predictAndUpdate(0, 0x100, true);  // weakly T now: correct
+    EXPECT_EQ(bp.lookups(), 2u);
+    EXPECT_EQ(bp.mispredicts(), 1u);
+}
+
+TEST(BranchPredictor, ResetForgets)
+{
+    BranchPredictor bp(10);
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndUpdate(0, 0x100, true);
+    bp.reset();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_FALSE(bp.predictAndUpdate(0, 0x100, true)); // back to NT
+}
+
+TEST(BranchPredictor, HighAccuracyOnBiasedSiteMix)
+{
+    // A population of strongly biased sites, like the trace generator
+    // emits, should predict with high accuracy once trained.
+    BranchPredictor bp(14);
+    Rng rng(5);
+    const int sites = 300;
+    for (int round = 0; round < 200; ++round) {
+        for (int s = 0; s < sites; ++s) {
+            const std::uint64_t pc = 0x1000 + 4 * s;
+            const bool bias = (mix64(pc) & 1) != 0;
+            bp.predictAndUpdate(9, pc, bias);
+        }
+    }
+    const double accuracy =
+        1.0 - static_cast<double>(bp.mispredicts()) /
+                  static_cast<double>(bp.lookups());
+    EXPECT_GT(accuracy, 0.97);
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,220 @@
+/** @file Unit tests for the cache model and hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "mem/cache_hierarchy.hh"
+
+namespace sos {
+namespace {
+
+CacheParams
+tiny(std::uint32_t size, std::uint32_t line, std::uint32_t assoc)
+{
+    return CacheParams{"tiny", size, line, assoc};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tiny(1024, 64, 2));
+    EXPECT_FALSE(c.access(0, 0x100));
+    EXPECT_TRUE(c.access(0, 0x100));
+    EXPECT_TRUE(c.access(0, 0x13f)); // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LineGranularity)
+{
+    Cache c(tiny(1024, 64, 2));
+    c.access(0, 0x000);
+    EXPECT_FALSE(c.access(0, 0x040)); // next line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2-way, 64B lines, 2 sets: addresses 0, 128, 256 share set 0.
+    Cache c(tiny(256, 64, 2));
+    c.access(0, 0);
+    c.access(0, 128);
+    c.access(0, 256); // evicts line 0 (LRU)
+    EXPECT_FALSE(c.probe(0, 0));
+    EXPECT_TRUE(c.probe(0, 128)); // survived: was MRU before line 256
+}
+
+TEST(Cache, LruUpdatedOnHit)
+{
+    Cache c(tiny(256, 64, 2));
+    c.access(0, 0);
+    c.access(0, 128);
+    c.access(0, 0);   // refresh line 0
+    c.access(0, 256); // should evict 128 now
+    EXPECT_TRUE(c.probe(0, 0));
+    EXPECT_FALSE(c.probe(0, 128));
+}
+
+TEST(Cache, AsidsDoNotMatch)
+{
+    Cache c(tiny(1024, 64, 2));
+    c.access(1, 0x100);
+    EXPECT_FALSE(c.access(2, 0x100)); // same address, other job
+}
+
+TEST(Cache, AsidsConflictInSets)
+{
+    // Distinct jobs with the same hot line compete for the same set:
+    // the mechanism behind cache-sweeping anti-symbiosis.
+    Cache c(tiny(128, 64, 1)); // direct-mapped, 2 sets
+    c.access(1, 0x000);
+    c.access(2, 0x000); // evicts job 1's line
+    EXPECT_FALSE(c.access(1, 0x000));
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(tiny(1024, 64, 2));
+    c.access(0, 0x100);
+    c.flush();
+    EXPECT_FALSE(c.access(0, 0x100));
+    EXPECT_EQ(c.residentLines(), 1u);
+}
+
+TEST(Cache, FlushAsidIsSelective)
+{
+    Cache c(tiny(1024, 64, 2));
+    c.access(1, 0x100);
+    c.access(2, 0x200);
+    c.flushAsid(1);
+    EXPECT_FALSE(c.access(1, 0x100));
+    EXPECT_TRUE(c.access(2, 0x200));
+}
+
+TEST(Cache, ProbeDoesNotAllocateOrTouch)
+{
+    Cache c(tiny(256, 64, 2));
+    EXPECT_FALSE(c.probe(0, 0x000));
+    EXPECT_EQ(c.residentLines(), 0u);
+    c.access(0, 0x000);
+    EXPECT_TRUE(c.probe(0, 0x000));
+    const std::uint64_t hits_before = c.hits();
+    c.probe(0, 0x000);
+    EXPECT_EQ(c.hits(), hits_before); // probes are not accesses
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(tiny(1024, 64, 2));
+    c.access(0, 0x100);
+    c.resetStats();
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.access(0, 0x100)); // line still resident
+}
+
+TEST(Cache, CapacityBound)
+{
+    Cache c(tiny(1024, 64, 4)); // 16 lines
+    for (std::uint64_t a = 0; a < 64; ++a)
+        c.access(0, a * 64);
+    EXPECT_LE(c.residentLines(), 16u);
+}
+
+TEST(Cache, FullyUtilizedBySequentialFill)
+{
+    Cache c(tiny(1024, 64, 4));
+    for (std::uint64_t a = 0; a < 16; ++a)
+        c.access(0, a * 64);
+    EXPECT_EQ(c.residentLines(), 16u);
+    for (std::uint64_t a = 0; a < 16; ++a)
+        EXPECT_TRUE(c.access(0, a * 64));
+}
+
+TEST(CacheHierarchy, L1HitIsFree)
+{
+    CacheHierarchy mem{MemParams{}};
+    mem.dataAccess(0, 0x1000, false); // warm TLB + L1
+    EXPECT_EQ(mem.dataAccess(0, 0x1000, false), 0u);
+}
+
+TEST(CacheHierarchy, MissLatenciesCompose)
+{
+    MemParams params;
+    CacheHierarchy mem{params};
+    // Cold access: TLB miss + L1 miss + L2 miss.
+    const std::uint32_t cold = mem.dataAccess(0, 0x400000, false);
+    EXPECT_EQ(cold, params.tlbMissLatency + params.l2HitLatency +
+                        params.memLatency);
+}
+
+TEST(CacheHierarchy, L2HitAfterL1Eviction)
+{
+    MemParams params;
+    params.l1d = CacheParams{"l1d", 128, 64, 1}; // 2 lines only
+    params.dtlb = CacheParams{"dtlb", 16 * 8192, 8192, 16};
+    CacheHierarchy mem{params};
+    mem.dataAccess(0, 0x0000, false);  // L1+L2 fill
+    mem.dataAccess(0, 0x0080, false);  // conflicts in the 2-line L1
+    mem.dataAccess(0, 0x0100, false);
+    const std::uint32_t again = mem.dataAccess(0, 0x0000, false);
+    EXPECT_EQ(again, params.l2HitLatency); // L1 miss, L2 hit, TLB hit
+}
+
+TEST(CacheHierarchy, InstAccessesUseIcachePath)
+{
+    MemParams params;
+    CacheHierarchy mem{params};
+    const std::uint32_t cold = mem.instAccess(0, 0x1000);
+    EXPECT_GT(cold, 0u);
+    EXPECT_EQ(mem.instAccess(0, 0x1000), 0u);
+    EXPECT_EQ(mem.l1i().misses(), 1u);
+    EXPECT_EQ(mem.l1d().misses(), 0u);
+}
+
+TEST(CacheHierarchy, FlushAllColdens)
+{
+    CacheHierarchy mem{MemParams{}};
+    mem.dataAccess(0, 0x2000, false);
+    mem.flushAll();
+    EXPECT_GT(mem.dataAccess(0, 0x2000, false), 0u);
+}
+
+TEST(CacheHierarchy, SharedL2SeesBothSides)
+{
+    MemParams params;
+    CacheHierarchy mem{params};
+    mem.instAccess(0, 0x3000);
+    // Same line through the data path: L1D misses but L2 hits (shared).
+    const std::uint32_t latency = mem.dataAccess(0, 0x3000, false);
+    EXPECT_EQ(latency, params.tlbMissLatency + params.l2HitLatency);
+}
+
+/** Sweep: hit rate of a random working set tracks capacity ratio. */
+class CapacitySweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CapacitySweep, SteadyStateHitRate)
+{
+    const std::uint32_t ws_lines = GetParam();
+    Cache c(tiny(64 * 64, 64, 4)); // 64 lines
+    std::uint64_t state = 99;
+    // Warm.
+    for (int i = 0; i < 20000; ++i)
+        c.access(0, (splitMix64(state) % ws_lines) * 64);
+    c.resetStats();
+    for (int i = 0; i < 50000; ++i)
+        c.access(0, (splitMix64(state) % ws_lines) * 64);
+    const double hit_rate =
+        static_cast<double>(c.hits()) /
+        static_cast<double>(c.hits() + c.misses());
+    if (ws_lines <= 64)
+        EXPECT_GT(hit_rate, 0.98);
+    else
+        EXPECT_NEAR(hit_rate, 64.0 / ws_lines, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, CapacitySweep,
+                         ::testing::Values(16, 32, 64, 128, 256, 512));
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Characterization tests: every workload model must stay within the
+ * behavioural envelope the experiments were calibrated against.
+ * These bounds are deliberately loose -- they catch a profile edit or
+ * core regression that would silently change the published results,
+ * not ordinary tuning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "cpu/smt_core.hh"
+#include "sched/job.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+namespace {
+
+struct Envelope
+{
+    double ipcLo, ipcHi;
+    double missRateHi; ///< branch mispredict ceiling
+};
+
+const std::map<std::string, Envelope> &
+envelopes()
+{
+    static const std::map<std::string, Envelope> table = {
+        {"FP", {0.9, 2.2, 0.10}},     {"MG", {1.0, 2.6, 0.08}},
+        {"WAVE", {1.0, 2.6, 0.10}},   {"SWIM", {1.0, 2.6, 0.06}},
+        {"SU2COR", {0.9, 2.4, 0.10}}, {"TURB3D", {0.9, 2.5, 0.10}},
+        {"GCC", {0.25, 1.2, 0.20}},   {"GO", {0.4, 1.5, 0.20}},
+        {"IS", {0.3, 1.5, 0.08}},     {"CG", {0.5, 1.8, 0.08}},
+        {"EP", {0.9, 2.2, 0.08}},     {"FT", {0.9, 2.6, 0.08}},
+        {"ARRAY", {1.2, 3.2, 0.08}},
+    };
+    return table;
+}
+
+class Characterization : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Characterization, SoloEnvelopeHolds)
+{
+    const std::string name = GetParam();
+    const Envelope &env = envelopes().at(name);
+
+    SmtCore core(CoreParams{}, MemParams{});
+    Job job(1, WorkloadLibrary::instance().get(name), 0xc0de, 1, false);
+    ThreadBinding binding;
+    binding.gen = &job.generator(0);
+    binding.sync = job.syncDomain();
+    binding.asid = job.asid();
+    core.attachThread(0, binding);
+
+    PerfCounters warm;
+    core.run(200000, warm);
+    PerfCounters pc;
+    core.run(300000, pc);
+
+    EXPECT_GE(pc.ipc(), env.ipcLo) << name;
+    EXPECT_LE(pc.ipc(), env.ipcHi) << name;
+    ASSERT_GT(pc.branches, 0u);
+    EXPECT_LE(static_cast<double>(pc.branchMispredicts) /
+                  static_cast<double>(pc.branches),
+              env.missRateHi)
+        << name;
+}
+
+TEST_P(Characterization, ComputeVsMemoryOrderingStable)
+{
+    // The experiment conclusions rest on EP-like jobs being faster
+    // than IS-like jobs; spot-check the anchor pair once.
+    if (std::string(GetParam()) != "EP")
+        GTEST_SKIP();
+    auto solo = [](const char *name) {
+        SmtCore core(CoreParams{}, MemParams{});
+        Job job(1, WorkloadLibrary::instance().get(name), 0xc0de, 1,
+                false);
+        ThreadBinding binding;
+        binding.gen = &job.generator(0);
+        binding.asid = job.asid();
+        core.attachThread(0, binding);
+        PerfCounters warm;
+        core.run(150000, warm);
+        PerfCounters pc;
+        core.run(250000, pc);
+        return pc.ipc();
+    };
+    EXPECT_GT(solo("EP"), solo("IS"));
+    EXPECT_GT(solo("FP"), solo("GCC"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, Characterization,
+                         ::testing::Values("FP", "MG", "WAVE", "SWIM",
+                                           "SU2COR", "TURB3D", "GCC",
+                                           "GO", "IS", "CG", "EP", "FT",
+                                           "ARRAY"));
+
+TEST(Characterization, SiblingThreadsShareCodeStructure)
+{
+    // Threads of one parallel job must execute the same program:
+    // identical pcs host identical branch-taken biases, so the shared
+    // predictor trains constructively.
+    Job job(1, WorkloadLibrary::instance().get("ARRAY"), 0xfeed, 2,
+            false);
+    std::map<std::uint64_t, bool> bias;
+    int agree = 0;
+    int overlap = 0;
+    for (int i = 0; i < 60000; ++i) {
+        const UOp a = job.generator(0).next();
+        if (a.cls == OpClass::Branch)
+            bias[a.pc] = a.taken;
+    }
+    for (int i = 0; i < 60000; ++i) {
+        const UOp b = job.generator(1).next();
+        if (b.cls == OpClass::Branch) {
+            const auto it = bias.find(b.pc);
+            if (it != bias.end()) {
+                ++overlap;
+                agree += it->second == b.taken ? 1 : 0;
+            }
+        }
+    }
+    ASSERT_GT(overlap, 500);
+    EXPECT_GT(static_cast<double>(agree) / overlap, 0.9);
+}
+
+TEST(Characterization, CoscheduledPairBeatsTimesharing)
+{
+    // The premise of the whole paper: SMT coscheduling must deliver
+    // WS > 1 for an ordinary pair of jobs.
+    SmtCore core(CoreParams{}, MemParams{});
+    Job a(1, WorkloadLibrary::instance().get("FP"), 0xa, 1, false);
+    Job b(2, WorkloadLibrary::instance().get("GCC"), 0xb, 1, false);
+    auto bind = [](Job &job) {
+        ThreadBinding binding;
+        binding.gen = &job.generator(0);
+        binding.asid = job.asid();
+        return binding;
+    };
+    core.attachThread(0, bind(a));
+    core.attachThread(1, bind(b));
+    PerfCounters warm;
+    core.run(150000, warm);
+    PerfCounters pc;
+    core.run(300000, pc);
+
+    // Solo rates on fresh machines.
+    auto solo = [&bind](Job &job) {
+        SmtCore fresh(CoreParams{}, MemParams{});
+        fresh.attachThread(0, bind(job));
+        PerfCounters w;
+        fresh.run(150000, w);
+        PerfCounters out;
+        fresh.run(300000, out);
+        return out.ipc();
+    };
+    Job a2(1, WorkloadLibrary::instance().get("FP"), 0xa, 1, false);
+    Job b2(2, WorkloadLibrary::instance().get("GCC"), 0xb, 1, false);
+    const double ws =
+        static_cast<double>(pc.slotRetired[0]) / pc.cycles / solo(a2) +
+        static_cast<double>(pc.slotRetired[1]) / pc.cycles / solo(b2);
+    EXPECT_GT(ws, 1.15);
+}
+
+} // namespace
+} // namespace sos

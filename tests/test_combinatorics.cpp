@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the schedule-space combinatorics, anchored on the
+ * paper's Table 2 counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/combinatorics.hh"
+#include "common/rng.hh"
+
+namespace sos {
+namespace {
+
+TEST(Factorial, SmallValues)
+{
+    EXPECT_EQ(factorial(0), 1u);
+    EXPECT_EQ(factorial(1), 1u);
+    EXPECT_EQ(factorial(5), 120u);
+    EXPECT_EQ(factorial(12), 479001600u);
+}
+
+TEST(Binomial, KnownValues)
+{
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(10, 0), 1u);
+    EXPECT_EQ(binomial(10, 10), 1u);
+    EXPECT_EQ(binomial(4, 7), 0u);
+    EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, Symmetry)
+{
+    for (int n = 1; n <= 20; ++n) {
+        for (int k = 0; k <= n; ++k)
+            EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+    }
+}
+
+// The paper's Table 2, full-swap rows: partitions into equal tuples.
+TEST(EqualPartitionCount, PaperTable2FullSwapRows)
+{
+    EXPECT_EQ(equalPartitionCount(4, 2), 3u);     // Jsb(4,2,2)
+    EXPECT_EQ(equalPartitionCount(10, 2), 945u);  // Jpb(10,2,2)
+    EXPECT_EQ(equalPartitionCount(6, 3), 10u);    // Jsb(6,3,3)
+    EXPECT_EQ(equalPartitionCount(8, 4), 35u);    // Jsb(8,4,4)
+    EXPECT_EQ(equalPartitionCount(12, 4), 5775u); // Jsb(12,4,4)
+    EXPECT_EQ(equalPartitionCount(12, 6), 462u);  // Jsb(12,6,6)
+}
+
+// The paper's Table 2, rotating rows: circular orders.
+TEST(CircularOrderCount, PaperTable2RotatingRows)
+{
+    EXPECT_EQ(circularOrderCount(5), 12u);   // Jsb(5,2,2) / Jsb(5,2,1)
+    EXPECT_EQ(circularOrderCount(6), 60u);   // Jsb(6,3,1) / Jsl(6,3,1)
+    EXPECT_EQ(circularOrderCount(8), 2520u); // Jsb(8,4,1) / Jsl(8,4,1)
+}
+
+TEST(EqualPartitionCount, DegenerateCases)
+{
+    EXPECT_EQ(equalPartitionCount(4, 4), 1u);
+    EXPECT_EQ(equalPartitionCount(4, 1), 1u);
+    EXPECT_EQ(equalPartitionCount(2, 2), 1u);
+}
+
+TEST(EnumerateEqualPartitions, CountsMatchFormula)
+{
+    for (const auto &[n, k] :
+         std::initializer_list<std::pair<int, int>>{
+             {4, 2}, {6, 2}, {6, 3}, {8, 4}, {9, 3}, {10, 5}}) {
+        const auto all = enumerateEqualPartitions(n, k);
+        EXPECT_EQ(all.size(), equalPartitionCount(n, k))
+            << "n=" << n << " k=" << k;
+    }
+}
+
+TEST(EnumerateEqualPartitions, AllDistinctAndCanonical)
+{
+    const auto all = enumerateEqualPartitions(8, 4);
+    std::set<Partition> seen(all.begin(), all.end());
+    EXPECT_EQ(seen.size(), all.size());
+    for (const Partition &p : all) {
+        EXPECT_EQ(canonicalPartition(p), p);
+        std::set<int> members;
+        for (const auto &group : p) {
+            EXPECT_EQ(group.size(), 4u);
+            members.insert(group.begin(), group.end());
+        }
+        EXPECT_EQ(members.size(), 8u);
+    }
+}
+
+TEST(EnumerateCircularOrders, CountsMatchFormula)
+{
+    for (int n : {3, 4, 5, 6, 7}) {
+        const auto all = enumerateCircularOrders(n);
+        EXPECT_EQ(all.size(), circularOrderCount(n)) << "n=" << n;
+    }
+}
+
+TEST(EnumerateCircularOrders, CanonicalForm)
+{
+    for (const auto &order : enumerateCircularOrders(6)) {
+        EXPECT_EQ(order.front(), 0);
+        EXPECT_LT(order[1], order.back());
+        EXPECT_EQ(canonicalCircular(order), order);
+    }
+}
+
+TEST(CanonicalCircular, RotationInvariant)
+{
+    const std::vector<int> base{0, 3, 1, 4, 2};
+    std::vector<int> rotated{1, 4, 2, 0, 3};
+    EXPECT_EQ(canonicalCircular(base), canonicalCircular(rotated));
+}
+
+TEST(CanonicalCircular, ReflectionInvariant)
+{
+    const std::vector<int> base{0, 3, 1, 4, 2};
+    std::vector<int> reflected(base.rbegin(), base.rend());
+    EXPECT_EQ(canonicalCircular(base), canonicalCircular(reflected));
+}
+
+TEST(CanonicalPartition, OrderInvariant)
+{
+    const Partition a{{2, 0, 1}, {5, 4, 3}};
+    const Partition b{{3, 4, 5}, {1, 2, 0}};
+    EXPECT_EQ(canonicalPartition(a), canonicalPartition(b));
+}
+
+TEST(RandomEqualPartition, CanonicalAndValid)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Partition p = randomEqualPartition(6, 3, rng);
+        EXPECT_EQ(p.size(), 2u);
+        EXPECT_EQ(canonicalPartition(p), p);
+        std::set<int> members;
+        for (const auto &group : p)
+            members.insert(group.begin(), group.end());
+        EXPECT_EQ(members.size(), 6u);
+    }
+}
+
+TEST(RandomEqualPartition, CoversTheSpace)
+{
+    // Jsb(6,3,3) has exactly 10 partitions; random draws should reach
+    // all of them in a modest number of trials.
+    Rng rng(7);
+    std::set<Partition> seen;
+    for (int trial = 0; trial < 400; ++trial)
+        seen.insert(randomEqualPartition(6, 3, rng));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomCircularOrder, CanonicalAndCovers)
+{
+    Rng rng(9);
+    std::set<std::vector<int>> seen;
+    for (int trial = 0; trial < 600; ++trial) {
+        const auto order = randomCircularOrder(5, rng);
+        EXPECT_EQ(canonicalCircular(order), order);
+        seen.insert(order);
+    }
+    EXPECT_EQ(seen.size(), 12u); // all (5-1)!/2
+}
+
+TEST(GcdInt, Basics)
+{
+    EXPECT_EQ(gcdInt(12, 8), 4);
+    EXPECT_EQ(gcdInt(7, 3), 1);
+    EXPECT_EQ(gcdInt(6, 6), 6);
+    EXPECT_EQ(gcdInt(1, 9), 1);
+}
+
+/** Property: enumeration size equals the closed-form count. */
+class PartitionSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(PartitionSweep, EnumerationMatchesCount)
+{
+    const auto [n, k] = GetParam();
+    EXPECT_EQ(enumerateEqualPartitions(n, k).size(),
+              equalPartitionCount(n, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionSweep,
+                         ::testing::Values(std::pair{2, 1}, std::pair{4, 2},
+                                           std::pair{6, 2}, std::pair{6, 3},
+                                           std::pair{8, 2}, std::pair{8, 4},
+                                           std::pair{9, 3},
+                                           std::pair{10, 5},
+                                           std::pair{12, 6},
+                                           std::pair{12, 4}));
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,160 @@
+/** @file Tests for the Table 1 / Table 2 experiment definitions. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment_defs.hh"
+#include "sim/sim_config.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+namespace {
+
+TEST(ExperimentDefs, ThirteenExperiments)
+{
+    EXPECT_EQ(paperExperiments().size(), 13u);
+}
+
+TEST(ExperimentDefs, LabelsFollowTable2Order)
+{
+    const std::vector<std::string> expected{
+        "Jsb(4,2,2)",  "Jsb(5,2,2)",  "Jsb(5,2,1)",  "Jpb(10,2,2)",
+        "J2pb(10,2,2)", "Jsb(6,3,3)", "Jsb(6,3,1)",  "Jsl(6,3,1)",
+        "Jsb(8,4,4)",  "Jsb(8,4,1)",  "Jsl(8,4,1)",  "Jsb(12,4,4)",
+        "Jsb(12,6,6)"};
+    const auto &specs = paperExperiments();
+    ASSERT_EQ(specs.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(specs[i].label, expected[i]);
+}
+
+TEST(ExperimentDefs, UnitCountsMatchLabels)
+{
+    EXPECT_EQ(experimentByLabel("Jsb(4,2,2)").numUnits(), 4);
+    EXPECT_EQ(experimentByLabel("Jpb(10,2,2)").numUnits(), 10);
+    EXPECT_EQ(experimentByLabel("Jsb(12,6,6)").numUnits(), 12);
+}
+
+TEST(ExperimentDefs, AllWorkloadsExist)
+{
+    const auto &lib = WorkloadLibrary::instance();
+    for (const ExperimentSpec &spec : paperExperiments()) {
+        for (const auto &entry : spec.entries)
+            EXPECT_TRUE(lib.has(entry.workload))
+                << spec.label << " " << entry.workload;
+    }
+}
+
+// Table 2, column 2: the number of distinct schedules.
+TEST(ExperimentDefs, DistinctSchedulesMatchTable2)
+{
+    const std::vector<std::pair<std::string, std::uint64_t>> expected{
+        {"Jsb(4,2,2)", 3},    {"Jsb(5,2,2)", 12},
+        {"Jsb(5,2,1)", 12},   {"Jpb(10,2,2)", 945},
+        {"J2pb(10,2,2)", 945}, {"Jsb(6,3,3)", 10},
+        {"Jsb(6,3,1)", 60},   {"Jsl(6,3,1)", 60},
+        {"Jsb(8,4,4)", 35},   {"Jsb(8,4,1)", 2520},
+        {"Jsl(8,4,1)", 2520}, {"Jsb(12,4,4)", 5775},
+        {"Jsb(12,6,6)", 462}};
+    for (const auto &[label, count] : expected) {
+        EXPECT_EQ(expectedDistinctSchedules(experimentByLabel(label)),
+                  count)
+            << label;
+    }
+}
+
+// Table 2, column 3: paper-time sample-phase cycles (in millions).
+// Jsl(6,3,1) is the one documented deviation: the paper's unspecified
+// "little" timeslice implies 1.67 M cycles there; ours is uniformly
+// paperTimeslice/4, giving 75 M instead of 100 M.
+TEST(ExperimentDefs, SamplePhaseCyclesMatchTable2)
+{
+    const std::vector<std::pair<std::string, std::uint64_t>> expected{
+        {"Jsb(4,2,2)", 30},    {"Jsb(5,2,2)", 250},
+        {"Jsb(5,2,1)", 250},   {"Jpb(10,2,2)", 250},
+        {"J2pb(10,2,2)", 250}, {"Jsb(6,3,3)", 100},
+        {"Jsb(6,3,1)", 300},   {"Jsl(6,3,1)", 75},
+        {"Jsb(8,4,4)", 100},   {"Jsb(8,4,1)", 400},
+        {"Jsl(8,4,1)", 100},   {"Jsb(12,4,4)", 150},
+        {"Jsb(12,6,6)", 100}};
+    for (const auto &[label, millions] : expected) {
+        EXPECT_EQ(paperSamplePhaseCycles(experimentByLabel(label)),
+                  millions * 1000000ULL)
+            << label;
+    }
+}
+
+TEST(ExperimentDefs, ParallelMixesPairArrayThreads)
+{
+    const ExperimentSpec &jpb = experimentByLabel("Jpb(10,2,2)");
+    JobMix mix = jpb.makeMix(1);
+    EXPECT_EQ(mix.numUnits(), 10);
+    EXPECT_EQ(mix.numJobs(), 9); // ARRAY's two threads are one job
+    EXPECT_EQ(mix.unit(8).job, mix.unit(9).job);
+    EXPECT_EQ(mix.unit(8).job->name(), "ARRAY");
+
+    const ExperimentSpec &j2pb = experimentByLabel("J2pb(10,2,2)");
+    JobMix mix2 = j2pb.makeMix(1);
+    EXPECT_EQ(mix2.unit(8).job->name(), "ARRAY2");
+}
+
+TEST(ExperimentDefs, LittleTimesliceFlag)
+{
+    EXPECT_FALSE(experimentByLabel("Jsb(6,3,1)").little);
+    EXPECT_TRUE(experimentByLabel("Jsl(6,3,1)").little);
+    EXPECT_TRUE(experimentByLabel("Jsl(8,4,1)").little);
+}
+
+TEST(ExperimentDefs, UnknownLabelIsFatal)
+{
+    EXPECT_DEATH(experimentByLabel("Jxx(9,9,9)"), "unknown experiment");
+}
+
+TEST(ExperimentDefs, HierarchicalSpecsMatchTable1)
+{
+    const auto &specs = hierarchicalExperiments();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].level, 2);
+    EXPECT_EQ(specs[1].level, 3);
+    EXPECT_EQ(specs[2].level, 4);
+    EXPECT_EQ(specs[3].level, 6);
+    EXPECT_EQ(specs[0].workloads,
+              (std::vector<std::string>{"CG", "mt_ARRAY", "EP"}));
+    EXPECT_EQ(specs[3].workloads.size(), 10u);
+}
+
+TEST(ExperimentDefs, HierarchicalMixMarksAdaptive)
+{
+    JobMix mix = hierarchicalExperiments()[0].makeMix(1);
+    EXPECT_FALSE(mix.job(0).adaptive()); // CG
+    EXPECT_TRUE(mix.job(1).adaptive());  // mt_ARRAY
+    EXPECT_FALSE(mix.job(2).adaptive()); // EP
+}
+
+TEST(ExperimentDefs, OpenSystemWorkloadsAreSequential)
+{
+    const auto &lib = WorkloadLibrary::instance();
+    for (const std::string &name : openSystemWorkloads()) {
+        ASSERT_TRUE(lib.has(name));
+        EXPECT_EQ(lib.get(name).syncInterval, 0u) << name;
+    }
+    EXPECT_EQ(openSystemWorkloads().size(), 12u);
+}
+
+TEST(SimConfig, ScalingHelpers)
+{
+    SimConfig config;
+    config.cycleScale = 100;
+    EXPECT_EQ(config.timesliceCycles(), 50000u);
+    EXPECT_EQ(config.littleTimesliceCycles(), 12500u);
+    EXPECT_EQ(config.scaled(1000000), 10000u);
+}
+
+TEST(SimConfig, CoreForSetsContexts)
+{
+    SimConfig config;
+    EXPECT_EQ(config.coreFor(6).numContexts, 6);
+    EXPECT_EQ(config.coreFor(2).numContexts, 2);
+}
+
+} // namespace
+} // namespace sos

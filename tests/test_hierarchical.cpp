@@ -1,0 +1,65 @@
+/** @file Integration tests for hierarchical symbiosis (Section 7). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/hierarchical_experiment.hh"
+
+namespace sos {
+namespace {
+
+TEST(Hierarchical, Level2MixEnumeratesBothPlans)
+{
+    const HierarchicalSpec &spec = hierarchicalExperiments()[0];
+    HierarchicalExperiment exp(spec, makeFastConfig(), 8);
+    std::set<std::string> plans;
+    for (const auto &candidate : exp.candidates())
+        plans.insert(candidate.plan.label());
+    EXPECT_TRUE(plans.count("[1,1,1]"));
+    EXPECT_TRUE(plans.count("[1,2,1]"));
+}
+
+TEST(Hierarchical, RunProducesProfilesAndWs)
+{
+    const HierarchicalSpec &spec = hierarchicalExperiments()[0];
+    HierarchicalExperiment exp(spec, makeFastConfig(), 6);
+    exp.run(200000);
+    for (const auto &candidate : exp.candidates()) {
+        EXPECT_GT(candidate.profile.counters.cycles, 0u);
+        EXPECT_GT(candidate.symbiosWs, 0.0);
+        EXPECT_FALSE(candidate.profile.label.empty());
+    }
+    EXPECT_LE(exp.worstWs(), exp.averageWs());
+    EXPECT_LE(exp.averageWs(), exp.bestWs());
+    EXPECT_GE(exp.scoreWs(), exp.worstWs());
+    EXPECT_LE(exp.scoreWs(), exp.bestWs());
+}
+
+TEST(Hierarchical, ImprovementOverWorstIsNonNegativeByConstruction)
+{
+    const HierarchicalSpec &spec = hierarchicalExperiments()[0];
+    HierarchicalExperiment exp(spec, makeFastConfig(), 6);
+    exp.run(200000);
+    EXPECT_GE(exp.improvementOverWorstPct(), 0.0);
+}
+
+TEST(Hierarchical, EpArrayContextSplitExample)
+{
+    // Section 7: mt_EP and mt_ARRAY on SMT 3. The candidate set must
+    // include both asymmetric splits and the 3+3 alternation.
+    HierarchicalSpec spec;
+    spec.label = "EP/ARRAY";
+    spec.level = 3;
+    spec.workloads = {"mt_EP", "mt_ARRAY"};
+    HierarchicalExperiment exp(spec, makeFastConfig(), 16);
+    std::set<std::string> plans;
+    for (const auto &candidate : exp.candidates())
+        plans.insert(candidate.plan.label());
+    EXPECT_TRUE(plans.count("[1,2]"));
+    EXPECT_TRUE(plans.count("[2,1]"));
+    EXPECT_TRUE(plans.count("[3,3]"));
+}
+
+} // namespace
+} // namespace sos

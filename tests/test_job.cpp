@@ -1,0 +1,148 @@
+/** @file Unit tests for jobs and jobmixes. */
+
+#include <gtest/gtest.h>
+
+#include "sched/jobmix.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+namespace {
+
+TEST(Job, SequentialBasics)
+{
+    Job job(7, WorkloadLibrary::instance().get("GCC"), 1, 1, false);
+    EXPECT_EQ(job.id(), 7u);
+    EXPECT_EQ(job.name(), "GCC");
+    EXPECT_EQ(job.numThreads(), 1);
+    EXPECT_FALSE(job.parallel());
+    EXPECT_EQ(job.syncDomain(), nullptr);
+    EXPECT_EQ(job.asid(), 7);
+}
+
+TEST(Job, ParallelJobHasSyncDomain)
+{
+    Job job(3, WorkloadLibrary::instance().get("ARRAY"), 1, 2, false);
+    EXPECT_TRUE(job.parallel());
+    ASSERT_NE(job.syncDomain(), nullptr);
+    EXPECT_EQ(job.syncDomain()->numThreads(), 2);
+}
+
+TEST(Job, SoloSyncWorkloadStillGetsDomain)
+{
+    Job job(3, WorkloadLibrary::instance().get("ARRAY"), 1, 1, false);
+    ASSERT_NE(job.syncDomain(), nullptr);
+    EXPECT_EQ(job.syncDomain()->numThreads(), 1);
+}
+
+TEST(Job, ThreadsHaveIndependentStreams)
+{
+    Job job(1, WorkloadLibrary::instance().get("ARRAY"), 5, 2, false);
+    // Sibling threads share a data sweep, so addresses may coincide;
+    // the instruction streams themselves must diverge.
+    TraceGenerator &a = job.generator(0);
+    TraceGenerator &b = job.generator(1);
+    int same = 0;
+    for (int i = 0; i < 500; ++i) {
+        const UOp x = a.next();
+        const UOp y = b.next();
+        same += (x.pc == y.pc && x.cls == y.cls && x.addr == y.addr)
+                    ? 1
+                    : 0;
+    }
+    EXPECT_LT(same, 125);
+}
+
+TEST(Job, RetiredAccumulates)
+{
+    Job job(1, WorkloadLibrary::instance().get("EP"), 1, 1, false);
+    job.addRetired(100);
+    job.addRetired(250);
+    EXPECT_EQ(job.retired(), 350u);
+    job.addResidentCycles(5000);
+    EXPECT_EQ(job.residentCycles(), 5000u);
+}
+
+TEST(Job, AdaptiveRespawn)
+{
+    Job job(1, WorkloadLibrary::instance().get("mt_EP"), 1, 1, true);
+    EXPECT_EQ(job.numThreads(), 1);
+    job.setThreadCount(3);
+    EXPECT_EQ(job.numThreads(), 3);
+    ASSERT_NE(job.syncDomain(), nullptr);
+    EXPECT_EQ(job.syncDomain()->numThreads(), 3);
+    job.setThreadCount(1);
+    EXPECT_EQ(job.numThreads(), 1);
+}
+
+TEST(Job, NonAdaptiveCannotRespawn)
+{
+    Job job(1, WorkloadLibrary::instance().get("EP"), 1, 1, false);
+    EXPECT_DEATH(job.setThreadCount(2), "adaptive");
+}
+
+TEST(JobMix, UnitsFlattenThreads)
+{
+    JobMix mix(9);
+    mix.addJob("FP");
+    mix.addParallelJob("ARRAY", 2);
+    mix.addJob("GCC");
+    EXPECT_EQ(mix.numJobs(), 3);
+    EXPECT_EQ(mix.numUnits(), 4);
+
+    EXPECT_EQ(mix.unit(0).job->name(), "FP");
+    EXPECT_EQ(mix.unit(1).job->name(), "ARRAY");
+    EXPECT_EQ(mix.unit(1).thread, 0);
+    EXPECT_EQ(mix.unit(2).job->name(), "ARRAY");
+    EXPECT_EQ(mix.unit(2).thread, 1);
+    EXPECT_EQ(mix.unit(3).job->name(), "GCC");
+
+    EXPECT_EQ(mix.unitName(0), "FP");
+    EXPECT_EQ(mix.unitName(1), "ARRAY.0");
+    EXPECT_EQ(mix.unitName(2), "ARRAY.1");
+}
+
+TEST(JobMix, SiblingThreadsShareJob)
+{
+    JobMix mix(9);
+    mix.addParallelJob("ARRAY", 2);
+    EXPECT_EQ(mix.unit(0).job, mix.unit(1).job);
+    EXPECT_EQ(mix.unit(0).job->asid(), mix.unit(1).job->asid());
+}
+
+TEST(JobMix, DuplicateWorkloadsAreDistinctJobs)
+{
+    JobMix mix(9);
+    mix.addJob("GCC");
+    mix.addJob("GCC");
+    EXPECT_NE(mix.unit(0).job, mix.unit(1).job);
+    EXPECT_NE(mix.unit(0).job->asid(), mix.unit(1).job->asid());
+}
+
+TEST(JobMix, JobIdsAreInsertionOrder)
+{
+    JobMix mix(1);
+    mix.addJob("FP");
+    mix.addJob("MG");
+    EXPECT_EQ(mix.job(0).id(), 1u);
+    EXPECT_EQ(mix.job(1).id(), 2u);
+}
+
+TEST(JobMix, UnitsVectorMatchesUnitAccessor)
+{
+    JobMix mix(2);
+    mix.addJob("FP");
+    mix.addParallelJob("ARRAY", 2);
+    const auto units = mix.units();
+    ASSERT_EQ(units.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(units[static_cast<std::size_t>(i)] == mix.unit(i));
+}
+
+TEST(JobMix, UnknownWorkloadIsFatal)
+{
+    JobMix mix(1);
+    EXPECT_DEATH(mix.addJob("NOPE"), "unknown workload");
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,128 @@
+/** @file Unit tests for weighted speedup and calibration. */
+
+#include <gtest/gtest.h>
+
+#include "metrics/calibrator.hh"
+#include "metrics/weighted_speedup.hh"
+#include "sched/jobmix.hh"
+
+namespace sos {
+namespace {
+
+TEST(WeightedSpeedup, PaperWorkedExampleFairShare)
+{
+    // Section 4: solo IPCs 2 and 1; coscheduled for 1 M cycles the
+    // jobs contribute 1 M and 0.5 M instructions -> WS = 1.
+    const std::vector<JobProgress> jobs{{1000000, 2.0}, {500000, 1.0}};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(jobs, 1000000), 1.0);
+}
+
+TEST(WeightedSpeedup, PaperWorkedExampleSpeedup)
+{
+    // ...and 1.2 M / 0.6 M instructions -> WS = 1.2.
+    const std::vector<JobProgress> jobs{{1200000, 2.0}, {600000, 1.0}};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(jobs, 1000000), 1.2);
+}
+
+TEST(WeightedSpeedup, SoloJobIsOne)
+{
+    const std::vector<JobProgress> jobs{{500000, 0.5}};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(jobs, 1000000), 1.0);
+}
+
+TEST(WeightedSpeedup, TimeSharingIsOneEvenWhenUnfair)
+{
+    // Two jobs time-shared 80/20 on one context: each contributes its
+    // solo IPC for its share; WS is still 1 (Section 4's point).
+    const std::vector<JobProgress> jobs{
+        {static_cast<std::uint64_t>(0.8 * 1000000 * 2.0), 2.0},
+        {static_cast<std::uint64_t>(0.2 * 1000000 * 1.0), 1.0}};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(jobs, 1000000), 1.0);
+}
+
+TEST(WeightedSpeedup, PathologicalInterferenceBelowOne)
+{
+    const std::vector<JobProgress> jobs{{300000, 2.0}, {200000, 1.0}};
+    EXPECT_LT(weightedSpeedup(jobs, 1000000), 1.0);
+}
+
+TEST(WeightedSpeedup, HighIpcThreadCannotInflate)
+{
+    // Favouring the high-IPC job does not raise WS beyond what the
+    // low-IPC job loses: normalization equalizes contributions.
+    const std::vector<JobProgress> favored{{1900000, 2.0}, {50000, 1.0}};
+    const std::vector<JobProgress> fair{{1000000, 2.0}, {500000, 1.0}};
+    EXPECT_LE(weightedSpeedup(favored, 1000000),
+              weightedSpeedup(fair, 1000000) + 1e-9);
+}
+
+TEST(WeightedSpeedup, MixOverloadUsesJobReferences)
+{
+    JobMix mix(3);
+    mix.addJob("FP");
+    mix.addJob("GCC");
+    mix.job(0).soloIpc = 2.0;
+    mix.job(1).soloIpc = 0.5;
+    const double ws = weightedSpeedup(mix, {1000000, 250000}, 1000000);
+    EXPECT_DOUBLE_EQ(ws, 1.0);
+}
+
+TEST(WeightedSpeedup, RequiresCalibration)
+{
+    const std::vector<JobProgress> jobs{{100, 0.0}};
+    EXPECT_DEATH(weightedSpeedup(jobs, 1000), "calibrated");
+}
+
+TEST(Calibrator, ProducesPositiveIpc)
+{
+    Calibrator calib(CoreParams{}, MemParams{}, 20000, 50000);
+    const double ipc = calib.soloIpc("EP");
+    EXPECT_GT(ipc, 0.3);
+    EXPECT_LT(ipc, 8.0);
+}
+
+TEST(Calibrator, CachesResults)
+{
+    Calibrator calib(CoreParams{}, MemParams{}, 20000, 50000);
+    const double first = calib.soloIpc("GCC");
+    const double second = calib.soloIpc("GCC");
+    EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(Calibrator, DeterministicAcrossInstances)
+{
+    Calibrator a(CoreParams{}, MemParams{}, 20000, 50000);
+    Calibrator b(CoreParams{}, MemParams{}, 20000, 50000);
+    EXPECT_DOUBLE_EQ(a.soloIpc("MG"), b.soloIpc("MG"));
+}
+
+TEST(Calibrator, RanksComputeAboveMemoryBound)
+{
+    Calibrator calib(CoreParams{}, MemParams{}, 40000, 100000);
+    EXPECT_GT(calib.soloIpc("EP"), calib.soloIpc("IS"));
+    EXPECT_GT(calib.soloIpc("FP"), calib.soloIpc("GCC"));
+}
+
+TEST(Calibrator, MultithreadedReferenceUsesAllThreads)
+{
+    CoreParams params;
+    params.numContexts = 2;
+    Calibrator calib(params, MemParams{}, 30000, 80000);
+    const double one = calib.soloIpc("mt_EP", 1);
+    const double two = calib.soloIpc("mt_EP", 2);
+    EXPECT_GT(two, one * 1.1); // the parallel job uses both contexts
+}
+
+TEST(Calibrator, CalibratesWholeMix)
+{
+    JobMix mix(4);
+    mix.addJob("FP");
+    mix.addJob("GO");
+    Calibrator calib(CoreParams{}, MemParams{}, 20000, 50000);
+    calib.calibrate(mix);
+    EXPECT_GT(mix.job(0).soloIpc, 0.0);
+    EXPECT_GT(mix.job(1).soloIpc, 0.0);
+}
+
+} // namespace
+} // namespace sos

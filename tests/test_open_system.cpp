@@ -1,0 +1,139 @@
+/** @file Integration tests for the Section 9 open system. */
+
+#include <gtest/gtest.h>
+
+#include "sim/open_system.hh"
+
+namespace sos {
+namespace {
+
+SimConfig
+fast()
+{
+    return makeFastConfig();
+}
+
+OpenSystemConfig
+smallSystem(int level)
+{
+    OpenSystemConfig config;
+    config.level = level;
+    config.numJobs = 10;
+    config.meanJobPaperCycles = 40000000; // short jobs for tests
+    config.seed = 77;
+    return config;
+}
+
+TEST(OpenSystem, TraceIsDeterministic)
+{
+    const SimConfig sim = fast();
+    const OpenSystemConfig config = smallSystem(2);
+    const auto a = makeArrivalTrace(sim, config);
+    const auto b = makeArrivalTrace(sim, config);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].arrivalCycle, b[i].arrivalCycle);
+        EXPECT_EQ(a[i].sizeInstructions, b[i].sizeInstructions);
+    }
+}
+
+TEST(OpenSystem, TraceIsOrderedAndSized)
+{
+    const auto trace = makeArrivalTrace(fast(), smallSystem(3));
+    ASSERT_EQ(trace.size(), 10u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GE(trace[i].arrivalCycle, trace[i - 1].arrivalCycle);
+    for (const JobArrival &arrival : trace)
+        EXPECT_GT(arrival.sizeInstructions, 0u);
+}
+
+TEST(OpenSystem, InterarrivalDefaultDerivedFromLoad)
+{
+    OpenSystemConfig config;
+    config.level = 3;
+    EXPECT_GT(config.effectiveInterarrivalPaper(), 0u);
+    config.meanInterarrivalPaper = 12345;
+    EXPECT_EQ(config.effectiveInterarrivalPaper(), 12345u);
+}
+
+TEST(OpenSystem, NaiveCompletesAllJobs)
+{
+    const SimConfig sim = fast();
+    const OpenSystemConfig config = smallSystem(2);
+    const auto trace = makeArrivalTrace(sim, config);
+    const auto result =
+        runOpenSystem(sim, config, trace, OpenPolicy::Naive);
+    EXPECT_EQ(result.completed, 10);
+    EXPECT_GT(result.meanResponseCycles, 0.0);
+    for (std::uint64_t response : result.responseByArrival)
+        EXPECT_GT(response, 0u);
+    EXPECT_EQ(result.sampleCycles, 0u); // naive never samples
+}
+
+TEST(OpenSystem, SosCompletesAllJobsAndSamples)
+{
+    const SimConfig sim = fast();
+    OpenSystemConfig config = smallSystem(3);
+    // Push arrivals close together so the queue exceeds the SMT level
+    // and SOS actually has schedules to sample.
+    config.meanInterarrivalPaper = config.meanJobPaperCycles / 4;
+    const auto trace = makeArrivalTrace(sim, config);
+    const auto result =
+        runOpenSystem(sim, config, trace, OpenPolicy::Sos);
+    EXPECT_EQ(result.completed, 10);
+    EXPECT_GT(result.samplePhases, 0);
+}
+
+TEST(OpenSystem, ResponseIncludesQueueingDelay)
+{
+    const SimConfig sim = fast();
+    const OpenSystemConfig config = smallSystem(2);
+    const auto trace = makeArrivalTrace(sim, config);
+    const auto result =
+        runOpenSystem(sim, config, trace, OpenPolicy::Naive);
+    // Mean response must exceed the mean solo execution time: jobs
+    // share the machine.
+    const double mean_solo =
+        static_cast<double>(sim.scaled(config.meanJobPaperCycles));
+    EXPECT_GT(result.meanResponseCycles, 0.5 * mean_solo);
+}
+
+TEST(OpenSystem, SystemStaysStable)
+{
+    const SimConfig sim = fast();
+    const OpenSystemConfig config = smallSystem(3);
+    const auto trace = makeArrivalTrace(sim, config);
+    const auto result =
+        runOpenSystem(sim, config, trace, OpenPolicy::Naive);
+    EXPECT_LT(result.meanJobsInSystem, 12.0);
+}
+
+TEST(OpenSystem, ComparisonCoversBothPolicies)
+{
+    const SimConfig sim = fast();
+    const OpenSystemConfig config = smallSystem(2);
+    const auto comparison = compareResponseTimes(sim, config);
+    EXPECT_EQ(comparison.naive.completed, 10);
+    EXPECT_EQ(comparison.sos.completed, 10);
+    EXPECT_EQ(comparison.jobsCompared, 10);
+    EXPECT_GT(comparison.naive.meanResponseCycles, 0.0);
+    EXPECT_GT(comparison.sos.meanResponseCycles, 0.0);
+    // Improvement is a finite percentage (sign depends on the tiny
+    // test workload; Figures 5-6 use real sizes).
+    EXPECT_LT(std::abs(comparison.improvementPct), 100.0);
+}
+
+TEST(OpenSystem, DeterministicPolicyRuns)
+{
+    const SimConfig sim = fast();
+    const OpenSystemConfig config = smallSystem(2);
+    const auto trace = makeArrivalTrace(sim, config);
+    const auto a = runOpenSystem(sim, config, trace, OpenPolicy::Sos);
+    const auto b = runOpenSystem(sim, config, trace, OpenPolicy::Sos);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.meanResponseCycles, b.meanResponseCycles);
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,109 @@
+/** @file Unit tests for the performance-counter plumbing. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/perf_counters.hh"
+
+namespace sos {
+namespace {
+
+TEST(PerfCounters, StartsZeroed)
+{
+    const PerfCounters pc;
+    EXPECT_EQ(pc.cycles, 0u);
+    EXPECT_EQ(pc.retired, 0u);
+    EXPECT_DOUBLE_EQ(pc.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(pc.l1dHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(pc.allConflictPct(), 0.0);
+    EXPECT_DOUBLE_EQ(pc.mixImbalance(), 0.0);
+}
+
+TEST(PerfCounters, IpcIsRetiredOverCycles)
+{
+    PerfCounters pc;
+    pc.cycles = 1000;
+    pc.retired = 1500;
+    EXPECT_DOUBLE_EQ(pc.ipc(), 1.5);
+}
+
+TEST(PerfCounters, ConflictPctAgainstCycles)
+{
+    PerfCounters pc;
+    pc.cycles = 2000;
+    pc.confFpQueue = 500;
+    EXPECT_DOUBLE_EQ(pc.conflictPct(pc.confFpQueue), 25.0);
+}
+
+TEST(PerfCounters, AllConflictSumsEightResources)
+{
+    PerfCounters pc;
+    pc.cycles = 100;
+    pc.confIntQueue = 1;
+    pc.confFpQueue = 2;
+    pc.confIntRegs = 3;
+    pc.confFpRegs = 4;
+    pc.confRob = 5;
+    pc.confIntUnits = 6;
+    pc.confFpUnits = 7;
+    pc.confLsPorts = 8;
+    EXPECT_DOUBLE_EQ(pc.allConflictPct(), 36.0);
+}
+
+TEST(PerfCounters, MixImbalance)
+{
+    PerfCounters pc;
+    pc.fpOps = 750;
+    pc.intOps = 250;
+    EXPECT_DOUBLE_EQ(pc.mixImbalance(), 0.5);
+    pc.fpOps = 500;
+    pc.intOps = 500;
+    EXPECT_DOUBLE_EQ(pc.mixImbalance(), 0.0);
+}
+
+TEST(PerfCounters, L1dHitRate)
+{
+    PerfCounters pc;
+    pc.l1dHits = 90;
+    pc.l1dMisses = 10;
+    EXPECT_DOUBLE_EQ(pc.l1dHitRate(), 0.9);
+}
+
+TEST(PerfCounters, AccumulationAddsEverything)
+{
+    PerfCounters a;
+    a.cycles = 10;
+    a.retired = 20;
+    a.confFpUnits = 3;
+    a.l2Misses = 7;
+    a.spinOps = 5;
+    a.slotRetired[2] = 11;
+
+    PerfCounters b;
+    b.cycles = 1;
+    b.retired = 2;
+    b.confFpUnits = 4;
+    b.l2Misses = 1;
+    b.spinOps = 1;
+    b.slotRetired[2] = 9;
+
+    a += b;
+    EXPECT_EQ(a.cycles, 11u);
+    EXPECT_EQ(a.retired, 22u);
+    EXPECT_EQ(a.confFpUnits, 7u);
+    EXPECT_EQ(a.l2Misses, 8u);
+    EXPECT_EQ(a.spinOps, 6u);
+    EXPECT_EQ(a.slotRetired[2], 20u);
+}
+
+TEST(PerfCounters, ClearResets)
+{
+    PerfCounters pc;
+    pc.cycles = 5;
+    pc.slotRetired[0] = 9;
+    pc.clear();
+    EXPECT_EQ(pc.cycles, 0u);
+    EXPECT_EQ(pc.slotRetired[0], 0u);
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,208 @@
+/** @file Unit tests for the SOS predictors (Table 3 / Figure 2). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/predictor.hh"
+
+namespace sos {
+namespace {
+
+/** Build a profile with the few counters predictors consume. */
+ScheduleProfile
+profile(double ipc, double fq_pct, double fp_pct, double dcache,
+        double diversity, std::vector<double> slice_ipc)
+{
+    ScheduleProfile p;
+    p.counters.cycles = 100000;
+    p.counters.retired =
+        static_cast<std::uint64_t>(ipc * 100000.0);
+    p.counters.confFpQueue =
+        static_cast<std::uint64_t>(fq_pct * 1000.0);
+    p.counters.confFpUnits =
+        static_cast<std::uint64_t>(fp_pct * 1000.0);
+    p.counters.l1dHits =
+        static_cast<std::uint64_t>(dcache * 10000.0);
+    p.counters.l1dMisses =
+        static_cast<std::uint64_t>((1.0 - dcache) * 10000.0);
+    // Mix imbalance: fpOps share vs intOps share.
+    const double fp_share = 0.5 + diversity / 2.0;
+    p.counters.fpOps = static_cast<std::uint64_t>(fp_share * 10000.0);
+    p.counters.intOps =
+        static_cast<std::uint64_t>((1.0 - fp_share) * 10000.0);
+    p.sliceIpc = std::move(slice_ipc);
+    return p;
+}
+
+std::unique_ptr<Predictor>
+predictor(const std::string &name)
+{
+    return makePredictor(name);
+}
+
+TEST(Predictors, FactoryProvidesAllTen)
+{
+    const auto all = makeAllPredictors();
+    ASSERT_EQ(all.size(), 10u);
+    const std::vector<std::string> expected{
+        "IPC",  "AllConf",   "Dcache",  "FQ",        "FP",
+        "Sum2", "Diversity", "Balance", "Composite", "Score"};
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(all[i]->name(), expected[i]);
+}
+
+TEST(Predictors, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(makePredictor("Oracle"), "unknown predictor");
+}
+
+TEST(Predictors, IpcPicksHighestIpc)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(1.0, 5, 5, 0.9, 0.1, {1.0, 1.0}),
+        profile(2.5, 50, 50, 0.5, 0.5, {2.5, 2.5}),
+        profile(1.8, 1, 1, 0.99, 0.0, {1.8, 1.8})};
+    EXPECT_EQ(predictor("IPC")->best(profiles), 1);
+}
+
+TEST(Predictors, FqPicksLowestFpQueueConflicts)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 30, 5, 0.9, 0.1, {2, 2}),
+        profile(2.0, 10, 40, 0.9, 0.1, {2, 2}),
+        profile(2.0, 20, 1, 0.9, 0.1, {2, 2})};
+    EXPECT_EQ(predictor("FQ")->best(profiles), 1);
+    EXPECT_EQ(predictor("FP")->best(profiles), 2);
+}
+
+TEST(Predictors, Sum2CombinesBoth)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 30, 5, 0.9, 0.1, {2, 2}),  // sum 35
+        profile(2.0, 10, 40, 0.9, 0.1, {2, 2}), // sum 50
+        profile(2.0, 20, 8, 0.9, 0.1, {2, 2})}; // sum 28 <- best
+    EXPECT_EQ(predictor("Sum2")->best(profiles), 2);
+}
+
+TEST(Predictors, DcachePicksHighestHitRate)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 5, 5, 0.80, 0.1, {2, 2}),
+        profile(2.0, 5, 5, 0.95, 0.1, {2, 2}),
+        profile(2.0, 5, 5, 0.90, 0.1, {2, 2})};
+    EXPECT_EQ(predictor("Dcache")->best(profiles), 1);
+}
+
+TEST(Predictors, DiversityPicksBalancedMix)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 5, 5, 0.9, 0.8, {2, 2}),
+        profile(2.0, 5, 5, 0.9, 0.05, {2, 2}),
+        profile(2.0, 5, 5, 0.9, 0.4, {2, 2})};
+    EXPECT_EQ(predictor("Diversity")->best(profiles), 1);
+}
+
+TEST(Predictors, BalancePicksSmoothestSlices)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 5, 5, 0.9, 0.1, {3.0, 1.0, 3.0, 1.0}),
+        profile(2.0, 5, 5, 0.9, 0.1, {2.0, 2.0, 2.0, 2.0}),
+        profile(2.0, 5, 5, 0.9, 0.1, {2.5, 1.5, 2.5, 1.5})};
+    EXPECT_EQ(predictor("Balance")->best(profiles), 1);
+}
+
+TEST(Predictors, AllConfSumsEverything)
+{
+    ScheduleProfile quiet = profile(2.0, 1, 1, 0.9, 0.1, {2, 2});
+    ScheduleProfile noisy = profile(2.0, 1, 1, 0.9, 0.1, {2, 2});
+    noisy.counters.confIntQueue = 50000; // 50% of cycles
+    const std::vector<ScheduleProfile> profiles{noisy, quiet};
+    EXPECT_EQ(predictor("AllConf")->best(profiles), 1);
+}
+
+TEST(Predictors, CompositeFavoursSmoothLowConflict)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 40, 40, 0.9, 0.1, {3.0, 1.0}),  // rough, conflicted
+        profile(2.0, 10, 10, 0.9, 0.1, {2.0, 2.0}),  // smooth, quiet
+        profile(2.0, 10, 10, 0.9, 0.1, {3.0, 1.0})}; // quiet but rough
+    EXPECT_EQ(predictor("Composite")->best(profiles), 1);
+}
+
+TEST(Predictors, CompositeLiteralFormula)
+{
+    // Two profiles; the second has the lowest FQ/FP/Sum2, so its min
+    // ratio is 1 and its score is 0.9/1 + 0.1/balance.
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 20, 20, 0.9, 0.1, {2.5, 1.5}), // balance 0.5
+        profile(2.0, 10, 10, 0.9, 0.1, {2.2, 1.8})}; // balance 0.2
+    const auto scores = predictor("Composite")->score(profiles);
+    EXPECT_NEAR(scores[1], 0.9 / 1.0 + 0.1 / 0.2, 1e-6);
+    EXPECT_NEAR(scores[0], 0.9 / 2.0 + 0.1 / 0.5, 1e-6);
+}
+
+TEST(Predictors, CompositeGuardsZeroConflicts)
+{
+    // All-zero conflicts must not divide by zero.
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 0, 0, 0.9, 0.1, {2.0, 2.0}),
+        profile(2.0, 0, 0, 0.9, 0.1, {3.0, 1.0})};
+    const auto scores = predictor("Composite")->score(profiles);
+    EXPECT_TRUE(std::isfinite(scores[0]));
+    EXPECT_TRUE(std::isfinite(scores[1]));
+    EXPECT_GT(scores[0], scores[1]); // smoother wins on Balance term
+}
+
+TEST(Predictors, ScoreFollowsMajority)
+{
+    // Profile 1 wins IPC, Dcache, FQ, FP, Sum2, AllConf, Balance,
+    // Composite; profile 0 only wins Diversity.
+    const std::vector<ScheduleProfile> profiles{
+        profile(1.0, 30, 30, 0.7, 0.0, {1.5, 0.5}),
+        profile(2.0, 5, 5, 0.95, 0.3, {2.0, 2.0})};
+    EXPECT_EQ(predictor("Score")->best(profiles), 1);
+}
+
+TEST(Predictors, ScoreMagnitudeBreaksTies)
+{
+    // Construct a standoff where each profile takes some votes; the
+    // vote total plus magnitude term must still produce a stable,
+    // deterministic winner.
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.4, 30, 30, 0.70, 0.05, {2.4, 2.4}),
+        profile(1.6, 4, 4, 0.95, 0.60, {1.6, 1.6})};
+    const auto score = predictor("Score");
+    const int first = score->best(profiles);
+    EXPECT_EQ(score->best(profiles), first); // deterministic
+}
+
+TEST(Predictors, BestBreaksExactTiesByIndex)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(2.0, 5, 5, 0.9, 0.1, {2, 2}),
+        profile(2.0, 5, 5, 0.9, 0.1, {2, 2})};
+    EXPECT_EQ(predictor("IPC")->best(profiles), 0);
+}
+
+TEST(Predictors, EmptySampleIsFatal)
+{
+    const std::vector<ScheduleProfile> none;
+    EXPECT_DEATH(predictor("IPC")->best(none), "empty");
+}
+
+TEST(Predictors, ScoresAlignWithProfiles)
+{
+    const std::vector<ScheduleProfile> profiles{
+        profile(1.0, 10, 10, 0.9, 0.1, {1, 1}),
+        profile(2.0, 20, 20, 0.8, 0.2, {2, 2}),
+        profile(3.0, 30, 30, 0.7, 0.3, {3, 3})};
+    for (const auto &p : makeAllPredictors()) {
+        const auto scores = p->score(profiles);
+        EXPECT_EQ(scores.size(), profiles.size()) << p->name();
+    }
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,159 @@
+/** @file Unit tests for the stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_hierarchy.hh"
+#include "mem/prefetcher.hh"
+
+namespace sos {
+namespace {
+
+PrefetcherParams
+on()
+{
+    PrefetcherParams p;
+    p.enabled = true;
+    p.confidenceThreshold = 2;
+    p.degree = 2;
+    return p;
+}
+
+TEST(StridePrefetcher, DisabledEmitsNothing)
+{
+    StridePrefetcher pf{PrefetcherParams{}};
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 10; ++i)
+        pf.observe(1, 0x100, 64 * static_cast<std::uint64_t>(i), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.issued(), 0u);
+}
+
+TEST(StridePrefetcher, LearnsAUnitStrideStream)
+{
+    StridePrefetcher pf{on()};
+    std::vector<std::uint64_t> out;
+    // Train: 0, 64, 128 establish a 64-byte stride with confidence 2.
+    pf.observe(1, 0x100, 0, out);
+    pf.observe(1, 0x100, 64, out);
+    pf.observe(1, 0x100, 128, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 192u);
+    EXPECT_EQ(out[1], 256u);
+}
+
+TEST(StridePrefetcher, NegativeStrides)
+{
+    StridePrefetcher pf{on()};
+    std::vector<std::uint64_t> out;
+    pf.observe(1, 0x200, 1000, out);
+    pf.observe(1, 0x200, 900, out);
+    pf.observe(1, 0x200, 800, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 700u);
+    EXPECT_EQ(out[1], 600u);
+}
+
+TEST(StridePrefetcher, RandomAccessStaysQuiet)
+{
+    StridePrefetcher pf{on()};
+    std::vector<std::uint64_t> out;
+    const std::uint64_t addrs[] = {10, 5000, 120, 9000, 3, 7777};
+    for (std::uint64_t a : addrs)
+        pf.observe(1, 0x300, a * 8, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StridePrefetcher, StrideChangeRetrains)
+{
+    StridePrefetcher pf{on()};
+    std::vector<std::uint64_t> out;
+    pf.observe(1, 0x400, 0, out);
+    pf.observe(1, 0x400, 64, out);
+    pf.observe(1, 0x400, 128, out); // confident at stride 64
+    out.clear();
+    pf.observe(1, 0x400, 128 + 256, out); // new stride: no prefetch yet
+    EXPECT_TRUE(out.empty());
+    pf.observe(1, 0x400, 128 + 512, out); // confidence rebuilt
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 128u + 768u);
+}
+
+TEST(StridePrefetcher, AsidsTrainSeparately)
+{
+    StridePrefetcher pf{on()};
+    std::vector<std::uint64_t> out;
+    // Same pc, interleaved jobs with different strides: each stream
+    // must still learn (entries are tagged by asid).
+    for (int i = 0; i < 6; ++i) {
+        pf.observe(1, 0x500, 64 * static_cast<std::uint64_t>(i), out);
+        pf.observe(2, 0x500, 128 * static_cast<std::uint64_t>(i), out);
+    }
+    EXPECT_GT(pf.issued(), 0u);
+}
+
+TEST(StridePrefetcher, ResetForgets)
+{
+    StridePrefetcher pf{on()};
+    std::vector<std::uint64_t> out;
+    pf.observe(1, 0x600, 0, out);
+    pf.observe(1, 0x600, 64, out);
+    pf.reset();
+    pf.observe(1, 0x600, 128, out);
+    EXPECT_TRUE(out.empty()); // training lost
+    EXPECT_EQ(pf.issued(), 0u);
+}
+
+TEST(PrefetchInHierarchy, StreamMissesDisappear)
+{
+    MemParams params;
+    params.prefetch.enabled = true;
+    CacheHierarchy mem{params};
+    // Stream 512 lines twice: with the prefetcher the second half of
+    // the first pass should already be mostly resident.
+    std::uint64_t demand_misses = 0;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        const std::uint64_t before = mem.l1d().misses();
+        mem.dataAccess(1, i * 64, false, 0x9000);
+        demand_misses += mem.l1d().misses() - before;
+    }
+    EXPECT_LT(demand_misses, 50u); // compulsory head only
+    EXPECT_GT(mem.prefetcher().issued(), 400u);
+}
+
+TEST(PrefetchInHierarchy, FillsDoNotCountAsDemandHits)
+{
+    MemParams params;
+    params.prefetch.enabled = true;
+    CacheHierarchy mem{params};
+    const std::uint64_t h0 = mem.l1d().hits();
+    const std::uint64_t m0 = mem.l1d().misses();
+    for (std::uint64_t i = 0; i < 64; ++i)
+        mem.dataAccess(1, i * 64, false, 0x9100);
+    // Every demand access is counted exactly once.
+    EXPECT_EQ(mem.l1d().hits() + mem.l1d().misses() - h0 - m0, 64u);
+}
+
+TEST(PrefetchInHierarchy, DropsOnTlbMiss)
+{
+    MemParams params;
+    params.prefetch.enabled = true;
+    params.prefetch.degree = 4;
+    CacheHierarchy mem{params};
+    // Stride of nearly a page: prefetches quickly leave the mapped
+    // page and must be dropped, not fault.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        mem.dataAccess(1, i * 8000, false, 0x9200);
+    SUCCEED(); // reaching here without touching unmapped pages is the test
+}
+
+TEST(PrefetchInHierarchy, OffByDefault)
+{
+    CacheHierarchy mem{MemParams{}};
+    for (std::uint64_t i = 0; i < 64; ++i)
+        mem.dataAccess(1, i * 64, false, 0x9300);
+    EXPECT_EQ(mem.prefetcher().issued(), 0u);
+    EXPECT_EQ(mem.l1d().misses(), 64u); // every line is a cold miss
+}
+
+} // namespace
+} // namespace sos

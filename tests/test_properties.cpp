@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Randomized property tests on the pure (non-simulation) invariants:
+ * canonicalization, schedule periodicity, and generator statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/combinatorics.hh"
+#include "common/rng.hh"
+#include "sched/schedule.hh"
+#include "trace/trace_generator.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Seeded, CanonicalCircularIsInvariantUnderSymmetry)
+{
+    Rng rng(GetParam());
+    const int n = 3 + static_cast<int>(rng.below(9));
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    const auto canon = canonicalCircular(order);
+
+    // Any rotation has the same canonical form.
+    std::vector<int> rotated = order;
+    std::rotate(rotated.begin(),
+                rotated.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(
+                        static_cast<std::uint64_t>(n))),
+                rotated.end());
+    EXPECT_EQ(canonicalCircular(rotated), canon);
+
+    // So does the reflection of any rotation.
+    std::reverse(rotated.begin(), rotated.end());
+    EXPECT_EQ(canonicalCircular(rotated), canon);
+
+    // Canonicalization is idempotent.
+    EXPECT_EQ(canonicalCircular(canon), canon);
+}
+
+TEST_P(Seeded, CanonicalPartitionIsInvariantUnderShuffles)
+{
+    Rng rng(GetParam());
+    const int groups = 2 + static_cast<int>(rng.below(3));
+    const int size = 2 + static_cast<int>(rng.below(3));
+    Partition p = randomEqualPartition(groups * size, size, rng);
+    const Partition canon = canonicalPartition(p);
+
+    rng.shuffle(p);
+    for (auto &group : p)
+        rng.shuffle(group);
+    EXPECT_EQ(canonicalPartition(p), canon);
+}
+
+TEST_P(Seeded, ScheduleTuplesAreCircular)
+{
+    Rng rng(GetParam());
+    const int x = 4 + static_cast<int>(rng.below(8));
+    const Schedule s =
+        Schedule::fromRotation(randomCircularOrder(x, rng),
+                               /*window=*/2, /*step=*/1);
+    const std::uint64_t period = s.periodTimeslices();
+    for (std::uint64_t t = 0; t < period; ++t) {
+        EXPECT_EQ(s.tupleAt(t), s.tupleAt(t + period));
+        EXPECT_EQ(s.tupleAt(t), s.tupleAt(t + 7 * period));
+    }
+}
+
+TEST_P(Seeded, RotationCoversEveryAdjacentPairOnce)
+{
+    // Window 2, step 1: the tuple multiset is exactly the circular
+    // adjacency pairs, each once.
+    Rng rng(GetParam());
+    const int x = 4 + static_cast<int>(rng.below(8));
+    const auto order = randomCircularOrder(x, rng);
+    const Schedule s = Schedule::fromRotation(order, 2, 1);
+    std::set<std::pair<int, int>> pairs;
+    for (const auto &tuple : s.tuples()) {
+        pairs.emplace(std::min(tuple[0], tuple[1]),
+                      std::max(tuple[0], tuple[1]));
+    }
+    EXPECT_EQ(pairs.size(), static_cast<std::size_t>(x));
+}
+
+TEST_P(Seeded, GeneratorStreamsAreReproducible)
+{
+    const std::uint64_t seed = GetParam();
+    const WorkloadProfile &profile =
+        WorkloadLibrary::instance().get("SU2COR");
+    TraceGenerator a(profile, seed);
+    TraceGenerator b(profile, seed);
+    std::uint64_t checksum_a = 0;
+    std::uint64_t checksum_b = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const UOp x = a.next();
+        const UOp y = b.next();
+        checksum_a = checksum_a * 31 + x.pc + x.addr +
+                     static_cast<std::uint64_t>(x.cls);
+        checksum_b = checksum_b * 31 + y.pc + y.addr +
+                     static_cast<std::uint64_t>(y.cls);
+    }
+    EXPECT_EQ(checksum_a, checksum_b);
+}
+
+TEST_P(Seeded, EqualPartitionSamplingIsNearUniform)
+{
+    // Over the 3 partitions of 4 jobs into pairs, each should appear
+    // roughly a third of the time.
+    Rng rng(GetParam());
+    std::map<Partition, int> counts;
+    const int trials = 1200;
+    for (int t = 0; t < trials; ++t)
+        ++counts[randomEqualPartition(4, 2, rng)];
+    ASSERT_EQ(counts.size(), 3u);
+    for (const auto &[partition, count] : counts) {
+        EXPECT_GT(count, trials / 5);
+        EXPECT_LT(count, trials / 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values(11, 23, 37, 59, 71, 97, 131,
+                                           173));
+
+} // namespace
+} // namespace sos

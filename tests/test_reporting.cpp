@@ -1,0 +1,63 @@
+/** @file Unit tests for formatting helpers and env configuration. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/reporting.hh"
+#include "sim/sim_config.hh"
+
+namespace sos {
+namespace {
+
+TEST(Fmt, FixedPrecision)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.23456, 0), "1");
+    EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(FmtCycles, UnitsScale)
+{
+    EXPECT_EQ(fmtCycles(999), "999");
+    EXPECT_EQ(fmtCycles(1500), "1.5K");
+    EXPECT_EQ(fmtCycles(2500000), "2.5M");
+    EXPECT_EQ(fmtCycles(3000000000ULL), "3.0G");
+}
+
+TEST(BenchConfig, DefaultsWithoutEnv)
+{
+    unsetenv("SOS_CYCLE_SCALE");
+    unsetenv("SOS_SEED");
+    const SimConfig config = benchConfigFromEnv();
+    EXPECT_EQ(config.cycleScale, SimConfig{}.cycleScale);
+    EXPECT_EQ(config.seed, SimConfig{}.seed);
+}
+
+TEST(BenchConfig, EnvOverrides)
+{
+    setenv("SOS_CYCLE_SCALE", "250", 1);
+    setenv("SOS_SEED", "4242", 1);
+    const SimConfig config = benchConfigFromEnv();
+    EXPECT_EQ(config.cycleScale, 250u);
+    EXPECT_EQ(config.seed, 4242u);
+    unsetenv("SOS_CYCLE_SCALE");
+    unsetenv("SOS_SEED");
+}
+
+TEST(BenchConfig, RejectsBadScale)
+{
+    setenv("SOS_CYCLE_SCALE", "-3", 1);
+    EXPECT_DEATH(benchConfigFromEnv(), "positive");
+    unsetenv("SOS_CYCLE_SCALE");
+}
+
+TEST(SimConfigChecks, ScaledDurationMustSurvive)
+{
+    SimConfig config;
+    config.cycleScale = 10000000000ULL;
+    EXPECT_DEATH(config.scaled(100), "vanished");
+}
+
+} // namespace
+} // namespace sos

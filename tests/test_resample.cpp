@@ -1,0 +1,55 @@
+/** @file Unit tests for the Section 9 resampling policy. */
+
+#include <gtest/gtest.h>
+
+#include "core/resample_policy.hh"
+
+namespace sos {
+namespace {
+
+TEST(ResamplePolicy, StartsAtBase)
+{
+    ResamplePolicy policy(1000);
+    EXPECT_EQ(policy.symbiosDuration(), 1000u);
+    EXPECT_EQ(policy.baseInterval(), 1000u);
+}
+
+TEST(ResamplePolicy, StablePredictionBacksOffExponentially)
+{
+    ResamplePolicy policy(1000);
+    policy.onTimerSample(false);
+    EXPECT_EQ(policy.symbiosDuration(), 2000u);
+    policy.onTimerSample(false);
+    EXPECT_EQ(policy.symbiosDuration(), 4000u);
+    policy.onTimerSample(false);
+    EXPECT_EQ(policy.symbiosDuration(), 8000u);
+}
+
+TEST(ResamplePolicy, ChangedPredictionResets)
+{
+    ResamplePolicy policy(1000);
+    policy.onTimerSample(false);
+    policy.onTimerSample(false);
+    policy.onTimerSample(true);
+    EXPECT_EQ(policy.symbiosDuration(), 1000u);
+}
+
+TEST(ResamplePolicy, JobChangeResets)
+{
+    ResamplePolicy policy(1000);
+    policy.onTimerSample(false);
+    policy.onTimerSample(false);
+    policy.onJobChange();
+    EXPECT_EQ(policy.symbiosDuration(), 1000u);
+}
+
+TEST(ResamplePolicy, BackoffIsCapped)
+{
+    ResamplePolicy policy(1);
+    for (int i = 0; i < 100; ++i)
+        policy.onTimerSample(false);
+    EXPECT_LT(policy.symbiosDuration(), std::uint64_t{1} << 62);
+}
+
+} // namespace
+} // namespace sos

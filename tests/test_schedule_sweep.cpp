@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Property sweeps over the full experiment catalogue (no simulation):
+ * every spec must yield a well-formed mix and a fair, distinct,
+ * correctly-sized schedule sample.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "sim/experiment_defs.hh"
+#include "sim/sim_config.hh"
+
+namespace sos {
+namespace {
+
+class SpecSweep : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const ExperimentSpec &
+    spec() const
+    {
+        return experimentByLabel(GetParam());
+    }
+};
+
+TEST_P(SpecSweep, MixMatchesSpec)
+{
+    JobMix mix = spec().makeMix(7);
+    EXPECT_EQ(mix.numUnits(), spec().numUnits());
+    // Every unit resolves and names a real workload.
+    for (int u = 0; u < mix.numUnits(); ++u) {
+        const ThreadRef ref = mix.unit(u);
+        ASSERT_NE(ref.job, nullptr);
+        EXPECT_FALSE(mix.unitName(u).empty());
+    }
+}
+
+TEST_P(SpecSweep, SampledSchedulesAreFairAndDistinct)
+{
+    Rng rng(11);
+    const ScheduleSpace space(spec().numUnits(), spec().level,
+                              spec().swap);
+    const auto sample = space.sample(10, rng);
+    EXPECT_LE(sample.size(), 10u);
+    EXPECT_GE(sample.size(), std::min<std::uint64_t>(
+                                 10, space.distinctCount()));
+
+    std::set<std::string> keys;
+    for (const Schedule &s : sample) {
+        keys.insert(s.key());
+        EXPECT_EQ(s.periodTimeslices(), space.periodTimeslices());
+        // Fair: every job appears equally often per period...
+        for (int j = 1; j < spec().numUnits(); ++j)
+            EXPECT_EQ(s.appearancesPerPeriod(j),
+                      s.appearancesPerPeriod(0));
+        // ...and every tuple is exactly the SMT level wide.
+        for (const auto &tuple : s.tuples())
+            EXPECT_EQ(static_cast<int>(tuple.size()), spec().level);
+    }
+    EXPECT_EQ(keys.size(), sample.size());
+}
+
+TEST_P(SpecSweep, SampleIsSeedDeterministic)
+{
+    const ScheduleSpace space(spec().numUnits(), spec().level,
+                              spec().swap);
+    Rng a(5);
+    Rng b(5);
+    const auto first = space.sample(10, a);
+    const auto second = space.sample(10, b);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].key(), second[i].key());
+}
+
+TEST_P(SpecSweep, PaperSampleCyclesAreConsistent)
+{
+    const ScheduleSpace space(spec().numUnits(), spec().level,
+                              spec().swap);
+    const std::uint64_t sampled =
+        std::min<std::uint64_t>(10, space.distinctCount());
+    const std::uint64_t timeslice =
+        spec().little ? SimConfig::paperLittleTimeslice
+                      : SimConfig::paperTimeslice;
+    EXPECT_EQ(paperSamplePhaseCycles(spec()),
+              sampled * space.periodTimeslices() * timeslice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExperiments, SpecSweep,
+    ::testing::Values("Jsb(4,2,2)", "Jsb(5,2,2)", "Jsb(5,2,1)",
+                      "Jpb(10,2,2)", "J2pb(10,2,2)", "Jsb(6,3,3)",
+                      "Jsb(6,3,1)", "Jsl(6,3,1)", "Jsb(8,4,4)",
+                      "Jsb(8,4,1)", "Jsl(8,4,1)", "Jsb(12,4,4)",
+                      "Jsb(12,6,6)"));
+
+} // namespace
+} // namespace sos

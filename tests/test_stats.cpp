@@ -1,0 +1,134 @@
+/** @file Unit tests for statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats_util.hh"
+
+namespace sos {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.push(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 4.5);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    Rng rng(1);
+    std::vector<double> xs;
+    RunningStat s;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform() * 100.0 - 50.0;
+        xs.push_back(x);
+        s.push(x);
+    }
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-9);
+}
+
+TEST(RunningStat, MinMaxTracked)
+{
+    RunningStat s;
+    for (double x : {3.0, -1.0, 7.0, 2.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.push(1.0);
+    s.push(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(VectorStats, KnownValues)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0); // classic textbook example
+}
+
+TEST(VectorStats, EmptyAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(SafeDiv, ZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(safeDiv(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeDiv(5.0, 2.0), 2.5);
+}
+
+TEST(Percentile, Endpoints)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Percentile, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+/** Property sweep: RunningStat agrees with the vector helpers. */
+class StatAgreement : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(StatAgreement, RunningMatchesBatch)
+{
+    Rng rng(GetParam());
+    const int n = 1 + static_cast<int>(rng.below(300));
+    RunningStat s;
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(10.0) - 5.0;
+        s.push(x);
+        xs.push_back(x);
+    }
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-9);
+    EXPECT_EQ(s.count(), xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatAgreement,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,85 @@
+/** @file Unit tests for the barrier synchronization domain. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/sync_domain.hh"
+
+namespace sos {
+namespace {
+
+TEST(SyncDomain, SingleThreadNeverBlocks)
+{
+    SyncDomain d(1);
+    for (int i = 0; i < 5; ++i) {
+        d.arrive(0);
+        EXPECT_FALSE(d.blocked(0));
+    }
+    EXPECT_EQ(d.completed(), 5u);
+}
+
+TEST(SyncDomain, FirstArrivalBlocksUntilSibling)
+{
+    SyncDomain d(2);
+    d.arrive(0);
+    EXPECT_TRUE(d.blocked(0));
+    EXPECT_FALSE(d.blocked(1)); // thread 1 has not arrived yet
+    d.arrive(1);
+    EXPECT_FALSE(d.blocked(0));
+    EXPECT_FALSE(d.blocked(1));
+    EXPECT_EQ(d.completed(), 1u);
+}
+
+TEST(SyncDomain, ArrivalsInDifferentEpochsStillComplete)
+{
+    // The paper's split-ARRAY case: siblings arrive in different
+    // timeslices; the barrier completes when the laggard arrives.
+    SyncDomain d(2);
+    d.arrive(0); // timeslice 1: thread 0 runs alone, parks
+    EXPECT_TRUE(d.blocked(0));
+    d.arrive(1); // timeslice 2: thread 1 runs alone, releases barrier 1
+    EXPECT_FALSE(d.blocked(0));
+    d.arrive(1); // thread 1 reaches barrier 2, parks
+    EXPECT_TRUE(d.blocked(1));
+    EXPECT_FALSE(d.blocked(0));
+    d.arrive(0);
+    EXPECT_FALSE(d.blocked(1));
+    EXPECT_EQ(d.completed(), 2u);
+}
+
+TEST(SyncDomain, ThreeThreadsNeedAll)
+{
+    SyncDomain d(3);
+    d.arrive(0);
+    d.arrive(1);
+    EXPECT_TRUE(d.blocked(0));
+    EXPECT_TRUE(d.blocked(1));
+    d.arrive(2);
+    EXPECT_FALSE(d.blocked(0));
+    EXPECT_FALSE(d.blocked(1));
+    EXPECT_FALSE(d.blocked(2));
+}
+
+TEST(SyncDomain, FastThreadCannotRunAhead)
+{
+    SyncDomain d(2);
+    d.arrive(0);
+    d.arrive(1); // barrier 1 complete
+    d.arrive(0); // thread 0 reaches barrier 2 first
+    EXPECT_TRUE(d.blocked(0));
+    EXPECT_EQ(d.completed(), 1u);
+}
+
+TEST(SyncDomain, ResetRestartsGenerations)
+{
+    SyncDomain d(2);
+    d.arrive(0);
+    d.arrive(1);
+    d.reset(3);
+    EXPECT_EQ(d.numThreads(), 3);
+    EXPECT_EQ(d.completed(), 0u);
+    d.arrive(0);
+    EXPECT_TRUE(d.blocked(0));
+}
+
+} // namespace
+} // namespace sos

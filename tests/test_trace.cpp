@@ -1,0 +1,286 @@
+/** @file Unit tests for the synthetic trace generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/trace_generator.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+namespace {
+
+const WorkloadProfile &
+profileOf(const std::string &name)
+{
+    return WorkloadLibrary::instance().get(name);
+}
+
+TEST(WorkloadLibrary, HasAllPaperBenchmarks)
+{
+    const auto &lib = WorkloadLibrary::instance();
+    for (const char *name :
+         {"FP", "MG", "WAVE", "SWIM", "SU2COR", "TURB3D", "GCC", "GO",
+          "IS", "CG", "EP", "FT", "ARRAY", "ARRAY2", "mt_ARRAY",
+          "mt_EP"}) {
+        EXPECT_TRUE(lib.has(name)) << name;
+    }
+}
+
+TEST(WorkloadLibrary, MixFractionsSane)
+{
+    const auto &lib = WorkloadLibrary::instance();
+    for (const std::string &name : lib.names()) {
+        const WorkloadProfile &p = lib.get(name);
+        const double total = p.fracFpAdd + p.fracFpMult + p.fracFpDiv +
+                             p.fracIntMult + p.fracLoad + p.fracStore;
+        EXPECT_GT(total, 0.0) << name;
+        EXPECT_LT(total, 1.0) << name; // room for IntAlu remainder
+        EXPECT_GE(p.avgBasicBlock, 2.0) << name;
+        EXPECT_GT(p.workingSetBytes, 0u) << name;
+    }
+}
+
+TEST(WorkloadLibrary, ParallelVariantsDiffer)
+{
+    EXPECT_GT(profileOf("ARRAY2").syncInterval,
+              profileOf("ARRAY").syncInterval);
+}
+
+TEST(TraceGenerator, Deterministic)
+{
+    TraceGenerator a(profileOf("GCC"), 42);
+    TraceGenerator b(profileOf("GCC"), 42);
+    for (int i = 0; i < 5000; ++i) {
+        const UOp x = a.next();
+        const UOp y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.srcA, y.srcA);
+        ASSERT_EQ(x.srcB, y.srcB);
+        ASSERT_EQ(x.dst, y.dst);
+        ASSERT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(TraceGenerator, SeedsProduceDifferentStreams)
+{
+    TraceGenerator a(profileOf("GCC"), 1);
+    TraceGenerator b(profileOf("GCC"), 2);
+    int same = 0;
+    for (int i = 0; i < 500; ++i) {
+        const UOp x = a.next();
+        const UOp y = b.next();
+        same += (x.pc == y.pc && x.addr == y.addr) ? 1 : 0;
+    }
+    EXPECT_LT(same, 100);
+}
+
+TEST(TraceGenerator, CopyResumesExactly)
+{
+    TraceGenerator gen(profileOf("MG"), 77);
+    for (int i = 0; i < 1234; ++i)
+        gen.next();
+    TraceGenerator resumed = gen; // descheduled-job checkpoint
+    for (int i = 0; i < 2000; ++i) {
+        const UOp x = gen.next();
+        const UOp y = resumed.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+    }
+}
+
+TEST(TraceGenerator, MixMatchesProfile)
+{
+    const WorkloadProfile &p = profileOf("FP");
+    TraceGenerator gen(p, 3);
+    std::map<OpClass, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+
+    const double fp_share =
+        static_cast<double>(counts[OpClass::FpAdd] +
+                            counts[OpClass::FpMult] +
+                            counts[OpClass::FpDiv]) /
+        n;
+    // Branches and barriers dilute the arithmetic slots slightly.
+    EXPECT_NEAR(fp_share, p.fpFraction(), 0.05);
+
+    const double load_share =
+        static_cast<double>(counts[OpClass::Load]) / n;
+    EXPECT_NEAR(load_share, p.fracLoad, 0.05);
+
+    const double branch_share =
+        static_cast<double>(counts[OpClass::Branch]) / n;
+    EXPECT_NEAR(branch_share, 1.0 / p.avgBasicBlock, 0.02);
+}
+
+TEST(TraceGenerator, IntegerWorkloadHasNoFp)
+{
+    TraceGenerator gen(profileOf("GO"), 5);
+    for (int i = 0; i < 20000; ++i) {
+        const UOp op = gen.next();
+        EXPECT_FALSE(op.isFp());
+        if (op.dst != NoReg && op.cls != OpClass::Load) {
+            EXPECT_FALSE(isFpReg(op.dst));
+        }
+    }
+}
+
+TEST(TraceGenerator, BarrierSpacingMatchesSyncInterval)
+{
+    const WorkloadProfile &p = profileOf("ARRAY");
+    TraceGenerator gen(p, 9);
+    std::uint64_t last = 0;
+    std::uint64_t count = 0;
+    int barriers = 0;
+    for (int i = 0; i < 40000; ++i) {
+        const UOp op = gen.next();
+        ++count;
+        if (op.cls == OpClass::Barrier) {
+            if (barriers > 0) {
+                EXPECT_EQ(count - last, p.syncInterval);
+            }
+            last = count;
+            ++barriers;
+        }
+    }
+    EXPECT_GT(barriers, 10);
+}
+
+TEST(TraceGenerator, NonSyncWorkloadNeverBarriers)
+{
+    TraceGenerator gen(profileOf("GCC"), 11);
+    for (int i = 0; i < 30000; ++i)
+        EXPECT_NE(static_cast<int>(gen.next().cls),
+                  static_cast<int>(OpClass::Barrier));
+}
+
+TEST(TraceGenerator, AddressesWithinFootprint)
+{
+    const WorkloadProfile &p = profileOf("IS");
+    TraceGenerator gen(p, 13);
+    for (int i = 0; i < 50000; ++i) {
+        const UOp op = gen.next();
+        if (op.isMem()) {
+            // Data lives in [0, ws) plus the hot region above it.
+            EXPECT_LT(op.addr, p.workingSetBytes + p.hotBytes);
+            EXPECT_EQ(op.addr % 8, 0u);
+        }
+        EXPECT_GE(op.pc, 0x1000u);
+        EXPECT_LT(op.pc, 0x1000 + p.codeBytes);
+    }
+}
+
+TEST(TraceGenerator, BranchTargetsDeterministicPerPc)
+{
+    // The synthetic CFG must be a fixed graph: every taken branch at a
+    // given pc jumps to the same target.
+    TraceGenerator gen(profileOf("GCC"), 17);
+    std::map<std::uint64_t, std::uint64_t> targets;
+    std::uint64_t branch_pc = 0;
+    bool pending = false;
+    for (int i = 0; i < 100000; ++i) {
+        const UOp op = gen.next();
+        if (pending) {
+            const auto it = targets.find(branch_pc);
+            if (it == targets.end())
+                targets.emplace(branch_pc, op.pc);
+            else
+                ASSERT_EQ(it->second, op.pc) << "pc " << branch_pc;
+            pending = false;
+        }
+        if (op.cls == OpClass::Branch && op.taken) {
+            branch_pc = op.pc;
+            pending = true;
+        }
+    }
+    EXPECT_GT(targets.size(), 20u);
+}
+
+TEST(TraceGenerator, BranchOutcomeBiasStablePerPc)
+{
+    // Predictable branch sites must be strongly biased: the dominant
+    // outcome share per site should be near 1 for a predictable code.
+    TraceGenerator gen(profileOf("MG"), 19); // predictability 0.97
+    std::map<std::uint64_t, std::pair<int, int>> outcomes;
+    for (int i = 0; i < 300000; ++i) {
+        const UOp op = gen.next();
+        if (op.cls == OpClass::Branch) {
+            auto &[taken, total] = outcomes[op.pc];
+            taken += op.taken ? 1 : 0;
+            total += 1;
+        }
+    }
+    double dominant_weighted = 0.0;
+    int total_branches = 0;
+    for (const auto &[pc, counts] : outcomes) {
+        const auto [taken, total] = counts;
+        if (total < 10)
+            continue;
+        const double frac = static_cast<double>(taken) / total;
+        dominant_weighted += std::max(frac, 1.0 - frac) * total;
+        total_branches += total;
+    }
+    ASSERT_GT(total_branches, 1000);
+    EXPECT_GT(dominant_weighted / total_branches, 0.93);
+}
+
+TEST(TraceGenerator, ChaseLoadsAreSerialized)
+{
+    // CG's pointer chases must form a register chain: dst feeds the
+    // next chase's source through the dedicated chase register.
+    TraceGenerator gen(profileOf("CG"), 23);
+    int chase_loads = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const UOp op = gen.next();
+        if (op.cls == OpClass::Load && op.dst == 31) {
+            EXPECT_EQ(op.srcA, 31);
+            ++chase_loads;
+        }
+    }
+    EXPECT_GT(chase_loads, 1000);
+}
+
+TEST(TraceGenerator, CountAdvances)
+{
+    TraceGenerator gen(profileOf("EP"), 29);
+    EXPECT_EQ(gen.count(), 0u);
+    for (int i = 0; i < 100; ++i)
+        gen.next();
+    EXPECT_EQ(gen.count(), 100u);
+}
+
+/** Mix conformance across every workload in the library. */
+class MixSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MixSweep, LoadStoreShareTracksProfile)
+{
+    const WorkloadProfile &p = profileOf(GetParam());
+    TraceGenerator gen(p, 31);
+    int loads = 0;
+    int stores = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const UOp op = gen.next();
+        loads += op.cls == OpClass::Load ? 1 : 0;
+        stores += op.cls == OpClass::Store ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / n, p.fracLoad, 0.04);
+    EXPECT_NEAR(static_cast<double>(stores) / n, p.fracStore, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, MixSweep,
+                         ::testing::Values("FP", "MG", "WAVE", "SWIM",
+                                           "SU2COR", "TURB3D", "GCC",
+                                           "GO", "IS", "CG", "EP", "FT",
+                                           "ARRAY"));
+
+} // namespace
+} // namespace sos

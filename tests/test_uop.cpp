@@ -1,0 +1,62 @@
+/** @file Unit tests for the micro-op model helpers. */
+
+#include <gtest/gtest.h>
+
+#include "core/schedule_profile.hh"
+#include "trace/uop.hh"
+
+namespace sos {
+namespace {
+
+TEST(UOp, ClassPredicates)
+{
+    UOp op;
+    for (OpClass cls : {OpClass::FpAdd, OpClass::FpMult, OpClass::FpDiv}) {
+        op.cls = cls;
+        EXPECT_TRUE(op.isFp());
+        EXPECT_FALSE(op.isMem());
+    }
+    for (OpClass cls : {OpClass::Load, OpClass::Store}) {
+        op.cls = cls;
+        EXPECT_TRUE(op.isMem());
+        EXPECT_FALSE(op.isFp());
+    }
+    for (OpClass cls : {OpClass::IntAlu, OpClass::IntMult,
+                        OpClass::Branch, OpClass::Barrier}) {
+        op.cls = cls;
+        EXPECT_FALSE(op.isFp());
+        EXPECT_FALSE(op.isMem());
+    }
+}
+
+TEST(UOp, RegisterNamespace)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+    EXPECT_FALSE(isFpReg(NoReg)); // the sentinel is never FP
+    EXPECT_EQ(NumArchRegs, 64);
+}
+
+TEST(ScheduleProfile, BalanceFromSlices)
+{
+    ScheduleProfile p;
+    p.sliceIpc = {2.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(p.balance(), 0.0);
+    p.sliceIpc = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(p.balance(), 1.0);
+}
+
+TEST(ScheduleProfile, DiversityFallsBackToAggregate)
+{
+    ScheduleProfile p;
+    p.counters.fpOps = 900;
+    p.counters.intOps = 100;
+    EXPECT_DOUBLE_EQ(p.diversity(), 0.8); // no slice data: aggregate
+    p.sliceMixImbalance = {0.1, 0.3};
+    EXPECT_DOUBLE_EQ(p.diversity(), 0.2); // slice data wins
+}
+
+} // namespace
+} // namespace sos
