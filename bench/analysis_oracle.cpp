@@ -25,6 +25,7 @@
 #include "metrics/calibrator.hh"
 #include "metrics/weighted_speedup.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/reporting.hh"
 #include "sim/timeslice_engine.hh"
 
@@ -79,13 +80,30 @@ main()
                     (exp.bestWs() - exp.worstWs()));
     std::printf("oblivious expectation: %.3f\n", exp.averageWs());
 
-    // Part 2: pairwise symbiosis matrix for the 6 jobs.
+    // Part 2: pairwise symbiosis matrix for the 6 jobs. Every pair
+    // run is independent, so they fan out across the sweep workers.
     printBanner("Pairwise weighted speedup (2 contexts)");
     const int n = spec.numUnits();
     std::vector<std::vector<double>> matrix(
         static_cast<std::size_t>(n),
         std::vector<double>(static_cast<std::size_t>(n), 0.0));
     {
+        std::vector<std::pair<int, int>> pairs;
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < n; ++b)
+                pairs.emplace_back(a, b);
+        }
+        const ParallelScheduleRunner runner(config.jobs);
+        const std::vector<double> ws = runner.map<double>(
+            pairs.size(), [&](std::size_t i) {
+                return pairWs(spec, config, pairs[i].first,
+                              pairs[i].second);
+            });
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            matrix[static_cast<std::size_t>(pairs[i].first)]
+                  [static_cast<std::size_t>(pairs[i].second)] = ws[i];
+        }
+
         JobMix names = spec.makeMix(config.seed);
         std::vector<std::string> headers{""};
         std::vector<int> widths{8};
@@ -100,12 +118,12 @@ main()
             std::vector<std::string> row{names.unitName(a) + "(" +
                                          std::to_string(a) + ")"};
             for (int b = 0; b < n; ++b) {
-                if (b <= a) {
-                    row.push_back(b == a ? "-" : fmt(matrix[b][a], 2));
-                    continue;
-                }
-                matrix[a][b] = pairWs(spec, config, a, b);
-                row.push_back(fmt(matrix[a][b], 2));
+                if (b == a)
+                    row.push_back("-");
+                else
+                    row.push_back(fmt(b < a ? matrix[b][a]
+                                            : matrix[a][b],
+                                      2));
             }
             table.printRow(row);
         }

@@ -12,9 +12,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/stats_util.hh"
 #include "sim/open_system.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/reporting.hh"
 
 int
@@ -28,6 +30,7 @@ main()
     if (std::getenv("SOS_CYCLE_SCALE") == nullptr)
         config.cycleScale = 200;
     const int traces = 3;
+    const std::vector<int> levels = {2, 3, 4, 6};
 
     printBanner("Figure 5: response-time improvement vs SMT level");
     TablePrinter table({"SMT level", "improve% (avg)", "per trace",
@@ -35,19 +38,33 @@ main()
                        {9, 14, 24, 7, 13});
     table.printHeader();
 
-    for (int level : {2, 3, 4, 6}) {
+    // Every (level, trace) run is independent: fan them all out.
+    const ParallelScheduleRunner runner(config.jobs);
+    const std::vector<ResponseComparison> comparisons =
+        runner.map<ResponseComparison>(
+            levels.size() * static_cast<std::size_t>(traces),
+            [&](std::size_t i) {
+                const int level =
+                    levels[i / static_cast<std::size_t>(traces)];
+                const int t =
+                    static_cast<int>(i % static_cast<std::size_t>(traces));
+                OpenSystemConfig open;
+                open.level = level;
+                open.numJobs = 24;
+                open.seed = config.seed ^
+                            static_cast<std::uint64_t>(97 * level + t);
+                return compareResponseTimes(config, open);
+            });
+
+    for (std::size_t l = 0; l < levels.size(); ++l) {
         RunningStat improvement;
         RunningStat mean_n;
         int phases = 0;
         std::string per_trace;
         for (int t = 0; t < traces; ++t) {
-            OpenSystemConfig open;
-            open.level = level;
-            open.numJobs = 24;
-            open.seed = config.seed ^
-                        static_cast<std::uint64_t>(97 * level + t);
-            const ResponseComparison comparison =
-                compareResponseTimes(config, open);
+            const ResponseComparison &comparison =
+                comparisons[l * static_cast<std::size_t>(traces) +
+                            static_cast<std::size_t>(t)];
             improvement.push(comparison.improvementPct);
             mean_n.push(comparison.sos.meanJobsInSystem);
             phases += comparison.sos.samplePhases;
@@ -55,7 +72,7 @@ main()
                 per_trace += " ";
             per_trace += fmt(comparison.improvementPct, 1);
         }
-        table.printRow({std::to_string(level),
+        table.printRow({std::to_string(levels[l]),
                         fmt(improvement.mean(), 1), per_trace,
                         fmt(mean_n.mean(), 1), std::to_string(phases)});
     }

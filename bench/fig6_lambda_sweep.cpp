@@ -8,9 +8,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/stats_util.hh"
 #include "sim/open_system.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/reporting.hh"
 
 int
@@ -35,20 +37,37 @@ main()
                        {13, 6, 14, 22, 7});
     table.printHeader();
 
-    for (const double factor : {0.85, 1.0, 1.25, 1.6, 2.2}) {
+    // Every (lambda, trace) run is independent: fan them all out.
+    const std::vector<double> factors = {0.85, 1.0, 1.25, 1.6, 2.2};
+    const ParallelScheduleRunner runner(config.jobs);
+    const std::vector<ResponseComparison> comparisons =
+        runner.map<ResponseComparison>(
+            factors.size() * static_cast<std::size_t>(traces),
+            [&](std::size_t i) {
+                const double factor =
+                    factors[i / static_cast<std::size_t>(traces)];
+                const auto t = static_cast<std::uint64_t>(
+                    i % static_cast<std::size_t>(traces));
+                const auto lambda = static_cast<std::uint64_t>(
+                    factor * static_cast<double>(stable));
+                OpenSystemConfig open = base;
+                open.numJobs = 24;
+                open.meanInterarrivalPaper = lambda;
+                open.seed = config.seed ^ lambda ^ t;
+                return compareResponseTimes(config, open);
+            });
+
+    for (std::size_t f = 0; f < factors.size(); ++f) {
+        const double factor = factors[f];
         RunningStat improvement;
         RunningStat mean_n;
         std::string per_trace;
         const auto lambda = static_cast<std::uint64_t>(
             factor * static_cast<double>(stable));
         for (int t = 0; t < traces; ++t) {
-            OpenSystemConfig open = base;
-            open.numJobs = 24;
-            open.meanInterarrivalPaper = lambda;
-            open.seed = config.seed ^ lambda ^
-                        static_cast<std::uint64_t>(t);
-            const ResponseComparison comparison =
-                compareResponseTimes(config, open);
+            const ResponseComparison &comparison =
+                comparisons[f * static_cast<std::size_t>(traces) +
+                            static_cast<std::size_t>(t)];
             improvement.push(comparison.improvementPct);
             mean_n.push(comparison.sos.meanJobsInSystem);
             if (t > 0)

@@ -1,11 +1,34 @@
 #!/bin/sh
-# Regenerates test_output.txt and bench_output.txt (the reproduction record).
+# Regenerates test_output.txt and bench_output.txt (the reproduction
+# record), exiting nonzero if ctest or any bench binary fails so CI
+# can call this script directly.
+#
+# SOS_JOBS controls the sweep worker threads of every bench (and is
+# also used as the ctest parallelism); unset means one worker per
+# hardware thread.
 set -u
 cd "$(dirname "$0")"
-ctest --test-dir build 2>&1 | tee test_output.txt
+
+status=0
+jobs="${SOS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+ctest --test-dir build --output-on-failure -j "$jobs" \
+    >test_output.txt 2>&1 || status=$?
+cat test_output.txt
+
+: >bench_output.txt
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
-        echo "===== $b ====="
-        "$b"
+        echo "===== $b =====" >>bench_output.txt
+        if ! "$b" >>bench_output.txt 2>&1; then
+            echo "FAILED: $b" >>bench_output.txt
+            status=1
+        fi
     fi
-done 2>&1 | tee bench_output.txt
+done
+cat bench_output.txt
+
+if [ "$status" -ne 0 ]; then
+    echo "run_all.sh: FAILURES DETECTED" >&2
+fi
+exit "$status"

@@ -20,20 +20,64 @@ hashLabel(const std::string &label)
     return h;
 }
 
+/**
+ * The neutral warmup schedule: cycle every job through the machine
+ * once so no candidate is charged for compulsory cache and predictor
+ * misses. (The paper's 5 M-cycle timeslices amortize cold start; our
+ * scaled ones need this.)
+ */
+Schedule
+warmupSchedule(const ExperimentSpec &spec)
+{
+    std::vector<int> order(static_cast<std::size_t>(spec.numUnits()));
+    for (std::size_t u = 0; u < order.size(); ++u)
+        order[u] = static_cast<int>(u);
+    return spec.numUnits() == spec.level
+               ? Schedule::fromPartition({order})
+               : Schedule::fromRotation(order, spec.level, spec.swap);
+}
+
 } // namespace
 
 BatchExperiment::BatchExperiment(const ExperimentSpec &spec,
                                  const SimConfig &config)
     : spec_(spec), config_(config),
       mix_(spec.makeMix(config.seed ^ hashLabel(spec.label))),
-      core_(config.coreFor(spec.level), config.mem),
-      engine_(core_, spec.little ? config.littleTimesliceCycles()
-                                 : config.timesliceCycles())
+      runner_(config.jobs)
 {
     Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
                           config_.calibWarmupCycles,
                           config_.calibMeasureCycles);
     calibrator.calibrate(mix_);
+}
+
+std::uint64_t
+BatchExperiment::timesliceCycles() const
+{
+    return spec_.little ? config_.littleTimesliceCycles()
+                        : config_.timesliceCycles();
+}
+
+ParallelScheduleRunner::SweepSpec
+BatchExperiment::makeSweep() const
+{
+    ParallelScheduleRunner::SweepSpec sweep;
+    // Every task rebuilds the same mix from the same seed, so all
+    // candidates see identical workload streams; the prototype's
+    // calibration is copied instead of re-measured.
+    sweep.makeMix = [this](std::size_t) {
+        JobMix mix =
+            spec_.makeMix(config_.seed ^ hashLabel(spec_.label));
+        for (int j = 0; j < mix.numJobs(); ++j)
+            mix.job(j).soloIpc = mix_.job(j).soloIpc;
+        return mix;
+    };
+    sweep.core = config_.coreFor(spec_.level);
+    sweep.mem = config_.mem;
+    sweep.timesliceCycles = timesliceCycles();
+    sweep.warm = warmupSchedule(spec_);
+    sweep.warmTimeslices = sweep.warm.periodTimeslices();
+    return sweep;
 }
 
 void
@@ -45,36 +89,24 @@ BatchExperiment::runSamplePhase()
     const ScheduleSpace space(spec_.numUnits(), spec_.level, spec_.swap);
     schedules_ = space.sample(config_.sampleSchedules, rng);
 
-    // Neutral warmup: cycle every job through the machine once before
-    // any schedule is profiled, so the first candidate is not charged
-    // for compulsory cache and predictor misses. (The paper's 5 M-cycle
-    // timeslices amortize cold start; our scaled ones need this.)
-    {
-        std::vector<int> order(static_cast<std::size_t>(spec_.numUnits()));
-        for (std::size_t u = 0; u < order.size(); ++u)
-            order[u] = static_cast<int>(u);
-        const Schedule warm =
-            spec_.numUnits() == spec_.level
-                ? Schedule::fromPartition({order})
-                : Schedule::fromRotation(order, spec_.level, spec_.swap);
-        engine_.runSchedule(mix_, warm, warm.periodTimeslices());
-    }
-
     const auto periods =
         static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
-    for (const Schedule &schedule : schedules_) {
-        const TimesliceEngine::ScheduleRunResult run =
-            engine_.runSchedule(mix_, schedule,
-                                schedule.periodTimeslices() * periods);
+    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
+        runner_.runAll(makeSweep(), schedules_,
+                       [periods](const Schedule &schedule) {
+                           return schedule.periodTimeslices() * periods;
+                       });
+
+    for (std::size_t i = 0; i < schedules_.size(); ++i) {
+        const ParallelScheduleRunner::ScheduleRun &result = runs[i];
         ScheduleProfile profile;
-        profile.label = schedule.label();
-        profile.counters = run.total;
-        profile.sliceIpc = run.sliceIpc;
-        profile.sliceMixImbalance = run.sliceMixImbalance;
-        profile.sampleWs =
-            weightedSpeedup(mix_, run.jobRetired, run.cycles);
+        profile.label = schedules_[i].label();
+        profile.counters = result.run.total;
+        profile.sliceIpc = result.run.sliceIpc;
+        profile.sliceMixImbalance = result.run.sliceMixImbalance;
+        profile.sampleWs = result.ws;
         profiles_.push_back(std::move(profile));
-        sampleCycles_ += run.cycles;
+        sampleCycles_ += result.run.cycles;
     }
 }
 
@@ -86,14 +118,15 @@ BatchExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
     const std::uint64_t cycles =
         symbios_cycles > 0 ? symbios_cycles : config_.symbiosCycles();
     const std::uint64_t timeslices =
-        std::max<std::uint64_t>(1, cycles / engine_.timesliceCycles());
+        std::max<std::uint64_t>(1, cycles / timesliceCycles());
 
-    for (const Schedule &schedule : schedules_) {
-        const TimesliceEngine::ScheduleRunResult run =
-            engine_.runSchedule(mix_, schedule, timeslices);
-        symbiosWs_.push_back(
-            weightedSpeedup(mix_, run.jobRetired, run.cycles));
-    }
+    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
+        runner_.runAll(makeSweep(), schedules_,
+                       [timeslices](const Schedule &) {
+                           return timeslices;
+                       });
+    for (const ParallelScheduleRunner::ScheduleRun &result : runs)
+        symbiosWs_.push_back(result.ws);
 }
 
 double

@@ -9,6 +9,12 @@
  * and measure its weighted speedup. Predictors are then judged by
  * the symbios WS of the schedule they would have picked from the
  * sample-phase profiles alone (Table 3, Figures 1-3).
+ *
+ * Each candidate schedule is profiled on private machine state (its
+ * own core, engine and jobmix rebuilt from the spec), so candidates
+ * are compared from bit-identical starting conditions and the whole
+ * sweep fans out across worker threads deterministically; see
+ * ParallelScheduleRunner for the contract.
  */
 
 #ifndef SOS_SIM_BATCH_EXPERIMENT_HH
@@ -19,13 +25,12 @@
 
 #include "core/predictor.hh"
 #include "core/schedule_profile.hh"
-#include "cpu/smt_core.hh"
 #include "metrics/calibrator.hh"
 #include "sched/jobmix.hh"
 #include "sched/schedule.hh"
 #include "sim/experiment_defs.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/sim_config.hh"
-#include "sim/timeslice_engine.hh"
 
 namespace sos {
 
@@ -79,11 +84,16 @@ class BatchExperiment
     double wsOfPredictor(const Predictor &predictor) const;
 
   private:
+    /** Engine quantum for this experiment in simulated cycles. */
+    std::uint64_t timesliceCycles() const;
+
+    /** Sweep recipe: private per-task mixes cloned from the spec. */
+    ParallelScheduleRunner::SweepSpec makeSweep() const;
+
     ExperimentSpec spec_;
     SimConfig config_;
-    JobMix mix_;
-    SmtCore core_;
-    TimesliceEngine engine_;
+    JobMix mix_; ///< calibrated prototype; tasks clone its soloIpc
+    ParallelScheduleRunner runner_;
 
     std::vector<Schedule> schedules_;
     std::vector<ScheduleProfile> profiles_;

@@ -5,26 +5,21 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/calibrator.hh"
-#include "metrics/weighted_speedup.hh"
 
 namespace sos {
 
 HierarchicalExperiment::HierarchicalExperiment(
     const HierarchicalSpec &spec, const SimConfig &config,
     int max_candidates)
-    : spec_(spec), config_(config),
-      mix_(spec.makeMix(config.seed ^ 0x41e7a11cULL)),
-      core_(config.coreFor(spec.level), config.mem),
-      engine_(core_, config.timesliceCycles()),
-      calibrator_(config.coreFor(spec.level), config.mem,
-                  config.calibWarmupCycles, config.calibMeasureCycles)
+    : spec_(spec), config_(config), runner_(config.jobs)
 {
     SOS_ASSERT(max_candidates >= 1);
 
+    JobMix prototype = spec.makeMix(config.seed ^ 0x41e7a11cULL);
     std::vector<bool> adaptive;
-    adaptive.reserve(static_cast<std::size_t>(mix_.numJobs()));
-    for (int j = 0; j < mix_.numJobs(); ++j)
-        adaptive.push_back(mix_.job(j).adaptive());
+    adaptive.reserve(static_cast<std::size_t>(prototype.numJobs()));
+    for (int j = 0; j < prototype.numJobs(); ++j)
+        adaptive.push_back(prototype.job(j).adaptive());
 
     const std::vector<AllocationPlan> plans = enumerateAllocationPlans(
         adaptive, spec.level, /*max_threads_per_job=*/spec.level);
@@ -44,22 +39,54 @@ HierarchicalExperiment::HierarchicalExperiment(
         }
     }
     SOS_ASSERT(!candidates_.empty());
+
+    // Measure every solo-IPC reference the plans can ask for now, on
+    // this thread; the sweep tasks then only read the table.
+    Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
+                          config_.calibWarmupCycles,
+                          config_.calibMeasureCycles);
+    for (const AllocationPlan &plan : plans) {
+        for (int j = 0; j < prototype.numJobs(); ++j) {
+            const int threads =
+                plan.threadsPerJob[static_cast<std::size_t>(j)];
+            const std::string &name = prototype.job(j).name();
+            soloIpc_[{name, threads}] = calibrator.soloIpc(name, threads);
+        }
+    }
 }
 
-void
-HierarchicalExperiment::applyPlan(const AllocationPlan &plan)
+JobMix
+HierarchicalExperiment::mixForPlan(const AllocationPlan &plan) const
 {
-    // Re-spawning invalidates generator pointers the core may hold.
-    engine_.evictAll();
-    for (int j = 0; j < mix_.numJobs(); ++j) {
-        Job &job = mix_.job(j);
+    JobMix mix = spec_.makeMix(config_.seed ^ 0x41e7a11cULL);
+    for (int j = 0; j < mix.numJobs(); ++j) {
+        Job &job = mix.job(j);
         const int threads =
             plan.threadsPerJob[static_cast<std::size_t>(j)];
         if (job.adaptive() && job.numThreads() != threads)
             job.setThreadCount(threads);
         SOS_ASSERT(job.adaptive() || threads == 1);
-        calibrator_.calibrate(job);
+        const auto ref = soloIpc_.find({job.name(), threads});
+        SOS_ASSERT(ref != soloIpc_.end(),
+                   "plan asks for an uncalibrated thread count");
+        job.soloIpc = ref->second;
     }
+    return mix;
+}
+
+ParallelScheduleRunner::SweepSpec
+HierarchicalExperiment::makeSweep() const
+{
+    ParallelScheduleRunner::SweepSpec sweep;
+    sweep.makeMix = [this](std::size_t index) {
+        return mixForPlan(candidates_[index].plan);
+    };
+    sweep.core = config_.coreFor(spec_.level);
+    sweep.mem = config_.mem;
+    sweep.timesliceCycles = config_.timesliceCycles();
+    // No shared warmup: every candidate starts equally cold, and the
+    // sample phase already runs several periods per candidate.
+    return sweep;
 }
 
 void
@@ -69,34 +96,42 @@ HierarchicalExperiment::run(std::uint64_t symbios_cycles)
         symbios_cycles > 0 ? symbios_cycles
                            : config_.symbiosCycles() / 4;
 
+    std::vector<Schedule> schedules;
+    schedules.reserve(candidates_.size());
+    for (const HierarchicalCandidate &candidate : candidates_)
+        schedules.push_back(candidate.schedule);
+
     // Sample phase: a few periods per candidate (see samplePeriods).
     const auto periods =
         static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
-    for (HierarchicalCandidate &candidate : candidates_) {
-        applyPlan(candidate.plan);
-        const TimesliceEngine::ScheduleRunResult run = engine_.runSchedule(
-            mix_, candidate.schedule,
-            candidate.schedule.periodTimeslices() * periods);
+    const std::vector<ParallelScheduleRunner::ScheduleRun> sampled =
+        runner_.runAll(makeSweep(), schedules,
+                       [periods](const Schedule &schedule) {
+                           return schedule.periodTimeslices() * periods;
+                       });
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        HierarchicalCandidate &candidate = candidates_[i];
+        const ParallelScheduleRunner::ScheduleRun &result = sampled[i];
         candidate.profile.label =
             candidate.plan.label() + " " + candidate.schedule.label();
-        candidate.profile.counters = run.total;
-        candidate.profile.sliceIpc = run.sliceIpc;
-        candidate.profile.sliceMixImbalance = run.sliceMixImbalance;
-        candidate.profile.sampleWs =
-            weightedSpeedup(mix_, run.jobRetired, run.cycles);
+        candidate.profile.counters = result.run.total;
+        candidate.profile.sliceIpc = result.run.sliceIpc;
+        candidate.profile.sliceMixImbalance =
+            result.run.sliceMixImbalance;
+        candidate.profile.sampleWs = result.ws;
     }
 
     // Symbios validation: what each candidate would have delivered.
-    for (HierarchicalCandidate &candidate : candidates_) {
-        applyPlan(candidate.plan);
-        const std::uint64_t timeslices = std::max<std::uint64_t>(
-            candidate.schedule.periodTimeslices(),
-            symbios / engine_.timesliceCycles());
-        const TimesliceEngine::ScheduleRunResult run =
-            engine_.runSchedule(mix_, candidate.schedule, timeslices);
-        candidate.symbiosWs =
-            weightedSpeedup(mix_, run.jobRetired, run.cycles);
-    }
+    const std::uint64_t timeslice = config_.timesliceCycles();
+    const std::vector<ParallelScheduleRunner::ScheduleRun> validated =
+        runner_.runAll(makeSweep(), schedules,
+                       [symbios, timeslice](const Schedule &schedule) {
+                           return std::max<std::uint64_t>(
+                               schedule.periodTimeslices(),
+                               symbios / timeslice);
+                       });
+    for (std::size_t i = 0; i < candidates_.size(); ++i)
+        candidates_[i].symbiosWs = validated[i].ws;
 }
 
 double

@@ -17,16 +17,18 @@
 #include <cstdint>
 #include <vector>
 
+#include <map>
+#include <string>
+#include <utility>
+
 #include "core/allocation.hh"
 #include "core/predictor.hh"
 #include "core/schedule_profile.hh"
-#include "cpu/smt_core.hh"
-#include "metrics/calibrator.hh"
 #include "sched/jobmix.hh"
 #include "sched/schedule.hh"
 #include "sim/experiment_defs.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/sim_config.hh"
-#include "sim/timeslice_engine.hh"
 
 namespace sos {
 
@@ -75,14 +77,21 @@ class HierarchicalExperiment
     double improvementOverWorstPct() const;
 
   private:
-    void applyPlan(const AllocationPlan &plan);
+    /** Fresh mix with @p plan applied and soloIpc references set. */
+    JobMix mixForPlan(const AllocationPlan &plan) const;
+
+    /** Sweep recipe whose per-task mixes realize each plan. */
+    ParallelScheduleRunner::SweepSpec makeSweep() const;
 
     HierarchicalSpec spec_;
     SimConfig config_;
-    JobMix mix_;
-    SmtCore core_;
-    TimesliceEngine engine_;
-    Calibrator calibrator_; ///< memoizes per (workload, threads)
+    ParallelScheduleRunner runner_;
+    /**
+     * Solo-IPC references for every (workload, threads) combination
+     * any allocation plan uses, measured once up front so the
+     * parallel sweep tasks only read.
+     */
+    std::map<std::pair<std::string, int>, double> soloIpc_;
     std::vector<HierarchicalCandidate> candidates_;
 };
 

@@ -1,0 +1,49 @@
+#include "parallel_runner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "cpu/smt_core.hh"
+#include "metrics/weighted_speedup.hh"
+
+namespace sos {
+
+ParallelScheduleRunner::ParallelScheduleRunner(int jobs)
+    : jobs_(resolveJobs(jobs))
+{
+}
+
+int
+ParallelScheduleRunner::workersFor(std::size_t tasks) const
+{
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs_), std::max<std::size_t>(tasks, 1)));
+}
+
+std::vector<ParallelScheduleRunner::ScheduleRun>
+ParallelScheduleRunner::runAll(
+    const SweepSpec &sweep, const std::vector<Schedule> &schedules,
+    const std::function<std::uint64_t(const Schedule &)> &timeslices)
+    const
+{
+    SOS_ASSERT(sweep.makeMix, "sweep needs a mix factory");
+    SOS_ASSERT(sweep.timesliceCycles > 0);
+
+    return map<ScheduleRun>(schedules.size(), [&](std::size_t i) {
+        const Schedule &schedule = schedules[i];
+        JobMix mix = sweep.makeMix(i);
+        SmtCore core(sweep.core, sweep.mem);
+        TimesliceEngine engine(core, sweep.timesliceCycles);
+        if (sweep.warm.valid() && sweep.warmTimeslices > 0)
+            engine.runSchedule(mix, sweep.warm, sweep.warmTimeslices);
+
+        ScheduleRun result;
+        result.run =
+            engine.runSchedule(mix, schedule, timeslices(schedule));
+        result.ws = weightedSpeedup(mix, result.run.jobRetired,
+                                    result.run.cycles);
+        return result;
+    });
+}
+
+} // namespace sos

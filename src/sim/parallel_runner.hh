@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic parallel schedule sweeps.
+ *
+ * Profiling a candidate schedule is a pure function of (jobmix
+ * recipe, machine configuration, schedule): the runner rebuilds a
+ * private SmtCore + TimesliceEngine + JobMix per task, so every
+ * schedule starts from bit-identical machine state and tasks can fan
+ * out across worker threads with no shared mutable state at all.
+ *
+ * Determinism contract (see DESIGN.md):
+ *  - results are a function of the task index only, never of worker
+ *    count, scheduling order, or SOS_JOBS -- 1 worker and 64 workers
+ *    produce bit-identical profiles;
+ *  - each task's workload generators derive their own RNG streams
+ *    from the mix seed (per-schedule streams, no stream is shared or
+ *    advanced across tasks);
+ *  - every schedule is charged the same warmup, so candidates are
+ *    compared from equal machine state (the serial seed code instead
+ *    leaked cache/predictor state from one candidate into the next).
+ */
+
+#ifndef SOS_SIM_PARALLEL_RUNNER_HH
+#define SOS_SIM_PARALLEL_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sched/jobmix.hh"
+#include "sched/schedule.hh"
+#include "sim/sim_config.hh"
+#include "sim/timeslice_engine.hh"
+
+namespace sos {
+
+/** Fans independent per-schedule simulations across a thread pool. */
+class ParallelScheduleRunner
+{
+  public:
+    /** Everything one profiling task measures. */
+    struct ScheduleRun
+    {
+        TimesliceEngine::ScheduleRunResult run;
+        double ws = 0.0; ///< weighted speedup over the run
+    };
+
+    /** Describes how each task rebuilds its private state. */
+    struct SweepSpec
+    {
+        /**
+         * Build the (calibrated) jobmix for one task. Must return an
+         * identical mix for every index unless the sweep deliberately
+         * varies it (e.g. per-candidate allocation plans).
+         */
+        std::function<JobMix(std::size_t index)> makeMix;
+
+        /** Core/memory configuration each task's private core uses. */
+        CoreParams core;
+        MemParams mem;
+
+        /** Engine quantum in simulated cycles. */
+        std::uint64_t timesliceCycles = 0;
+
+        /**
+         * Schedule run before measuring, for @ref warmTimeslices
+         * quanta; invalid() disables warmup.
+         */
+        Schedule warm;
+        std::uint64_t warmTimeslices = 0;
+    };
+
+    /**
+     * @param jobs Worker threads; 0 resolves via SOS_JOBS / hardware
+     *        concurrency (see resolveJobs()).
+     */
+    explicit ParallelScheduleRunner(int jobs = 0);
+
+    /** Resolved worker count. */
+    int jobs() const { return jobs_; }
+
+    /**
+     * Profile schedules[i] for timeslices(schedules[i]) quanta each on
+     * private state built from @p sweep. Results are indexed like
+     * @p schedules.
+     */
+    std::vector<ScheduleRun>
+    runAll(const SweepSpec &sweep, const std::vector<Schedule> &schedules,
+           const std::function<std::uint64_t(const Schedule &)>
+               &timeslices) const;
+
+    /**
+     * Generic deterministic fan-out: evaluate task(0..n-1) on the
+     * pool and return the results in index order. task must be a pure
+     * function of its index.
+     */
+    template <typename Result>
+    std::vector<Result>
+    map(std::size_t n,
+        const std::function<Result(std::size_t)> &task) const
+    {
+        std::vector<Result> out(n);
+        ThreadPool pool(workersFor(n));
+        pool.run(n, [&](std::size_t i) { out[i] = task(i); });
+        return out;
+    }
+
+  private:
+    int workersFor(std::size_t tasks) const;
+
+    int jobs_;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_PARALLEL_RUNNER_HH

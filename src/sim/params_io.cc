@@ -95,6 +95,8 @@ fields()
                       "schedules profiled per sample phase"),
         SOS_FIELD_INT(samplePeriods,
                       "schedule periods per profiled candidate"),
+        SOS_FIELD_INT(jobs,
+                      "sweep worker threads (0 = SOS_JOBS/auto)"),
         SOS_FIELD_U64(calibWarmupCycles, "calibration warmup"),
         SOS_FIELD_U64(calibMeasureCycles, "calibration measurement"),
         // Core.

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/sim_config.hh"
 
 namespace sos {
@@ -103,6 +104,9 @@ benchConfigFromEnv()
     if (const char *seed = std::getenv("SOS_SEED")) {
         config.seed = std::strtoull(seed, nullptr, 10);
     }
+    // Sweep worker threads; resolveJobs() validates the value and
+    // falls back to the hardware concurrency when unset.
+    config.jobs = resolveJobs(0);
     return config;
 }
 

@@ -45,7 +45,8 @@ void printBanner(const std::string &title);
 
 /**
  * Read the standard environment overrides used by every bench binary:
- * SOS_CYCLE_SCALE (cycle scale divisor) and SOS_SEED.
+ * SOS_CYCLE_SCALE (cycle scale divisor), SOS_SEED, and SOS_JOBS
+ * (sweep worker threads).
  */
 struct SimConfig;
 SimConfig benchConfigFromEnv();

@@ -52,6 +52,14 @@ struct SimConfig
     int sampleSchedules = 10;
 
     /**
+     * Worker threads for parallel schedule sweeps. 0 means auto: the
+     * SOS_JOBS environment variable when set, else the hardware
+     * concurrency. Results are bit-identical for every value (the
+     * determinism contract of ParallelScheduleRunner).
+     */
+    int jobs = 0;
+
+    /**
      * Schedule periods run while profiling one candidate. The paper
      * uses exactly one period of 5 M-cycle timeslices; our scaled
      * timeslices make one period too noisy a counter sample, so each

@@ -82,6 +82,20 @@ configFor(const Args &args)
     return config;
 }
 
+/**
+ * Sweep worker threads from --jobs (not used by `open`, where --jobs
+ * already names the number of jobs in the system).
+ */
+SimConfig
+configWithWorkers(const Args &args)
+{
+    SimConfig config = configFor(args);
+    const std::string jobs = args.flag("jobs", "");
+    if (!jobs.empty())
+        applyOverride(config, "jobs=" + jobs);
+    return config;
+}
+
 int
 cmdWorkloads()
 {
@@ -139,7 +153,7 @@ cmdRun(const Args &args)
 {
     if (args.positional.empty())
         fatal("usage: sossim run <experiment label>");
-    const SimConfig config = configFor(args);
+    const SimConfig config = configWithWorkers(args);
     const ExperimentSpec &spec = experimentByLabel(args.positional[0]);
 
     BatchExperiment exp(spec, config);
@@ -193,7 +207,7 @@ cmdOpen(const Args &args)
 int
 cmdHier(const Args &args)
 {
-    const SimConfig config = configFor(args);
+    const SimConfig config = configWithWorkers(args);
     const int level = std::stoi(args.flag("level", "2"));
     const HierarchicalSpec *chosen = nullptr;
     for (const HierarchicalSpec &spec : hierarchicalExperiments()) {
@@ -230,13 +244,17 @@ cmdHelp()
         "  workloads              list the workload models\n"
         "  experiments            list the paper's experiments\n"
         "  params                 list --set keys\n"
-        "  run <label>            run a throughput experiment\n"
+        "  run <label> [--jobs N] run a throughput experiment\n"
         "  open [--level N] [--jobs N]\n"
         "                         naive-vs-SOS response times\n"
-        "  hier [--level N]       hierarchical symbiosis\n"
+        "  hier [--level N] [--jobs N]\n"
+        "                         hierarchical symbiosis\n"
         "  config                 print the effective configuration\n\n"
         "options: repeated --set key=value; env SOS_CYCLE_SCALE, "
-        "SOS_SEED\n");
+        "SOS_SEED, SOS_JOBS (sweep worker threads; for run/hier "
+        "--jobs N\n"
+        "does the same, while `open --jobs` is the system's job "
+        "count)\n");
     return 0;
 }
 

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The parallel sweep layer's determinism contract: schedule profiles
+ * are a pure function of the experiment, never of the worker count.
+ * Parallel results must be bit-identical to serial (SOS_JOBS=1), for
+ * both a full exhaustively-profiled space and a sampled one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/batch_experiment.hh"
+#include "sim/parallel_runner.hh"
+
+namespace sos {
+namespace {
+
+/** Every counter weighted speedup or a predictor could ever read. */
+void
+expectCountersIdentical(const PerfCounters &a, const PerfCounters &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetched, b.fetched);
+    EXPECT_EQ(a.dispatched, b.dispatched);
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.intOps, b.intOps);
+    EXPECT_EQ(a.fpOps, b.fpOps);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.barriers, b.barriers);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.spinOps, b.spinOps);
+    EXPECT_EQ(a.confIntQueue, b.confIntQueue);
+    EXPECT_EQ(a.confFpQueue, b.confFpQueue);
+    EXPECT_EQ(a.confIntRegs, b.confIntRegs);
+    EXPECT_EQ(a.confFpRegs, b.confFpRegs);
+    EXPECT_EQ(a.confRob, b.confRob);
+    EXPECT_EQ(a.confIntUnits, b.confIntUnits);
+    EXPECT_EQ(a.confFpUnits, b.confFpUnits);
+    EXPECT_EQ(a.confLsPorts, b.confLsPorts);
+    EXPECT_EQ(a.l1iHits, b.l1iHits);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1dHits, b.l1dHits);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.itlbMisses, b.itlbMisses);
+    EXPECT_EQ(a.dtlbMisses, b.dtlbMisses);
+    EXPECT_EQ(a.slotRetired, b.slotRetired);
+}
+
+/** Bit-for-bit equality of two completed experiments. */
+void
+expectExperimentsIdentical(const BatchExperiment &a,
+                           const BatchExperiment &b)
+{
+    ASSERT_EQ(a.schedules().size(), b.schedules().size());
+    for (std::size_t i = 0; i < a.schedules().size(); ++i)
+        EXPECT_EQ(a.schedules()[i].key(), b.schedules()[i].key());
+
+    ASSERT_EQ(a.profiles().size(), b.profiles().size());
+    for (std::size_t i = 0; i < a.profiles().size(); ++i) {
+        const ScheduleProfile &pa = a.profiles()[i];
+        const ScheduleProfile &pb = b.profiles()[i];
+        EXPECT_EQ(pa.label, pb.label);
+        expectCountersIdentical(pa.counters, pb.counters);
+        EXPECT_EQ(pa.sliceIpc, pb.sliceIpc);
+        EXPECT_EQ(pa.sliceMixImbalance, pb.sliceMixImbalance);
+        EXPECT_EQ(pa.sampleWs, pb.sampleWs);
+    }
+
+    EXPECT_EQ(a.samplePhaseCycles(), b.samplePhaseCycles());
+    ASSERT_EQ(a.symbiosWs().size(), b.symbiosWs().size());
+    for (std::size_t i = 0; i < a.symbiosWs().size(); ++i)
+        EXPECT_EQ(a.symbiosWs()[i], b.symbiosWs()[i]);
+}
+
+/** Run one full experiment with the given worker count. */
+BatchExperiment
+runWith(const char *label, int jobs)
+{
+    SimConfig config = makeFastConfig();
+    config.jobs = jobs;
+    BatchExperiment exp(experimentByLabel(label), config);
+    exp.runSamplePhase();
+    exp.runSymbiosValidation();
+    return exp;
+}
+
+TEST(ParallelRunner, FullSpaceMatchesSerialBitForBit)
+{
+    // Jsb(4,2,2) has only 3 schedules: the sample IS the space.
+    const BatchExperiment serial = runWith("Jsb(4,2,2)", 1);
+    for (int jobs : {2, 8}) {
+        const BatchExperiment parallel = runWith("Jsb(4,2,2)", jobs);
+        expectExperimentsIdentical(serial, parallel);
+    }
+}
+
+TEST(ParallelRunner, SampledSpaceMatchesSerialBitForBit)
+{
+    // Jsb(6,3,1) samples 10 of its 60 distinct schedules.
+    const BatchExperiment serial = runWith("Jsb(6,3,1)", 1);
+    const BatchExperiment parallel = runWith("Jsb(6,3,1)", 8);
+    EXPECT_EQ(serial.schedules().size(), 10u);
+    expectExperimentsIdentical(serial, parallel);
+}
+
+TEST(ParallelRunner, MapPreservesIndexOrder)
+{
+    const ParallelScheduleRunner runner(4);
+    const std::vector<int> out = runner.map<int>(
+        100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    for (int workers : {1, 2, 8}) {
+        ThreadPool pool(workers);
+        std::vector<std::atomic<int>> hits(257);
+        pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+        for (const std::atomic<int> &hit : hits)
+            EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> sum{0};
+        pool.run(round + 1, [&](std::size_t) { ++sum; });
+        EXPECT_EQ(sum.load(), round + 1);
+    }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop)
+{
+    ThreadPool pool(4);
+    pool.run(0, [](std::size_t) { FAIL() << "task ran"; });
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    for (int workers : {1, 4}) {
+        ThreadPool pool(workers);
+        EXPECT_THROW(pool.run(16,
+                              [](std::size_t i) {
+                                  if (i == 7)
+                                      throw std::runtime_error("boom");
+                              }),
+                     std::runtime_error);
+        // The pool survives a throwing batch.
+        std::atomic<int> sum{0};
+        pool.run(8, [&](std::size_t) { ++sum; });
+        EXPECT_EQ(sum.load(), 8);
+    }
+}
+
+TEST(ThreadPool, ResolveJobsPrefersExplicitRequest)
+{
+    EXPECT_EQ(resolveJobs(3), 3);
+    EXPECT_GE(resolveJobs(0), 1);
+}
+
+} // namespace
+} // namespace sos

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "common/rng.hh"
+#include "sched/schedule.hh"
 #include "sim/experiment_defs.hh"
 #include "sim/sim_config.hh"
 
