@@ -14,6 +14,7 @@
 
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 namespace {
@@ -72,14 +73,18 @@ class WeightedComposite : public Predictor
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("ablation_composite_weights", argc, argv);
+    const SimConfig &config = harness.config();
     BatchExperiment exp(experimentByLabel("Jsb(6,3,3)"), config);
     exp.runSamplePhase();
     exp.runSymbiosValidation();
+    exp.publishStats(harness.group("experiment"));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
 
     printBanner("Ablation: Composite weight split on Jsb(6,3,3)");
     std::printf("schedule WS range: worst %.3f, avg %.3f, best %.3f\n\n",
@@ -88,6 +93,7 @@ main()
     TablePrinter table({"conflict weight", "picked", "WS"},
                        {16, 10, 7});
     table.printHeader();
+    const stats::Group weights = harness.group("weights");
     for (const double w : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
         const WeightedComposite predictor(w);
         const int index = exp.predictedIndex(predictor);
@@ -96,8 +102,13 @@ main()
              exp.profiles()[static_cast<std::size_t>(index)].label,
              fmt(exp.symbiosWs()[static_cast<std::size_t>(index)],
                  3)});
+        const stats::Group point = weights.group("w" + fmt(w, 2));
+        point.info("picked", "schedule this weighting selects") =
+            exp.profiles()[static_cast<std::size_t>(index)].label;
+        point.value("ws", "symbios WS of the selected schedule") =
+            exp.symbiosWs()[static_cast<std::size_t>(index)];
     }
     std::printf("\n(The paper's fit uses 0.9; weight 0.0 is pure "
                 "Balance, 1.0 pure conflicts.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -9,15 +9,22 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
+
+    BenchHarness harness("ablation_fetch_policy", argc, argv);
+    const stats::Group policies = harness.group("policies");
+    std::vector<std::unique_ptr<BatchExperiment>> kept;
 
     printBanner("Ablation: ICOUNT vs round-robin fetch on Jsb(6,3,3)");
     TablePrinter table({"fetch policy", "worst", "avg", "best",
@@ -27,11 +34,20 @@ main()
 
     const auto score = makeScorePredictor();
     for (const bool round_robin : {false, true}) {
-        SimConfig config = benchConfigFromEnv();
+        SimConfig config = harness.config();
         config.core.roundRobinFetch = round_robin;
-        BatchExperiment exp(experimentByLabel("Jsb(6,3,3)"), config);
+        kept.push_back(std::make_unique<BatchExperiment>(
+            experimentByLabel("Jsb(6,3,3)"), config));
+        BatchExperiment &exp = *kept.back();
         exp.runSamplePhase();
         exp.runSymbiosValidation();
+        const stats::Group policy = policies.group(
+            round_robin ? "round_robin" : "icount");
+        exp.publishStats(policy.group("experiment"));
+        policy.value("score_ws", "symbios WS trusting Score") =
+            exp.wsOfPredictor(*score);
+        if (harness.wantsTrace())
+            exp.recordTrace(harness.trace());
         table.printRow({round_robin ? "round-robin" : "ICOUNT",
                         fmt(exp.worstWs(), 3), fmt(exp.averageWs(), 3),
                         fmt(exp.bestWs(), 3),
@@ -39,5 +55,5 @@ main()
     }
     std::printf("\n(ICOUNT should raise throughput across the board "
                 "by keeping fast-moving threads fed.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -11,15 +11,22 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
+
+    BenchHarness harness("ablation_prefetcher", argc, argv);
+    const stats::Group experiments = harness.group("experiments");
+    std::vector<std::unique_ptr<BatchExperiment>> kept;
 
     printBanner("Ablation: stride prefetcher vs schedule sensitivity");
     TablePrinter table({"Experiment", "prefetch", "worst", "avg",
@@ -30,14 +37,26 @@ main()
     const auto score = makeScorePredictor();
     for (const char *label : {"Jsb(4,2,2)", "Jsb(6,3,3)"}) {
         for (const bool enabled : {false, true}) {
-            SimConfig config = benchConfigFromEnv();
+            SimConfig config = harness.config();
             config.mem.prefetch.enabled = enabled;
-            BatchExperiment exp(experimentByLabel(label), config);
+            kept.push_back(std::make_unique<BatchExperiment>(
+                experimentByLabel(label), config));
+            BatchExperiment &exp = *kept.back();
             exp.runSamplePhase();
             exp.runSymbiosValidation();
             const double spread = 100.0 *
                                   (exp.bestWs() - exp.worstWs()) /
                                   exp.worstWs();
+            const stats::Group entry =
+                experiments.group(stats::sanitizeSegment(label))
+                    .group(enabled ? "prefetch_on" : "prefetch_off");
+            exp.publishStats(entry.group("experiment"));
+            entry.value("spread_pct", "best-vs-worst WS spread") =
+                spread;
+            entry.value("score_ws", "symbios WS trusting Score") =
+                exp.wsOfPredictor(*score);
+            if (harness.wantsTrace())
+                exp.recordTrace(harness.trace());
             table.printRow({label, enabled ? "on" : "off",
                             fmt(exp.worstWs(), 3),
                             fmt(exp.averageWs(), 3),
@@ -48,5 +67,5 @@ main()
     std::printf("\n(Prefetching raises absolute WS for the streaming "
                 "jobs; the schedule spread -- SOS's opportunity -- "
                 "remains.)\n");
-    return 0;
+    return harness.finish();
 }

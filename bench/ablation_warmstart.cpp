@@ -10,16 +10,22 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("ablation_warmstart", argc, argv);
+    const SimConfig &config = harness.config();
+    const stats::Group experiments = harness.group("experiments");
+    std::vector<std::unique_ptr<BatchExperiment>> kept;
 
     printBanner("Ablation: warmstart scheduling (Section 8)");
     TablePrinter table({"Experiment", "avg WS", "best WS",
@@ -31,12 +37,21 @@ main()
          {"Jsb(6,3,3)", "Jsb(6,3,1)", "Jsl(6,3,1)", "Jsb(8,4,4)",
           "Jsb(8,4,1)", "Jsl(8,4,1)"}) {
         const ExperimentSpec &spec = experimentByLabel(label);
-        BatchExperiment exp(spec, config);
+        kept.push_back(std::make_unique<BatchExperiment>(spec, config));
+        BatchExperiment &exp = *kept.back();
         exp.runSamplePhase();
         exp.runSymbiosValidation();
         // Consecutive resident timeslices per job: Y/Z, the residency
         // effect the paper credits for most of the warmstart gain.
         const int resident = spec.level / spec.swap;
+        const stats::Group entry =
+            experiments.group(stats::sanitizeSegment(label));
+        exp.publishStats(entry.group("experiment"));
+        entry.scalar("resident_slices_per_job",
+                     "consecutive resident timeslices (Y/Z)") =
+            static_cast<std::uint64_t>(resident);
+        if (harness.wantsTrace())
+            exp.recordTrace(harness.trace());
         table.printRow({spec.label, fmt(exp.averageWs(), 3),
                         fmt(exp.bestWs(), 3),
                         std::to_string(resident)});
@@ -45,5 +60,5 @@ main()
     std::printf("\n(Paper: swapping one job at a time with the big "
                 "timeslice gains ~7%%; with the little timeslice the "
                 "gain is negligible, isolating the residency effect.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -25,6 +25,7 @@
 #include "metrics/calibrator.hh"
 #include "metrics/weighted_speedup.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/reporting.hh"
 #include "sim/timeslice_engine.hh"
@@ -57,17 +58,21 @@ pairWs(const ExperimentSpec &spec, const SimConfig &config, int a,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("analysis_oracle", argc, argv);
+    const SimConfig &config = harness.config();
     const ExperimentSpec &spec = experimentByLabel("Jsb(6,3,3)");
 
     // Part 1: oracle vs SOS over the exhaustive space.
     BatchExperiment exp(spec, config);
     exp.runSamplePhase(); // all 10 schedules: the sample IS the space
     exp.runSymbiosValidation();
+    exp.publishStats(harness.group("experiment"));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
 
     printBanner("Oracle headroom on " + spec.label);
     const auto score = makeScorePredictor();
@@ -79,6 +84,16 @@ main()
                 100.0 * (sos_ws - exp.worstWs()) /
                     (exp.bestWs() - exp.worstWs()));
     std::printf("oblivious expectation: %.3f\n", exp.averageWs());
+    {
+        const stats::Group oracle = harness.group("oracle");
+        oracle.value("oracle_ws", "true-best symbios WS") =
+            exp.bestWs();
+        oracle.value("sos_ws", "symbios WS of the Score pick") = sos_ws;
+        oracle.value("captured_gain_pct",
+                     "share of the oracle's gain over worst") =
+            100.0 * (sos_ws - exp.worstWs()) /
+            (exp.bestWs() - exp.worstWs());
+    }
 
     // Part 2: pairwise symbiosis matrix for the 6 jobs. Every pair
     // run is independent, so they fan out across the sweep workers.
@@ -102,6 +117,14 @@ main()
         for (std::size_t i = 0; i < pairs.size(); ++i) {
             matrix[static_cast<std::size_t>(pairs[i].first)]
                   [static_cast<std::size_t>(pairs[i].second)] = ws[i];
+        }
+
+        stats::Vector &pair_ws = harness.group("pairwise").vector(
+            "ws", "WS of each job pair coscheduled alone");
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            pair_ws.push(std::to_string(pairs[i].first) + "_" +
+                             std::to_string(pairs[i].second),
+                         ws[i]);
         }
 
         JobMix names = spec.makeMix(config.seed);
@@ -188,5 +211,9 @@ main()
                 spearman);
     std::printf("(High correlation would justify combinatorial search "
                 "over pairwise scores instead of schedule sampling.)\n");
-    return 0;
+    harness.group("pairwise")
+            .value("spearman",
+                   "rank correlation of pair-sum vs measured WS") =
+        spearman;
+    return harness.finish();
 }

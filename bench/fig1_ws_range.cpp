@@ -10,17 +10,24 @@
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "common/stats_util.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("fig1_ws_range", argc, argv);
+    const SimConfig &config = harness.config();
+    const stats::Group experiments = harness.group("experiments");
+    // publishStats binds into each experiment, so they must stay
+    // alive until the manifest is written.
+    std::vector<std::unique_ptr<BatchExperiment>> kept;
 
     printBanner("Figure 1: worst and best weighted speedup");
     TablePrinter table({"Experiment", "worst WS", "best WS", "avg WS",
@@ -37,9 +44,14 @@ main()
     std::vector<Entry> entries;
 
     for (const ExperimentSpec &spec : paperExperiments()) {
-        BatchExperiment exp(spec, config);
+        kept.push_back(std::make_unique<BatchExperiment>(spec, config));
+        BatchExperiment &exp = *kept.back();
         exp.runSamplePhase();
         exp.runSymbiosValidation();
+        exp.publishStats(
+            experiments.group(stats::sanitizeSegment(spec.label)));
+        if (harness.wantsTrace())
+            exp.recordTrace(harness.trace());
         const double pct =
             100.0 * (exp.bestWs() - exp.worstWs()) / exp.worstWs();
         spread.push(pct);
@@ -53,6 +65,13 @@ main()
     std::printf("\nbest-vs-worst spread: average %.1f%%, max %.1f%% "
                 "(paper: average 8%%, max 25%%)\n",
                 spread.mean(), spread.max());
+    {
+        const stats::Group summary = harness.group("spread");
+        summary.value("avg_pct", "mean best-vs-worst WS spread") =
+            spread.mean();
+        summary.value("max_pct", "maximum best-vs-worst WS spread") =
+            spread.max();
+    }
 
     // Section 8: warmstart scheduling. Compare each full-swap
     // experiment with its single-swap variants on best WS.
@@ -93,5 +112,5 @@ main()
     }
     std::printf("\n(The paper reports a ~7%% average warmstart gain "
                 "for the big-timeslice Z=1 runs.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -9,28 +9,36 @@
 
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("fig2_predictor_ws", argc, argv);
+    const SimConfig &config = harness.config();
     const ExperimentSpec &spec = experimentByLabel("Jsb(6,3,3)");
 
     BatchExperiment exp(spec, config);
     exp.runSamplePhase();
     exp.runSymbiosValidation();
+    exp.publishStats(
+        harness.group(stats::sanitizeSegment(spec.label)));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
 
     printBanner("Figure 2: predictor WS on " + spec.label);
     TablePrinter table({"bar", "WS", "vs avg%"}, {12, 6, 8});
     table.printHeader();
 
     const double avg = exp.averageWs();
+    const stats::Group bars = harness.group("bars");
     auto bar = [&](const std::string &name, double ws) {
         table.printRow(
             {name, fmt(ws, 3), fmt(100.0 * (ws - avg) / avg, 1)});
+        bars.group(name).value("ws", "Figure 2 bar height") = ws;
     };
 
     bar("Best", exp.bestWs());
@@ -42,5 +50,5 @@ main()
     std::printf("\n(Paper: best is 17%% over worst and 9%% over "
                 "average; IPC, Dcache, FQ, Composite and Score come "
                 "within 2%% of best.)\n");
-    return 0;
+    return harness.finish();
 }

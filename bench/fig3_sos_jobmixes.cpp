@@ -12,14 +12,18 @@
 #include "common/stats_util.hh"
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("fig3_sos_jobmixes", argc, argv);
+    const SimConfig &config = harness.config();
+    const stats::Group experiments = harness.group("experiments");
+    std::vector<std::unique_ptr<BatchExperiment>> kept;
     const auto predictors = makeAllPredictors();
 
     printBanner("Figure 3: WS achieved by SOS per predictor");
@@ -48,9 +52,21 @@ main()
     ParallelResult jpb, j2pb;
 
     for (const ExperimentSpec &spec : paperExperiments()) {
-        BatchExperiment exp(spec, config);
+        kept.push_back(std::make_unique<BatchExperiment>(spec, config));
+        BatchExperiment &exp = *kept.back();
         exp.runSamplePhase();
         exp.runSymbiosValidation();
+        const stats::Group expGroup =
+            experiments.group(stats::sanitizeSegment(spec.label));
+        exp.publishStats(expGroup);
+        if (harness.wantsTrace())
+            exp.recordTrace(harness.trace());
+        const stats::Group byPredictor = expGroup.group("predictors");
+        for (const auto &predictor : predictors) {
+            byPredictor.group(predictor->name())
+                .value("ws", "symbios WS trusting this predictor") =
+                exp.wsOfPredictor(*predictor);
+        }
 
         std::vector<std::string> cells{spec.label,
                                        fmt(exp.worstWs(), 3),
@@ -99,6 +115,15 @@ main()
                 "(paper: +7%% over average, +22%% over worst):\n"
                 "  vs average: %+.1f%%   vs worst: %+.1f%%\n",
                 score_vs_avg.mean(), score_vs_worst.mean());
+    {
+        const stats::Group headline = harness.group("score_headline");
+        headline.value("vs_avg_pct",
+                       "Score WS gain over the oblivious average") =
+            score_vs_avg.mean();
+        headline.value("vs_worst_pct",
+                       "Score WS gain over the worst schedule") =
+            score_vs_worst.mean();
+    }
 
     printBanner("Section 6: parallel workload scheduling");
     std::printf(
@@ -116,5 +141,5 @@ main()
     std::printf("\n(Paper: SOS coschedules tight-sync ARRAY threads; "
                 "for the loose-sync variant the best schedule splits "
                 "them, by ~13%%.)\n");
-    return 0;
+    return harness.finish();
 }

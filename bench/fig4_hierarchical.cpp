@@ -7,16 +7,22 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "sim/bench_harness.hh"
 #include "sim/hierarchical_experiment.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("fig4_hierarchical", argc, argv);
+    const SimConfig &config = harness.config();
+    const stats::Group experiments = harness.group("experiments");
+    std::vector<std::unique_ptr<HierarchicalExperiment>> kept;
 
     printBanner("Figure 4: hierarchical symbiosis improvements");
     // The paper plots the improvement "potentially achievable by SOS"
@@ -31,8 +37,14 @@ main()
     table.printHeader();
 
     for (const HierarchicalSpec &spec : hierarchicalExperiments()) {
-        HierarchicalExperiment exp(spec, config);
+        kept.push_back(
+            std::make_unique<HierarchicalExperiment>(spec, config));
+        HierarchicalExperiment &exp = *kept.back();
         exp.run();
+        exp.publishStats(
+            experiments.group(stats::sanitizeSegment(spec.label)));
+        if (harness.wantsTrace())
+            exp.recordTrace(harness.trace());
         const double potential_avg =
             100.0 * (exp.bestWs() - exp.averageWs()) / exp.averageWs();
         const double potential_worst =
@@ -55,6 +67,10 @@ main()
     example.workloads = {"mt_EP", "mt_ARRAY"};
     HierarchicalExperiment exp(example, config, 16);
     exp.run();
+    exp.publishStats(
+        experiments.group(stats::sanitizeSegment(example.label)));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
 
     TablePrinter detail({"allocation [EP,ARRAY]", "schedule", "WS"},
                         {22, 16, 7});
@@ -77,6 +93,10 @@ main()
     with_cg.workloads = {"CG", "mt_EP", "mt_ARRAY"};
     HierarchicalExperiment exp2(with_cg, config, 18);
     exp2.run();
+    exp2.publishStats(
+        experiments.group(stats::sanitizeSegment(with_cg.label)));
+    if (harness.wantsTrace())
+        exp2.recordTrace(harness.trace());
     const auto &best = exp2.candidates()[static_cast<std::size_t>(
         exp2.scoreBestIndex())];
     std::printf("SOS picks allocation %s (schedule %s), WS %.3f "
@@ -86,5 +106,5 @@ main()
                 exp2.bestWs(), exp2.averageWs());
     std::printf("(Paper: with CG in the mix the optimum becomes 1 "
                 "context for CG, 2 for EP, 1 for ARRAY.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -15,16 +15,18 @@
 #include <vector>
 
 #include "common/stats_util.hh"
+#include "sim/bench_harness.hh"
 #include "sim/open_system.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("fig5_response_time", argc, argv);
+    SimConfig &config = harness.config();
     // Open-system runs are long; default to a coarser scale than the
     // throughput benches unless the user chose one explicitly.
     if (std::getenv("SOS_CYCLE_SCALE") == nullptr)
@@ -56,22 +58,42 @@ main()
                 return compareResponseTimes(config, open);
             });
 
+    const stats::Group byLevel = harness.group("levels");
     for (std::size_t l = 0; l < levels.size(); ++l) {
         RunningStat improvement;
         RunningStat mean_n;
         int phases = 0;
+        int resample_job = 0;
+        int resample_timer = 0;
         std::string per_trace;
+        const stats::Group level =
+            byLevel.group(std::to_string(levels[l]));
+        stats::Distribution &per_trace_dist = level.distribution(
+            "improvement_pct", "per-trace SOS improvement");
         for (int t = 0; t < traces; ++t) {
             const ResponseComparison &comparison =
                 comparisons[l * static_cast<std::size_t>(traces) +
                             static_cast<std::size_t>(t)];
             improvement.push(comparison.improvementPct);
+            per_trace_dist.sample(comparison.improvementPct);
             mean_n.push(comparison.sos.meanJobsInSystem);
             phases += comparison.sos.samplePhases;
+            resample_job += comparison.sos.resamplesOnJobChange;
+            resample_timer += comparison.sos.resamplesOnTimer;
             if (t > 0)
                 per_trace += " ";
             per_trace += fmt(comparison.improvementPct, 1);
         }
+        level.value("mean_jobs_in_system",
+                    "mean queue length (Little's law)") = mean_n.mean();
+        level.scalar("sample_phases", "sample phases across traces") =
+            static_cast<std::uint64_t>(phases);
+        level.scalar("resamples_job_change",
+                     "resamples triggered by arrivals/departures") =
+            static_cast<std::uint64_t>(resample_job);
+        level.scalar("resamples_timer",
+                     "resamples triggered by the backoff timer") =
+            static_cast<std::uint64_t>(resample_timer);
         table.printRow({std::to_string(levels[l]),
                         fmt(improvement.mean(), 1), per_trace,
                         fmt(mean_n.mean(), 1), std::to_string(phases)});
@@ -79,5 +101,5 @@ main()
 
     std::printf("\n(Paper: improvements between 8%% and nearly 18%%, "
                 "including all sampling overhead.)\n");
-    return 0;
+    return harness.finish();
 }

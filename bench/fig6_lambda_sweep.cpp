@@ -11,16 +11,18 @@
 #include <vector>
 
 #include "common/stats_util.hh"
+#include "sim/bench_harness.hh"
 #include "sim/open_system.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("fig6_lambda_sweep", argc, argv);
+    SimConfig &config = harness.config();
     if (std::getenv("SOS_CYCLE_SCALE") == nullptr)
         config.cycleScale = 200;
     const int level = 3;
@@ -57,6 +59,7 @@ main()
                 return compareResponseTimes(config, open);
             });
 
+    const stats::Group byLambda = harness.group("lambda");
     for (std::size_t f = 0; f < factors.size(); ++f) {
         const double factor = factors[f];
         RunningStat improvement;
@@ -64,16 +67,25 @@ main()
         std::string per_trace;
         const auto lambda = static_cast<std::uint64_t>(
             factor * static_cast<double>(stable));
+        const stats::Group point =
+            byLambda.group("x" + fmt(factor, 2));
+        point.scalar("interarrival_paper_cycles",
+                     "mean interarrival time in paper cycles") = lambda;
+        stats::Distribution &per_trace_dist = point.distribution(
+            "improvement_pct", "per-trace SOS improvement");
         for (int t = 0; t < traces; ++t) {
             const ResponseComparison &comparison =
                 comparisons[f * static_cast<std::size_t>(traces) +
                             static_cast<std::size_t>(t)];
             improvement.push(comparison.improvementPct);
+            per_trace_dist.sample(comparison.improvementPct);
             mean_n.push(comparison.sos.meanJobsInSystem);
             if (t > 0)
                 per_trace += " ";
             per_trace += fmt(comparison.improvementPct, 1);
         }
+        point.value("mean_jobs_in_system",
+                    "mean queue length (Little's law)") = mean_n.mean();
         table.printRow(
             {fmtCycles(lambda),
              factor < 1.0 ? "heavy" : (factor > 1.3 ? "light" : "ref"),
@@ -84,5 +96,5 @@ main()
     std::printf("\n(Paper: SOS improves response time across arrival "
                 "rates; exact values differ per run because jobs, "
                 "lengths and arrival order are random.)\n");
-    return 0;
+    return harness.finish();
 }

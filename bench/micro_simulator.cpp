@@ -8,10 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/predictor.hh"
 #include "cpu/smt_core.hh"
 #include "mem/cache.hh"
 #include "sched/job.hh"
+#include "sim/bench_harness.hh"
 #include "trace/trace_generator.hh"
 #include "trace/workload_library.hh"
 
@@ -113,6 +117,68 @@ BM_PredictorScoring(benchmark::State &state)
 }
 BENCHMARK(BM_PredictorScoring);
 
+/**
+ * Deterministic throughput counters for the manifest: wall-clock
+ * timings vary run to run, so the manifest records the simulated-work
+ * side of each core configuration instead (fixed workloads, fixed
+ * cycle budget), which is reproducible bit for bit.
+ */
+void
+registerCoreThroughputStats(const stats::Group &group)
+{
+    for (const int level : {1, 2, 4, 6}) {
+        CoreParams params;
+        params.numContexts = level;
+        SmtCore core(params, MemParams{});
+        const char *names[] = {"EP", "FP", "MG", "GCC", "GO", "WAVE"};
+        std::vector<std::unique_ptr<Job>> jobs;
+        for (int t = 0; t < level; ++t) {
+            jobs.push_back(std::make_unique<Job>(
+                static_cast<std::uint32_t>(t + 1),
+                WorkloadLibrary::instance().get(names[t % 6]),
+                0xb0b0 + static_cast<std::uint64_t>(t), 1, false));
+            ThreadBinding binding;
+            binding.gen = &jobs.back()->generator(0);
+            binding.asid = jobs.back()->asid();
+            core.attachThread(t, binding);
+        }
+        PerfCounters pc;
+        core.run(10000, pc);
+        const stats::Group entry =
+            group.group("smt" + std::to_string(level));
+        entry.scalar("cycles", "simulated cycles") = pc.cycles;
+        entry.scalar("retired", "instructions retired") = pc.retired;
+        entry.value("ipc", "retired instructions per cycle") = pc.ipc();
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark owns the command line, so --out/--trace are
+    // peeled off before Initialize() sees (and rejects) them.
+    OutputPaths out = outputPathsFromEnv();
+    std::vector<char *> forwarded;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--out" || arg == "--trace") && i + 1 < argc) {
+            (arg == "--out" ? out.manifest : out.trace) = argv[++i];
+            continue;
+        }
+        forwarded.push_back(argv[i]);
+    }
+    int forwarded_argc = static_cast<int>(forwarded.size());
+
+    benchmark::Initialize(&forwarded_argc, forwarded.data());
+    if (benchmark::ReportUnrecognizedArguments(forwarded_argc,
+                                               forwarded.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    BenchHarness harness("micro_simulator", SimConfig{}, out);
+    registerCoreThroughputStats(harness.group("core_throughput"));
+    return harness.finish();
+}

@@ -9,13 +9,17 @@
 #include <cstdio>
 #include <string>
 
+#include "sim/bench_harness.hh"
 #include "sim/experiment_defs.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
+
+    BenchHarness harness("table1_jobmixes", argc, argv);
+    const stats::Group mixes = harness.group("mixes");
 
     printBanner("Table 1: applications used in all experiments");
     TablePrinter table({"Experiment", "Jobs"}, {36, 54});
@@ -29,6 +33,11 @@ main()
             jobs += mix.unitName(u);
         }
         table.printRow({label, jobs});
+        const stats::Group entry =
+            mixes.group(stats::sanitizeSegment(label));
+        entry.info("jobs", "comma-separated unit names") = jobs;
+        entry.scalar("units", "hardware units the mix occupies") =
+            static_cast<std::uint64_t>(mix.numUnits());
     };
 
     // Group the throughput experiments that share a jobmix, as the
@@ -50,5 +59,5 @@ main()
 
     std::printf("\n(FP is fpppp and MG is mgrid from SPEC95; mt_* jobs "
                 "are adaptive multithreaded.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -13,19 +13,25 @@
 
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sos;
 
-    const SimConfig config = benchConfigFromEnv();
+    BenchHarness harness("table3_predictors", argc, argv);
+    const SimConfig &config = harness.config();
     const ExperimentSpec &spec = experimentByLabel("Jsb(6,3,3)");
 
     BatchExperiment exp(spec, config);
     exp.runSamplePhase();
     exp.runSymbiosValidation();
+    exp.publishStats(
+        harness.group(stats::sanitizeSegment(spec.label)));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
 
     printBanner("Table 3: predictor data for " + spec.label);
     std::printf("sample phase: %s simulated cycles "
@@ -124,6 +130,7 @@ main()
     std::printf("\n(* = best value in the column; the paper bolds "
                 "these.)\n");
     std::printf("\nPredicted-best schedule per predictor:\n");
+    const stats::Group picks = harness.group("predictors");
     for (const auto &predictor : makeAllPredictors()) {
         const int index = exp.predictedIndex(*predictor);
         std::printf("  %-10s -> %-10s (symbios WS %.3f)\n",
@@ -131,6 +138,11 @@ main()
                     profiles[static_cast<std::size_t>(index)]
                         .label.c_str(),
                     exp.symbiosWs()[static_cast<std::size_t>(index)]);
+        const stats::Group pick = picks.group(predictor->name());
+        pick.info("schedule", "schedule this predictor selects") =
+            profiles[static_cast<std::size_t>(index)].label;
+        pick.value("ws", "symbios WS of the selected schedule") =
+            exp.symbiosWs()[static_cast<std::size_t>(index)];
     }
-    return 0;
+    return harness.finish();
 }

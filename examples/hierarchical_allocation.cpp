@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "sim/hierarchical_experiment.hh"
+#include "sim/config_env.hh"
 #include "sim/reporting.hh"
 
 int

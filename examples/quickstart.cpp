@@ -14,6 +14,7 @@
 
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/config_env.hh"
 #include "sim/reporting.hh"
 
 int

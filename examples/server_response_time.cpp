@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "sim/open_system.hh"
+#include "sim/config_env.hh"
 #include "sim/reporting.hh"
 
 int

@@ -15,6 +15,7 @@
 #include "cpu/smt_core.hh"
 #include "metrics/calibrator.hh"
 #include "sched/job.hh"
+#include "sim/config_env.hh"
 #include "sim/reporting.hh"
 #include "sim/sim_config.hh"
 #include "trace/workload_library.hh"

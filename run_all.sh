@@ -3,6 +3,11 @@
 # record), exiting nonzero if ctest or any bench binary fails so CI
 # can call this script directly.
 #
+# Every bench also writes its machine-readable run manifest to
+# results/<bench>.json (via --out); when python3 is available the
+# manifests are consolidated into results/manifest.json for cross-run
+# comparison tooling.
+#
 # SOS_JOBS controls the sweep worker threads of every bench (and is
 # also used as the ctest parallelism); unset means one worker per
 # hardware thread.
@@ -16,17 +21,51 @@ ctest --test-dir build --output-on-failure -j "$jobs" \
     >test_output.txt 2>&1 || status=$?
 cat test_output.txt
 
+mkdir -p results
 : >bench_output.txt
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
+        name="$(basename "$b")"
         echo "===== $b =====" >>bench_output.txt
-        if ! "$b" >>bench_output.txt 2>&1; then
+        if ! "$b" --out "results/$name.json" >>bench_output.txt 2>&1
+        then
             echo "FAILED: $b" >>bench_output.txt
             status=1
         fi
     fi
 done
 cat bench_output.txt
+
+# Consolidate the per-bench manifests (and validate that every one is
+# well-formed JSON) when python3 is around; the simulator itself never
+# depends on python.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' || status=1
+import json
+import os
+
+runs = {}
+for entry in sorted(os.listdir("results")):
+    if not entry.endswith(".json") or entry == "manifest.json":
+        continue
+    with open(os.path.join("results", entry)) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "sos.run-manifest", entry
+    runs[entry[: -len(".json")]] = doc
+
+with open("results/manifest.json", "w") as f:
+    json.dump(
+        {"schema": "sos.run-set", "schema_version": 1, "runs": runs},
+        f,
+        indent=2,
+        sort_keys=True,
+    )
+    f.write("\n")
+print("results/manifest.json: consolidated %d run manifests" % len(runs))
+EOF
+else
+    echo "python3 not found; skipping results/manifest.json" >&2
+fi
 
 if [ "$status" -ne 0 ]; then
     echo "run_all.sh: FAILURES DETECTED" >&2

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/stats_util.hh"
+#include "stats/stats.hh"
 
 namespace sos {
 
@@ -82,6 +83,84 @@ PerfCounters::mixImbalance() const
     const double fp_share = static_cast<double>(fpOps) / arith;
     const double int_share = static_cast<double>(intOps) / arith;
     return std::abs(fp_share - int_share);
+}
+
+void
+PerfCounters::registerStats(const stats::Group &group) const
+{
+    group.scalar("cycles", "simulated cycles in the interval")
+        .bind(&cycles);
+
+    const stats::Group pipeline = group.group("pipeline");
+    pipeline.scalar("fetched", "instructions fetched").bind(&fetched);
+    pipeline.scalar("dispatched", "instructions dispatched")
+        .bind(&dispatched);
+    pipeline.scalar("issued", "instructions issued").bind(&issued);
+    pipeline.scalar("retired", "instructions retired").bind(&retired);
+
+    const stats::Group mix = group.group("mix");
+    mix.scalar("int_ops", "integer ops at dispatch").bind(&intOps);
+    mix.scalar("fp_ops", "FP ops at dispatch").bind(&fpOps);
+    mix.scalar("loads", "loads at dispatch").bind(&loads);
+    mix.scalar("stores", "stores at dispatch").bind(&stores);
+    mix.scalar("branches", "branches at dispatch").bind(&branches);
+    mix.scalar("barriers", "barriers at dispatch").bind(&barriers);
+    mix.scalar("branch_mispredicts", "mispredicted branches")
+        .bind(&branchMispredicts);
+    mix.scalar("spin_ops", "busy-wait ops dispatched").bind(&spinOps);
+
+    const stats::Group conflicts = group.group("conflicts");
+    conflicts.scalar("int_queue", "INT issue-queue conflict cycles")
+        .bind(&confIntQueue);
+    conflicts.scalar("fp_queue", "FP issue-queue conflict cycles")
+        .bind(&confFpQueue);
+    conflicts.scalar("int_regs", "INT rename-register conflict cycles")
+        .bind(&confIntRegs);
+    conflicts.scalar("fp_regs", "FP rename-register conflict cycles")
+        .bind(&confFpRegs);
+    conflicts.scalar("rob", "reorder-buffer conflict cycles")
+        .bind(&confRob);
+    conflicts.scalar("int_units", "integer-unit conflict cycles")
+        .bind(&confIntUnits);
+    conflicts.scalar("fp_units", "FP-unit conflict cycles")
+        .bind(&confFpUnits);
+    conflicts.scalar("ls_ports", "load/store-port conflict cycles")
+        .bind(&confLsPorts);
+
+    // Cache and TLB counters, one subgroup per level.
+    const stats::Group mem = group.group("mem");
+    const stats::Group l1i = mem.group("l1i");
+    l1i.scalar("hits", "L1I demand hits").bind(&l1iHits);
+    l1i.scalar("misses", "L1I demand misses").bind(&l1iMisses);
+    const stats::Group l1d = mem.group("l1d");
+    l1d.scalar("hits", "L1D demand hits").bind(&l1dHits);
+    l1d.scalar("misses", "L1D demand misses").bind(&l1dMisses);
+    const stats::Group l2 = mem.group("l2");
+    l2.scalar("hits", "L2 demand hits").bind(&l2Hits);
+    l2.scalar("misses", "L2 demand misses").bind(&l2Misses);
+    mem.group("itlb")
+        .scalar("misses", "ITLB misses")
+        .bind(&itlbMisses);
+    mem.group("dtlb")
+        .scalar("misses", "DTLB misses")
+        .bind(&dtlbMisses);
+
+    // Derived rates, evaluated only when a sink dumps.
+    const stats::Group derived = group.group("derived");
+    derived.formula("ipc", "retired instructions per cycle",
+                    [this] { return ipc(); });
+    derived.formula("l1d_hit_rate", "L1D demand hit rate",
+                    [this] { return l1dHitRate(); });
+    derived.formula("all_conflict_pct",
+                    "sum of the eight conflict percentages",
+                    [this] { return allConflictPct(); });
+    derived.formula("mix_imbalance", "|fp - int| dispatch share",
+                    [this] { return mixImbalance(); });
+
+    stats::Vector &slots = group.vector(
+        "slot_retired", "retired instructions per context slot");
+    for (const std::uint64_t slot : slotRetired)
+        slots.push(static_cast<double>(slot));
 }
 
 } // namespace sos

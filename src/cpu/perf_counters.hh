@@ -19,6 +19,10 @@
 
 namespace sos {
 
+namespace stats {
+class Group;
+} // namespace stats
+
 /** Counter snapshot accumulated over a measurement interval. */
 struct PerfCounters
 {
@@ -96,6 +100,20 @@ struct PerfCounters
      * dispatched arithmetic mix (the Diversity predictor input).
      */
     double mixImbalance() const;
+
+    /**
+     * Register every counter (and the derived rates) under @p group,
+     * e.g. "<group>.pipeline.retired", "<group>.mem.l1d.misses",
+     * "<group>.derived.ipc".
+     *
+     * Stats *bind* to the raw fields: registration stores pointers
+     * that sinks read only at dump time, so the core's hot loops keep
+     * incrementing plain struct members with zero added indirection
+     * (the hot-path-free binding rule, DESIGN.md section 5b). This
+     * object must therefore outlive any dump of the registry, and
+     * must not be moved after registration.
+     */
+    void registerStats(const stats::Group &group) const;
 };
 
 } // namespace sos

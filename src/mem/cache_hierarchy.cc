@@ -1,5 +1,7 @@
 #include "cache_hierarchy.hh"
 
+#include "stats/stats.hh"
+
 namespace sos {
 
 CacheHierarchy::CacheHierarchy(const MemParams &params)
@@ -58,6 +60,22 @@ CacheHierarchy::flushAll()
     l2_.flush();
     itlb_.flush();
     dtlb_.flush();
+}
+
+void
+CacheHierarchy::registerStats(const stats::Group &group) const
+{
+    l1i_.registerStats(group.group("l1i"));
+    l1d_.registerStats(group.group("l1d"));
+    l2_.registerStats(group.group("l2"));
+    itlb_.registerStats(group.group("itlb"));
+    dtlb_.registerStats(group.group("dtlb"));
+    // The prefetcher count goes through a formula: its counter is
+    // private, and the accessor is only called at dump time anyway.
+    group.group("prefetcher")
+        .formula("issued", "prefetches issued", [this] {
+            return static_cast<double>(prefetcher_.issued());
+        });
 }
 
 } // namespace sos

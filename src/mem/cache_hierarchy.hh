@@ -76,6 +76,13 @@ class CacheHierarchy
     /** Invalidate everything (used between independent experiments). */
     void flushAll();
 
+    /**
+     * Register every level's counters under @p group: one subgroup
+     * per cache/TLB ("l1i", "l1d", "l2", "itlb", "dtlb") plus the
+     * prefetcher's issue count. Binding rules as Cache::registerStats.
+     */
+    void registerStats(const stats::Group &group) const;
+
     const MemParams &params() const { return params_; }
 
     /** @name Component access for stats and tests. @{ */

@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/weighted_speedup.hh"
+#include "stats/stats.hh"
+#include "stats/trace.hh"
 
 namespace sos {
 
@@ -166,6 +168,78 @@ BatchExperiment::wsOfPredictor(const Predictor &predictor) const
     SOS_ASSERT(!symbiosWs_.empty(), "run the symbios validation first");
     return symbiosWs_[static_cast<std::size_t>(
         predictedIndex(predictor))];
+}
+
+void
+BatchExperiment::publishStats(const stats::Group &group) const
+{
+    group.info("label", "experiment label") = spec_.label;
+    group.scalar("sample_phase_cycles",
+                 "simulated cycles spent profiling candidates")
+        .bind(&sampleCycles_);
+
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        const ScheduleProfile &profile = profiles_[i];
+        const stats::Group cand =
+            group.group("candidate" + std::to_string(i));
+        cand.info("schedule", "candidate schedule label") =
+            profile.label;
+        cand.value("sample_ws", "WS observed during the sample phase") =
+            profile.sampleWs;
+        cand.value("balance", "stddev of per-timeslice IPC") =
+            profile.balance();
+        cand.value("diversity", "mean per-timeslice mix imbalance") =
+            profile.diversity();
+        if (i < symbiosWs_.size())
+            cand.value("ws", "symbios-phase weighted speedup") =
+                symbiosWs_[i];
+        profile.counters.registerStats(cand.group("counters"));
+    }
+
+    if (!symbiosWs_.empty()) {
+        const stats::Group summary = group.group("summary");
+        summary.value("best_ws", "best symbios WS in the sample") =
+            bestWs();
+        summary.value("worst_ws", "worst symbios WS in the sample") =
+            worstWs();
+        summary.value("avg_ws",
+                      "oblivious-scheduler expectation over the sample") =
+            averageWs();
+    }
+}
+
+void
+BatchExperiment::recordTrace(stats::EventTrace &trace) const
+{
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        trace.event("sample_candidate")
+            .field("experiment", spec_.label)
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("schedule", profiles_[i].label)
+            .field("sample_ws", profiles_[i].sampleWs)
+            .field("ipc", profiles_[i].counters.ipc());
+    }
+    if (symbiosWs_.empty())
+        return;
+
+    for (const std::unique_ptr<Predictor> &predictor :
+         makeAllPredictors()) {
+        const int pick = predictedIndex(*predictor);
+        trace.event("predictor_vote")
+            .field("experiment", spec_.label)
+            .field("predictor", predictor->name())
+            .field("pick", pick)
+            .field("schedule",
+                   profiles_[static_cast<std::size_t>(pick)].label)
+            .field("ws", symbiosWs_[static_cast<std::size_t>(pick)]);
+    }
+    for (std::size_t i = 0; i < symbiosWs_.size(); ++i) {
+        trace.event("symbios_result")
+            .field("experiment", spec_.label)
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("schedule", profiles_[i].label)
+            .field("ws", symbiosWs_[i]);
+    }
 }
 
 } // namespace sos

@@ -34,6 +34,11 @@
 
 namespace sos {
 
+namespace stats {
+class EventTrace;
+class Group;
+} // namespace stats
+
 /** Runs the sample and symbios phases of one Table 1 experiment. */
 class BatchExperiment
 {
@@ -82,6 +87,27 @@ class BatchExperiment
 
     /** Symbios WS attained by trusting the given predictor. */
     double wsOfPredictor(const Predictor &predictor) const;
+
+    /**
+     * Register everything this experiment measured under @p group:
+     * one "candidate<i>" subtree per sampled schedule (label, sample
+     * and symbios WS, balance/diversity signals, the full counter
+     * snapshot) plus the sample-phase cost and, once the symbios
+     * validation ran, the best/worst/average summary. Stats bind to
+     * this experiment's storage, so it must outlive any dump. Call
+     * after the phases you want visible have completed.
+     */
+    void publishStats(const stats::Group &group) const;
+
+    /**
+     * Append this experiment's scheduler decisions to @p trace: one
+     * "sample_candidate" event per profiled schedule, then (after the
+     * symbios validation) every predictor's "predictor_vote" and the
+     * measured "symbios_result" per candidate. Events are appended
+     * from the merged, index-ordered results, preserving the sweep
+     * determinism contract.
+     */
+    void recordTrace(stats::EventTrace &trace) const;
 
   private:
     /** Engine quantum for this experiment in simulated cycles. */

@@ -1,0 +1,36 @@
+#include "bench_harness.hh"
+
+#include "sim/params_io.hh"
+
+namespace sos {
+
+BenchHarness::BenchHarness(std::string tool, int argc, char **argv)
+    : tool_(std::move(tool)), options_(parseBenchArgs(argc, argv))
+{
+}
+
+BenchHarness::BenchHarness(std::string tool, SimConfig config,
+                           OutputPaths out)
+    : tool_(std::move(tool))
+{
+    options_.config = config;
+    options_.out = std::move(out);
+}
+
+int
+BenchHarness::finish() const
+{
+    if (!options_.out.manifest.empty()) {
+        stats::Manifest manifest;
+        manifest.tool = tool_;
+        manifest.seed = options_.config.seed;
+        manifest.config = configPairs(options_.config);
+        stats::writeManifestFile(options_.out.manifest, manifest,
+                                 registry_);
+    }
+    if (!options_.out.trace.empty())
+        trace_.writeFile(options_.out.trace);
+    return 0;
+}
+
+} // namespace sos

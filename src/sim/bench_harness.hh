@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Common scaffolding for the bench binaries and the sossim CLI.
+ *
+ * A harness owns the parsed configuration, the run's stats Registry,
+ * and its decision EventTrace. Bench mains construct one from
+ * (tool, argc, argv), register stats while printing their usual
+ * tables, and end with `return harness.finish();` -- which writes the
+ * schema-versioned JSON manifest (--out / SOS_OUT) and the JSONL
+ * decision trace (--trace / SOS_TRACE) when requested, and is a no-op
+ * otherwise. One call site per binary keeps every harness's
+ * machine-readable output identical in shape.
+ */
+
+#ifndef SOS_SIM_BENCH_HARNESS_HH
+#define SOS_SIM_BENCH_HARNESS_HH
+
+#include <string>
+
+#include "sim/config_env.hh"
+#include "stats/manifest.hh"
+#include "stats/stats.hh"
+#include "stats/trace.hh"
+
+namespace sos {
+
+/** Configuration, stats and outputs of one harness run. */
+class BenchHarness
+{
+  public:
+    /** Bench-main entry: parses the standard command line. */
+    BenchHarness(std::string tool, int argc, char **argv);
+
+    /** CLI entry (sossim): configuration and outputs already parsed. */
+    BenchHarness(std::string tool, SimConfig config, OutputPaths out);
+
+    /** Effective configuration; mutable so harnesses may tweak it. */
+    SimConfig &config() { return options_.config; }
+    const SimConfig &config() const { return options_.config; }
+
+    stats::Registry &registry() { return registry_; }
+
+    /** Root registration handle. */
+    stats::Group root() { return stats::Group(registry_); }
+
+    /** Registration handle under one top-level group. */
+    stats::Group
+    group(const std::string &name)
+    {
+        return root().group(name);
+    }
+
+    /** The run's decision trace (populated only when requested). */
+    stats::EventTrace &trace() { return trace_; }
+
+    /** True when --trace / SOS_TRACE asked for decision events. */
+    bool wantsTrace() const { return !options_.out.trace.empty(); }
+
+    /**
+     * Write the manifest and trace if their destinations were set.
+     * Returns the process exit status (0), so mains can end with
+     * `return harness.finish();`.
+     */
+    int finish() const;
+
+  private:
+    std::string tool_;
+    BenchOptions options_;
+    stats::Registry registry_;
+    stats::EventTrace trace_;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_BENCH_HARNESS_HH

@@ -1,0 +1,70 @@
+#include "config_env.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/params_io.hh"
+
+namespace sos {
+
+SimConfig
+benchConfigFromEnv()
+{
+    SimConfig config = makeBenchConfig();
+    if (const char *scale = std::getenv("SOS_CYCLE_SCALE")) {
+        const long value = std::strtol(scale, nullptr, 10);
+        if (value <= 0)
+            fatal("SOS_CYCLE_SCALE must be a positive integer");
+        config.cycleScale = static_cast<std::uint64_t>(value);
+    }
+    if (const char *seed = std::getenv("SOS_SEED")) {
+        config.seed = std::strtoull(seed, nullptr, 10);
+    }
+    // Sweep worker threads; resolveJobs() validates the value and
+    // falls back to the hardware concurrency when unset.
+    config.jobs = resolveJobs(0);
+    return config;
+}
+
+OutputPaths
+outputPathsFromEnv()
+{
+    OutputPaths out;
+    if (const char *path = std::getenv("SOS_OUT"))
+        out.manifest = path;
+    if (const char *path = std::getenv("SOS_TRACE"))
+        out.trace = path;
+    return out;
+}
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    options.config = benchConfigFromEnv();
+    options.out = outputPathsFromEnv();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal(flag, " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "--set")
+            applyOverride(options.config, valueOf("--set"));
+        else if (arg == "--jobs")
+            applyOverride(options.config, "jobs=" + valueOf("--jobs"));
+        else if (arg == "--out")
+            options.out.manifest = valueOf("--out");
+        else if (arg == "--trace")
+            options.out.trace = valueOf("--trace");
+        else
+            fatal("unknown argument '", arg,
+                  "' (bench harnesses accept --set key=value, "
+                  "--jobs N, --out FILE, --trace FILE)");
+    }
+    return options;
+}
+
+} // namespace sos

@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/calibrator.hh"
+#include "stats/stats.hh"
+#include "stats/trace.hh"
 
 namespace sos {
 
@@ -188,6 +190,77 @@ double
 HierarchicalExperiment::improvementOverWorstPct() const
 {
     return 100.0 * (scoreWs() - worstWs()) / worstWs();
+}
+
+void
+HierarchicalExperiment::publishStats(const stats::Group &group) const
+{
+    group.info("label", "hierarchical mix label") = spec_.label;
+
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        const HierarchicalCandidate &candidate = candidates_[i];
+        const stats::Group cand =
+            group.group("candidate" + std::to_string(i));
+        cand.info("allocation", "threads granted per job") =
+            candidate.plan.label();
+        cand.info("schedule", "candidate schedule label") =
+            candidate.schedule.label();
+        cand.value("sample_ws", "WS observed during the sample phase") =
+            candidate.profile.sampleWs;
+        cand.value("ws", "symbios-phase weighted speedup") =
+            candidate.symbiosWs;
+        candidate.profile.counters.registerStats(
+            cand.group("counters"));
+    }
+
+    const stats::Group summary = group.group("summary");
+    summary.value("best_ws", "best symbios WS in the sample") =
+        bestWs();
+    summary.value("worst_ws", "worst symbios WS in the sample") =
+        worstWs();
+    summary.value("avg_ws",
+                  "oblivious-scheduler expectation over the sample") =
+        averageWs();
+    summary.scalar("score_pick", "candidate index Score selects") =
+        static_cast<std::uint64_t>(scoreBestIndex());
+    summary.value("score_ws", "symbios WS of the Score pick") =
+        scoreWs();
+    summary.value("improvement_over_avg_pct",
+                  "Figure 4 bar: Score vs average") =
+        improvementOverAveragePct();
+    summary.value("improvement_over_worst_pct",
+                  "Figure 4 bar: Score vs worst") =
+        improvementOverWorstPct();
+}
+
+void
+HierarchicalExperiment::recordTrace(stats::EventTrace &trace) const
+{
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        const HierarchicalCandidate &candidate = candidates_[i];
+        trace.event("sample_candidate")
+            .field("experiment", spec_.label)
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("allocation", candidate.plan.label())
+            .field("schedule", candidate.schedule.label())
+            .field("sample_ws", candidate.profile.sampleWs);
+    }
+    const int pick = scoreBestIndex();
+    trace.event("symbios_pick")
+        .field("experiment", spec_.label)
+        .field("predictor", "Score")
+        .field("pick", pick)
+        .field("allocation",
+               candidates_[static_cast<std::size_t>(pick)].plan.label())
+        .field("schedule", candidates_[static_cast<std::size_t>(pick)]
+                               .schedule.label())
+        .field("ws", scoreWs());
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        trace.event("symbios_result")
+            .field("experiment", spec_.label)
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("ws", candidates_[i].symbiosWs);
+    }
 }
 
 } // namespace sos

@@ -32,6 +32,11 @@
 
 namespace sos {
 
+namespace stats {
+class EventTrace;
+class Group;
+} // namespace stats
+
 /** One (allocation, schedule) choice available to hierarchical SOS. */
 struct HierarchicalCandidate
 {
@@ -75,6 +80,21 @@ class HierarchicalExperiment
     /** Figure 4 bars: Score's % improvement over the average/worst. */
     double improvementOverAveragePct() const;
     double improvementOverWorstPct() const;
+
+    /**
+     * Register the measured candidates under @p group: a
+     * "candidate<i>" subtree per (plan, schedule) pair plus the
+     * Figure 4 summary. Stats bind to this experiment's storage; call
+     * after run() and keep the experiment alive for any dump.
+     */
+    void publishStats(const stats::Group &group) const;
+
+    /**
+     * Append the sample candidates, Score's "symbios_pick" and the
+     * per-candidate "symbios_result" events to @p trace, in candidate
+     * index order.
+     */
+    void recordTrace(stats::EventTrace &trace) const;
 
   private:
     /** Fresh mix with @p plan applied and soloIpc references set. */

@@ -15,6 +15,7 @@
 #include "sched/schedule.hh"
 #include "sim/experiment_defs.hh"
 #include "sim/timeslice_engine.hh"
+#include "stats/trace.hh"
 #include "trace/workload_library.hh"
 
 namespace sos {
@@ -112,10 +113,11 @@ class SosDriver
     SosDriver(int level, int sample_schedules,
               const std::string &predictor,
               std::uint64_t base_interval, std::uint64_t timeslice,
-              std::uint64_t seed)
+              std::uint64_t seed, stats::EventTrace *events)
         : level_(level), sampleSchedules_(sample_schedules),
           timeslice_(timeslice), resample_(base_interval),
-          predictor_(makePredictor(predictor)), rng_(seed)
+          predictor_(makePredictor(predictor)), rng_(seed),
+          events_(events)
     {
     }
 
@@ -183,6 +185,8 @@ class SosDriver
         return sampleCyclesSpent_ * timeslice_;
     }
     int samplePhases() const { return samplePhases_; }
+    int jobChangeResamples() const { return jobChangeResamples_; }
+    int timerResamples() const { return timerResamples_; }
 
   private:
     void
@@ -224,6 +228,20 @@ class SosDriver
         candidates_ = space.sample(count, rng_);
         sampling_ = true;
         ++samplePhases_;
+        if (timer_triggered)
+            ++timerResamples_;
+        else
+            ++jobChangeResamples_;
+        if (events_) {
+            events_->event("sample_phase_begin")
+                .field("phase", samplePhases_)
+                .field("trigger",
+                       timer_triggered ? "timer" : "job_change")
+                .field("jobs", num_jobs)
+                .field("candidates",
+                       static_cast<std::uint64_t>(candidates_.size()))
+                .field("slices_per_candidate", candidateSlices_);
+        }
     }
 
     void
@@ -238,6 +256,14 @@ class SosDriver
         sampling_ = false;
         symbiosSlice_ = 0;
         symbiosElapsed_ = 0;
+        if (events_) {
+            events_->event("symbios_pick")
+                .field("phase", samplePhases_)
+                .field("predictor", predictor_->name())
+                .field("pick", best)
+                .field("schedule", current_.label())
+                .field("changed", changed);
+        }
     }
 
     int level_;
@@ -263,13 +289,17 @@ class SosDriver
     std::uint64_t symbiosElapsed_ = 0;
     std::uint64_t sampleCyclesSpent_ = 0; // in timeslices
     int samplePhases_ = 0;
+    int jobChangeResamples_ = 0;
+    int timerResamples_ = 0;
+    stats::EventTrace *events_;
 };
 
 } // namespace
 
 OpenSystemResult
 runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
-              const std::vector<JobArrival> &trace, OpenPolicy policy)
+              const std::vector<JobArrival> &trace, OpenPolicy policy,
+              stats::EventTrace *events)
 {
     SOS_ASSERT(!trace.empty());
     const std::uint64_t timeslice = sim.timesliceCycles();
@@ -282,7 +312,8 @@ runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
     SosDriver sos(config.level, config.sampleSchedules,
                   config.predictor,
                   sim.scaled(config.effectiveInterarrivalPaper()),
-                  timeslice, config.seed ^ 0x5051d67eULL);
+                  timeslice, config.seed ^ 0x5051d67eULL,
+                  policy == OpenPolicy::Sos ? events : nullptr);
 
     OpenSystemResult result;
     result.responseByArrival.assign(trace.size(), 0);
@@ -401,6 +432,8 @@ runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
     result.totalCycles = now;
     result.sampleCycles = sos.sampleCyclesSpent();
     result.samplePhases = sos.samplePhases();
+    result.resamplesOnJobChange = sos.jobChangeResamples();
+    result.resamplesOnTimer = sos.timerResamples();
     return result;
 }
 

@@ -30,6 +30,10 @@
 
 namespace sos {
 
+namespace stats {
+class EventTrace;
+} // namespace stats
+
 /** One pregenerated job arrival. */
 struct JobArrival
 {
@@ -86,6 +90,10 @@ struct OpenSystemResult
     std::uint64_t totalCycles = 0;
     std::uint64_t sampleCycles = 0; ///< cycles spent in sample phases
     int samplePhases = 0;
+    /** Resamples forced by a job arriving or departing. */
+    int resamplesOnJobChange = 0;
+    /** Resamples triggered by the backoff timer expiring. */
+    int resamplesOnTimer = 0;
     /** Response time per arrival index (matches the trace order). */
     std::vector<std::uint64_t> responseByArrival;
 };
@@ -101,11 +109,19 @@ enum class OpenPolicy
 std::vector<JobArrival> makeArrivalTrace(const SimConfig &sim,
                                          const OpenSystemConfig &config);
 
-/** Run one policy over a trace. */
+/**
+ * Run one policy over a trace.
+ *
+ * When @p events is non-null, the SOS driver's decisions -- each
+ * "sample_phase_begin" (with its trigger: job_change or timer) and
+ * each "symbios_pick" -- are appended to it. The run is serial, so
+ * inline emission is deterministic.
+ */
 OpenSystemResult runOpenSystem(const SimConfig &sim,
                                const OpenSystemConfig &config,
                                const std::vector<JobArrival> &trace,
-                               OpenPolicy policy);
+                               OpenPolicy policy,
+                               stats::EventTrace *events = nullptr);
 
 /** Side-by-side comparison used by Figures 5 and 6. */
 struct ResponseComparison

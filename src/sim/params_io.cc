@@ -202,4 +202,20 @@ renderConfig(const SimConfig &config)
     return os.str();
 }
 
+std::vector<std::pair<std::string, std::string>>
+configPairs(const SimConfig &config)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(fields().size());
+    for (const Field &field : fields()) {
+        // The sweep worker count is host parallelism, not simulation
+        // configuration: results are bit-identical across it, and the
+        // manifest must be too.
+        if (std::string("jobs") == field.key)
+            continue;
+        out.emplace_back(field.key, field.get(config));
+    }
+    return out;
+}
+
 } // namespace sos

@@ -12,6 +12,7 @@
 #define SOS_SIM_PARAMS_IO_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/sim_config.hh"
@@ -38,6 +39,13 @@ void applyOverrides(SimConfig &config,
 
 /** Render the full configuration as "key=value" lines. */
 std::string renderConfig(const SimConfig &config);
+
+/**
+ * The full configuration as ordered key/value pairs (the "config"
+ * section of a run manifest; same keys as `sossim params`).
+ */
+std::vector<std::pair<std::string, std::string>>
+configPairs(const SimConfig &config);
 
 } // namespace sos
 

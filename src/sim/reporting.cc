@@ -1,11 +1,8 @@
 #include "reporting.hh"
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/logging.hh"
-#include "common/thread_pool.hh"
-#include "sim/sim_config.hh"
 
 namespace sos {
 
@@ -31,8 +28,9 @@ fmtCycles(std::uint64_t cycles)
         std::snprintf(buffer, sizeof(buffer), "%.1fK",
                       static_cast<double>(cycles) / 1e3);
     } else {
-        std::snprintf(buffer, sizeof(buffer), "%llu",
-                      static_cast<unsigned long long>(cycles));
+        // std::to_string sidesteps the %llu-vs-PRIu64 portability
+        // trap for std::uint64_t (-Wformat on LP64 clang).
+        return std::to_string(cycles);
     }
     return buffer;
 }
@@ -89,25 +87,6 @@ void
 printBanner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
-}
-
-SimConfig
-benchConfigFromEnv()
-{
-    SimConfig config = makeBenchConfig();
-    if (const char *scale = std::getenv("SOS_CYCLE_SCALE")) {
-        const long value = std::strtol(scale, nullptr, 10);
-        if (value <= 0)
-            fatal("SOS_CYCLE_SCALE must be a positive integer");
-        config.cycleScale = static_cast<std::uint64_t>(value);
-    }
-    if (const char *seed = std::getenv("SOS_SEED")) {
-        config.seed = std::strtoull(seed, nullptr, 10);
-    }
-    // Sweep worker threads; resolveJobs() validates the value and
-    // falls back to the hardware concurrency when unset.
-    config.jobs = resolveJobs(0);
-    return config;
 }
 
 } // namespace sos

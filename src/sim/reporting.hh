@@ -43,14 +43,6 @@ class TablePrinter
 /** Print a section banner. */
 void printBanner(const std::string &title);
 
-/**
- * Read the standard environment overrides used by every bench binary:
- * SOS_CYCLE_SCALE (cycle scale divisor), SOS_SEED, and SOS_JOBS
- * (sweep worker threads).
- */
-struct SimConfig;
-SimConfig benchConfigFromEnv();
-
 } // namespace sos
 
 #endif // SOS_SIM_REPORTING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Schema-versioned JSON run manifests.
+ *
+ * A manifest is the machine-readable record of one harness run: what
+ * binary ran, at which git revision, with which configuration and
+ * seed, and every stat the run registered. Manifests are emitted next
+ * to the human-readable tables (--out FILE / SOS_OUT=FILE) and are
+ * the substrate cross-PR performance comparisons are built on.
+ *
+ * Determinism: a manifest is a pure function of (tool, config, seed,
+ * registry contents). There is deliberately no timestamp or hostname,
+ * so two runs of the same binary with the same seed -- at any worker
+ * count -- produce bit-identical files (the PR-1 determinism contract
+ * extended to observability output).
+ *
+ * Schema (version 1):
+ * {
+ *   "schema": "sos.run-manifest",
+ *   "schema_version": 1,
+ *   "tool": "<binary name>",
+ *   "git_rev": "<short rev or 'unknown'>",
+ *   "seed": <uint>,
+ *   "config": { "<key>": "<value>", ... },
+ *   "stats": { <nested tree; leaves per stat kind> }
+ * }
+ */
+
+#ifndef SOS_STATS_MANIFEST_HH
+#define SOS_STATS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace sos::stats {
+
+/** Identity of one run, written at the top of its manifest. */
+struct Manifest
+{
+    /** Current manifest schema version. */
+    static constexpr int schemaVersion = 1;
+
+    /** Value of the "schema" discriminator field. */
+    static const char *schemaName() { return "sos.run-manifest"; }
+
+    /** Binary that produced the run ("fig1_ws_range", "sossim"). */
+    std::string tool;
+
+    /** Git revision baked in at build time; "unknown" outside git. */
+    std::string gitRev = buildGitRev();
+
+    /** Master seed of the run. */
+    std::uint64_t seed = 0;
+
+    /** Effective configuration as ordered key/value pairs. */
+    std::vector<std::pair<std::string, std::string>> config;
+
+    /** The short revision the library was built from. */
+    static std::string buildGitRev();
+};
+
+/** Render the manifest plus registry as one JSON document. */
+std::string renderManifest(const Manifest &manifest,
+                           const Registry &registry);
+
+/**
+ * Write the manifest to @p path (fatal() on I/O failure, as a bad
+ * --out destination is a user error).
+ */
+void writeManifestFile(const std::string &path, const Manifest &manifest,
+                       const Registry &registry);
+
+} // namespace sos::stats
+
+#endif // SOS_STATS_MANIFEST_HH

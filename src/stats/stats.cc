@@ -1,0 +1,415 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/json.hh"
+
+namespace sos::stats {
+
+Stat::Stat(std::string path, std::string desc, Kind kind)
+    : path_(std::move(path)), desc_(std::move(desc)), kind_(kind)
+{
+}
+
+void
+Scalar::writeJson(JsonWriter &json) const
+{
+    json.number(value());
+}
+
+std::string
+Scalar::renderText() const
+{
+    return std::to_string(value());
+}
+
+void
+Value::writeJson(JsonWriter &json) const
+{
+    json.number(value());
+}
+
+std::string
+Value::renderText() const
+{
+    return formatDouble(value());
+}
+
+Formula::Formula(std::string path, std::string desc,
+                 std::function<double()> fn)
+    : Stat(std::move(path), std::move(desc), Kind::Formula),
+      fn_(std::move(fn))
+{
+    if (!fn_)
+        throw std::invalid_argument("stats: Formula '" + this->path() +
+                                    "' needs a callable");
+}
+
+void
+Formula::writeJson(JsonWriter &json) const
+{
+    json.number(value());
+}
+
+std::string
+Formula::renderText() const
+{
+    return formatDouble(value());
+}
+
+void
+Distribution::sample(double x)
+{
+    // Welford, matching RunningStat's population convention.
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+double
+Distribution::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+void
+Distribution::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("count");
+    json.number(static_cast<std::uint64_t>(n_));
+    json.key("mean");
+    json.number(mean());
+    json.key("stddev");
+    json.number(stddev());
+    json.key("min");
+    json.number(min());
+    json.key("max");
+    json.number(max());
+    json.endObject();
+}
+
+std::string
+Distribution::renderText() const
+{
+    return "n=" + std::to_string(n_) + " mean=" + formatDouble(mean()) +
+           " sd=" + formatDouble(stddev()) + " min=" +
+           formatDouble(min()) + " max=" + formatDouble(max());
+}
+
+Vector &
+Vector::push(double v)
+{
+    if (!names_.empty())
+        throw std::invalid_argument(
+            "stats: Vector '" + path() +
+            "' mixes named and unnamed elements");
+    values_.push_back(v);
+    return *this;
+}
+
+Vector &
+Vector::push(const std::string &name, double v)
+{
+    if (names_.size() != values_.size())
+        throw std::invalid_argument(
+            "stats: Vector '" + path() +
+            "' mixes named and unnamed elements");
+    names_.push_back(name);
+    values_.push_back(v);
+    return *this;
+}
+
+void
+Vector::writeJson(JsonWriter &json) const
+{
+    if (names_.empty()) {
+        json.beginArray();
+        for (const double v : values_)
+            json.number(v);
+        json.endArray();
+    } else {
+        json.beginObject();
+        for (std::size_t i = 0; i < values_.size(); ++i) {
+            json.key(names_[i]);
+            json.number(values_[i]);
+        }
+        json.endObject();
+    }
+}
+
+std::string
+Vector::renderText() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i > 0)
+            out += " ";
+        if (!names_.empty())
+            out += names_[i] + "=";
+        out += formatDouble(values_[i]);
+    }
+    return out + "]";
+}
+
+void
+Info::writeJson(JsonWriter &json) const
+{
+    json.string(value_);
+}
+
+std::string
+Info::renderText() const
+{
+    return value_;
+}
+
+std::string
+sanitizeSegment(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        const bool keep =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || c == '_' || c == '-' ||
+            c == '(' || c == ')' || c == '[' || c == ']' || c == ',' ||
+            c == '+' || c == '=';
+        out += keep ? c : '_';
+    }
+    return out.empty() ? std::string("_") : out;
+}
+
+void
+Registry::checkInsertable(const std::string &path) const
+{
+    if (path.empty())
+        throw std::invalid_argument("stats: empty path");
+    if (path.front() == '.' || path.back() == '.' ||
+        path.find("..") != std::string::npos)
+        throw std::invalid_argument("stats: malformed path '" + path +
+                                    "' (empty segment)");
+    for (const char c : path) {
+        if (c == '"' || c == '\\' || std::isspace(
+                static_cast<unsigned char>(c)))
+            throw std::invalid_argument(
+                "stats: path '" + path +
+                "' contains whitespace or quoting characters");
+    }
+    if (stats_.count(path))
+        throw std::invalid_argument("stats: duplicate path '" + path +
+                                    "'");
+    // A leaf may not also be an interior node of the JSON tree: no
+    // registered path may be a dotted prefix of another.
+    const auto after = stats_.lower_bound(path);
+    if (after != stats_.end() &&
+        after->first.compare(0, path.size() + 1, path + ".") == 0)
+        throw std::invalid_argument(
+            "stats: '" + path + "' would shadow existing subtree '" +
+            after->first + "'");
+    for (std::size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1)) {
+        if (stats_.count(path.substr(0, dot)))
+            throw std::invalid_argument(
+                "stats: '" + path + "' nests under existing leaf '" +
+                path.substr(0, dot) + "'");
+    }
+}
+
+template <typename StatT, typename... Args>
+StatT &
+Registry::add(const std::string &path, Args &&...args)
+{
+    checkInsertable(path);
+    auto stat =
+        std::make_unique<StatT>(path, std::forward<Args>(args)...);
+    StatT &ref = *stat;
+    stats_.emplace(path, std::move(stat));
+    return ref;
+}
+
+Scalar &
+Registry::scalar(const std::string &path, std::string desc)
+{
+    return add<Scalar>(path, std::move(desc), Kind::Scalar);
+}
+
+Value &
+Registry::value(const std::string &path, std::string desc)
+{
+    return add<Value>(path, std::move(desc), Kind::Value);
+}
+
+Formula &
+Registry::formula(const std::string &path, std::string desc,
+                  std::function<double()> fn)
+{
+    return add<Formula>(path, std::move(desc), std::move(fn));
+}
+
+Distribution &
+Registry::distribution(const std::string &path, std::string desc)
+{
+    return add<Distribution>(path, std::move(desc), Kind::Distribution);
+}
+
+Vector &
+Registry::vector(const std::string &path, std::string desc)
+{
+    return add<Vector>(path, std::move(desc), Kind::Vector);
+}
+
+Info &
+Registry::info(const std::string &path, std::string desc)
+{
+    return add<Info>(path, std::move(desc), Kind::Info);
+}
+
+const Stat *
+Registry::find(const std::string &path) const
+{
+    const auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Stat *>
+Registry::sorted() const
+{
+    std::vector<const Stat *> out;
+    out.reserve(stats_.size());
+    for (const auto &[path, stat] : stats_)
+        out.push_back(stat.get());
+    return out;
+}
+
+Group
+Group::group(const std::string &name) const
+{
+    return Group(*registry_, join(name));
+}
+
+std::string
+Group::join(const std::string &name) const
+{
+    const std::string segment = sanitizeSegment(name);
+    return prefix_.empty() ? segment : prefix_ + "." + segment;
+}
+
+Scalar &
+Group::scalar(const std::string &name, std::string desc) const
+{
+    return registry_->scalar(join(name), std::move(desc));
+}
+
+Value &
+Group::value(const std::string &name, std::string desc) const
+{
+    return registry_->value(join(name), std::move(desc));
+}
+
+Formula &
+Group::formula(const std::string &name, std::string desc,
+               std::function<double()> fn) const
+{
+    return registry_->formula(join(name), std::move(desc),
+                              std::move(fn));
+}
+
+Distribution &
+Group::distribution(const std::string &name, std::string desc) const
+{
+    return registry_->distribution(join(name), std::move(desc));
+}
+
+Vector &
+Group::vector(const std::string &name, std::string desc) const
+{
+    return registry_->vector(join(name), std::move(desc));
+}
+
+Info &
+Group::info(const std::string &name, std::string desc) const
+{
+    return registry_->info(join(name), std::move(desc));
+}
+
+std::string
+renderText(const Registry &registry)
+{
+    std::size_t width = 0;
+    for (const Stat *stat : registry.sorted())
+        width = std::max(width, stat->path().size());
+    std::string out;
+    for (const Stat *stat : registry.sorted()) {
+        std::string line = stat->path();
+        line.append(width - line.size() + 2, ' ');
+        line += stat->renderText();
+        if (!stat->desc().empty()) {
+            line += "  # ";
+            line += stat->desc();
+        }
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeJsonTree(const Registry &registry, JsonWriter &json)
+{
+    // Sorted paths visit the tree depth-first, so a simple stack of
+    // open prefixes reproduces the nesting.
+    std::vector<std::string> open;
+    json.beginObject();
+    for (const Stat *stat : registry.sorted()) {
+        // Split the path into segments.
+        std::vector<std::string> segments;
+        const std::string &path = stat->path();
+        std::size_t start = 0;
+        for (std::size_t dot = path.find('.');;
+             dot = path.find('.', start)) {
+            if (dot == std::string::npos) {
+                segments.push_back(path.substr(start));
+                break;
+            }
+            segments.push_back(path.substr(start, dot - start));
+            start = dot + 1;
+        }
+        // Close groups that the new path has left.
+        std::size_t common = 0;
+        while (common < open.size() && common + 1 < segments.size() &&
+               open[common] == segments[common])
+            ++common;
+        while (open.size() > common) {
+            json.endObject();
+            open.pop_back();
+        }
+        // Open the new path's groups.
+        for (std::size_t s = common; s + 1 < segments.size(); ++s) {
+            json.key(segments[s]);
+            json.beginObject();
+            open.push_back(segments[s]);
+        }
+        json.key(segments.back());
+        stat->writeJson(json);
+    }
+    while (!open.empty()) {
+        json.endObject();
+        open.pop_back();
+    }
+    json.endObject();
+}
+
+} // namespace sos::stats

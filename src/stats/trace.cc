@@ -1,0 +1,105 @@
+#include "trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "stats/json.hh"
+
+namespace sos::stats {
+
+namespace {
+
+void
+appendField(std::string *line, const std::string &name,
+            const std::string &rendered_value)
+{
+    *line += ",\"";
+    *line += escapeJson(name);
+    *line += "\":";
+    *line += rendered_value;
+}
+
+} // namespace
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name,
+                         const std::string &value)
+{
+    appendField(line_, name, "\"" + escapeJson(value) + "\"");
+    return *this;
+}
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name, const char *value)
+{
+    return field(name, std::string(value));
+}
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name, std::uint64_t value)
+{
+    appendField(line_, name, std::to_string(value));
+    return *this;
+}
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name, std::int64_t value)
+{
+    appendField(line_, name, std::to_string(value));
+    return *this;
+}
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name, int value)
+{
+    return field(name, static_cast<std::int64_t>(value));
+}
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name, double value)
+{
+    appendField(line_, name, formatDouble(value));
+    return *this;
+}
+
+EventTrace::Event &
+EventTrace::Event::field(const std::string &name, bool value)
+{
+    appendField(line_, name, value ? "true" : "false");
+    return *this;
+}
+
+EventTrace::Event
+EventTrace::event(const std::string &type)
+{
+    lines_.emplace_back("\"event\":\"" + escapeJson(type) + "\"");
+    return Event(&lines_.back());
+}
+
+std::string
+EventTrace::render() const
+{
+    std::string out;
+    for (const std::string &line : lines_) {
+        out += '{';
+        out += line;
+        out += "}\n";
+    }
+    return out;
+}
+
+void
+EventTrace::writeFile(const std::string &path) const
+{
+    const std::string document = render();
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        fatal("cannot open trace output '", path, "'");
+    const std::size_t written =
+        std::fwrite(document.data(), 1, document.size(), file);
+    const bool ok = written == document.size() && std::fclose(file) == 0;
+    if (!ok)
+        fatal("short write to trace output '", path, "'");
+}
+
+} // namespace sos::stats

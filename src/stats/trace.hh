@@ -1,0 +1,65 @@
+/**
+ * @file
+ * JSONL event trace of scheduler decisions.
+ *
+ * Every decision the symbiotic scheduler takes -- which candidates a
+ * sample phase profiled, what each predictor voted, which schedule
+ * the symbios phase ran, why a resample was triggered -- can be
+ * recorded as one JSON object per line. The trace is append-only and
+ * events carry their fields in insertion order, so a trace is as
+ * deterministic as the code that emits it; experiments append events
+ * from merged, index-ordered sweep results, never from inside worker
+ * threads (DESIGN.md section 5b).
+ */
+
+#ifndef SOS_STATS_TRACE_HH
+#define SOS_STATS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sos::stats {
+
+/** Collects scheduler-decision events; renders them as JSONL. */
+class EventTrace
+{
+  public:
+    /** One event under construction; chain field() calls. */
+    class Event
+    {
+      public:
+        Event &field(const std::string &name, const std::string &value);
+        Event &field(const std::string &name, const char *value);
+        Event &field(const std::string &name, std::uint64_t value);
+        Event &field(const std::string &name, std::int64_t value);
+        Event &field(const std::string &name, int value);
+        Event &field(const std::string &name, double value);
+        Event &field(const std::string &name, bool value);
+
+      private:
+        friend class EventTrace;
+        explicit Event(std::string *line) : line_(line) {}
+        std::string *line_; ///< the growing JSON object (no brace yet)
+    };
+
+    /** Begin a new event of the given type. */
+    Event event(const std::string &type);
+
+    std::size_t size() const { return lines_.size(); }
+    bool empty() const { return lines_.empty(); }
+
+    /** The whole trace as JSONL ("{...}\n" per event). */
+    std::string render() const;
+
+    /** Write the trace to @p path; fatal() on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> lines_; ///< one "key":value,... body each
+};
+
+} // namespace sos::stats
+
+#endif // SOS_STATS_TRACE_HH

@@ -25,6 +25,8 @@
 #include "common/logging.hh"
 #include "core/predictor.hh"
 #include "sim/batch_experiment.hh"
+#include "sim/bench_harness.hh"
+#include "sim/config_env.hh"
 #include "sim/hierarchical_experiment.hh"
 #include "sim/open_system.hh"
 #include "sim/params_io.hh"
@@ -96,6 +98,20 @@ configWithWorkers(const Args &args)
     return config;
 }
 
+/** Manifest/trace destinations: --out / --trace, else environment. */
+OutputPaths
+outputsFor(const Args &args)
+{
+    OutputPaths out = outputPathsFromEnv();
+    const std::string manifest = args.flag("out", "");
+    if (!manifest.empty())
+        out.manifest = manifest;
+    const std::string trace = args.flag("trace", "");
+    if (!trace.empty())
+        out.trace = trace;
+    return out;
+}
+
 int
 cmdWorkloads()
 {
@@ -153,12 +169,18 @@ cmdRun(const Args &args)
 {
     if (args.positional.empty())
         fatal("usage: sossim run <experiment label>");
-    const SimConfig config = configWithWorkers(args);
+    BenchHarness harness("sossim run", configWithWorkers(args),
+                         outputsFor(args));
+    const SimConfig &config = harness.config();
     const ExperimentSpec &spec = experimentByLabel(args.positional[0]);
 
     BatchExperiment exp(spec, config);
     exp.runSamplePhase();
     exp.runSymbiosValidation();
+    exp.publishStats(
+        harness.group(stats::sanitizeSegment(spec.label)));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
 
     printBanner(spec.label);
     TablePrinter table({"schedule", "sample IPC", "symbios WS"},
@@ -175,20 +197,72 @@ cmdRun(const Args &args)
         std::printf("  %-10s -> WS %.3f\n", predictor->name().c_str(),
                     exp.wsOfPredictor(*predictor));
     }
-    return 0;
+    return harness.finish();
 }
 
 int
 cmdOpen(const Args &args)
 {
-    const SimConfig config = configFor(args);
+    BenchHarness harness("sossim open", configFor(args),
+                         outputsFor(args));
+    const SimConfig &config = harness.config();
     OpenSystemConfig open;
     open.level = std::stoi(args.flag("level", "3"));
     open.numJobs = std::stoi(args.flag("jobs", "24"));
     open.seed = config.seed ^ 0x09e2ULL;
 
-    const ResponseComparison comparison =
-        compareResponseTimes(config, open);
+    // Run the two policies here (rather than compareResponseTimes) so
+    // the SOS run can stream its decisions into the trace; both runs
+    // are serial, so the trace stays deterministic.
+    const std::vector<JobArrival> arrivals =
+        makeArrivalTrace(config, open);
+    ResponseComparison comparison;
+    comparison.naive =
+        runOpenSystem(config, open, arrivals, OpenPolicy::Naive);
+    comparison.sos = runOpenSystem(
+        config, open, arrivals, OpenPolicy::Sos,
+        harness.wantsTrace() ? &harness.trace() : nullptr);
+    comparison.jobsCompared = static_cast<int>(arrivals.size());
+    if (comparison.naive.meanResponseCycles > 0.0) {
+        comparison.improvementPct =
+            100.0 *
+            (comparison.naive.meanResponseCycles -
+             comparison.sos.meanResponseCycles) /
+            comparison.naive.meanResponseCycles;
+    }
+
+    const stats::Group open_group = harness.group("open");
+    open_group.scalar("jobs", "arrivals simulated") =
+        static_cast<std::uint64_t>(comparison.jobsCompared);
+    const auto publishPolicy = [&](const char *name,
+                                   const OpenSystemResult &result) {
+        const stats::Group policy = open_group.group(name);
+        policy.value("mean_response_cycles",
+                     "mean job response time") =
+            result.meanResponseCycles;
+        policy.value("mean_jobs_in_system",
+                     "mean queue length (Little's law)") =
+            result.meanJobsInSystem;
+        policy.scalar("total_cycles", "simulated cycles to drain") =
+            result.totalCycles;
+        policy.scalar("sample_cycles",
+                      "cycles spent in sample phases") =
+            result.sampleCycles;
+        policy.scalar("sample_phases", "sample phases run") =
+            static_cast<std::uint64_t>(result.samplePhases);
+        policy.scalar("resamples_job_change",
+                      "resamples from arrivals/departures") =
+            static_cast<std::uint64_t>(result.resamplesOnJobChange);
+        policy.scalar("resamples_timer",
+                      "resamples from the backoff timer") =
+            static_cast<std::uint64_t>(result.resamplesOnTimer);
+    };
+    publishPolicy("naive", comparison.naive);
+    publishPolicy("sos", comparison.sos);
+    open_group.value("improvement_pct",
+                     "SOS mean-response gain over naive") =
+        comparison.improvementPct;
+
     printBanner("Open system, SMT level " + std::to_string(open.level));
     std::printf("jobs completed: %d\n", comparison.jobsCompared);
     std::printf("naive mean response: %s cycles\n",
@@ -201,13 +275,15 @@ cmdOpen(const Args &args)
                     .c_str(),
                 comparison.sos.samplePhases);
     std::printf("improvement: %.1f%%\n", comparison.improvementPct);
-    return 0;
+    return harness.finish();
 }
 
 int
 cmdHier(const Args &args)
 {
-    const SimConfig config = configWithWorkers(args);
+    BenchHarness harness("sossim hier", configWithWorkers(args),
+                         outputsFor(args));
+    const SimConfig &config = harness.config();
     const int level = std::stoi(args.flag("level", "2"));
     const HierarchicalSpec *chosen = nullptr;
     for (const HierarchicalSpec &spec : hierarchicalExperiments()) {
@@ -219,6 +295,10 @@ cmdHier(const Args &args)
 
     HierarchicalExperiment exp(*chosen, config);
     exp.run();
+    exp.publishStats(
+        harness.group(stats::sanitizeSegment(chosen->label)));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
     printBanner(chosen->label);
     TablePrinter table({"allocation", "schedule", "WS"}, {14, 22, 7});
     table.printHeader();
@@ -230,7 +310,7 @@ cmdHier(const Args &args)
     std::printf("\nSOS: WS %.3f (%+.1f%% vs avg, %+.1f%% vs worst)\n",
                 exp.scoreWs(), exp.improvementOverAveragePct(),
                 exp.improvementOverWorstPct());
-    return 0;
+    return harness.finish();
 }
 
 int
@@ -254,7 +334,11 @@ cmdHelp()
         "SOS_SEED, SOS_JOBS (sweep worker threads; for run/hier "
         "--jobs N\n"
         "does the same, while `open --jobs` is the system's job "
-        "count)\n");
+        "count).\n"
+        "run/open/hier also accept --out FILE.json (JSON run "
+        "manifest, env SOS_OUT)\n"
+        "and --trace FILE.jsonl (scheduler decision trace, env "
+        "SOS_TRACE).\n");
     return 0;
 }
 

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the JSON run manifest: schema fields, golden-file
+ * round trip through the filesystem, and the determinism contract (a
+ * manifest is a pure function of tool, config, seed, and registry,
+ * with no timestamps or hostnames).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stats/manifest.hh"
+#include "stats/stats.hh"
+
+namespace sos::stats {
+namespace {
+
+/** A small, fully deterministic registry. */
+void
+populate(Registry &registry)
+{
+    registry.scalar("core.cycles", "simulated cycles") = 10000;
+    registry.value("core.ipc", "retired per cycle") = 2.25;
+    registry.info("experiment.label") = "Jsb(6,3,3)";
+    registry.vector("sweep.ws").push(1.5).push(1.75);
+}
+
+Manifest
+sampleManifest()
+{
+    Manifest manifest;
+    manifest.tool = "unit_test";
+    manifest.gitRev = "deadbeef"; // pinned: the golden must not depend
+                                  // on the building checkout
+    manifest.seed = 42;
+    manifest.config = {{"cycleScale", "1000"}, {"seed", "42"}};
+    return manifest;
+}
+
+TEST(Manifest, GoldenDocument)
+{
+    Registry registry;
+    populate(registry);
+    const std::string document =
+        renderManifest(sampleManifest(), registry);
+    EXPECT_EQ(document,
+              "{\"schema\":\"sos.run-manifest\",\"schema_version\":1,"
+              "\"tool\":\"unit_test\",\"git_rev\":\"deadbeef\","
+              "\"seed\":42,"
+              "\"config\":{\"cycleScale\":\"1000\",\"seed\":\"42\"},"
+              "\"stats\":{\"core\":{\"cycles\":10000,\"ipc\":2.25},"
+              "\"experiment\":{\"label\":\"Jsb(6,3,3)\"},"
+              "\"sweep\":{\"ws\":[1.5,1.75]}}}\n");
+}
+
+TEST(Manifest, EndsWithExactlyOneNewline)
+{
+    Registry registry;
+    const std::string document =
+        renderManifest(sampleManifest(), registry);
+    ASSERT_FALSE(document.empty());
+    EXPECT_EQ(document.back(), '\n');
+    EXPECT_NE(document[document.size() - 2], '\n');
+}
+
+TEST(Manifest, PureFunctionOfItsInputs)
+{
+    // Two independently built registries with the same contents must
+    // render byte-identically -- this is what lets CI diff manifests
+    // across runs and worker counts.
+    Registry a;
+    Registry b;
+    populate(a);
+    populate(b);
+    EXPECT_EQ(renderManifest(sampleManifest(), a),
+              renderManifest(sampleManifest(), b));
+}
+
+TEST(Manifest, RegistrationOrderDoesNotMatter)
+{
+    Registry forward;
+    forward.scalar("a") = 1;
+    forward.scalar("z.y") = 2;
+    Registry backward;
+    backward.scalar("z.y") = 2;
+    backward.scalar("a") = 1;
+    EXPECT_EQ(renderManifest(sampleManifest(), forward),
+              renderManifest(sampleManifest(), backward));
+}
+
+TEST(Manifest, FileRoundTrip)
+{
+    Registry registry;
+    populate(registry);
+    const Manifest manifest = sampleManifest();
+    const std::string path =
+        ::testing::TempDir() + "sos_manifest_roundtrip.json";
+    writeManifestFile(path, manifest, registry);
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), renderManifest(manifest, registry));
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, BuildGitRevIsNonEmpty)
+{
+    // The value is the building checkout's revision (or "unknown"),
+    // so only its presence is checkable.
+    EXPECT_FALSE(Manifest::buildGitRev().empty());
+}
+
+TEST(Manifest, EscapesConfigAndInfoStrings)
+{
+    Registry registry;
+    registry.info("note") = "say \"hi\"\n";
+    Manifest manifest = sampleManifest();
+    manifest.config = {{"path", "C:\\tmp"}};
+    const std::string document = renderManifest(manifest, registry);
+    EXPECT_NE(document.find("\"path\":\"C:\\\\tmp\""),
+              std::string::npos);
+    EXPECT_NE(document.find("\"note\":\"say \\\"hi\\\"\\n\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace sos::stats

@@ -15,6 +15,9 @@
 #include "common/thread_pool.hh"
 #include "sim/batch_experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/params_io.hh"
+#include "stats/manifest.hh"
+#include "stats/stats.hh"
 
 namespace sos {
 namespace {
@@ -110,6 +113,38 @@ TEST(ParallelRunner, SampledSpaceMatchesSerialBitForBit)
     const BatchExperiment parallel = runWith("Jsb(6,3,1)", 8);
     EXPECT_EQ(serial.schedules().size(), 10u);
     expectExperimentsIdentical(serial, parallel);
+}
+
+/** The experiment's full manifest document at a given worker count. */
+std::string
+manifestWith(const char *label, int jobs)
+{
+    SimConfig config = makeFastConfig();
+    config.jobs = jobs;
+    BatchExperiment exp(experimentByLabel(label), config);
+    exp.runSamplePhase();
+    exp.runSymbiosValidation();
+
+    stats::Registry registry;
+    exp.publishStats(stats::Group(registry, "experiment"));
+    stats::Manifest manifest;
+    manifest.tool = "test_parallel_runner";
+    manifest.gitRev = "pinned";
+    manifest.seed = config.seed;
+    manifest.config = configPairs(config);
+    return renderManifest(manifest, registry);
+}
+
+TEST(ParallelRunner, ManifestBitIdenticalAcrossWorkerCounts)
+{
+    // The PR-1 determinism contract extended to observability: the
+    // machine-readable manifest -- every stat, every formatted double
+    // -- is byte-identical no matter how the sweep was parallelized.
+    // (The config is included, so the jobs knob itself must not leak
+    // into the document; configPairs deliberately omits it.)
+    const std::string serial = manifestWith("Jsb(4,2,2)", 1);
+    for (int jobs : {2, 8})
+        EXPECT_EQ(serial, manifestWith("Jsb(4,2,2)", jobs));
 }
 
 TEST(ParallelRunner, MapPreservesIndexOrder)

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "sim/config_env.hh"
 #include "sim/reporting.hh"
 #include "sim/sim_config.hh"
 
@@ -17,12 +18,36 @@ TEST(Fmt, FixedPrecision)
     EXPECT_EQ(fmt(-0.5, 1), "-0.5");
 }
 
+TEST(Fmt, EdgeValues)
+{
+    EXPECT_EQ(fmt(0.0, 0), "0");
+    EXPECT_EQ(fmt(0.0, 3), "0.000");
+    EXPECT_EQ(fmt(-0.0004, 3), "-0.000");
+    EXPECT_EQ(fmt(99.999, 2), "100.00");
+}
+
 TEST(FmtCycles, UnitsScale)
 {
     EXPECT_EQ(fmtCycles(999), "999");
     EXPECT_EQ(fmtCycles(1500), "1.5K");
     EXPECT_EQ(fmtCycles(2500000), "2.5M");
     EXPECT_EQ(fmtCycles(3000000000ULL), "3.0G");
+}
+
+TEST(FmtCycles, BoundaryValues)
+{
+    // Below 1000 the count prints verbatim (this branch used %llu on a
+    // uint64_t, which is not portable; it now goes via to_string).
+    EXPECT_EQ(fmtCycles(0), "0");
+    EXPECT_EQ(fmtCycles(1), "1");
+    // Exact unit boundaries land in the larger unit.
+    EXPECT_EQ(fmtCycles(1000), "1.0K");
+    EXPECT_EQ(fmtCycles(999999), "1000.0K");
+    EXPECT_EQ(fmtCycles(1000000), "1.0M");
+    EXPECT_EQ(fmtCycles(999999999), "1000.0M");
+    EXPECT_EQ(fmtCycles(1000000000ULL), "1.0G");
+    EXPECT_EQ(fmtCycles(18446744073709551615ULL),
+              "18446744073.7G");
 }
 
 TEST(BenchConfig, DefaultsWithoutEnv)

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the hierarchical statistics registry: typed stats,
+ * bind-vs-own semantics, path validation, groups, and the text/JSON
+ * sinks. Registration errors throw std::invalid_argument, so every
+ * failure mode here is testable without death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "stats/json.hh"
+#include "stats/stats.hh"
+#include "stats/trace.hh"
+
+namespace sos::stats {
+namespace {
+
+TEST(Registry, DuplicatePathThrows)
+{
+    Registry registry;
+    registry.scalar("core.cycles");
+    EXPECT_THROW(registry.scalar("core.cycles"), std::invalid_argument);
+    // A duplicate of a different kind is still a duplicate.
+    EXPECT_THROW(registry.value("core.cycles"), std::invalid_argument);
+}
+
+TEST(Registry, LeafMayNotShadowSubtree)
+{
+    Registry registry;
+    registry.scalar("core.mem.l1d.hits");
+    // "core.mem" would become both an interior node and a leaf.
+    EXPECT_THROW(registry.scalar("core.mem"), std::invalid_argument);
+    EXPECT_THROW(registry.scalar("core"), std::invalid_argument);
+}
+
+TEST(Registry, PathMayNotNestUnderLeaf)
+{
+    Registry registry;
+    registry.scalar("core.cycles");
+    EXPECT_THROW(registry.scalar("core.cycles.user"),
+                 std::invalid_argument);
+}
+
+TEST(Registry, MalformedPathsThrow)
+{
+    Registry registry;
+    EXPECT_THROW(registry.scalar(""), std::invalid_argument);
+    EXPECT_THROW(registry.scalar(".cycles"), std::invalid_argument);
+    EXPECT_THROW(registry.scalar("cycles."), std::invalid_argument);
+    EXPECT_THROW(registry.scalar("a..b"), std::invalid_argument);
+    EXPECT_THROW(registry.scalar("a b"), std::invalid_argument);
+    EXPECT_THROW(registry.scalar("a\"b"), std::invalid_argument);
+    EXPECT_THROW(registry.scalar("a\\b"), std::invalid_argument);
+    EXPECT_TRUE(registry.empty());
+}
+
+TEST(Registry, SiblingsAndDistinctSubtreesCoexist)
+{
+    Registry registry;
+    registry.scalar("core.mem.l1d.hits");
+    registry.scalar("core.mem.l1d.misses");
+    registry.scalar("core.mem.l2.hits");
+    registry.value("sweep.candidate0.ws");
+    EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(Registry, SortedIsLexicographicByPath)
+{
+    Registry registry;
+    registry.scalar("b");
+    registry.scalar("a.z");
+    registry.scalar("a.b");
+    const auto stats = registry.sorted();
+    ASSERT_EQ(stats.size(), 3u);
+    EXPECT_EQ(stats[0]->path(), "a.b");
+    EXPECT_EQ(stats[1]->path(), "a.z");
+    EXPECT_EQ(stats[2]->path(), "b");
+}
+
+TEST(Registry, FindReturnsNullForUnknown)
+{
+    Registry registry;
+    registry.scalar("x");
+    EXPECT_NE(registry.find("x"), nullptr);
+    EXPECT_EQ(registry.find("y"), nullptr);
+}
+
+TEST(Scalar, OwnedValueAndIncrement)
+{
+    Registry registry;
+    Scalar &s = registry.scalar("count");
+    EXPECT_EQ(s.value(), 0u);
+    s = 5;
+    s += 3;
+    EXPECT_EQ(s.value(), 8u);
+}
+
+TEST(Scalar, BoundReadsSourceAtDumpTime)
+{
+    Registry registry;
+    std::uint64_t live = 1;
+    Scalar &s = registry.scalar("cycles").bind(&live);
+    // The binding reads through the pointer: later increments of the
+    // simulator-owned counter are visible with no further stat calls.
+    live = 42;
+    EXPECT_EQ(s.value(), 42u);
+    EXPECT_EQ(s.renderText(), "42");
+}
+
+TEST(Value, BoundAndOwned)
+{
+    Registry registry;
+    double live = 0.0;
+    Value &bound = registry.value("ws.bound").bind(&live);
+    live = 1.75;
+    EXPECT_DOUBLE_EQ(bound.value(), 1.75);
+
+    Value &owned = registry.value("ws.owned");
+    owned = 2.5;
+    EXPECT_DOUBLE_EQ(owned.value(), 2.5);
+}
+
+TEST(Formula, EvaluatesAtDumpTime)
+{
+    Registry registry;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    Formula &rate =
+        registry.formula("l1d.miss_rate", "misses per access", [&] {
+            const double total =
+                static_cast<double>(hits) + static_cast<double>(misses);
+            return total == 0.0 ? 0.0
+                                : static_cast<double>(misses) / total;
+        });
+    hits = 90;
+    misses = 10;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.1);
+}
+
+TEST(Formula, NullCallableThrows)
+{
+    Registry registry;
+    EXPECT_THROW(registry.formula("bad", "", nullptr),
+                 std::invalid_argument);
+}
+
+TEST(Distribution, SummaryStatistics)
+{
+    Registry registry;
+    Distribution &d = registry.distribution("improvement");
+    d.samples({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-12); // textbook population stddev
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, EmptyRendersZeros)
+{
+    Registry registry;
+    Distribution &d = registry.distribution("empty");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Vector, NamedAndUnnamedMayNotMix)
+{
+    Registry registry;
+    Vector &unnamed = registry.vector("plain");
+    unnamed.push(1.0).push(2.0);
+    EXPECT_THROW(unnamed.push("late_name", 3.0), std::invalid_argument);
+
+    Vector &named = registry.vector("named");
+    named.push("a", 1.0).push("b", 2.0);
+    EXPECT_THROW(named.push(3.0), std::invalid_argument);
+    EXPECT_EQ(named.size(), 2u);
+}
+
+TEST(Info, HoldsStrings)
+{
+    Registry registry;
+    Info &label = registry.info("schedule");
+    label = "012|345";
+    EXPECT_EQ(label.value(), "012|345");
+    EXPECT_EQ(label.renderText(), "012|345");
+}
+
+TEST(SanitizeSegment, PassThroughAndReplacement)
+{
+    // Schedule-space labels survive verbatim.
+    EXPECT_EQ(sanitizeSegment("Jsb(6,3,3)"), "Jsb(6,3,3)");
+    EXPECT_EQ(sanitizeSegment("smt4"), "smt4");
+    // Dots, whitespace and control characters become '_' so a raw
+    // label can never change the tree shape.
+    EXPECT_EQ(sanitizeSegment("x1.50"), "x1_50");
+    EXPECT_EQ(sanitizeSegment("a b\tc"), "a_b_c");
+    EXPECT_EQ(sanitizeSegment("012|345"), "012_345");
+    EXPECT_EQ(sanitizeSegment(""), "_");
+}
+
+TEST(Group, PrefixesAndSanitizesChildSegments)
+{
+    Registry registry;
+    const Group root(registry);
+    const Group l1d = root.group("core0").group("mem").group("l1d");
+    l1d.scalar("hits");
+    EXPECT_NE(registry.find("core0.mem.l1d.hits"), nullptr);
+
+    // A dotted child name cannot escape into a different subtree.
+    const Group sneaky = root.group("a.b");
+    sneaky.scalar("x");
+    EXPECT_NE(registry.find("a_b.x"), nullptr);
+    EXPECT_EQ(registry.find("a.b.x"), nullptr);
+}
+
+TEST(RenderText, AlignedWithDescriptions)
+{
+    Registry registry;
+    registry.scalar("a.long.path.hits", "cache hits") = 7;
+    registry.value("b") = 1.5;
+    const std::string text = renderText(registry);
+    EXPECT_EQ(text,
+              "a.long.path.hits  7  # cache hits\n"
+              "b                 1.5\n");
+}
+
+TEST(WriteJsonTree, NestsDottedPaths)
+{
+    Registry registry;
+    registry.scalar("core.mem.l1d.hits") = 9;
+    registry.scalar("core.mem.l1d.misses") = 1;
+    registry.value("core.ipc") = 2.5;
+    registry.info("label") = "mix";
+
+    std::string out;
+    JsonWriter json(&out);
+    writeJsonTree(registry, json);
+    EXPECT_TRUE(json.complete());
+    EXPECT_EQ(out,
+              "{\"core\":{\"ipc\":2.5,\"mem\":{\"l1d\":{\"hits\":9,"
+              "\"misses\":1}}},\"label\":\"mix\"}");
+}
+
+TEST(WriteJsonTree, VectorAndDistributionLeaves)
+{
+    Registry registry;
+    registry.vector("plain").push(1.0).push(2.5);
+    registry.vector("named").push("a", 1.0);
+    registry.distribution("dist").sample(3.0);
+
+    std::string out;
+    JsonWriter json(&out);
+    writeJsonTree(registry, json);
+    EXPECT_EQ(out,
+              "{\"dist\":{\"count\":1,\"mean\":3,\"stddev\":0,"
+              "\"min\":3,\"max\":3},\"named\":{\"a\":1},"
+              "\"plain\":[1,2.5]}");
+}
+
+TEST(FormatDouble, RoundTripsExactly)
+{
+    for (const double v :
+         {0.0, 1.0, -1.5, 1.0 / 3.0, 0.1, 1e-300, 1e300, 2.5e-7,
+          3.141592653589793, std::numeric_limits<double>::denorm_min()}) {
+        const std::string text = formatDouble(v);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), v)
+            << "for " << text;
+    }
+    // Non-finite values have no JSON literal.
+    EXPECT_EQ(formatDouble(std::nan("")), "null");
+    EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(EscapeJson, ControlAndQuoteCharacters)
+{
+    EXPECT_EQ(escapeJson("plain"), "plain");
+    EXPECT_EQ(escapeJson("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(escapeJson("line\nbreak"), "line\\nbreak");
+}
+
+TEST(EventTrace, RendersOneJsonObjectPerLine)
+{
+    EventTrace trace;
+    trace.event("sample_candidate")
+        .field("index", 3)
+        .field("schedule", "012|345")
+        .field("ws", 1.5)
+        .field("warm", true);
+    trace.event("symbios_pick").field("pick",
+                                      static_cast<std::uint64_t>(7));
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.render(),
+              "{\"event\":\"sample_candidate\",\"index\":3,"
+              "\"schedule\":\"012|345\",\"ws\":1.5,\"warm\":true}\n"
+              "{\"event\":\"symbios_pick\",\"pick\":7}\n");
+}
+
+TEST(JsonWriter, ArraysObjectsAndNull)
+{
+    std::string out;
+    JsonWriter json(&out);
+    json.beginObject();
+    json.key("xs");
+    json.beginArray();
+    json.number(1);
+    json.null();
+    json.boolean(false);
+    json.endArray();
+    json.endObject();
+    EXPECT_TRUE(json.complete());
+    EXPECT_EQ(out, "{\"xs\":[1,null,false]}");
+}
+
+} // namespace
+} // namespace sos::stats
