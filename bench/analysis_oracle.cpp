@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/predictor.hh"
+#include "cpu/machine.hh"
 #include "metrics/calibrator.hh"
 #include "metrics/weighted_speedup.hh"
 #include "sim/batch_experiment.hh"
@@ -45,8 +46,8 @@ pairWs(const ExperimentSpec &spec, const SimConfig &config, int a,
                           config.calibMeasureCycles);
     calibrator.calibrate(mix);
 
-    SmtCore core(config.coreFor(2), config.mem);
-    TimesliceEngine engine(core, config.timesliceCycles());
+    Machine machine(config.coreFor(2), config.mem);
+    TimesliceEngine engine(machine.core(0), config.timesliceCycles());
 
     const Schedule schedule = Schedule::fromPartition({{a, b}});
     const std::uint64_t slices = 10;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multicore figure: machine-level SOS on a CMP of SMT cores.
+ *
+ * Extends the paper's single-core result to the machine model: eight
+ * Table 1 jobs on two and on four two-way SMT cores behind one shared
+ * L2. For each machine the harness samples distinct machine schedules
+ * (thread-to-core allocation + per-core coschedule sequence), runs the
+ * symbios validation, and reports
+ *
+ *  - the best/worst/average machine WS over the sample (the span an
+ *    allocation-aware scheduler can exploit), and
+ *
+ *  - the symbios WS achieved by each thread-to-core allocation policy
+ *    (naive packing, random, balanced-icount, synpa) against the
+ *    machine-level SOS pick -- the multicore analogue of Figure 1's
+ *    best-vs-worst spread.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/bench_harness.hh"
+#include "sim/machine_experiment.hh"
+#include "sim/reporting.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sos;
+
+    BenchHarness harness("fig7_multicore", argc, argv);
+    const SimConfig &config = harness.config();
+    const stats::Group experiments = harness.group("experiments");
+    // publishStats binds into each experiment, so they must stay
+    // alive until the manifest is written.
+    std::vector<std::unique_ptr<MachineExperiment>> kept;
+
+    printBanner("Figure 7: machine-level SOS on a CMP of SMT cores");
+    TablePrinter table({"Machine", "schedules", "worst WS", "best WS",
+                        "avg WS", "spread%"},
+                       {13, 10, 9, 8, 8, 8});
+    table.printHeader();
+
+    for (const MachineExperimentSpec &spec : machineExperiments()) {
+        kept.push_back(
+            std::make_unique<MachineExperiment>(spec, config));
+        MachineExperiment &exp = *kept.back();
+        exp.runSamplePhase();
+        exp.runSymbiosValidation();
+        const double pct =
+            100.0 * (exp.bestWs() - exp.worstWs()) / exp.worstWs();
+        table.printRow({spec.label,
+                        std::to_string(exp.space().distinctCount()),
+                        fmt(exp.worstWs(), 3), fmt(exp.bestWs(), 3),
+                        fmt(exp.averageWs(), 3), fmt(pct, 1)});
+    }
+
+    printBanner("Thread-to-core allocation policies vs machine SOS");
+    TablePrinter policies({"Machine", "policy", "allocation", "avg WS",
+                           "best WS"},
+                          {13, 16, 22, 8, 8});
+    policies.printHeader();
+
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        MachineExperiment &exp = *kept[i];
+        for (const std::string &name :
+             {std::string("naive"), std::string("random"),
+              std::string("balanced-icount"), std::string("synpa")}) {
+            const MachineExperiment::PolicyResult &result =
+                exp.evaluatePolicy(name);
+            policies.printRow({exp.spec().label, result.policy,
+                               result.allocationLabel,
+                               fmt(result.avgWs, 3),
+                               fmt(result.bestWs, 3)});
+        }
+        // The machine-level SOS pick, for contrast: the best sampled
+        // machine schedule an allocation-aware scheduler converges on.
+        policies.printRow({exp.spec().label, "machine-SOS", "(best)",
+                           fmt(exp.averageWs(), 3),
+                           fmt(exp.bestWs(), 3)});
+
+        exp.publishStats(experiments.group(
+            stats::sanitizeSegment(exp.spec().label)));
+        if (harness.wantsTrace())
+            exp.recordTrace(harness.trace());
+    }
+
+    std::printf("\n(Jobs on one core interact through every pipeline "
+                "resource; jobs on different\ncores only through the "
+                "shared L2 -- so the allocation dominates the "
+                "machine WS\nand counter-driven placement recovers "
+                "most of the SOS gain.)\n");
+    return harness.finish();
+}

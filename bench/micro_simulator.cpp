@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/predictor.hh"
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "mem/cache.hh"
 #include "sched/job.hh"
 #include "sim/bench_harness.hh"
@@ -72,7 +72,8 @@ BM_SmtCoreCycles(benchmark::State &state)
     const int level = static_cast<int>(state.range(0));
     CoreParams params;
     params.numContexts = level;
-    SmtCore core(params, MemParams{});
+    Machine machine(params, MemParams{});
+    SmtCore &core = machine.core(0);
     const char *names[] = {"EP", "FP", "MG", "GCC", "GO", "WAVE"};
     std::vector<std::unique_ptr<Job>> jobs;
     for (int t = 0; t < level; ++t) {
@@ -129,7 +130,8 @@ registerCoreThroughputStats(const stats::Group &group)
     for (const int level : {1, 2, 4, 6}) {
         CoreParams params;
         params.numContexts = level;
-        SmtCore core(params, MemParams{});
+        Machine machine(params, MemParams{});
+        SmtCore &core = machine.core(0);
         const char *names[] = {"EP", "FP", "MG", "GCC", "GO", "WAVE"};
         std::vector<std::unique_ptr<Job>> jobs;
         for (int t = 0; t < level; ++t) {

@@ -12,7 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "metrics/calibrator.hh"
 #include "sched/job.hh"
 #include "sim/config_env.hh"
@@ -41,7 +41,8 @@ main()
             WorkloadLibrary::instance().get(name);
         Job job(1, profile, 0xfeedULL, 1, false);
 
-        SmtCore core(config.coreFor(1), config.mem);
+        Machine machine(config.coreFor(1), config.mem);
+        SmtCore &core = machine.core(0);
         ThreadBinding binding;
         binding.gen = &job.generator(0);
         binding.sync = job.syncDomain();

@@ -189,6 +189,54 @@ canonicalCircular(std::vector<int> order)
     return order;
 }
 
+std::uint64_t
+mulSaturating(std::uint64_t a, std::uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > ~std::uint64_t{0} / b)
+        return ~std::uint64_t{0};
+    return a * b;
+}
+
+std::vector<std::vector<std::uint64_t>>
+enumerateMixedRadix(const std::vector<std::uint64_t> &radices)
+{
+    std::uint64_t total = 1;
+    for (const std::uint64_t r : radices) {
+        SOS_ASSERT(r > 0, "mixed-radix digit needs a positive radix");
+        total = mulSaturating(total, r);
+    }
+    SOS_ASSERT(total <= 1u << 20, "mixed-radix space too large");
+
+    std::vector<std::vector<std::uint64_t>> out;
+    out.reserve(static_cast<std::size_t>(total));
+    std::vector<std::uint64_t> digits(radices.size(), 0);
+    for (std::uint64_t i = 0; i < total; ++i) {
+        out.push_back(digits);
+        for (std::size_t d = digits.size(); d-- > 0;) {
+            if (++digits[d] < radices[d])
+                break;
+            digits[d] = 0;
+        }
+    }
+    return out;
+}
+
+std::vector<int>
+mapThroughGroup(const std::vector<int> &local,
+                const std::vector<int> &group)
+{
+    std::vector<int> out;
+    out.reserve(local.size());
+    for (const int i : local) {
+        SOS_ASSERT(i >= 0 && i < static_cast<int>(group.size()),
+                   "local index outside the group");
+        out.push_back(group[static_cast<std::size_t>(i)]);
+    }
+    return out;
+}
+
 int
 gcdInt(int a, int b)
 {

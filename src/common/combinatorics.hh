@@ -84,6 +84,30 @@ std::vector<int> canonicalCircular(std::vector<int> order);
 /** Greatest common divisor of two positive integers. */
 int gcdInt(int a, int b);
 
+/**
+ * a * b with saturation at 2^64-1 (machine schedule spaces multiply a
+ * partition count by per-core schedule counts; the product overflows
+ * long before anything could enumerate it).
+ */
+std::uint64_t mulSaturating(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Enumerate every digit tuple of a mixed-radix system, least
+ * significant digit last ({0,0}, {0,1}, ..., like counting). Used to
+ * form the cartesian product of per-core schedule choices. Requires
+ * every radix positive and a total count small enough to materialize.
+ */
+std::vector<std::vector<std::uint64_t>>
+enumerateMixedRadix(const std::vector<std::uint64_t> &radices);
+
+/**
+ * Relabel local indices {0..group.size()-1} through a sorted group of
+ * global identifiers. Order-preserving, so canonical local objects
+ * (partitions, circular orders) stay canonical after mapping.
+ */
+std::vector<int> mapThroughGroup(const std::vector<int> &local,
+                                 const std::vector<int> &group);
+
 } // namespace sos
 
 #endif // SOS_COMMON_COMBINATORICS_HH

@@ -1,0 +1,259 @@
+#include "thread_to_core.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sos {
+
+namespace {
+
+void
+checkContext(const AllocationContext &ctx)
+{
+    SOS_ASSERT(ctx.numJobs >= 1 && ctx.numCores >= 1,
+               "allocation needs jobs and cores");
+    SOS_ASSERT(ctx.numJobs % ctx.numCores == 0,
+               "allocation requires the cores to divide the jobs");
+}
+
+Partition
+packInOrder(const std::vector<int> &jobs, int num_cores)
+{
+    const int group = static_cast<int>(jobs.size()) / num_cores;
+    Partition out;
+    for (int k = 0; k < num_cores; ++k) {
+        std::vector<int> g(jobs.begin() + k * group,
+                           jobs.begin() + (k + 1) * group);
+        std::sort(g.begin(), g.end());
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+std::vector<int>
+identityJobs(int n)
+{
+    std::vector<int> jobs(static_cast<std::size_t>(n));
+    std::iota(jobs.begin(), jobs.end(), 0);
+    return jobs;
+}
+
+class NaivePolicy : public ThreadToCorePolicy
+{
+  public:
+    std::string name() const override { return "naive"; }
+
+    Partition
+    allocate(const AllocationContext &ctx) const override
+    {
+        checkContext(ctx);
+        return packInOrder(identityJobs(ctx.numJobs), ctx.numCores);
+    }
+};
+
+class RandomPolicy : public ThreadToCorePolicy
+{
+  public:
+    std::string name() const override { return "random"; }
+
+    Partition
+    allocate(const AllocationContext &ctx) const override
+    {
+        checkContext(ctx);
+        std::vector<int> jobs = identityJobs(ctx.numJobs);
+        Rng rng(ctx.seed ^ 0x7c0a110cULL);
+        rng.shuffle(jobs);
+        return packInOrder(jobs, ctx.numCores);
+    }
+};
+
+/**
+ * LPT greedy over solo IPC: visit jobs from the highest solo
+ * instruction rate down, always placing onto the least-loaded core
+ * with capacity left. No core ends up hoarding the fast jobs, so the
+ * per-core ICOUNT pressure is as even as a greedy pass can make it.
+ */
+class BalancedIcountPolicy : public ThreadToCorePolicy
+{
+  public:
+    std::string name() const override { return "balanced-icount"; }
+
+    Partition
+    allocate(const AllocationContext &ctx) const override
+    {
+        checkContext(ctx);
+        SOS_ASSERT(static_cast<int>(ctx.soloIpc.size()) == ctx.numJobs,
+                   "balanced-icount needs a solo IPC per job");
+        const int group = ctx.numJobs / ctx.numCores;
+
+        std::vector<int> order = identityJobs(ctx.numJobs);
+        std::stable_sort(order.begin(), order.end(),
+                         [&ctx](int a, int b) {
+                             return ctx.soloIpc[static_cast<std::size_t>(
+                                        a)] >
+                                    ctx.soloIpc[static_cast<std::size_t>(
+                                        b)];
+                         });
+
+        Partition out(static_cast<std::size_t>(ctx.numCores));
+        std::vector<double> load(static_cast<std::size_t>(ctx.numCores),
+                                 0.0);
+        for (const int job : order) {
+            int best = -1;
+            for (int k = 0; k < ctx.numCores; ++k) {
+                if (static_cast<int>(out[static_cast<std::size_t>(k)]
+                                         .size()) >= group) {
+                    continue;
+                }
+                if (best < 0 || load[static_cast<std::size_t>(k)] <
+                                    load[static_cast<std::size_t>(best)]) {
+                    best = k;
+                }
+            }
+            SOS_ASSERT(best >= 0, "capacity accounting broke");
+            out[static_cast<std::size_t>(best)].push_back(job);
+            load[static_cast<std::size_t>(best)] +=
+                ctx.soloIpc[static_cast<std::size_t>(job)];
+        }
+        for (auto &g : out)
+            std::sort(g.begin(), g.end());
+        return out;
+    }
+};
+
+/**
+ * SYNPA-style counter-driven grouping: estimate a pair affinity from
+ * the sample phase (mean WS of the machine schedules in which the
+ * pair shared a core), then greedily build each core's group around
+ * the jobs that measured best together. With no samples every
+ * affinity is zero and the policy degenerates to naive packing --
+ * the honest cold-start behaviour.
+ */
+class SynpaPolicy : public ThreadToCorePolicy
+{
+  public:
+    std::string name() const override { return "synpa"; }
+
+    Partition
+    allocate(const AllocationContext &ctx) const override
+    {
+        checkContext(ctx);
+        const std::size_t n = static_cast<std::size_t>(ctx.numJobs);
+        const int group = ctx.numJobs / ctx.numCores;
+
+        // Mean sampled WS per coscheduled pair.
+        std::vector<std::vector<double>> sum(n,
+                                             std::vector<double>(n, 0.0));
+        std::vector<std::vector<int>> cnt(n, std::vector<int>(n, 0));
+        for (const CoscheduleSample &sample : ctx.samples) {
+            for (const std::vector<int> &tuple : sample.tuples) {
+                for (std::size_t i = 0; i < tuple.size(); ++i) {
+                    for (std::size_t j = i + 1; j < tuple.size(); ++j) {
+                        const auto a =
+                            static_cast<std::size_t>(tuple[i]);
+                        const auto b =
+                            static_cast<std::size_t>(tuple[j]);
+                        SOS_ASSERT(a < n && b < n,
+                                   "sampled job outside the mix");
+                        sum[a][b] += sample.ws;
+                        sum[b][a] += sample.ws;
+                        ++cnt[a][b];
+                        ++cnt[b][a];
+                    }
+                }
+            }
+        }
+        const auto affinity = [&](std::size_t a, std::size_t b) {
+            return cnt[a][b] ? sum[a][b] / cnt[a][b] : 0.0;
+        };
+
+        std::vector<bool> placed(n, false);
+        Partition out;
+        for (int k = 0; k < ctx.numCores; ++k) {
+            // Anchor each group on the lowest unplaced index, then add
+            // the job with the best mean affinity to the group so far
+            // (ties to the lowest index: deterministic).
+            std::vector<int> g;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (!placed[j]) {
+                    g.push_back(static_cast<int>(j));
+                    placed[j] = true;
+                    break;
+                }
+            }
+            while (static_cast<int>(g.size()) < group) {
+                int best = -1;
+                double best_score = 0.0;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (placed[j])
+                        continue;
+                    double score = 0.0;
+                    for (const int member : g)
+                        score += affinity(
+                            static_cast<std::size_t>(member), j);
+                    if (best < 0 || score > best_score) {
+                        best = static_cast<int>(j);
+                        best_score = score;
+                    }
+                }
+                SOS_ASSERT(best >= 0, "ran out of jobs to place");
+                g.push_back(best);
+                placed[static_cast<std::size_t>(best)] = true;
+            }
+            std::sort(g.begin(), g.end());
+            out.push_back(std::move(g));
+        }
+        return out;
+    }
+};
+
+using PolicyFactory =
+    std::function<std::unique_ptr<ThreadToCorePolicy>()>;
+
+const std::map<std::string, PolicyFactory> &
+registry()
+{
+    static const std::map<std::string, PolicyFactory> table = {
+        {"naive", [] { return std::make_unique<NaivePolicy>(); }},
+        {"random", [] { return std::make_unique<RandomPolicy>(); }},
+        {"balanced-icount",
+         [] { return std::make_unique<BalancedIcountPolicy>(); }},
+        {"synpa", [] { return std::make_unique<SynpaPolicy>(); }},
+    };
+    return table;
+}
+
+} // namespace
+
+std::unique_ptr<ThreadToCorePolicy>
+makeThreadToCorePolicy(const std::string &name)
+{
+    const auto it = registry().find(name);
+    if (it == registry().end()) {
+        std::string known;
+        for (const auto &[key, factory] : registry()) {
+            if (!known.empty())
+                known += ", ";
+            known += key;
+        }
+        fatal("unknown thread-to-core policy '", name, "' (known: ",
+              known, ")");
+    }
+    return it->second();
+}
+
+std::vector<std::string>
+threadToCorePolicyNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[key, factory] : registry())
+        names.push_back(key);
+    return names;
+}
+
+} // namespace sos

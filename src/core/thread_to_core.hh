@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Thread-to-core allocation policies for the machine model.
+ *
+ * On a CMP of SMT cores the OS faces a choice the single-core paper
+ * does not have: which jobs share a core at all. Jobs on one core
+ * interact through every pipeline resource; jobs on different cores
+ * only through the shared L2. A ThreadToCorePolicy picks the
+ * partition of jobs onto cores; the per-core schedule spaces then
+ * apply unchanged (see MachineScheduleSpace).
+ *
+ * The family is string-keyed so experiments and benches select
+ * policies by name, mirroring predictor selection:
+ *
+ *  - "naive":           pack jobs onto cores in index order (what an
+ *                       SOS-oblivious OS would do);
+ *  - "random":          a seeded uniform partition;
+ *  - "balanced-icount": LPT greedy balancing the jobs' solo
+ *                       instruction throughput across cores, so no
+ *                       core hoards the high-ICOUNT jobs;
+ *  - "synpa":           counter-driven, SYNPA-style: build pair
+ *                       affinities from sample-phase coschedule
+ *                       measurements and greedily group jobs that
+ *                       measured well together (falls back to naive
+ *                       packing when no samples exist yet).
+ */
+
+#ifndef SOS_CORE_THREAD_TO_CORE_HH
+#define SOS_CORE_THREAD_TO_CORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/combinatorics.hh"
+
+namespace sos {
+
+/** One sample-phase observation: who ran together, and how well. */
+struct CoscheduleSample
+{
+    /** Coschedule tuples of the sampled machine schedule's period. */
+    std::vector<std::vector<int>> tuples;
+
+    /** Weighted speedup measured while that schedule ran. */
+    double ws = 0.0;
+};
+
+/** Everything a policy may consult when placing jobs on cores. */
+struct AllocationContext
+{
+    int numJobs = 0;
+    int numCores = 0;
+
+    /** Solo IPC per job (calibrated); required by balanced-icount. */
+    std::vector<double> soloIpc;
+
+    /** Sample-phase measurements; consulted by synpa. */
+    std::vector<CoscheduleSample> samples;
+
+    /** Deterministic seed; consulted by random. */
+    std::uint64_t seed = 0;
+};
+
+/** Places jobs onto cores: one group of job indices per core. */
+class ThreadToCorePolicy
+{
+  public:
+    virtual ~ThreadToCorePolicy() = default;
+
+    /** Registry key, e.g. "balanced-icount". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Partition {0..numJobs-1} into numCores groups of equal size
+     * (numCores must divide numJobs), groups sorted ascending.
+     * Deterministic for a given context.
+     */
+    virtual Partition allocate(const AllocationContext &ctx) const = 0;
+};
+
+/**
+ * Instantiate a policy by registry key; fatal() on an unknown name
+ * (the message lists the known keys).
+ */
+std::unique_ptr<ThreadToCorePolicy>
+makeThreadToCorePolicy(const std::string &name);
+
+/** All registry keys, sorted. */
+std::vector<std::string> threadToCorePolicyNames();
+
+} // namespace sos
+
+#endif // SOS_CORE_THREAD_TO_CORE_HH

@@ -1,0 +1,69 @@
+#include "core_params.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace sos {
+
+namespace {
+
+/** The fpBusyUntil_ tracking capacity of SmtCore's issue stage. */
+constexpr int MaxFpMulPipes = 8;
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::invalid_argument("CoreParams: " + what);
+}
+
+void
+requirePositive(int value, const char *name)
+{
+    if (value < 1)
+        bad(std::string(name) + " must be >= 1");
+}
+
+} // namespace
+
+void
+validateCoreParams(const CoreParams &params)
+{
+    if (params.numContexts < 1 || params.numContexts > MaxContexts) {
+        bad("numContexts must be in [1, " +
+            std::to_string(MaxContexts) + "], got " +
+            std::to_string(params.numContexts));
+    }
+    if (params.fpMulPipes > MaxFpMulPipes) {
+        bad("fpMulPipes exceeds the issue stage's busy-tracking "
+            "capacity of " +
+            std::to_string(MaxFpMulPipes));
+    }
+    requirePositive(params.fetchWidth, "fetchWidth");
+    requirePositive(params.fetchThreads, "fetchThreads");
+    requirePositive(params.fetchQueueSize, "fetchQueueSize");
+    requirePositive(params.frontendDelay, "frontendDelay");
+    if (params.mispredictRedirect < 0)
+        bad("mispredictRedirect must be >= 0");
+    requirePositive(params.dispatchWidth, "dispatchWidth");
+    requirePositive(params.commitWidth, "commitWidth");
+    requirePositive(params.intQueueSize, "intQueueSize");
+    requirePositive(params.fpQueueSize, "fpQueueSize");
+    requirePositive(params.intRenameRegs, "intRenameRegs");
+    requirePositive(params.fpRenameRegs, "fpRenameRegs");
+    requirePositive(params.robSize, "robSize");
+    requirePositive(params.numIntUnits, "numIntUnits");
+    requirePositive(params.fpAddPipes, "fpAddPipes");
+    requirePositive(params.fpMulPipes, "fpMulPipes");
+    requirePositive(params.numLsPorts, "numLsPorts");
+    requirePositive(params.intAluLat, "intAluLat");
+    requirePositive(params.intMultLat, "intMultLat");
+    requirePositive(params.fpAddLat, "fpAddLat");
+    requirePositive(params.fpMultLat, "fpMultLat");
+    requirePositive(params.fpDivLat, "fpDivLat");
+    requirePositive(params.l1dHitLat, "l1dHitLat");
+    requirePositive(params.predictorBits, "predictorBits");
+    if (params.predictorBits > 30)
+        bad("predictorBits above 30 would allocate a >8 GiB table");
+}
+
+} // namespace sos

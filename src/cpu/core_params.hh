@@ -75,6 +75,17 @@ struct CoreParams
     bool roundRobinFetch = false;
 };
 
+/**
+ * Check a core configuration for structural validity: context count
+ * within [1, MaxContexts], FP pipe counts the issue stage can track,
+ * and positive widths, queue depths and latencies.  Called at SmtCore
+ * construction, so a misconfigured experiment fails loudly instead of
+ * simulating nonsense.
+ *
+ * @throws std::invalid_argument describing the first violation.
+ */
+void validateCoreParams(const CoreParams &params);
+
 } // namespace sos
 
 #endif // SOS_CPU_CORE_PARAMS_HH

@@ -1,0 +1,77 @@
+#include "machine.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "stats/stats.hh"
+
+namespace sos {
+
+void
+validateMachineParams(const MachineParams &params)
+{
+    if (params.numCores < 1 || params.numCores > MaxCores) {
+        throw std::invalid_argument(
+            "MachineParams: numCores must be in [1, " +
+            std::to_string(MaxCores) + "], got " +
+            std::to_string(params.numCores));
+    }
+    validateCoreParams(params.core);
+    validateMemParams(params.mem);
+}
+
+Machine::Machine(const MachineParams &params)
+    : params_((validateMachineParams(params), params)),
+      l2_(params.mem, params.numCores)
+{
+    views_.reserve(static_cast<std::size_t>(params.numCores));
+    cores_.reserve(static_cast<std::size_t>(params.numCores));
+    for (int k = 0; k < params.numCores; ++k) {
+        views_.push_back(
+            std::make_unique<CacheHierarchy>(params.mem, l2_, k));
+        cores_.push_back(
+            std::make_unique<SmtCore>(params.core, *views_.back()));
+    }
+}
+
+Machine::Machine(const CoreParams &core, const MemParams &mem,
+                 int num_cores)
+    : Machine(MachineParams{num_cores, core, mem})
+{
+}
+
+void
+Machine::detachAll()
+{
+    for (auto &core : cores_)
+        core->detachAll();
+}
+
+void
+Machine::flushAll()
+{
+    for (auto &view : views_)
+        view->flushAll(); // each view also flushes the shared L2
+}
+
+void
+Machine::registerStats(const stats::Group &group) const
+{
+    l2_.cache().registerStats(group.group("l2"));
+    for (int k = 0; k < numCores(); ++k) {
+        const stats::Group core_group =
+            group.group("core" + std::to_string(k));
+        const CacheHierarchy &view = *views_[static_cast<std::size_t>(k)];
+        view.l1i().registerStats(core_group.group("l1i"));
+        view.l1d().registerStats(core_group.group("l1d"));
+        view.itlb().registerStats(core_group.group("itlb"));
+        view.dtlb().registerStats(core_group.group("dtlb"));
+        core_group.group("prefetcher")
+            .formula("issued", "prefetches issued", [&view] {
+                return static_cast<double>(view.prefetcher().issued());
+            });
+        l2_.registerCoreStats(core_group.group("l2_contention"), k);
+    }
+}
+
+} // namespace sos

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The machine model: a CMP of homogeneous SMT cores behind one L2.
+ *
+ * A Machine owns N SmtCores, one private CacheHierarchy view per core
+ * (L1s, TLBs, prefetcher) and the SharedL2 all views route their
+ * misses through.  Everything above this layer -- engines, schedule
+ * sweeps, experiments -- borrows cores by reference, so the one-core
+ * machine is exactly the old single-core simulator with its ownership
+ * inverted, and reproduces it bit-for-bit.
+ *
+ * Determinism: the machine itself holds no scheduling state.  Drivers
+ * step cores in core-index order (see MachineEngine), so any run is a
+ * pure function of (params, bound workloads), never of wall-clock or
+ * worker count.
+ */
+
+#ifndef SOS_CPU_MACHINE_HH
+#define SOS_CPU_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/smt_core.hh"
+#include "mem/cache_hierarchy.hh"
+
+namespace sos {
+
+namespace stats {
+class Group;
+} // namespace stats
+
+/** Most cores any machine can be built with. */
+constexpr int MaxCores = 16;
+
+/** Static configuration of a machine. */
+struct MachineParams
+{
+    /** Number of identical SMT cores sharing the L2. */
+    int numCores = 1;
+
+    /** Per-core microarchitecture (homogeneous CMP). */
+    CoreParams core;
+
+    /** Memory configuration: private-level geometry + shared L2. */
+    MemParams mem;
+};
+
+/**
+ * Check a machine configuration: core count within [1, MaxCores] plus
+ * the per-core and memory validations.
+ *
+ * @throws std::invalid_argument describing the first violation.
+ */
+void validateMachineParams(const MachineParams &params);
+
+/** A chip multiprocessor of SMT cores with a shared L2. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineParams &params);
+
+    /** Single- or multi-core convenience constructor. */
+    Machine(const CoreParams &core, const MemParams &mem,
+            int num_cores = 1);
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
+
+    SmtCore &core(int k) { return *cores_.at(static_cast<std::size_t>(k)); }
+    const SmtCore &
+    core(int k) const
+    {
+        return *cores_.at(static_cast<std::size_t>(k));
+    }
+
+    /** Core @p k's private view of memory. */
+    CacheHierarchy &
+    memory(int k)
+    {
+        return *views_.at(static_cast<std::size_t>(k));
+    }
+    const CacheHierarchy &
+    memory(int k) const
+    {
+        return *views_.at(static_cast<std::size_t>(k));
+    }
+
+    SharedL2 &sharedL2() { return l2_; }
+    const SharedL2 &sharedL2() const { return l2_; }
+
+    const MachineParams &params() const { return params_; }
+
+    /** Detach every thread from every core. */
+    void detachAll();
+
+    /** Invalidate every cache on the machine (between experiments). */
+    void flushAll();
+
+    /**
+     * Register the machine's memory-system counters under @p group:
+     * the shared cache's aggregate counters under "l2", and one
+     * "core<k>" subgroup per core holding that core's private levels
+     * plus its shared-L2 contention counters ("core0.l2_contention.*").
+     * Stats bind to live counters; the machine must outlive dumps.
+     */
+    void registerStats(const stats::Group &group) const;
+
+  private:
+    MachineParams params_;
+    SharedL2 l2_;
+    std::vector<std::unique_ptr<CacheHierarchy>> views_;
+    std::vector<std::unique_ptr<SmtCore>> cores_;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_MACHINE_HH

@@ -77,6 +77,13 @@ struct PerfCounters
     /** Zero every counter. */
     void clear() { *this = PerfCounters(); }
 
+    /**
+     * Field-wise equality: two intervals measured the same execution
+     * iff every counter matches (the determinism tests' definition of
+     * "bit-identical").
+     */
+    bool operator==(const PerfCounters &other) const = default;
+
     /** Accumulate another interval into this one. */
     PerfCounters &operator+=(const PerfCounters &other);
 

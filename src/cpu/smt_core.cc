@@ -7,15 +7,10 @@
 
 namespace sos {
 
-SmtCore::SmtCore(const CoreParams &params, const MemParams &mem_params)
-    : params_(params), mem_(mem_params), bpred_(params.predictorBits)
+SmtCore::SmtCore(const CoreParams &params, CacheHierarchy &mem)
+    : params_(params), mem_(mem), bpred_(params.predictorBits)
 {
-    SOS_ASSERT(params.numContexts >= 1 &&
-                   params.numContexts <= MaxContexts,
-               "unsupported context count");
-    SOS_ASSERT(params.fpAddPipes >= 1 && params.fpMulPipes >= 1);
-    SOS_ASSERT(params.fpMulPipes <=
-               static_cast<int>(fpBusyUntil_.size()));
+    validateCoreParams(params);
     ctxs_.resize(static_cast<std::size_t>(params.numContexts));
 
     const std::size_t slab_size = static_cast<std::size_t>(
@@ -236,8 +231,11 @@ SmtCore::run(std::uint64_t cycles, PerfCounters &counters)
     const std::uint64_t l1i_m0 = mem_.l1i().misses();
     const std::uint64_t l1d_h0 = mem_.l1d().hits();
     const std::uint64_t l1d_m0 = mem_.l1d().misses();
-    const std::uint64_t l2_h0 = mem_.l2().hits();
-    const std::uint64_t l2_m0 = mem_.l2().misses();
+    // L2 counts come from this core's contention counters, not the
+    // shared cache's aggregate: on a multicore machine the aggregate
+    // mixes in other cores' traffic.
+    const std::uint64_t l2_h0 = mem_.l2CoreCounters().hits;
+    const std::uint64_t l2_m0 = mem_.l2CoreCounters().misses;
     const std::uint64_t itlb_m0 = mem_.itlb().misses();
     const std::uint64_t dtlb_m0 = mem_.dtlb().misses();
 
@@ -262,8 +260,8 @@ SmtCore::run(std::uint64_t cycles, PerfCounters &counters)
     counters.l1iMisses += mem_.l1i().misses() - l1i_m0;
     counters.l1dHits += mem_.l1d().hits() - l1d_h0;
     counters.l1dMisses += mem_.l1d().misses() - l1d_m0;
-    counters.l2Hits += mem_.l2().hits() - l2_h0;
-    counters.l2Misses += mem_.l2().misses() - l2_m0;
+    counters.l2Hits += mem_.l2CoreCounters().hits - l2_h0;
+    counters.l2Misses += mem_.l2CoreCounters().misses - l2_m0;
     counters.itlbMisses += mem_.itlb().misses() - itlb_m0;
     counters.dtlbMisses += mem_.dtlb().misses() - dtlb_m0;
 }

@@ -42,7 +42,13 @@ namespace sos {
 class SmtCore
 {
   public:
-    SmtCore(const CoreParams &params, const MemParams &mem_params);
+    /**
+     * @param params Core configuration (validated; throws
+     *        std::invalid_argument on a structurally invalid one).
+     * @param mem This core's view of the machine's memory system
+     *        (must outlive the core; see Machine).
+     */
+    SmtCore(const CoreParams &params, CacheHierarchy &mem);
 
     /** Bind a software thread to context slot (slot must be free). */
     void attachThread(int slot, const ThreadBinding &binding);
@@ -68,7 +74,7 @@ class SmtCore
     /** Absolute simulated cycle count since construction. */
     std::uint64_t now() const { return cycle_; }
 
-    /** The shared memory hierarchy (for flushing and inspection). */
+    /** This core's memory view (for flushing and inspection). */
     CacheHierarchy &memory() { return mem_; }
     const CacheHierarchy &memory() const { return mem_; }
 
@@ -186,7 +192,7 @@ class SmtCore
     std::uint64_t readyOrRecheck(InFlight &inst) const;
 
     CoreParams params_;
-    CacheHierarchy mem_;
+    CacheHierarchy &mem_;
     BranchPredictor bpred_;
     std::vector<Ctx> ctxs_;
 

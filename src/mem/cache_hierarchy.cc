@@ -1,13 +1,116 @@
 #include "cache_hierarchy.hh"
 
+#include <stdexcept>
+#include <string>
+
 #include "stats/stats.hh"
 
 namespace sos {
 
-CacheHierarchy::CacheHierarchy(const MemParams &params)
-    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2),
-      itlb_(params.itlb), dtlb_(params.dtlb), prefetcher_(params.prefetch)
+namespace {
+
+void
+validateCacheParams(const CacheParams &params)
 {
+    const auto bad = [&params](const char *what) {
+        throw std::invalid_argument("cache '" + params.name +
+                                    "': " + what);
+    };
+    if (params.sizeBytes == 0 || params.lineBytes == 0 ||
+        params.assoc == 0) {
+        bad("size, line size and associativity must be positive");
+    }
+    if (params.sizeBytes % params.lineBytes != 0)
+        bad("line size must divide the capacity");
+    const std::uint32_t lines = params.sizeBytes / params.lineBytes;
+    if (lines % params.assoc != 0)
+        bad("associativity must divide the line count");
+}
+
+} // namespace
+
+void
+validateMemParams(const MemParams &params)
+{
+    validateCacheParams(params.l1i);
+    validateCacheParams(params.l1d);
+    validateCacheParams(params.l2);
+    validateCacheParams(params.itlb);
+    validateCacheParams(params.dtlb);
+    if (params.l2HitLatency == 0 || params.memLatency == 0) {
+        throw std::invalid_argument(
+            "L2 and memory latencies must be positive");
+    }
+}
+
+SharedL2::SharedL2(const MemParams &params, int num_cores)
+    : l2_(params.l2)
+{
+    if (num_cores < 1)
+        throw std::invalid_argument("a machine needs at least one core");
+    counters_.resize(static_cast<std::size_t>(num_cores));
+}
+
+bool
+SharedL2::access(int core, std::uint16_t asid, std::uint64_t addr)
+{
+    CoreCounters &c = counters_.at(static_cast<std::size_t>(core));
+    ++c.accesses;
+    const bool hit = l2_.access(asid, addr);
+    if (hit)
+        ++c.hits;
+    else
+        ++c.misses;
+    return hit;
+}
+
+void
+SharedL2::prefetchFill(int core, std::uint16_t asid, std::uint64_t addr)
+{
+    ++counters_.at(static_cast<std::size_t>(core)).prefetchFills;
+    l2_.prefetchFill(asid, addr);
+}
+
+void
+SharedL2::flush()
+{
+    l2_.flush();
+}
+
+void
+SharedL2::registerCoreStats(const stats::Group &group, int core) const
+{
+    const CoreCounters &c = coreCounters(core);
+    group.scalar("accesses", "demand L2 lookups from this core")
+        .bind(&c.accesses);
+    group.scalar("hits", "shared-L2 hits of this core").bind(&c.hits);
+    group.scalar("misses", "shared-L2 misses of this core")
+        .bind(&c.misses);
+    group.scalar("prefetch_fills", "prefetch fills issued by this core")
+        .bind(&c.prefetchFills);
+    group.formula("miss_share",
+                  "this core's share of all shared-L2 misses", [this,
+                                                                core] {
+        std::uint64_t total = 0;
+        for (const CoreCounters &cc : counters_)
+            total += cc.misses;
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(coreCounters(core).misses) /
+               static_cast<double>(total);
+    });
+}
+
+CacheHierarchy::CacheHierarchy(const MemParams &params, SharedL2 &l2,
+                               int core_id)
+    : params_(params), coreId_(core_id), l2_(l2), l1i_(params.l1i),
+      l1d_(params.l1d), itlb_(params.itlb), dtlb_(params.dtlb),
+      prefetcher_(params.prefetch)
+{
+    if (core_id < 0 || core_id >= l2.numCores()) {
+        throw std::invalid_argument(
+            "memory view core id out of range for the shared L2");
+    }
 }
 
 std::uint32_t
@@ -19,7 +122,7 @@ CacheHierarchy::dataAccess(std::uint16_t asid, std::uint64_t addr,
         extra += params_.tlbMissLatency;
     if (!l1d_.access(asid, addr)) {
         extra += params_.l2HitLatency;
-        if (!l2_.access(asid, addr))
+        if (!l2_.access(coreId_, asid, addr))
             extra += params_.memLatency;
     }
 
@@ -31,7 +134,7 @@ CacheHierarchy::dataAccess(std::uint16_t asid, std::uint64_t addr,
             // page walk.
             if (!dtlb_.probe(asid, target))
                 continue;
-            l2_.prefetchFill(asid, target);
+            l2_.prefetchFill(coreId_, asid, target);
             l1d_.prefetchFill(asid, target);
         }
     }
@@ -46,7 +149,7 @@ CacheHierarchy::instAccess(std::uint16_t asid, std::uint64_t pc)
         extra += params_.tlbMissLatency;
     if (!l1i_.access(asid, pc)) {
         extra += params_.l2HitLatency;
-        if (!l2_.access(asid, pc))
+        if (!l2_.access(coreId_, asid, pc))
             extra += params_.memLatency;
     }
     return extra;
@@ -67,7 +170,7 @@ CacheHierarchy::registerStats(const stats::Group &group) const
 {
     l1i_.registerStats(group.group("l1i"));
     l1d_.registerStats(group.group("l1d"));
-    l2_.registerStats(group.group("l2"));
+    l2_.cache().registerStats(group.group("l2"));
     itlb_.registerStats(group.group("itlb"));
     dtlb_.registerStats(group.group("dtlb"));
     // The prefetcher count goes through a formula: its counter is

@@ -1,12 +1,29 @@
 /**
  * @file
- * Two-level cache hierarchy with TLBs, shared by all SMT contexts.
+ * Memory system of a CMP of SMT cores.
+ *
+ * The hierarchy is split along the machine's sharing topology:
+ *
+ *  - SharedL2 models the board-level cache every core of the machine
+ *    shares.  It keeps per-core contention counters (demand accesses,
+ *    hits, misses, prefetch fills) so machine-level schedulers can see
+ *    which core is pounding the shared level.
+ *
+ *  - CacheHierarchy is one core's *view* of memory: private L1s, TLBs
+ *    and stride prefetcher, plus a reference to the machine's
+ *    SharedL2.  SmtCore borrows a view by reference; the Machine owns
+ *    both halves.
+ *
+ * A 1-core machine reproduces the former single-core hierarchy
+ * bit-for-bit: the same caches see the same access sequence, only the
+ * ownership moved.
  */
 
 #ifndef SOS_MEM_CACHE_HIERARCHY_HH
 #define SOS_MEM_CACHE_HIERARCHY_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "mem/cache.hh"
 #include "mem/prefetcher.hh"
@@ -27,7 +44,6 @@ struct MemParams
     CacheParams l2{"l2", 2 * 1024 * 1024, 64, 8};
     CacheParams itlb{"itlb", 128 * 8192, 8192, 4}; // 128 x 8K pages
     CacheParams dtlb{"dtlb", 256 * 8192, 8192, 4}; // 256 entries
-
     /** Additional latency beyond L1 on an L1 miss that hits in L2. */
     std::uint32_t l2HitLatency = 12;
     /** Additional latency on an L2 miss (main memory). */
@@ -40,18 +56,96 @@ struct MemParams
 };
 
 /**
- * The shared memory system of the SMT core.
+ * Check a memory configuration for structural validity: every cache
+ * must have a positive geometry that divides evenly into sets, and
+ * latencies must be non-degenerate.
+ *
+ * @throws std::invalid_argument describing the first violation.
+ */
+void validateMemParams(const MemParams &params);
+
+/**
+ * The machine's shared board-level cache.
+ *
+ * One instance per Machine; every core's CacheHierarchy view routes
+ * its L1-miss traffic here.  Besides the Cache's own aggregate
+ * hit/miss counters, the shared level attributes demand accesses,
+ * hits, misses and prefetch fills to the requesting core -- the
+ * contention signal a thread-to-core allocation policy can read.
+ */
+class SharedL2
+{
+  public:
+    /** Per-core contention counters at the shared level. */
+    struct CoreCounters
+    {
+        std::uint64_t accesses = 0; ///< demand lookups from this core
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t prefetchFills = 0;
+    };
+
+    /**
+     * @param params Machine memory configuration (uses .l2).
+     * @param num_cores Cores sharing this cache (>= 1).
+     */
+    SharedL2(const MemParams &params, int num_cores);
+
+    /** Demand access from @p core; true on hit (allocates on miss). */
+    bool access(int core, std::uint16_t asid, std::uint64_t addr);
+
+    /** Prefetch fill from @p core (no demand counters touched). */
+    void prefetchFill(int core, std::uint16_t asid, std::uint64_t addr);
+
+    /** Invalidate every line (counters are kept). */
+    void flush();
+
+    int numCores() const { return static_cast<int>(counters_.size()); }
+
+    /** The underlying cache (aggregate counters, geometry). */
+    const Cache &cache() const { return l2_; }
+
+    /** Contention counters of one core. */
+    const CoreCounters &
+    coreCounters(int core) const
+    {
+        return counters_.at(static_cast<std::size_t>(core));
+    }
+
+    /**
+     * Register one core's contention counters under @p group
+     * ("accesses", "hits", "misses", "prefetch_fills", plus the
+     * "miss_share" formula: this core's misses over all cores').
+     * Stats bind to live counters; this object must outlive dumps.
+     */
+    void registerCoreStats(const stats::Group &group, int core) const;
+
+  private:
+    Cache l2_;
+    std::vector<CoreCounters> counters_;
+};
+
+/**
+ * One core's view of the memory system: private L1 caches, TLBs and
+ * prefetcher in front of the machine-shared L2.
  *
  * Latency-only model: misses overlap freely (the out-of-order core
  * provides the MLP limit through its queues and rename registers).
- * All structures are shared and ASID-tagged, so coscheduled jobs evict
- * each other's lines -- the mechanism behind the Dcache predictor and
- * the Section 8 cold-start effects.
+ * Private structures are still shared among the *contexts* of the
+ * owning SMT core and ASID-tagged, so coscheduled jobs evict each
+ * other's lines -- the mechanism behind the Dcache predictor and the
+ * Section 8 cold-start effects.  Jobs on different cores contend only
+ * through the shared L2.
  */
 class CacheHierarchy
 {
   public:
-    explicit CacheHierarchy(const MemParams &params);
+    /**
+     * @param params Memory configuration (private level geometry).
+     * @param l2 The machine's shared cache (must outlive the view).
+     * @param core_id This core's index for contention attribution.
+     */
+    CacheHierarchy(const MemParams &params, SharedL2 &l2, int core_id);
 
     /**
      * Perform a data access.
@@ -73,32 +167,49 @@ class CacheHierarchy
      */
     std::uint32_t instAccess(std::uint16_t asid, std::uint64_t pc);
 
-    /** Invalidate everything (used between independent experiments). */
+    /**
+     * Invalidate the private levels *and* the shared L2 (used between
+     * independent experiments; on a multicore machine prefer
+     * Machine::flushAll, which flushes every view).
+     */
     void flushAll();
 
     /**
-     * Register every level's counters under @p group: one subgroup
-     * per cache/TLB ("l1i", "l1d", "l2", "itlb", "dtlb") plus the
-     * prefetcher's issue count. Binding rules as Cache::registerStats.
+     * Register this view's counters under @p group: one subgroup per
+     * private cache/TLB ("l1i", "l1d", "itlb", "dtlb"), the shared
+     * cache's aggregate counters under "l2", and the prefetcher's
+     * issue count.  Register at most one view's stats per path (on a
+     * multicore machine the "l2" aggregate belongs to the machine).
+     * Binding rules as Cache::registerStats.
      */
     void registerStats(const stats::Group &group) const;
 
     const MemParams &params() const { return params_; }
 
+    int coreId() const { return coreId_; }
+
     /** @name Component access for stats and tests. @{ */
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
-    const Cache &l2() const { return l2_; }
+    const Cache &l2() const { return l2_.cache(); }
     const Cache &itlb() const { return itlb_; }
     const Cache &dtlb() const { return dtlb_; }
     const StridePrefetcher &prefetcher() const { return prefetcher_; }
+    const SharedL2 &sharedL2() const { return l2_; }
+    /** This core's contention counters at the shared level. */
+    const SharedL2::CoreCounters &
+    l2CoreCounters() const
+    {
+        return l2_.coreCounters(coreId_);
+    }
     /** @} */
 
   private:
     MemParams params_;
+    int coreId_;
+    SharedL2 &l2_;
     Cache l1i_;
     Cache l1d_;
-    Cache l2_;
     Cache itlb_;
     Cache dtlb_;
     StridePrefetcher prefetcher_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "sched/job.hh"
 #include "sched/jobmix.hh"
 #include "trace/workload_library.hh"
@@ -35,7 +35,8 @@ Calibrator::soloIpc(const std::string &workload, int threads)
         WorkloadLibrary::instance().get(workload);
     Job job(1, profile, 0xca11b7a7eULL, threads,
             /*adaptive=*/false);
-    SmtCore core(coreParams_, memParams_);
+    Machine machine(coreParams_, memParams_);
+    SmtCore &core = machine.core(0);
     for (int t = 0; t < threads; ++t) {
         ThreadBinding binding;
         binding.gen = &job.generator(t);

@@ -1,0 +1,258 @@
+#include "machine_schedule.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sos {
+
+namespace {
+
+/** Map a local partition of {0..g-1} through a sorted group. */
+Schedule
+scheduleFromLocalPartition(const Partition &local,
+                           const std::vector<int> &group)
+{
+    Partition mapped;
+    mapped.reserve(local.size());
+    for (const std::vector<int> &tuple : local)
+        mapped.push_back(mapThroughGroup(tuple, group));
+    return Schedule::fromPartition(mapped);
+}
+
+/** Every distinct schedule of one core's (sorted) group. */
+std::vector<Schedule>
+groupSchedules(const std::vector<int> &group, int level, int swap)
+{
+    const int g = static_cast<int>(group.size());
+    if (g == level)
+        return {Schedule::fromPartition({group})};
+    const ScheduleSpace local(g, level, swap);
+    std::vector<Schedule> out;
+    if (local.fullSwap()) {
+        for (const Partition &p : enumerateEqualPartitions(g, level))
+            out.push_back(scheduleFromLocalPartition(p, group));
+        return out;
+    }
+    for (const std::vector<int> &order : enumerateCircularOrders(g)) {
+        out.push_back(Schedule::fromRotation(
+            mapThroughGroup(order, group), level, swap));
+    }
+    return out;
+}
+
+/** One uniformly random schedule of one core's (sorted) group. */
+Schedule
+randomGroupSchedule(const std::vector<int> &group, int level, int swap,
+                    Rng &rng)
+{
+    const int g = static_cast<int>(group.size());
+    if (g == level)
+        return Schedule::fromPartition({group});
+    const ScheduleSpace local(g, level, swap);
+    if (local.fullSwap()) {
+        return scheduleFromLocalPartition(
+            randomEqualPartition(g, level, rng), group);
+    }
+    return Schedule::fromRotation(
+        mapThroughGroup(randomCircularOrder(g, rng), group), level,
+        swap);
+}
+
+std::vector<int>
+sortedGroup(const std::vector<int> &group)
+{
+    std::vector<int> s = group;
+    std::sort(s.begin(), s.end());
+    return s;
+}
+
+} // namespace
+
+MachineSchedule::MachineSchedule(Partition allocation,
+                                 std::vector<Schedule> per_core)
+    : allocation_(std::move(allocation)), perCore_(std::move(per_core))
+{
+    SOS_ASSERT(!perCore_.empty(), "machine schedule needs cores");
+    SOS_ASSERT(allocation_.size() == perCore_.size(),
+               "one group per core required");
+    for (std::size_t k = 0; k < perCore_.size(); ++k) {
+        SOS_ASSERT(!allocation_[k].empty(), "a core with no jobs");
+        SOS_ASSERT(perCore_[k].valid(), "invalid per-core schedule");
+        if (k > 0)
+            label_ += '|';
+        label_ += 'c' + std::to_string(k) + '[' +
+                  perCore_[k].label() + ']';
+    }
+    // Cores are interchangeable: key on the sorted per-core schedule
+    // keys (each key names its global job ids, hence its group).
+    std::vector<std::string> parts;
+    parts.reserve(perCore_.size());
+    for (const Schedule &s : perCore_)
+        parts.push_back(s.key());
+    std::sort(parts.begin(), parts.end());
+    key_ = "M:";
+    for (std::size_t k = 0; k < parts.size(); ++k) {
+        if (k > 0)
+            key_ += '|';
+        key_ += parts[k];
+    }
+}
+
+std::uint64_t
+MachineSchedule::periodTimeslices() const
+{
+    std::uint64_t period = 1;
+    for (const Schedule &s : perCore_)
+        period = std::max(period, s.periodTimeslices());
+    return period;
+}
+
+MachineScheduleSpace::MachineScheduleSpace(int num_jobs, int num_cores,
+                                           int level, int swap)
+    : numJobs_(num_jobs), numCores_(num_cores), level_(level),
+      swap_(swap)
+{
+    SOS_ASSERT(num_cores >= 1, "need at least one core");
+    SOS_ASSERT(num_jobs >= 1, "need at least one job");
+    SOS_ASSERT(num_jobs % num_cores == 0,
+               "machine spaces require the cores to divide the jobs");
+    groupSize_ = num_jobs / num_cores;
+    SOS_ASSERT(groupSize_ >= level,
+               "fewer jobs per core than contexts: trivial");
+    SOS_ASSERT(swap >= 1 && swap <= level, "1 <= Z <= Y required");
+}
+
+std::uint64_t
+MachineScheduleSpace::distinctCount() const
+{
+    if (numJobs_ > 20)
+        return ~std::uint64_t{0};
+    std::uint64_t count =
+        numCores_ == 1 ? 1
+                       : equalPartitionCount(numJobs_, groupSize_);
+    const std::uint64_t per_core =
+        ScheduleSpace(groupSize_, level_, swap_).distinctCount();
+    for (int k = 0; k < numCores_; ++k)
+        count = mulSaturating(count, per_core);
+    return count;
+}
+
+std::uint64_t
+MachineScheduleSpace::periodTimeslices() const
+{
+    return ScheduleSpace(groupSize_, level_, swap_).periodTimeslices();
+}
+
+std::vector<MachineSchedule>
+MachineScheduleSpace::enumerateAll(std::uint64_t limit) const
+{
+    const std::uint64_t count = distinctCount();
+    if (count > limit) {
+        fatal("machine schedule space of ", count,
+              " schedules exceeds the enumeration limit of ", limit);
+    }
+    std::vector<MachineSchedule> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (const Partition &allocation :
+         enumerateEqualPartitions(numJobs_, groupSize_)) {
+        const std::vector<MachineSchedule> fixed =
+            schedulesForAllocation(allocation, limit);
+        out.insert(out.end(), fixed.begin(), fixed.end());
+    }
+    return out;
+}
+
+std::vector<MachineSchedule>
+MachineScheduleSpace::schedulesForAllocation(const Partition &allocation,
+                                             std::uint64_t limit) const
+{
+    SOS_ASSERT(static_cast<int>(allocation.size()) == numCores_,
+               "allocation must cover every core");
+    std::vector<std::vector<Schedule>> choices;
+    std::vector<std::uint64_t> radices;
+    Partition groups;
+    for (const std::vector<int> &raw : allocation) {
+        SOS_ASSERT(static_cast<int>(raw.size()) == groupSize_,
+                   "allocation groups must hold X/C jobs each");
+        groups.push_back(sortedGroup(raw));
+        choices.push_back(groupSchedules(groups.back(), level_, swap_));
+        radices.push_back(choices.back().size());
+    }
+    std::uint64_t count = 1;
+    for (const std::uint64_t r : radices)
+        count = mulSaturating(count, r);
+    if (count > limit) {
+        fatal("allocation's schedule product of ", count,
+              " exceeds the enumeration limit of ", limit);
+    }
+    std::vector<MachineSchedule> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (const std::vector<std::uint64_t> &digits :
+         enumerateMixedRadix(radices)) {
+        std::vector<Schedule> per_core;
+        per_core.reserve(digits.size());
+        for (std::size_t k = 0; k < digits.size(); ++k) {
+            per_core.push_back(
+                choices[k][static_cast<std::size_t>(digits[k])]);
+        }
+        out.emplace_back(groups, std::move(per_core));
+    }
+    return out;
+}
+
+MachineSchedule
+MachineScheduleSpace::allocationRandom(const Partition &allocation,
+                                       Rng &rng) const
+{
+    SOS_ASSERT(static_cast<int>(allocation.size()) == numCores_,
+               "allocation must cover every core");
+    Partition groups;
+    std::vector<Schedule> per_core;
+    for (const std::vector<int> &raw : allocation) {
+        SOS_ASSERT(static_cast<int>(raw.size()) == groupSize_,
+                   "allocation groups must hold X/C jobs each");
+        groups.push_back(sortedGroup(raw));
+        per_core.push_back(
+            randomGroupSchedule(groups.back(), level_, swap_, rng));
+    }
+    return MachineSchedule(std::move(groups), std::move(per_core));
+}
+
+MachineSchedule
+MachineScheduleSpace::random(Rng &rng) const
+{
+    Partition allocation;
+    if (numCores_ == 1) {
+        std::vector<int> everyone(static_cast<std::size_t>(numJobs_));
+        std::iota(everyone.begin(), everyone.end(), 0);
+        allocation.push_back(std::move(everyone));
+    } else {
+        allocation = randomEqualPartition(numJobs_, groupSize_, rng);
+    }
+    return allocationRandom(allocation, rng);
+}
+
+std::vector<MachineSchedule>
+MachineScheduleSpace::sample(int count, Rng &rng) const
+{
+    SOS_ASSERT(count >= 1);
+    const std::uint64_t total = distinctCount();
+    if (total <= static_cast<std::uint64_t>(count))
+        return enumerateAll();
+
+    std::vector<MachineSchedule> out;
+    std::set<std::string> seen;
+    // Rejection sampling over canonical keys, as in ScheduleSpace.
+    while (out.size() < static_cast<std::size_t>(count)) {
+        MachineSchedule s = random(rng);
+        if (seen.insert(s.key()).second)
+            out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace sos

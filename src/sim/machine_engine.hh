@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Timeslice driver for a whole Machine.
+ *
+ * A MachineEngine owns one TimesliceEngine per core of a Machine and
+ * advances them in lock-step: within every timeslice the cores are
+ * stepped sequentially in core-index order (the determinism contract
+ * Machine documents), each running its own coschedule tuple from the
+ * MachineSchedule. Cores therefore interleave on the shared L2 at
+ * timeslice granularity -- coarse, but deterministic and faithful to
+ * the paper's OS-level view, where the scheduler only observes
+ * counters at quantum boundaries anyway.
+ *
+ * Wall-clock time is per-core time: all cores run the same quantum
+ * concurrently, so a run of T timeslices costs T * quantum machine
+ * cycles, and weighted speedup divides machine-wide progress by that
+ * single interval.
+ */
+
+#ifndef SOS_SIM_MACHINE_ENGINE_HH
+#define SOS_SIM_MACHINE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "sched/jobmix.hh"
+#include "sched/machine_schedule.hh"
+#include "sim/timeslice_engine.hh"
+
+namespace sos {
+
+/** Runs machine schedules on a borrowed Machine. */
+class MachineEngine
+{
+  public:
+    /** What one machine-schedule run measured. */
+    struct MachineRunResult
+    {
+        /** Counters summed over every core and timeslice. */
+        PerfCounters total;
+
+        /** Per-core counter totals, indexed by core. */
+        std::vector<PerfCounters> perCore;
+
+        /** Retired instructions per mix job (global job indices). */
+        std::vector<std::uint64_t> jobRetired;
+
+        /** Machine-wide IPC per timeslice (summed over cores). */
+        std::vector<double> sliceIpc;
+
+        /** Machine-wide mix imbalance per timeslice. */
+        std::vector<double> sliceMixImbalance;
+
+        /** Machine cycles elapsed (timeslices x quantum, per core). */
+        std::uint64_t cycles = 0;
+    };
+
+    MachineEngine(Machine &machine, std::uint64_t timeslice_cycles);
+
+    std::uint64_t timesliceCycles() const { return timeslice_; }
+
+    /**
+     * Run @p schedule for @p timeslices quanta: every timeslice, core
+     * k runs tuple t of its per-core schedule. The schedule's
+     * allocation must index into @p mix. Jobs accumulate progress as
+     * under TimesliceEngine (retired instructions and resident
+     * cycles), so a warmup run followed by a measured run charges the
+     * measured interval only with its own work.
+     */
+    MachineRunResult runSchedule(JobMix &mix,
+                                 const MachineSchedule &schedule,
+                                 std::uint64_t timeslices);
+
+    /** Detach every unit from every core. */
+    void evictAll();
+
+  private:
+    Machine &machine_;
+    std::uint64_t timeslice_;
+    std::vector<TimesliceEngine> engines_;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_MACHINE_ENGINE_HH

@@ -1,0 +1,432 @@
+#include "machine_experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "metrics/calibrator.hh"
+#include "metrics/weighted_speedup.hh"
+#include "stats/stats.hh"
+#include "stats/trace.hh"
+
+namespace sos {
+
+namespace {
+
+std::uint64_t
+hashLabel(const std::string &label)
+{
+    // FNV-1a: stable per-label seed derivation.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : label)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    return h;
+}
+
+std::string
+partitionLabel(const Partition &allocation)
+{
+    std::string out;
+    for (const std::vector<int> &group : allocation) {
+        out += '{';
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += std::to_string(group[i]);
+        }
+        out += '}';
+    }
+    return out;
+}
+
+} // namespace
+
+JobMix
+MachineExperimentSpec::makeMix(std::uint64_t seed) const
+{
+    JobMix mix(seed);
+    for (const std::string &workload : workloads)
+        mix.addJob(workload);
+    return mix;
+}
+
+const std::vector<MachineExperimentSpec> &
+machineExperiments()
+{
+    // The Jsb(8,4,4) jobs (Table 1) redistributed over a CMP: the
+    // same eight single-threaded jobs on two and on four two-way
+    // cores. Jm(8,2,2,2) has 35 allocations x 3^2 per-core schedules
+    // = 315 machine schedules; Jm(8,4,2,2) has 105.
+    static const std::vector<MachineExperimentSpec> experiments = {
+        {"Jm(8,2,2,2)",
+         {"FP", "MG", "WAVE", "SWIM", "GCC", "GCC", "GO", "IS"},
+         2, 2, 2},
+        {"Jm(8,4,2,2)",
+         {"FP", "MG", "WAVE", "SWIM", "GCC", "GCC", "GO", "IS"},
+         4, 2, 2},
+    };
+    return experiments;
+}
+
+MachineExperiment::MachineExperiment(const MachineExperimentSpec &spec,
+                                     const SimConfig &config)
+    : spec_(spec), config_(config),
+      space_(spec.numJobs(), spec.numCores, spec.level, spec.swap),
+      mix_(spec.makeMix(config.seed ^ hashLabel(spec.label))),
+      runner_(config.jobs)
+{
+    // Solo IPC is a property of one job alone on one core; the
+    // single-core calibrator stays the reference.
+    Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
+                          config_.calibWarmupCycles,
+                          config_.calibMeasureCycles);
+    calibrator.calibrate(mix_);
+}
+
+std::uint64_t
+MachineExperiment::timesliceCycles() const
+{
+    return config_.timesliceCycles();
+}
+
+JobMix
+MachineExperiment::freshMix() const
+{
+    // Every task rebuilds the same mix from the same seed, so all
+    // candidates see identical workload streams; the prototype's
+    // calibration is copied instead of re-measured.
+    JobMix mix = spec_.makeMix(config_.seed ^ hashLabel(spec_.label));
+    for (int j = 0; j < mix.numJobs(); ++j)
+        mix.job(j).soloIpc = mix_.job(j).soloIpc;
+    return mix;
+}
+
+MachineSchedule
+MachineExperiment::warmupFor(const Partition &allocation) const
+{
+    std::vector<Schedule> per_core;
+    per_core.reserve(allocation.size());
+    for (const std::vector<int> &raw : allocation) {
+        std::vector<int> group = raw;
+        std::sort(group.begin(), group.end());
+        per_core.push_back(
+            static_cast<int>(group.size()) == spec_.level
+                ? Schedule::fromPartition({group})
+                : Schedule::fromRotation(group, spec_.level,
+                                         spec_.swap));
+    }
+    return MachineSchedule(allocation, std::move(per_core));
+}
+
+ParallelScheduleRunner::ScheduleRun
+MachineExperiment::runOne(const MachineSchedule &schedule,
+                          std::uint64_t timeslices) const
+{
+    JobMix mix = freshMix();
+    // A private machine per task keeps the sweep a pure function of
+    // the candidate index (DESIGN.md determinism contract).
+    Machine machine(config_.coreFor(spec_.level), config_.mem,
+                    spec_.numCores);
+    MachineEngine engine(machine, timesliceCycles());
+
+    const MachineSchedule warm = warmupFor(schedule.allocation());
+    engine.runSchedule(mix, warm, warm.periodTimeslices());
+
+    const MachineEngine::MachineRunResult run =
+        engine.runSchedule(mix, schedule, timeslices);
+
+    ParallelScheduleRunner::ScheduleRun result;
+    result.run.total = run.total;
+    result.run.jobRetired = run.jobRetired;
+    result.run.sliceIpc = run.sliceIpc;
+    result.run.sliceMixImbalance = run.sliceMixImbalance;
+    result.run.cycles = run.cycles;
+    result.ws = weightedSpeedup(mix, run.jobRetired, run.cycles);
+    return result;
+}
+
+std::vector<ParallelScheduleRunner::ScheduleRun>
+MachineExperiment::runAll(const std::vector<MachineSchedule> &schedules,
+                          std::uint64_t timeslices) const
+{
+    return runner_.map<ParallelScheduleRunner::ScheduleRun>(
+        schedules.size(), [&](std::size_t i) {
+            return runOne(schedules[i], timeslices);
+        });
+}
+
+void
+MachineExperiment::runSamplePhase()
+{
+    SOS_ASSERT(profiles_.empty(), "sample phase already ran");
+    Rng rng(config_.seed ^ hashLabel(spec_.label) ^ 0x5a3217e1ULL);
+    schedules_ = space_.sample(config_.sampleSchedules, rng);
+
+    const auto periods =
+        static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
+    const std::uint64_t timeslices =
+        space_.periodTimeslices() * periods;
+    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
+        runAll(schedules_, timeslices);
+
+    for (std::size_t i = 0; i < schedules_.size(); ++i) {
+        const ParallelScheduleRunner::ScheduleRun &result = runs[i];
+        ScheduleProfile profile;
+        profile.label = schedules_[i].label();
+        profile.counters = result.run.total;
+        profile.sliceIpc = result.run.sliceIpc;
+        profile.sliceMixImbalance = result.run.sliceMixImbalance;
+        profile.sampleWs = result.ws;
+        profiles_.push_back(std::move(profile));
+        sampleCycles_ += result.run.cycles;
+    }
+}
+
+void
+MachineExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
+{
+    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
+    SOS_ASSERT(symbiosWs_.empty(), "symbios validation already ran");
+    const std::uint64_t cycles =
+        symbios_cycles > 0 ? symbios_cycles : config_.symbiosCycles();
+    const std::uint64_t timeslices =
+        std::max<std::uint64_t>(1, cycles / timesliceCycles());
+
+    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
+        runAll(schedules_, timeslices);
+    for (const ParallelScheduleRunner::ScheduleRun &result : runs)
+        symbiosWs_.push_back(result.ws);
+
+    // Replay the measured best on a persistent machine so dumps can
+    // read live cache and contention counters (publishStats binds,
+    // never copies).
+    bestIndex_ = static_cast<int>(
+        std::max_element(symbiosWs_.begin(), symbiosWs_.end()) -
+        symbiosWs_.begin());
+    const MachineSchedule &best =
+        schedules_[static_cast<std::size_t>(bestIndex_)];
+    JobMix mix = freshMix();
+    statsMachine_ = std::make_unique<Machine>(
+        config_.coreFor(spec_.level), config_.mem, spec_.numCores);
+    MachineEngine engine(*statsMachine_, timesliceCycles());
+    const MachineSchedule warm = warmupFor(best.allocation());
+    engine.runSchedule(mix, warm, warm.periodTimeslices());
+    bestRun_ = engine.runSchedule(mix, best, timeslices);
+    engine.evictAll();
+}
+
+const MachineExperiment::PolicyResult &
+MachineExperiment::evaluatePolicy(const std::string &name,
+                                  std::uint64_t symbios_cycles)
+{
+    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
+    const std::unique_ptr<ThreadToCorePolicy> policy =
+        makeThreadToCorePolicy(name);
+
+    AllocationContext ctx;
+    ctx.numJobs = spec_.numJobs();
+    ctx.numCores = spec_.numCores;
+    for (int j = 0; j < mix_.numJobs(); ++j)
+        ctx.soloIpc.push_back(mix_.job(j).soloIpc);
+    ctx.samples = coscheduleSamples();
+    ctx.seed = config_.seed ^ hashLabel(spec_.label);
+
+    PolicyResult result;
+    result.policy = policy->name();
+    result.allocation = policy->allocate(ctx);
+    result.allocationLabel = partitionLabel(result.allocation);
+
+    const std::vector<MachineSchedule> schedules =
+        space_.schedulesForAllocation(result.allocation);
+    const std::uint64_t cycles =
+        symbios_cycles > 0 ? symbios_cycles : config_.symbiosCycles();
+    const std::uint64_t timeslices =
+        std::max<std::uint64_t>(1, cycles / timesliceCycles());
+    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
+        runAll(schedules, timeslices);
+
+    double total = 0.0;
+    double best = 0.0;
+    for (const ParallelScheduleRunner::ScheduleRun &run : runs) {
+        total += run.ws;
+        best = std::max(best, run.ws);
+    }
+    result.schedulesRun = static_cast<int>(runs.size());
+    result.bestWs = best;
+    result.avgWs = runs.empty()
+                       ? 0.0
+                       : total / static_cast<double>(runs.size());
+    policyResults_.push_back(std::move(result));
+    return policyResults_.back();
+}
+
+double
+MachineExperiment::bestWs() const
+{
+    SOS_ASSERT(!symbiosWs_.empty());
+    return *std::max_element(symbiosWs_.begin(), symbiosWs_.end());
+}
+
+double
+MachineExperiment::worstWs() const
+{
+    SOS_ASSERT(!symbiosWs_.empty());
+    return *std::min_element(symbiosWs_.begin(), symbiosWs_.end());
+}
+
+double
+MachineExperiment::averageWs() const
+{
+    SOS_ASSERT(!symbiosWs_.empty());
+    double total = 0.0;
+    for (double ws : symbiosWs_)
+        total += ws;
+    return total / static_cast<double>(symbiosWs_.size());
+}
+
+int
+MachineExperiment::predictedIndex(const Predictor &predictor) const
+{
+    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
+    return predictor.best(profiles_);
+}
+
+double
+MachineExperiment::wsOfPredictor(const Predictor &predictor) const
+{
+    SOS_ASSERT(!symbiosWs_.empty(), "run the symbios validation first");
+    return symbiosWs_[static_cast<std::size_t>(
+        predictedIndex(predictor))];
+}
+
+std::vector<CoscheduleSample>
+MachineExperiment::coscheduleSamples() const
+{
+    std::vector<CoscheduleSample> samples;
+    samples.reserve(profiles_.size());
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        CoscheduleSample sample;
+        const MachineSchedule &schedule = schedules_[i];
+        for (int k = 0; k < schedule.numCores(); ++k) {
+            const auto &tuples = schedule.coreSchedule(k).tuples();
+            sample.tuples.insert(sample.tuples.end(), tuples.begin(),
+                                 tuples.end());
+        }
+        sample.ws = profiles_[i].sampleWs;
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+void
+MachineExperiment::publishStats(const stats::Group &group) const
+{
+    group.info("label", "machine experiment label") = spec_.label;
+    group.scalar("sample_phase_cycles",
+                 "simulated machine cycles spent profiling candidates")
+        .bind(&sampleCycles_);
+
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        const ScheduleProfile &profile = profiles_[i];
+        const stats::Group cand =
+            group.group("candidate" + std::to_string(i));
+        cand.info("schedule", "candidate machine schedule label") =
+            profile.label;
+        cand.value("sample_ws", "WS observed during the sample phase") =
+            profile.sampleWs;
+        cand.value("balance", "stddev of per-timeslice machine IPC") =
+            profile.balance();
+        cand.value("diversity",
+                   "mean per-timeslice machine mix imbalance") =
+            profile.diversity();
+        if (i < symbiosWs_.size())
+            cand.value("ws", "symbios-phase machine weighted speedup") =
+                symbiosWs_[i];
+        profile.counters.registerStats(cand.group("counters"));
+    }
+
+    if (statsMachine_) {
+        // The acceptance-visible per-core groups: machine.l2.*,
+        // machine.core<k>.{l1i,l1d,itlb,dtlb,prefetch,l2_contention},
+        // plus each core's best-run pipeline counters.
+        const stats::Group machine = group.group("machine");
+        machine.info("best_schedule",
+                     "machine schedule replayed for these counters") =
+            schedules_[static_cast<std::size_t>(bestIndex_)].label();
+        statsMachine_->registerStats(machine);
+        for (std::size_t k = 0; k < bestRun_.perCore.size(); ++k) {
+            bestRun_.perCore[k].registerStats(
+                machine.group("core" + std::to_string(k))
+                    .group("perf"));
+        }
+    }
+
+    for (const PolicyResult &policy : policyResults_) {
+        const stats::Group pg =
+            group.group("policy").group(policy.policy);
+        pg.info("allocation", "jobs-to-cores partition chosen") =
+            policy.allocationLabel;
+        pg.value("best_ws", "best symbios WS under the allocation") =
+            policy.bestWs;
+        pg.value("avg_ws", "mean symbios WS under the allocation") =
+            policy.avgWs;
+        pg.value("schedules_run",
+                 "per-core schedule combinations measured") =
+            static_cast<double>(policy.schedulesRun);
+    }
+
+    if (!symbiosWs_.empty()) {
+        const stats::Group summary = group.group("summary");
+        summary.value("best_ws", "best symbios WS in the sample") =
+            bestWs();
+        summary.value("worst_ws", "worst symbios WS in the sample") =
+            worstWs();
+        summary.value("avg_ws",
+                      "oblivious-scheduler expectation over the sample") =
+            averageWs();
+    }
+}
+
+void
+MachineExperiment::recordTrace(stats::EventTrace &trace) const
+{
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        trace.event("machine_sample_candidate")
+            .field("experiment", spec_.label)
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("schedule", profiles_[i].label)
+            .field("sample_ws", profiles_[i].sampleWs)
+            .field("ipc", profiles_[i].counters.ipc());
+    }
+    if (!symbiosWs_.empty()) {
+        for (const std::unique_ptr<Predictor> &predictor :
+             makeAllPredictors()) {
+            const int pick = predictedIndex(*predictor);
+            trace.event("machine_predictor_vote")
+                .field("experiment", spec_.label)
+                .field("predictor", predictor->name())
+                .field("pick", pick)
+                .field("schedule",
+                       profiles_[static_cast<std::size_t>(pick)].label)
+                .field("ws",
+                       symbiosWs_[static_cast<std::size_t>(pick)]);
+        }
+        for (std::size_t i = 0; i < symbiosWs_.size(); ++i) {
+            trace.event("machine_symbios_result")
+                .field("experiment", spec_.label)
+                .field("index", static_cast<std::uint64_t>(i))
+                .field("schedule", profiles_[i].label)
+                .field("ws", symbiosWs_[i]);
+        }
+    }
+    for (const PolicyResult &policy : policyResults_) {
+        trace.event("allocation_policy")
+            .field("experiment", spec_.label)
+            .field("policy", policy.policy)
+            .field("allocation", policy.allocationLabel)
+            .field("best_ws", policy.bestWs)
+            .field("avg_ws", policy.avgWs);
+    }
+}
+
+} // namespace sos

@@ -10,7 +10,7 @@
 #include "core/predictor.hh"
 #include "core/resample_policy.hh"
 #include "core/schedule_profile.hh"
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "metrics/calibrator.hh"
 #include "sched/schedule.hh"
 #include "sim/experiment_defs.hh"
@@ -304,7 +304,8 @@ runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
     SOS_ASSERT(!trace.empty());
     const std::uint64_t timeslice = sim.timesliceCycles();
 
-    SmtCore core(sim.coreFor(config.level), sim.mem);
+    Machine machine(sim.coreFor(config.level), sim.mem);
+    SmtCore &core = machine.core(0);
     TimesliceEngine engine(core, timeslice);
     Calibrator calibrator(sim.coreFor(config.level), sim.mem,
                           sim.calibWarmupCycles, sim.calibMeasureCycles);

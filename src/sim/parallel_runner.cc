@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "metrics/weighted_speedup.hh"
 
 namespace sos {
@@ -32,8 +32,10 @@ ParallelScheduleRunner::runAll(
     return map<ScheduleRun>(schedules.size(), [&](std::size_t i) {
         const Schedule &schedule = schedules[i];
         JobMix mix = sweep.makeMix(i);
-        SmtCore core(sweep.core, sweep.mem);
-        TimesliceEngine engine(core, sweep.timesliceCycles);
+        // A private 1-core machine per task keeps sweep results a pure
+        // function of the task index (DESIGN.md determinism contract).
+        Machine machine(sweep.core, sweep.mem);
+        TimesliceEngine engine(machine.core(0), sweep.timesliceCycles);
         if (sweep.warm.valid() && sweep.warmTimeslices > 0)
             engine.runSchedule(mix, sweep.warm, sweep.warmTimeslices);
 

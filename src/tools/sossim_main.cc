@@ -11,10 +11,12 @@
  *                                        naive-vs-SOS response times
  *   sossim hier [--level N] [--set k=v]...
  *                                        hierarchical symbiosis
+ *   sossim machine [--cores N] [--set k=v]...
+ *                                        machine-level SOS on a CMP
  *
  * Every subcommand accepts repeated --set key=value overrides (see
- * `sossim params`), plus the SOS_CYCLE_SCALE / SOS_SEED environment
- * variables handled by the bench harnesses.
+ * `sossim params`) and --help, plus the SOS_CYCLE_SCALE / SOS_SEED
+ * environment variables handled by the bench harnesses.
  */
 
 #include <cstdio>
@@ -28,6 +30,7 @@
 #include "sim/bench_harness.hh"
 #include "sim/config_env.hh"
 #include "sim/hierarchical_experiment.hh"
+#include "sim/machine_experiment.hh"
 #include "sim/open_system.hh"
 #include "sim/params_io.hh"
 #include "sim/reporting.hh"
@@ -54,6 +57,60 @@ struct Args
         return fallback;
     }
 };
+
+/**
+ * Per-subcommand usage, printed by `sossim <command> --help`. Every
+ * line documents the shared output/worker knobs once so no subcommand
+ * forgets them.
+ */
+void
+printUsage(const std::string &command)
+{
+    const char *synopsis = "[options]";
+    const char *specific = "";
+    if (command == "run") {
+        synopsis = "<label> [options]";
+        specific = "  --jobs N            sweep worker threads\n";
+    } else if (command == "open") {
+        specific = "  --level N           SMT level (default 3)\n"
+                   "  --jobs N            jobs in the open system "
+                   "(default 24)\n";
+    } else if (command == "hier") {
+        specific = "  --level N           SMT level (default 2)\n"
+                   "  --jobs N            sweep worker threads\n";
+    } else if (command == "machine") {
+        specific = "  --cores N           SMT cores on the machine "
+                   "(default 2)\n"
+                   "  --jobs N            sweep worker threads\n";
+    }
+    std::printf(
+        "usage: sossim %s %s\n\n"
+        "options:\n"
+        "%s"
+        "  --set key=value     configuration override (repeatable; "
+        "see `sossim params`)\n"
+        "  --out FILE.json     write the JSON run manifest (env "
+        "SOS_OUT)\n"
+        "  --trace FILE.jsonl  write the scheduler decision trace "
+        "(env SOS_TRACE)\n"
+        "  --help              show this message and exit\n\n"
+        "environment: SOS_CYCLE_SCALE, SOS_SEED, SOS_JOBS, SOS_OUT, "
+        "SOS_TRACE\n",
+        command.c_str(), synopsis, specific);
+}
+
+/** True when any argument past the subcommand asks for help. */
+bool
+wantsHelp(int argc, char **argv)
+{
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            return true;
+        }
+    }
+    return false;
+}
 
 Args
 parseArgs(int argc, char **argv)
@@ -314,6 +371,55 @@ cmdHier(const Args &args)
 }
 
 int
+cmdMachine(const Args &args)
+{
+    BenchHarness harness("sossim machine", configWithWorkers(args),
+                         outputsFor(args));
+    const SimConfig &config = harness.config();
+    const int cores = std::stoi(args.flag("cores", "2"));
+    const MachineExperimentSpec *chosen = nullptr;
+    for (const MachineExperimentSpec &spec : machineExperiments()) {
+        if (spec.numCores == cores)
+            chosen = &spec;
+    }
+    if (chosen == nullptr)
+        fatal("no machine experiment with ", cores,
+              " cores (try `sossim machine --help`)");
+
+    MachineExperiment exp(*chosen, config);
+    exp.runSamplePhase();
+    exp.runSymbiosValidation();
+
+    printBanner(chosen->label);
+    TablePrinter table({"machine schedule", "sample WS", "symbios WS"},
+                       {34, 9, 11});
+    table.printHeader();
+    for (std::size_t i = 0; i < exp.schedules().size(); ++i) {
+        table.printRow({exp.schedules()[i].label(),
+                        fmt(exp.profiles()[i].sampleWs, 3),
+                        fmt(exp.symbiosWs()[i], 3)});
+    }
+    std::printf("\nWS: worst %.3f  avg %.3f  best %.3f\n",
+                exp.worstWs(), exp.averageWs(), exp.bestWs());
+
+    std::printf("\nthread-to-core allocation policies:\n");
+    for (const std::string &name : threadToCorePolicyNames()) {
+        const MachineExperiment::PolicyResult &result =
+            exp.evaluatePolicy(name);
+        std::printf("  %-16s %-24s avg WS %.3f  best WS %.3f\n",
+                    result.policy.c_str(),
+                    result.allocationLabel.c_str(), result.avgWs,
+                    result.bestWs);
+    }
+
+    exp.publishStats(
+        harness.group(stats::sanitizeSegment(chosen->label)));
+    if (harness.wantsTrace())
+        exp.recordTrace(harness.trace());
+    return harness.finish();
+}
+
+int
 cmdHelp()
 {
     std::printf(
@@ -329,7 +435,10 @@ cmdHelp()
         "                         naive-vs-SOS response times\n"
         "  hier [--level N] [--jobs N]\n"
         "                         hierarchical symbiosis\n"
+        "  machine [--cores N]    machine-level SOS on a CMP of SMT "
+        "cores\n"
         "  config                 print the effective configuration\n\n"
+        "`sossim <command> --help` prints each subcommand's options.\n"
         "options: repeated --set key=value; env SOS_CYCLE_SCALE, "
         "SOS_SEED, SOS_JOBS (sweep worker threads; for run/hier "
         "--jobs N\n"
@@ -350,6 +459,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return cmdHelp();
     const std::string command = argv[1];
+    if (wantsHelp(argc, argv)) {
+        printUsage(command);
+        return 0;
+    }
     const Args args = parseArgs(argc, argv);
 
     if (command == "workloads")
@@ -364,6 +477,8 @@ main(int argc, char **argv)
         return cmdOpen(args);
     if (command == "hier")
         return cmdHier(args);
+    if (command == "machine")
+        return cmdMachine(args);
     if (command == "config") {
         std::fputs(renderConfig(configFor(args)).c_str(), stdout);
         return 0;

@@ -131,7 +131,8 @@ TEST(Cache, FullyUtilizedBySequentialFill)
 
 TEST(CacheHierarchy, L1HitIsFree)
 {
-    CacheHierarchy mem{MemParams{}};
+    SharedL2 l2{MemParams{}, 1};
+    CacheHierarchy mem{MemParams{}, l2, 0};
     mem.dataAccess(0, 0x1000, false); // warm TLB + L1
     EXPECT_EQ(mem.dataAccess(0, 0x1000, false), 0u);
 }
@@ -139,7 +140,8 @@ TEST(CacheHierarchy, L1HitIsFree)
 TEST(CacheHierarchy, MissLatenciesCompose)
 {
     MemParams params;
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     // Cold access: TLB miss + L1 miss + L2 miss.
     const std::uint32_t cold = mem.dataAccess(0, 0x400000, false);
     EXPECT_EQ(cold, params.tlbMissLatency + params.l2HitLatency +
@@ -151,7 +153,8 @@ TEST(CacheHierarchy, L2HitAfterL1Eviction)
     MemParams params;
     params.l1d = CacheParams{"l1d", 128, 64, 1}; // 2 lines only
     params.dtlb = CacheParams{"dtlb", 16 * 8192, 8192, 16};
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     mem.dataAccess(0, 0x0000, false);  // L1+L2 fill
     mem.dataAccess(0, 0x0080, false);  // conflicts in the 2-line L1
     mem.dataAccess(0, 0x0100, false);
@@ -162,7 +165,8 @@ TEST(CacheHierarchy, L2HitAfterL1Eviction)
 TEST(CacheHierarchy, InstAccessesUseIcachePath)
 {
     MemParams params;
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     const std::uint32_t cold = mem.instAccess(0, 0x1000);
     EXPECT_GT(cold, 0u);
     EXPECT_EQ(mem.instAccess(0, 0x1000), 0u);
@@ -172,7 +176,8 @@ TEST(CacheHierarchy, InstAccessesUseIcachePath)
 
 TEST(CacheHierarchy, FlushAllColdens)
 {
-    CacheHierarchy mem{MemParams{}};
+    SharedL2 l2{MemParams{}, 1};
+    CacheHierarchy mem{MemParams{}, l2, 0};
     mem.dataAccess(0, 0x2000, false);
     mem.flushAll();
     EXPECT_GT(mem.dataAccess(0, 0x2000, false), 0u);
@@ -181,7 +186,8 @@ TEST(CacheHierarchy, FlushAllColdens)
 TEST(CacheHierarchy, SharedL2SeesBothSides)
 {
     MemParams params;
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     mem.instAccess(0, 0x3000);
     // Same line through the data path: L1D misses but L2 hits (shared).
     const std::uint32_t latency = mem.dataAccess(0, 0x3000, false);

@@ -12,7 +12,7 @@
 #include <map>
 #include <string>
 
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "sched/job.hh"
 #include "trace/workload_library.hh"
 
@@ -49,7 +49,8 @@ TEST_P(Characterization, SoloEnvelopeHolds)
     const std::string name = GetParam();
     const Envelope &env = envelopes().at(name);
 
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job job(1, WorkloadLibrary::instance().get(name), 0xc0de, 1, false);
     ThreadBinding binding;
     binding.gen = &job.generator(0);
@@ -78,7 +79,8 @@ TEST_P(Characterization, ComputeVsMemoryOrderingStable)
     if (std::string(GetParam()) != "EP")
         GTEST_SKIP();
     auto solo = [](const char *name) {
-        SmtCore core(CoreParams{}, MemParams{});
+        Machine machine(CoreParams{}, MemParams{});
+        SmtCore &core = machine.core(0);
         Job job(1, WorkloadLibrary::instance().get(name), 0xc0de, 1,
                 false);
         ThreadBinding binding;
@@ -134,7 +136,8 @@ TEST(Characterization, CoscheduledPairBeatsTimesharing)
 {
     // The premise of the whole paper: SMT coscheduling must deliver
     // WS > 1 for an ordinary pair of jobs.
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job a(1, WorkloadLibrary::instance().get("FP"), 0xa, 1, false);
     Job b(2, WorkloadLibrary::instance().get("GCC"), 0xb, 1, false);
     auto bind = [](Job &job) {
@@ -152,7 +155,8 @@ TEST(Characterization, CoscheduledPairBeatsTimesharing)
 
     // Solo rates on fresh machines.
     auto solo = [&bind](Job &job) {
-        SmtCore fresh(CoreParams{}, MemParams{});
+        Machine fresh_machine(CoreParams{}, MemParams{});
+        SmtCore &fresh = fresh_machine.core(0);
         fresh.attachThread(0, bind(job));
         PerfCounters w;
         fresh.run(150000, w);

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "sched/jobmix.hh"
 #include "sched/schedule.hh"
 #include "sim/timeslice_engine.hh"
@@ -13,7 +13,11 @@ namespace {
 class EngineTest : public ::testing::Test
 {
   protected:
-    EngineTest() : core_(params(), MemParams{}), engine_(core_, 10000) {}
+    EngineTest()
+        : machine_(params(), MemParams{}), core_(machine_.core(0)),
+          engine_(core_, 10000)
+    {
+    }
 
     static CoreParams
     params()
@@ -23,7 +27,8 @@ class EngineTest : public ::testing::Test
         return p;
     }
 
-    SmtCore core_;
+    Machine machine_;
+    SmtCore &core_;
     TimesliceEngine engine_;
 };
 

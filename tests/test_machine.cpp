@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Machine model tests: parameter validation at construction, the
+ * 1-core machine's bit-for-bit equivalence with a hand-assembled
+ * single core, per-core L2 contention attribution, and the
+ * context-switch determinism contract (attach/detach mid-run replays
+ * identically from a fresh machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "cpu/machine.hh"
+#include "sched/job.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+namespace {
+
+std::unique_ptr<Job>
+makeJob(std::uint32_t id, const std::string &workload)
+{
+    return std::make_unique<Job>(
+        id, WorkloadLibrary::instance().get(workload),
+        0x900d5eedULL ^ id, 1, false);
+}
+
+ThreadBinding
+bindingOf(Job &job, int thread = 0)
+{
+    ThreadBinding b;
+    b.gen = &job.generator(thread);
+    b.sync = job.syncDomain();
+    b.syncIndex = thread;
+    b.asid = job.asid();
+    return b;
+}
+
+TEST(MachineParams, RejectsBadCoreCount)
+{
+    MachineParams params;
+    params.numCores = 0;
+    EXPECT_THROW(validateMachineParams(params), std::invalid_argument);
+    params.numCores = MaxCores + 1;
+    EXPECT_THROW(validateMachineParams(params), std::invalid_argument);
+    params.numCores = MaxCores;
+    EXPECT_NO_THROW(validateMachineParams(params));
+}
+
+TEST(MachineParams, RejectsBadCoreParamsAtConstruction)
+{
+    CoreParams core;
+    core.numContexts = MaxContexts + 1;
+    EXPECT_THROW(Machine(core, MemParams{}), std::invalid_argument);
+
+    core = CoreParams{};
+    core.fetchWidth = 0;
+    EXPECT_THROW(Machine(core, MemParams{}), std::invalid_argument);
+
+    core = CoreParams{};
+    core.fpMulPipes = 9; // beyond the core's fpBusyUntil_ capacity
+    EXPECT_THROW(Machine(core, MemParams{}), std::invalid_argument);
+}
+
+TEST(MachineParams, RejectsBadMemParamsAtConstruction)
+{
+    MemParams mem;
+    mem.l1d.lineBytes = 0;
+    EXPECT_THROW(Machine(CoreParams{}, mem), std::invalid_argument);
+
+    mem = MemParams{};
+    mem.l1d.sizeBytes = 1000; // not divisible into sets of lines
+    EXPECT_THROW(Machine(CoreParams{}, mem), std::invalid_argument);
+}
+
+TEST(MachineParams, SmtCoreValidatesDirectly)
+{
+    // The satellite contract: constructing the core itself (not just
+    // a Machine) throws instead of silently clamping.
+    SharedL2 l2{MemParams{}, 1};
+    CacheHierarchy view{MemParams{}, l2, 0};
+    CoreParams bad;
+    bad.numContexts = 0;
+    EXPECT_THROW(SmtCore(bad, view), std::invalid_argument);
+}
+
+TEST(Machine, OneCoreMatchesHandAssembledCore)
+{
+    // Ownership moved, behaviour must not: a 1-core Machine and a
+    // hand-wired SharedL2 + view + SmtCore see the same access
+    // sequence and retire identical counters.
+    PerfCounters viaMachine;
+    {
+        Machine machine(CoreParams{}, MemParams{});
+        auto j1 = makeJob(1, "GCC");
+        auto j2 = makeJob(2, "MG");
+        machine.core(0).attachThread(0, bindingOf(*j1));
+        machine.core(0).attachThread(1, bindingOf(*j2));
+        machine.core(0).run(40000, viaMachine);
+    }
+    PerfCounters byHand;
+    {
+        SharedL2 l2{MemParams{}, 1};
+        CacheHierarchy view{MemParams{}, l2, 0};
+        SmtCore core{CoreParams{}, view};
+        auto j1 = makeJob(1, "GCC");
+        auto j2 = makeJob(2, "MG");
+        core.attachThread(0, bindingOf(*j1));
+        core.attachThread(1, bindingOf(*j2));
+        core.run(40000, byHand);
+    }
+    EXPECT_EQ(viaMachine, byHand);
+}
+
+TEST(Machine, CoresSeeSeparatePrivateLevelsAndOneL2)
+{
+    Machine machine(CoreParams{}, MemParams{}, 2);
+    ASSERT_EQ(machine.numCores(), 2);
+    auto j1 = makeJob(1, "GCC");
+    auto j2 = makeJob(2, "SWIM");
+    machine.core(0).attachThread(0, bindingOf(*j1));
+    machine.core(1).attachThread(0, bindingOf(*j2));
+    PerfCounters pc0, pc1;
+    machine.core(0).run(30000, pc0);
+    machine.core(1).run(30000, pc1);
+    EXPECT_GT(pc0.retired, 0u);
+    EXPECT_GT(pc1.retired, 0u);
+
+    // Contention attribution: the per-core counters partition the
+    // shared cache's demand traffic.
+    const SharedL2 &l2 = machine.sharedL2();
+    const auto &c0 = l2.coreCounters(0);
+    const auto &c1 = l2.coreCounters(1);
+    EXPECT_GT(c0.accesses, 0u);
+    EXPECT_GT(c1.accesses, 0u);
+    EXPECT_EQ(c0.hits + c1.hits, l2.cache().hits());
+    EXPECT_EQ(c0.misses + c1.misses, l2.cache().misses());
+
+    // The private levels really are private: core 1 never touched
+    // core 0's L1D.
+    EXPECT_EQ(machine.memory(0).l1d().hits() +
+                  machine.memory(0).l1d().misses(),
+              pc0.l1dHits + pc0.l1dMisses);
+}
+
+TEST(Machine, ContextSwitchReplaysBitIdentically)
+{
+    // The determinism regression of the satellite list: detach and
+    // attach mid-run (squashing in-flight work), then replay the same
+    // sequence on a fresh machine and expect bit-identical counters.
+    const auto episode = [](PerfCounters &out) {
+        Machine machine(CoreParams{}, MemParams{});
+        SmtCore &core = machine.core(0);
+        auto j1 = makeJob(1, "FP");
+        auto j2 = makeJob(2, "GO");
+        auto j3 = makeJob(3, "IS");
+        core.attachThread(0, bindingOf(*j1));
+        core.attachThread(1, bindingOf(*j2));
+        core.run(7000, out); // mid-flight: queues are full here
+        core.detachThread(1); // context-switch squash
+        core.run(3000, out);
+        core.attachThread(1, bindingOf(*j3));
+        core.run(7000, out);
+        core.detachThread(0);
+        core.detachThread(1);
+        core.run(1000, out);
+    };
+    PerfCounters first, second;
+    episode(first);
+    episode(second);
+    EXPECT_GT(first.retired, 0u);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Machine, DetachAllAndFlushAllReset)
+{
+    Machine machine(CoreParams{}, MemParams{}, 2);
+    auto j1 = makeJob(1, "GCC");
+    machine.core(0).attachThread(0, bindingOf(*j1));
+    machine.detachAll();
+    PerfCounters pc;
+    machine.core(0).run(1000, pc);
+    EXPECT_EQ(pc.retired, 0u);
+    machine.flushAll();
+    EXPECT_EQ(machine.memory(0).l1d().residentLines(), 0u);
+}
+
+} // namespace
+} // namespace sos

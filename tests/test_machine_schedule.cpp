@@ -1,0 +1,141 @@
+/**
+ * @file
+ * MachineSchedule / MachineScheduleSpace tests: the distinct counts
+ * the header advertises, enumeration with canonical-key dedup,
+ * core-permutation key invariance, rejection sampling, and the
+ * fixed-allocation product used by the allocation policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sched/machine_schedule.hh"
+
+namespace sos {
+namespace {
+
+TEST(MachineScheduleSpace, DistinctCountsMatchTheClosedForm)
+{
+    // Jm(8,2,2,2): 35 partitions x 3 schedules per core-of-4.
+    EXPECT_EQ(MachineScheduleSpace(8, 2, 2, 2).distinctCount(), 315u);
+    // Jm(8,4,2,2): 105 pairings, one schedule per core-of-2.
+    EXPECT_EQ(MachineScheduleSpace(8, 4, 2, 2).distinctCount(), 105u);
+    // One core degenerates to the single-core space.
+    EXPECT_EQ(MachineScheduleSpace(4, 1, 2, 2).distinctCount(),
+              ScheduleSpace(4, 2, 2).distinctCount());
+    // Rotation (non-full-swap) schedules per core: Jm(8,2,2,1) is
+    // 35 * (C(4,2) partitions... no: ScheduleSpace(4,2,1) circular
+    // orders) per core.
+    const std::uint64_t per_core =
+        ScheduleSpace(4, 2, 1).distinctCount();
+    EXPECT_EQ(MachineScheduleSpace(8, 2, 2, 1).distinctCount(),
+              35u * per_core * per_core);
+}
+
+TEST(MachineScheduleSpace, EnumerationIsDistinctAndComplete)
+{
+    const MachineScheduleSpace space(8, 4, 2, 2);
+    const std::vector<MachineSchedule> all = space.enumerateAll();
+    EXPECT_EQ(all.size(), space.distinctCount());
+    std::set<std::string> keys;
+    for (const MachineSchedule &s : all) {
+        EXPECT_TRUE(s.valid());
+        EXPECT_EQ(s.numCores(), 4);
+        keys.insert(s.key());
+    }
+    EXPECT_EQ(keys.size(), all.size()) << "duplicate canonical keys";
+}
+
+TEST(MachineScheduleSpace, KeyIsInvariantUnderCorePermutation)
+{
+    // Same groups and per-core schedules, cores swapped: one machine.
+    const Partition alloc_a = {{0, 1}, {2, 3}};
+    const Partition alloc_b = {{2, 3}, {0, 1}};
+    const MachineSchedule a(
+        alloc_a, {Schedule::fromPartition({{0, 1}}),
+                  Schedule::fromPartition({{2, 3}})});
+    const MachineSchedule b(
+        alloc_b, {Schedule::fromPartition({{2, 3}}),
+                  Schedule::fromPartition({{0, 1}})});
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_NE(a.label(), b.label()) << "labels keep the core order";
+}
+
+TEST(MachineScheduleSpace, SampleDedupsOnKey)
+{
+    const MachineScheduleSpace space(8, 2, 2, 2);
+    Rng rng(0x5eedULL);
+    const std::vector<MachineSchedule> sample = space.sample(20, rng);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<std::string> keys;
+    for (const MachineSchedule &s : sample)
+        keys.insert(s.key());
+    EXPECT_EQ(keys.size(), sample.size());
+}
+
+TEST(MachineScheduleSpace, SampleReturnsWholeSmallSpace)
+{
+    const MachineScheduleSpace space(4, 2, 2, 2);
+    Rng rng(7);
+    // 3 pairings x 1 schedule each: asking for more returns all 3.
+    const std::vector<MachineSchedule> sample = space.sample(10, rng);
+    EXPECT_EQ(sample.size(), space.distinctCount());
+}
+
+TEST(MachineScheduleSpace, SchedulesForAllocationIsTheProduct)
+{
+    const MachineScheduleSpace space(8, 2, 2, 2);
+    const Partition allocation = {{0, 2, 4, 6}, {1, 3, 5, 7}};
+    const std::vector<MachineSchedule> fixed =
+        space.schedulesForAllocation(allocation);
+    // 3 distinct schedules per core of 4 jobs at Y=Z=2.
+    EXPECT_EQ(fixed.size(), 9u);
+    for (const MachineSchedule &s : fixed) {
+        EXPECT_EQ(s.allocation()[0], (std::vector<int>{0, 2, 4, 6}));
+        EXPECT_EQ(s.allocation()[1], (std::vector<int>{1, 3, 5, 7}));
+        // Every tuple stays inside its core's group.
+        for (int k = 0; k < s.numCores(); ++k) {
+            for (const auto &tuple : s.coreSchedule(k).tuples()) {
+                for (int unit : tuple) {
+                    EXPECT_TRUE(std::find(s.allocation()[k].begin(),
+                                          s.allocation()[k].end(),
+                                          unit) !=
+                                s.allocation()[k].end());
+                }
+            }
+        }
+    }
+}
+
+TEST(MachineScheduleSpace, PeriodCoversEveryCore)
+{
+    const MachineScheduleSpace space(8, 2, 2, 2);
+    EXPECT_EQ(space.periodTimeslices(), 2u); // 4 jobs / 2 contexts
+    Rng rng(11);
+    const MachineSchedule s = space.random(rng);
+    EXPECT_EQ(s.periodTimeslices(), 2u);
+}
+
+TEST(MachineScheduleSpace, RandomIsDeterministicInTheSeed)
+{
+    const MachineScheduleSpace space(8, 2, 2, 2);
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(space.random(a).key(), space.random(b).key());
+    // Different seed streams diverge quickly (not a hard guarantee,
+    // but with 315 schedules a collision signals a seeding bug).
+    Rng a2(42);
+    std::vector<std::string> first, other;
+    for (int i = 0; i < 4; ++i) {
+        first.push_back(space.random(a2).key());
+        other.push_back(space.random(c).key());
+    }
+    EXPECT_NE(first, other);
+}
+
+} // namespace
+} // namespace sos

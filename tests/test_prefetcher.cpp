@@ -107,7 +107,8 @@ TEST(PrefetchInHierarchy, StreamMissesDisappear)
 {
     MemParams params;
     params.prefetch.enabled = true;
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     // Stream 512 lines twice: with the prefetcher the second half of
     // the first pass should already be mostly resident.
     std::uint64_t demand_misses = 0;
@@ -124,7 +125,8 @@ TEST(PrefetchInHierarchy, FillsDoNotCountAsDemandHits)
 {
     MemParams params;
     params.prefetch.enabled = true;
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     const std::uint64_t h0 = mem.l1d().hits();
     const std::uint64_t m0 = mem.l1d().misses();
     for (std::uint64_t i = 0; i < 64; ++i)
@@ -138,7 +140,8 @@ TEST(PrefetchInHierarchy, DropsOnTlbMiss)
     MemParams params;
     params.prefetch.enabled = true;
     params.prefetch.degree = 4;
-    CacheHierarchy mem{params};
+    SharedL2 l2{params, 1};
+    CacheHierarchy mem{params, l2, 0};
     // Stride of nearly a page: prefetches quickly leave the mapped
     // page and must be dropped, not fault.
     for (std::uint64_t i = 0; i < 4; ++i)
@@ -148,7 +151,8 @@ TEST(PrefetchInHierarchy, DropsOnTlbMiss)
 
 TEST(PrefetchInHierarchy, OffByDefault)
 {
-    CacheHierarchy mem{MemParams{}};
+    SharedL2 l2{MemParams{}, 1};
+    CacheHierarchy mem{MemParams{}, l2, 0};
     for (std::uint64_t i = 0; i < 64; ++i)
         mem.dataAccess(1, i * 64, false, 0x9300);
     EXPECT_EQ(mem.prefetcher().issued(), 0u);

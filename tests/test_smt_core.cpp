@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "sched/job.hh"
 #include "trace/workload_library.hh"
 
@@ -32,7 +32,8 @@ bindingOf(Job &job, int thread = 0)
 
 TEST(SmtCore, IdlesWithNoThreads)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     PerfCounters pc;
     core.run(1000, pc);
     EXPECT_EQ(pc.cycles, 1000u);
@@ -42,7 +43,8 @@ TEST(SmtCore, IdlesWithNoThreads)
 
 TEST(SmtCore, SingleThreadMakesProgress)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "EP");
     core.attachThread(0, bindingOf(*job));
     PerfCounters pc;
@@ -55,7 +57,8 @@ TEST(SmtCore, SlotRetiredSumsToTotal)
 {
     CoreParams params;
     params.numContexts = 3;
-    SmtCore core(params, MemParams{});
+    Machine machine(params, MemParams{});
+    SmtCore &core = machine.core(0);
     auto j1 = makeJob(1, "EP");
     auto j2 = makeJob(2, "GCC");
     auto j3 = makeJob(3, "MG");
@@ -77,7 +80,8 @@ TEST(SmtCore, Deterministic)
     PerfCounters a;
     PerfCounters b;
     for (PerfCounters *pc : {&a, &b}) {
-        SmtCore core(CoreParams{}, MemParams{});
+        Machine machine(CoreParams{}, MemParams{});
+        SmtCore &core = machine.core(0);
         auto j1 = makeJob(1, "FP");
         auto j2 = makeJob(2, "GO");
         core.attachThread(0, bindingOf(*j1));
@@ -94,7 +98,8 @@ TEST(SmtCore, ConflictCountersBoundedByCycles)
 {
     CoreParams params;
     params.numContexts = 4;
-    SmtCore core(params, MemParams{});
+    Machine machine(params, MemParams{});
+    SmtCore &core = machine.core(0);
     auto j1 = makeJob(1, "FP");
     auto j2 = makeJob(2, "SWIM");
     auto j3 = makeJob(3, "MG");
@@ -114,7 +119,8 @@ TEST(SmtCore, ConflictCountersBoundedByCycles)
 
 TEST(SmtCore, PipelineOrderingInvariants)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "GCC");
     core.attachThread(0, bindingOf(*job));
     PerfCounters pc;
@@ -126,7 +132,8 @@ TEST(SmtCore, PipelineOrderingInvariants)
 
 TEST(SmtCore, DetachSquashesInFlight)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "CG");
     core.attachThread(0, bindingOf(*job));
     PerfCounters pc;
@@ -141,7 +148,8 @@ TEST(SmtCore, ResourcesSurviveManySwaps)
 {
     // If rename registers or ROB entries leaked at detach, throughput
     // would collapse after enough context switches.
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto j1 = makeJob(1, "FP");
     auto j2 = makeJob(2, "MG");
     PerfCounters first;
@@ -162,7 +170,8 @@ TEST(SmtCore, ResourcesSurviveManySwaps)
 
 TEST(SmtCore, AttachRequiresFreeSlot)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "EP");
     core.attachThread(0, bindingOf(*job));
     EXPECT_TRUE(core.slotActive(0));
@@ -172,7 +181,8 @@ TEST(SmtCore, AttachRequiresFreeSlot)
 
 TEST(SmtCore, DetachRequiresBoundSlot)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     EXPECT_DEATH(core.detachThread(0), "not bound");
 }
 
@@ -180,7 +190,8 @@ TEST(SmtCore, CoscheduledThreadsBothProgress)
 {
     // ICOUNT fairness: two copies of the same workload should retire
     // similar instruction counts.
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto j1 = makeJob(1, "WAVE");
     auto j2 = makeJob(2, "WAVE");
     core.attachThread(0, bindingOf(*j1));
@@ -200,14 +211,16 @@ TEST(SmtCore, MultithreadingRaisesThroughput)
     // raise total IPC (the basic promise of SMT).
     PerfCounters alone;
     {
-        SmtCore core(CoreParams{}, MemParams{});
+        Machine machine(CoreParams{}, MemParams{});
+        SmtCore &core = machine.core(0);
         auto j1 = makeJob(1, "CG");
         core.attachThread(0, bindingOf(*j1));
         core.run(60000, alone);
     }
     PerfCounters both;
     {
-        SmtCore core(CoreParams{}, MemParams{});
+        Machine machine(CoreParams{}, MemParams{});
+        SmtCore &core = machine.core(0);
         auto j1 = makeJob(1, "CG");
         auto j2 = makeJob(2, "EP");
         core.attachThread(0, bindingOf(*j1));
@@ -221,7 +234,8 @@ TEST(SmtCore, SplitParallelThreadStallsAtBarrier)
 {
     // One thread of a tightly-synchronized job, run without its
     // sibling, must park at the first barrier (Section 6's effect).
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "ARRAY", 2);
     core.attachThread(0, bindingOf(*job, 0));
     PerfCounters pc;
@@ -233,7 +247,8 @@ TEST(SmtCore, SplitParallelThreadStallsAtBarrier)
 
 TEST(SmtCore, CoscheduledParallelThreadsRunFreely)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "ARRAY", 2);
     core.attachThread(0, bindingOf(*job, 0));
     core.attachThread(1, bindingOf(*job, 1));
@@ -247,7 +262,8 @@ TEST(SmtCore, BarrierStatePersistsAcrossDetach)
 {
     // Thread 0 parks at a barrier, is descheduled, sibling arrives,
     // thread 0 reattaches and must resume.
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "ARRAY", 2);
 
     core.attachThread(0, bindingOf(*job, 0));
@@ -268,7 +284,8 @@ TEST(SmtCore, BarrierStatePersistsAcrossDetach)
 
 TEST(SmtCore, MemoryCountersConsistent)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "MG");
     core.attachThread(0, bindingOf(*job));
     PerfCounters pc;
@@ -283,7 +300,8 @@ TEST(SmtCore, MemoryCountersConsistent)
 
 TEST(SmtCore, BranchCountersConsistent)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     auto job = makeJob(1, "GO");
     core.attachThread(0, bindingOf(*job));
     PerfCounters warmup; // train the predictor and caches first

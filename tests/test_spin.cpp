@@ -7,7 +7,7 @@
 
 #include <memory>
 
-#include "cpu/smt_core.hh"
+#include "cpu/machine.hh"
 #include "sched/job.hh"
 #include "trace/workload_library.hh"
 
@@ -27,7 +27,8 @@ bindingOf(Job &job, int thread)
 
 TEST(Spin, ParkedThreadEmitsSpinOpsNotProgress)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job job(1, WorkloadLibrary::instance().get("ARRAY"), 7, 2, false);
     core.attachThread(0, bindingOf(job, 0)); // sibling not scheduled
     PerfCounters pc;
@@ -40,7 +41,8 @@ TEST(Spin, ParkedThreadEmitsSpinOpsNotProgress)
 
 TEST(Spin, SpinOpsNeverCountAsRetired)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job job(1, WorkloadLibrary::instance().get("ARRAY"), 7, 2, false);
     core.attachThread(0, bindingOf(job, 0));
     PerfCounters pc;
@@ -51,7 +53,8 @@ TEST(Spin, SpinOpsNeverCountAsRetired)
 
 TEST(Spin, CoscheduledSiblingsDoNotSpin)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job job(1, WorkloadLibrary::instance().get("ARRAY"), 7, 2, false);
     core.attachThread(0, bindingOf(job, 0));
     core.attachThread(1, bindingOf(job, 1));
@@ -66,7 +69,8 @@ TEST(Spin, SpinnerConsumesRealResources)
 {
     // The spin loop occupies issue-queue slots and load/store port
     // bandwidth: its L1D flag accesses are visible in the counters.
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job array(1, WorkloadLibrary::instance().get("ARRAY"), 7, 2, false);
     Job partner(2, WorkloadLibrary::instance().get("SWIM"), 9, 1,
                 false);
@@ -84,7 +88,8 @@ TEST(Spin, SpinnerConsumesRealResources)
 
 TEST(Spin, ReleaseResumesRealStream)
 {
-    SmtCore core(CoreParams{}, MemParams{});
+    Machine machine(CoreParams{}, MemParams{});
+    SmtCore &core = machine.core(0);
     Job job(1, WorkloadLibrary::instance().get("ARRAY"), 7, 2, false);
 
     // Thread 0 runs alone and parks; spin ops accumulate.
