@@ -4,9 +4,11 @@
 # can call this script directly.
 #
 # Every bench also writes its machine-readable run manifest to
-# results/<bench>.json (via --out); when python3 is available the
-# manifests are consolidated into results/manifest.json for cross-run
-# comparison tooling.
+# results/<bench>.json (via --out) and its wall-clock timing report to
+# results/timing/<bench>.json (via --bench-sweep); when python3 is
+# available the manifests are consolidated into results/manifest.json
+# and the timing reports into results/BENCH_sweep.json. Timing stays
+# out of the manifests so those remain bit-comparable across hosts.
 #
 # SOS_JOBS controls the sweep worker threads of every bench (and is
 # also used as the ctest parallelism); unset means one worker per
@@ -21,13 +23,15 @@ ctest --test-dir build --output-on-failure -j "$jobs" \
     >test_output.txt 2>&1 || status=$?
 cat test_output.txt
 
-mkdir -p results
+mkdir -p results results/timing
 : >bench_output.txt
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
         name="$(basename "$b")"
         echo "===== $b =====" >>bench_output.txt
-        if ! "$b" --out "results/$name.json" >>bench_output.txt 2>&1
+        if ! "$b" --out "results/$name.json" \
+                --bench-sweep "results/timing/$name.json" \
+                >>bench_output.txt 2>&1
         then
             echo "FAILED: $b" >>bench_output.txt
             status=1
@@ -62,6 +66,37 @@ with open("results/manifest.json", "w") as f:
     )
     f.write("\n")
 print("results/manifest.json: consolidated %d run manifests" % len(runs))
+
+timing = {}
+total = 0.0
+timing_dir = "results/timing"
+if os.path.isdir(timing_dir):
+    for entry in sorted(os.listdir(timing_dir)):
+        if not entry.endswith(".json"):
+            continue
+        with open(os.path.join(timing_dir, entry)) as f:
+            doc = json.load(f)
+        assert doc.get("schema") == "sos.bench-sweep", entry
+        timing[entry[: -len(".json")]] = doc
+        total += doc["stats"]["timing"]["elapsed_seconds"]
+
+with open("results/BENCH_sweep.json", "w") as f:
+    json.dump(
+        {
+            "schema": "sos.bench-sweep-set",
+            "schema_version": 1,
+            "total_elapsed_seconds": total,
+            "benches": timing,
+        },
+        f,
+        indent=2,
+        sort_keys=True,
+    )
+    f.write("\n")
+print(
+    "results/BENCH_sweep.json: %d bench timings, %.1fs total"
+    % (len(timing), total)
+)
 EOF
 else
     echo "python3 not found; skipping results/manifest.json" >&2

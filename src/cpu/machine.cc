@@ -40,6 +40,19 @@ Machine::Machine(const CoreParams &core, const MemParams &mem,
 {
 }
 
+Machine::Machine(const Machine &other)
+    : params_(other.params_), l2_(other.l2_)
+{
+    views_.reserve(other.views_.size());
+    cores_.reserve(other.cores_.size());
+    for (int k = 0; k < other.numCores(); ++k) {
+        views_.push_back(
+            std::make_unique<CacheHierarchy>(other.memory(k), l2_));
+        cores_.push_back(
+            std::make_unique<SmtCore>(other.core(k), *views_.back()));
+    }
+}
+
 void
 Machine::detachAll()
 {

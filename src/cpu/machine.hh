@@ -64,6 +64,17 @@ class Machine
     Machine(const CoreParams &core, const MemParams &mem,
             int num_cores = 1);
 
+    /**
+     * Snapshot copy: a value copy of the whole machine -- shared L2,
+     * per-core memory views and cores with their complete pipeline
+     * state.  Cores and views are rebuilt against the copy's own
+     * SharedL2, so the two machines share nothing and can run
+     * concurrently.  Active contexts still reference the original
+     * run's generators; see SmtCore::rebindThread (the snapshot layer
+     * handles this -- see sim/snapshot.hh).
+     */
+    Machine(const Machine &other);
+
     int numCores() const { return static_cast<int>(cores_.size()); }
 
     SmtCore &core(int k) { return *cores_.at(static_cast<std::size_t>(k)); }

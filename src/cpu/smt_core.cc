@@ -28,6 +28,33 @@ SmtCore::SmtCore(const CoreParams &params, CacheHierarchy &mem)
     robFree_ = params.robSize;
 }
 
+SmtCore::SmtCore(const SmtCore &other, CacheHierarchy &mem)
+    : params_(other.params_), mem_(mem), bpred_(other.bpred_),
+      ctxs_(other.ctxs_), slab_(other.slab_), freeList_(other.freeList_),
+      seqCounter_(other.seqCounter_), intQ_(other.intQ_),
+      fpQ_(other.fpQ_), intRenameFree_(other.intRenameFree_),
+      fpRenameFree_(other.fpRenameFree_), robFree_(other.robFree_),
+      fpBusyUntil_(other.fpBusyUntil_), cycle_(other.cycle_),
+      commitRR_(other.commitRR_), dispatchRR_(other.dispatchRR_)
+{
+    intQ_.reserve(static_cast<std::size_t>(params_.intQueueSize));
+    fpQ_.reserve(static_cast<std::size_t>(params_.fpQueueSize));
+}
+
+void
+SmtCore::rebindThread(int slot, const ThreadBinding &binding)
+{
+    SOS_ASSERT(slot >= 0 && slot < params_.numContexts, "bad slot");
+    Ctx &ctx = ctxs_[static_cast<std::size_t>(slot)];
+    SOS_ASSERT(ctx.active, "rebind needs a bound slot");
+    SOS_ASSERT(binding.gen != nullptr, "binding needs a generator");
+    SOS_ASSERT(binding.asid == ctx.bind.asid,
+               "rebind must preserve the thread's address space");
+    SOS_ASSERT((binding.sync != nullptr) == (ctx.bind.sync != nullptr),
+               "rebind must preserve the sync domain shape");
+    ctx.bind = binding;
+}
+
 void
 SmtCore::attachThread(int slot, const ThreadBinding &binding)
 {
@@ -330,11 +357,19 @@ SmtCore::doIssue(PerfCounters &pc)
 
     // Integer queue: oldest first. Loads and stores live here (their
     // address generation is integer work) but issue through the
-    // load/store ports.
-    for (std::size_t qi = 0; qi < intQ_.size();) {
+    // load/store ports. Issued entries are compacted out in the same
+    // pass (order-preserving), not erased mid-scan -- the erase made
+    // this loop quadratic in the queue depth.
+    std::size_t keep = 0;
+    for (std::size_t qi = 0; qi < intQ_.size(); ++qi) {
         QEntry &entry = intQ_[qi];
+        const auto retain = [&] {
+            if (keep != qi)
+                intQ_[keep] = entry;
+            ++keep;
+        };
         if (entry.recheckAt > cycle_) {
-            ++qi;
+            retain();
             continue;
         }
         const std::uint32_t id = entry.id;
@@ -344,14 +379,14 @@ SmtCore::doIssue(PerfCounters &pc)
 
         if (const std::uint64_t recheck = readyOrRecheck(inst)) {
             entry.recheckAt = recheck;
-            ++qi;
+            retain();
             continue;
         }
 
         if (op.isMem()) {
             if (ls_used >= params_.numLsPorts) {
                 conf_ls_ports = true;
-                ++qi;
+                retain();
                 continue;
             }
             ++ls_used;
@@ -369,7 +404,7 @@ SmtCore::doIssue(PerfCounters &pc)
         } else {
             if (int_used >= params_.numIntUnits) {
                 conf_int_units = true;
-                ++qi;
+                retain();
                 continue;
             }
             ++int_used;
@@ -390,14 +425,20 @@ SmtCore::doIssue(PerfCounters &pc)
         --ctx.icount;
         if (!inst.spin)
             ++pc.issued;
-        intQ_.erase(intQ_.begin() + static_cast<std::ptrdiff_t>(qi));
     }
+    intQ_.resize(keep);
 
-    // FP queue.
-    for (std::size_t qi = 0; qi < fpQ_.size();) {
+    // FP queue: same order-preserving single-pass compaction.
+    keep = 0;
+    for (std::size_t qi = 0; qi < fpQ_.size(); ++qi) {
         QEntry &entry = fpQ_[qi];
+        const auto retain = [&] {
+            if (keep != qi)
+                fpQ_[keep] = entry;
+            ++keep;
+        };
         if (entry.recheckAt > cycle_) {
-            ++qi;
+            retain();
             continue;
         }
         const std::uint32_t id = entry.id;
@@ -407,14 +448,14 @@ SmtCore::doIssue(PerfCounters &pc)
 
         if (const std::uint64_t recheck = readyOrRecheck(inst)) {
             entry.recheckAt = recheck;
-            ++qi;
+            retain();
             continue;
         }
         int lat;
         if (op.cls == OpClass::FpAdd) {
             if (fp_add_used >= params_.fpAddPipes) {
                 conf_fp_units = true;
-                ++qi;
+                retain();
                 continue;
             }
             ++fp_add_used;
@@ -422,7 +463,7 @@ SmtCore::doIssue(PerfCounters &pc)
         } else if (op.cls == OpClass::FpMult) {
             if (fp_mul_used >= fp_mul_open) {
                 conf_fp_units = true;
-                ++qi;
+                retain();
                 continue;
             }
             ++fp_mul_used;
@@ -430,7 +471,7 @@ SmtCore::doIssue(PerfCounters &pc)
         } else { // FpDiv
             if (fp_mul_used >= fp_mul_open) {
                 conf_fp_units = true;
-                ++qi;
+                retain();
                 continue;
             }
             lat = params_.fpDivLat;
@@ -450,8 +491,8 @@ SmtCore::doIssue(PerfCounters &pc)
         --ctx.icount;
         if (!inst.spin)
             ++pc.issued;
-        fpQ_.erase(fpQ_.begin() + static_cast<std::ptrdiff_t>(qi));
     }
+    fpQ_.resize(keep);
 
     if (conf_int_units)
         ++pc.confIntUnits;

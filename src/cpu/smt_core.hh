@@ -50,8 +50,28 @@ class SmtCore
      */
     SmtCore(const CoreParams &params, CacheHierarchy &mem);
 
+    /**
+     * Snapshot copy: duplicate @p other's complete pipeline state --
+     * contexts, in-flight slab, issue queues, rename/ROB occupancy,
+     * predictor, cycle and round-robin cursors -- on top of @p mem
+     * (the copying Machine's matching memory view).  Active contexts
+     * still point at the *original* mix's generators and sync domains;
+     * the owner must rebindThread() every active slot to its own mix
+     * copy before running the core.
+     */
+    SmtCore(const SmtCore &other, CacheHierarchy &mem);
+
     /** Bind a software thread to context slot (slot must be free). */
     void attachThread(int slot, const ThreadBinding &binding);
+
+    /**
+     * Swap the thread bound to an active slot for an equivalent one
+     * (same ASID, a generator/sync-domain copy at the same position in
+     * its stream).  Unlike attachThread this preserves every bit of
+     * pipeline state -- nothing is squashed, no salt recomputed -- so
+     * a snapshot fork resumes exactly where the original would.
+     */
+    void rebindThread(int slot, const ThreadBinding &binding);
 
     /**
      * Unbind the thread in the given slot, squashing its in-flight

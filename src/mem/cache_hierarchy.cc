@@ -113,6 +113,18 @@ CacheHierarchy::CacheHierarchy(const MemParams &params, SharedL2 &l2,
     }
 }
 
+CacheHierarchy::CacheHierarchy(const CacheHierarchy &other, SharedL2 &l2)
+    : params_(other.params_), coreId_(other.coreId_), l2_(l2),
+      l1i_(other.l1i_), l1d_(other.l1d_), itlb_(other.itlb_),
+      dtlb_(other.dtlb_), prefetcher_(other.prefetcher_),
+      prefetchScratch_(other.prefetchScratch_)
+{
+    if (coreId_ >= l2.numCores()) {
+        throw std::invalid_argument(
+            "memory view core id out of range for the shared L2");
+    }
+}
+
 std::uint32_t
 CacheHierarchy::dataAccess(std::uint16_t asid, std::uint64_t addr,
                            bool write, std::uint64_t pc)

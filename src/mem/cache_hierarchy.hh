@@ -148,6 +148,15 @@ class CacheHierarchy
     CacheHierarchy(const MemParams &params, SharedL2 &l2, int core_id);
 
     /**
+     * Snapshot copy: duplicate @p other's private caches, TLBs and
+     * prefetcher state exactly, but route shared-level traffic to
+     * @p l2 (the copying Machine's own SharedL2).  Together with the
+     * SharedL2's value copy this reproduces the memory system of a
+     * warmed machine bit-for-bit.
+     */
+    CacheHierarchy(const CacheHierarchy &other, SharedL2 &l2);
+
+    /**
      * Perform a data access.
      *
      * @param asid Address space of the accessing job.

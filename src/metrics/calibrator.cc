@@ -1,6 +1,8 @@
 #include "calibrator.hh"
 
 #include <algorithm>
+#include <mutex>
+#include <type_traits>
 
 #include "common/logging.hh"
 #include "cpu/machine.hh"
@@ -9,6 +11,103 @@
 #include "trace/workload_library.hh"
 
 namespace sos {
+
+namespace {
+
+void
+appendField(std::string &key, const std::string &value)
+{
+    key += value;
+    key += ';';
+}
+
+template <typename Int,
+          typename = std::enable_if_t<std::is_integral_v<Int>>>
+void
+appendField(std::string &key, Int value)
+{
+    appendField(key, std::to_string(value));
+}
+
+void
+appendCache(std::string &key, const CacheParams &cache)
+{
+    appendField(key, cache.name);
+    appendField(key, cache.sizeBytes);
+    appendField(key, cache.lineBytes);
+    appendField(key, cache.assoc);
+}
+
+/**
+ * Canonical rendering of everything a solo-IPC measurement depends
+ * on. Collision-free by construction (unlike a hash), so a cache hit
+ * is always the right reference. Must enumerate every CoreParams and
+ * MemParams field: a missed field would alias configurations.
+ */
+std::string
+soloIpcKey(const CoreParams &core, const MemParams &mem,
+           std::uint64_t warmup_cycles, std::uint64_t measure_cycles,
+           const std::string &workload, int threads)
+{
+    std::string key;
+    key.reserve(256);
+    appendField(key, workload);
+    appendField(key, threads);
+    appendField(key, warmup_cycles);
+    appendField(key, measure_cycles);
+
+    appendField(key, core.numContexts);
+    appendField(key, core.fetchWidth);
+    appendField(key, core.fetchThreads);
+    appendField(key, core.fetchQueueSize);
+    appendField(key, core.frontendDelay);
+    appendField(key, core.mispredictRedirect);
+    appendField(key, core.dispatchWidth);
+    appendField(key, core.commitWidth);
+    appendField(key, core.intQueueSize);
+    appendField(key, core.fpQueueSize);
+    appendField(key, core.intRenameRegs);
+    appendField(key, core.fpRenameRegs);
+    appendField(key, core.robSize);
+    appendField(key, core.numIntUnits);
+    appendField(key, core.fpAddPipes);
+    appendField(key, core.fpMulPipes);
+    appendField(key, core.numLsPorts);
+    appendField(key, core.intAluLat);
+    appendField(key, core.intMultLat);
+    appendField(key, core.fpAddLat);
+    appendField(key, core.fpMultLat);
+    appendField(key, core.fpDivLat);
+    appendField(key, core.l1dHitLat);
+    appendField(key, core.predictorBits);
+    appendField(key, core.roundRobinFetch ? 1 : 0);
+
+    appendCache(key, mem.l1i);
+    appendCache(key, mem.l1d);
+    appendCache(key, mem.l2);
+    appendCache(key, mem.itlb);
+    appendCache(key, mem.dtlb);
+    appendField(key, mem.l2HitLatency);
+    appendField(key, mem.memLatency);
+    appendField(key, mem.tlbMissLatency);
+    appendField(key, mem.prefetch.enabled ? 1 : 0);
+    appendField(key, mem.prefetch.tableBits);
+    appendField(key, mem.prefetch.confidenceThreshold);
+    appendField(key, mem.prefetch.degree);
+    return key;
+}
+
+/**
+ * Process-wide reference table. A solo IPC is a pure function of its
+ * key (the measurement runs a private job with a fixed internal seed
+ * on a private machine), so experiments sharing a configuration --
+ * every figure harness builds several Calibrators with the same one --
+ * can share measurements across instances and threads.
+ */
+std::mutex soloIpcCacheMutex;
+std::map<std::string, double> soloIpcCache;
+
+} // namespace
 
 Calibrator::Calibrator(const CoreParams &core, const MemParams &mem,
                        std::uint64_t warmup_cycles,
@@ -28,6 +127,18 @@ Calibrator::soloIpc(const std::string &workload, int threads)
     const auto cached = cache_.find(key);
     if (cached != cache_.end())
         return cached->second;
+
+    const std::string global_key =
+        soloIpcKey(coreParams_, memParams_, warmupCycles_,
+                   measureCycles_, workload, threads);
+    {
+        const std::lock_guard<std::mutex> lock(soloIpcCacheMutex);
+        const auto shared = soloIpcCache.find(global_key);
+        if (shared != soloIpcCache.end()) {
+            cache_.emplace(key, shared->second);
+            return shared->second;
+        }
+    }
 
     // A private job on a private core: the reference must not perturb
     // or observe the experiment's machine state.
@@ -54,6 +165,13 @@ Calibrator::soloIpc(const std::string &workload, int threads)
     const double ipc = measured.ipc();
     SOS_ASSERT(ipc > 0.0, "calibration produced zero IPC for ", workload);
     cache_.emplace(key, ipc);
+    {
+        // The measurement is deterministic, so concurrent callers that
+        // raced past the lookup computed the same value; last writer
+        // wins harmlessly.
+        const std::lock_guard<std::mutex> lock(soloIpcCacheMutex);
+        soloIpcCache.emplace(global_key, ipc);
+    }
     return ipc;
 }
 

@@ -10,6 +10,14 @@
  * count. The Calibrator measures these references on a private core
  * with the same configuration as the experiment's core, and memoizes
  * them per (workload, thread count).
+ *
+ * Measurements are also shared process-wide through a thread-safe
+ * table keyed by the full (core, memory, intervals, workload,
+ * threads) configuration: a solo run is a pure function of that key
+ * (private job, fixed internal seed, private machine), so Calibrator
+ * instances built by different experiments -- or on different sweep
+ * worker threads -- reuse each other's references instead of
+ * re-simulating them.
  */
 
 #ifndef SOS_METRICS_CALIBRATOR_HH

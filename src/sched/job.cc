@@ -13,6 +13,22 @@ Job::Job(std::uint32_t id, const WorkloadProfile &profile,
     spawnThreads(num_threads);
 }
 
+Job::Job(const Job &other)
+    : arrivalCycle(other.arrivalCycle),
+      completionCycle(other.completionCycle),
+      sizeInstructions(other.sizeInstructions),
+      finished(other.finished), soloIpc(other.soloIpc), id_(other.id_),
+      profile_(other.profile_), seed_(other.seed_),
+      adaptive_(other.adaptive_), retired_(other.retired_),
+      residentCycles_(other.residentCycles_)
+{
+    threads_.reserve(other.threads_.size());
+    for (const auto &thread : other.threads_)
+        threads_.push_back(std::make_unique<TraceGenerator>(*thread));
+    if (other.sync_)
+        sync_ = std::make_unique<SyncDomain>(*other.sync_);
+}
+
 void
 Job::spawnThreads(int num_threads)
 {

@@ -42,6 +42,13 @@ class Job
     Job(std::uint32_t id, const WorkloadProfile &profile,
         std::uint64_t seed, int num_threads = 1, bool adaptive = false);
 
+    /**
+     * Snapshot copy: clones the generators (mid-stream) and the sync
+     * domain along with all progress accounting, so the copy resumes
+     * exactly where @p other stood.
+     */
+    Job(const Job &other);
+
     std::uint32_t id() const { return id_; }
     const std::string &name() const { return profile_->name; }
     const WorkloadProfile &profile() const { return *profile_; }

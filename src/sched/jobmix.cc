@@ -6,6 +6,13 @@
 
 namespace sos {
 
+JobMix::JobMix(const JobMix &other) : seed_(other.seed_)
+{
+    jobs_.reserve(other.jobs_.size());
+    for (const auto &job : other.jobs_)
+        jobs_.push_back(std::make_unique<Job>(*job));
+}
+
 Job &
 JobMix::addInternal(const std::string &workload, int threads, bool adaptive)
 {

@@ -28,6 +28,16 @@ class JobMix
     /** @param seed Base seed; jobs derive deterministic streams. */
     explicit JobMix(std::uint64_t seed = 0x50505050ULL) : seed_(seed) {}
 
+    /**
+     * Snapshot copy: deep-copies every job mid-stream (see Job's copy
+     * constructor).  Unit indices, job ids and ASIDs are preserved, so
+     * a schedule valid for @p other is valid for the copy.
+     */
+    JobMix(const JobMix &other);
+
+    JobMix(JobMix &&) = default;
+    JobMix &operator=(JobMix &&) = default;
+
     /** Add a sequential (single-thread) job. */
     Job &addJob(const std::string &workload);
 

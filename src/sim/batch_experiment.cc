@@ -79,6 +79,7 @@ BatchExperiment::makeSweep() const
     sweep.timesliceCycles = timesliceCycles();
     sweep.warm = warmupSchedule(spec_);
     sweep.warmTimeslices = sweep.warm.periodTimeslices();
+    sweep.useSnapshot = config_.snapshot;
     return sweep;
 }
 

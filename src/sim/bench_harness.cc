@@ -1,8 +1,35 @@
 #include "bench_harness.hh"
 
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/params_io.hh"
+#include "stats/json.hh"
 
 namespace sos {
+
+namespace {
+
+/** True for a path segment of the form candidate<digits>. */
+bool
+isCandidateSegment(const std::string &path, std::size_t begin,
+                   std::size_t end)
+{
+    static const std::string prefix = "candidate";
+    if (end - begin <= prefix.size() ||
+        path.compare(begin, prefix.size(), prefix) != 0)
+        return false;
+    for (std::size_t i = begin + prefix.size(); i < end; ++i) {
+        if (std::isdigit(static_cast<unsigned char>(path[i])) == 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 BenchHarness::BenchHarness(std::string tool, int argc, char **argv)
     : tool_(std::move(tool)), options_(parseBenchArgs(argc, argv))
@@ -15,6 +42,85 @@ BenchHarness::BenchHarness(std::string tool, SimConfig config,
 {
     options_.config = config;
     options_.out = std::move(out);
+}
+
+double
+BenchHarness::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+std::size_t
+BenchHarness::candidateCount() const
+{
+    std::set<std::string> groups;
+    for (const stats::Stat *stat : registry_.sorted()) {
+        const std::string &path = stat->path();
+        std::size_t begin = 0;
+        while (begin < path.size()) {
+            std::size_t end = path.find('.', begin);
+            if (end == std::string::npos)
+                end = path.size();
+            if (isCandidateSegment(path, begin, end)) {
+                groups.insert(path.substr(0, end));
+                break;
+            }
+            begin = end + 1;
+        }
+    }
+    return groups.size();
+}
+
+void
+BenchHarness::writeBenchSweep() const
+{
+    const double elapsed = elapsedSeconds();
+    const auto candidates =
+        static_cast<std::uint64_t>(candidateCount());
+
+    // The timing registry is deliberately separate from registry_:
+    // wall-clock numbers must never leak into the manifest.
+    stats::Registry timing;
+    const stats::Group group = stats::Group(timing).group("timing");
+    group.value("elapsed_seconds", "wall-clock harness duration") =
+        elapsed;
+    group.value("candidates", "candidate profiling runs registered") =
+        static_cast<double>(candidates);
+    group.value("candidates_per_sec", "sweep throughput") =
+        elapsed > 0.0 ? static_cast<double>(candidates) / elapsed : 0.0;
+
+    std::string document;
+    stats::JsonWriter json(&document);
+    json.beginObject();
+    json.key("schema");
+    json.string("sos.bench-sweep");
+    json.key("schema_version");
+    json.number(1);
+    json.key("tool");
+    json.string(tool_);
+    json.key("jobs");
+    json.number(static_cast<std::int64_t>(
+        resolveJobs(options_.config.jobs)));
+    json.key("snapshot");
+    json.boolean(options_.config.snapshot);
+    json.key("stats");
+    writeJsonTree(timing, json);
+    json.endObject();
+    SOS_ASSERT(json.complete());
+    document += '\n';
+
+    const std::string &path = options_.out.benchSweep;
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        fatal("cannot open bench-sweep output '", path, "'");
+    const std::size_t written =
+        std::fwrite(document.data(), 1, document.size(), file);
+    const bool ok =
+        written == document.size() && std::fclose(file) == 0;
+    if (!ok)
+        fatal("short write to bench-sweep output '", path, "'");
 }
 
 int
@@ -30,6 +136,8 @@ BenchHarness::finish() const
     }
     if (!options_.out.trace.empty())
         trace_.writeFile(options_.out.trace);
+    if (!options_.out.benchSweep.empty())
+        writeBenchSweep();
     return 0;
 }
 

@@ -10,11 +10,19 @@
  * decision trace (--trace / SOS_TRACE) when requested, and is a no-op
  * otherwise. One call site per binary keeps every harness's
  * machine-readable output identical in shape.
+ *
+ * The harness also measures its own wall-clock duration. Timing is
+ * host noise, so it lives in a separate "timing" stats registry that
+ * never reaches the manifest (manifests must stay bit-comparable
+ * across hosts, worker counts and the snapshot escape hatch); it is
+ * written to --bench-sweep / SOS_BENCH_SWEEP as a small JSON report
+ * with the candidate-sweep throughput.
  */
 
 #ifndef SOS_SIM_BENCH_HARNESS_HH
 #define SOS_SIM_BENCH_HARNESS_HH
 
+#include <chrono>
 #include <string>
 
 #include "sim/config_env.hh"
@@ -57,17 +65,31 @@ class BenchHarness
     bool wantsTrace() const { return !options_.out.trace.empty(); }
 
     /**
-     * Write the manifest and trace if their destinations were set.
-     * Returns the process exit status (0), so mains can end with
-     * `return harness.finish();`.
+     * Write the manifest, trace and bench-sweep timing report if
+     * their destinations were set. Returns the process exit status
+     * (0), so mains can end with `return harness.finish();`.
      */
     int finish() const;
 
+    /** Wall-clock seconds since the harness was constructed. */
+    double elapsedSeconds() const;
+
+    /**
+     * Candidate profiling runs registered so far: the number of
+     * distinct "candidate<i>" stat groups, the unit of sweep work the
+     * bench-sweep report normalizes throughput by.
+     */
+    std::size_t candidateCount() const;
+
   private:
+    void writeBenchSweep() const;
+
     std::string tool_;
     BenchOptions options_;
     stats::Registry registry_;
     stats::EventTrace trace_;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace sos

@@ -21,6 +21,10 @@ benchConfigFromEnv()
     if (const char *seed = std::getenv("SOS_SEED")) {
         config.seed = std::strtoull(seed, nullptr, 10);
     }
+    // Warm-state sharing for sweeps; semantics-preserving, so this is
+    // an escape hatch rather than a tuning knob.
+    if (const char *snapshot = std::getenv("SOS_SNAPSHOT"))
+        applyOverride(config, std::string("snapshot=") + snapshot);
     // Sweep worker threads; resolveJobs() validates the value and
     // falls back to the hardware concurrency when unset.
     config.jobs = resolveJobs(0);
@@ -35,6 +39,8 @@ outputPathsFromEnv()
         out.manifest = path;
     if (const char *path = std::getenv("SOS_TRACE"))
         out.trace = path;
+    if (const char *path = std::getenv("SOS_BENCH_SWEEP"))
+        out.benchSweep = path;
     return out;
 }
 
@@ -59,10 +65,13 @@ parseBenchArgs(int argc, char **argv)
             options.out.manifest = valueOf("--out");
         else if (arg == "--trace")
             options.out.trace = valueOf("--trace");
+        else if (arg == "--bench-sweep")
+            options.out.benchSweep = valueOf("--bench-sweep");
         else
             fatal("unknown argument '", arg,
                   "' (bench harnesses accept --set key=value, "
-                  "--jobs N, --out FILE, --trace FILE)");
+                  "--jobs N, --out FILE, --trace FILE, "
+                  "--bench-sweep FILE)");
     }
     return options;
 }

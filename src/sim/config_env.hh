@@ -5,10 +5,13 @@
  * Every bench harness and the sossim CLI accept the same overrides:
  *
  *   environment   SOS_CYCLE_SCALE, SOS_SEED, SOS_JOBS (worker
- *                 threads), SOS_OUT (manifest path), SOS_TRACE
- *                 (decision-trace path)
+ *                 threads), SOS_SNAPSHOT (0 disables the snapshot
+ *                 fast path), SOS_OUT (manifest path), SOS_TRACE
+ *                 (decision-trace path), SOS_BENCH_SWEEP (wall-clock
+ *                 timing report path)
  *   command line  --set key=value (repeated), --jobs N,
- *                 --out FILE.json, --trace FILE.jsonl
+ *                 --out FILE.json, --trace FILE.jsonl,
+ *                 --bench-sweep FILE.json
  *
  * This module is the one place that parsing lives; reporting.hh is
  * again purely about table formatting.
@@ -37,9 +40,15 @@ struct OutputPaths
 {
     std::string manifest; ///< --out / SOS_OUT; empty = no manifest
     std::string trace;    ///< --trace / SOS_TRACE; empty = no trace
+    /**
+     * --bench-sweep / SOS_BENCH_SWEEP; empty = no timing report.
+     * Wall-clock timing lives in its own file (never the manifest):
+     * manifests stay bit-comparable across hosts and worker counts.
+     */
+    std::string benchSweep;
 };
 
-/** Resolve SOS_OUT / SOS_TRACE when no flags were given. */
+/** Resolve SOS_OUT / SOS_TRACE / SOS_BENCH_SWEEP when no flags given. */
 OutputPaths outputPathsFromEnv();
 
 /** Everything a bench binary's command line can configure. */
@@ -51,8 +60,9 @@ struct BenchOptions
 
 /**
  * Parse a bench harness command line: repeated --set key=value,
- * --jobs N, --out FILE, --trace FILE. Environment overrides are
- * applied first, so flags win. Unknown arguments are fatal().
+ * --jobs N, --out FILE, --trace FILE, --bench-sweep FILE.
+ * Environment overrides are applied first, so flags win. Unknown
+ * arguments are fatal().
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 

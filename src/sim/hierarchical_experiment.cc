@@ -87,7 +87,10 @@ HierarchicalExperiment::makeSweep() const
     sweep.mem = config_.mem;
     sweep.timesliceCycles = config_.timesliceCycles();
     // No shared warmup: every candidate starts equally cold, and the
-    // sample phase already runs several periods per candidate.
+    // sample phase already runs several periods per candidate. The
+    // mix also differs per candidate (allocation plans change thread
+    // counts), so a shared warmed snapshot would be wrong anyway.
+    sweep.mixVariesByIndex = true;
     return sweep;
 }
 

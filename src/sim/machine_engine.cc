@@ -40,7 +40,8 @@ MachineEngine::runSchedule(JobMix &mix, const MachineSchedule &schedule,
         for (int k = 0; k < machine_.numCores(); ++k) {
             const std::vector<int> &tuple =
                 schedule.coreSchedule(k).tupleAt(t);
-            std::vector<ThreadRef> units;
+            std::vector<ThreadRef> &units = unitsScratch_;
+            units.clear();
             units.reserve(tuple.size());
             for (int unit_index : tuple)
                 units.push_back(mix.unit(unit_index));

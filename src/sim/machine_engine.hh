@@ -75,10 +75,27 @@ class MachineEngine
     /** Detach every unit from every core. */
     void evictAll();
 
+    /** Core @p k's timeslice engine (snapshot capture/adoption). */
+    TimesliceEngine &
+    coreEngine(int k)
+    {
+        return engines_.at(static_cast<std::size_t>(k));
+    }
+    const TimesliceEngine &
+    coreEngine(int k) const
+    {
+        return engines_.at(static_cast<std::size_t>(k));
+    }
+
+    int numCores() const { return static_cast<int>(engines_.size()); }
+
   private:
     Machine &machine_;
     std::uint64_t timeslice_;
     std::vector<TimesliceEngine> engines_;
+
+    /** Per-timeslice scratch (hoisted allocation). */
+    std::vector<ThreadRef> unitsScratch_;
 };
 
 } // namespace sos

@@ -1,11 +1,14 @@
 #include "machine_experiment.hh"
 
 #include <algorithm>
+#include <map>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/calibrator.hh"
 #include "metrics/weighted_speedup.hh"
+#include "sim/snapshot.hh"
 #include "stats/stats.hh"
 #include "stats/trace.hh"
 
@@ -37,6 +40,21 @@ partitionLabel(const Partition &allocation)
         out += '}';
     }
     return out;
+}
+
+/** Package one measured machine run the way the sweeps report it. */
+ParallelScheduleRunner::ScheduleRun
+toScheduleRun(const MachineEngine::MachineRunResult &run,
+              const JobMix &mix)
+{
+    ParallelScheduleRunner::ScheduleRun result;
+    result.run.total = run.total;
+    result.run.jobRetired = run.jobRetired;
+    result.run.sliceIpc = run.sliceIpc;
+    result.run.sliceMixImbalance = run.sliceMixImbalance;
+    result.run.cycles = run.cycles;
+    result.ws = weightedSpeedup(mix, run.jobRetired, run.cycles);
+    return result;
 }
 
 } // namespace
@@ -132,26 +150,65 @@ MachineExperiment::runOne(const MachineSchedule &schedule,
     const MachineSchedule warm = warmupFor(schedule.allocation());
     engine.runSchedule(mix, warm, warm.periodTimeslices());
 
-    const MachineEngine::MachineRunResult run =
-        engine.runSchedule(mix, schedule, timeslices);
-
-    ParallelScheduleRunner::ScheduleRun result;
-    result.run.total = run.total;
-    result.run.jobRetired = run.jobRetired;
-    result.run.sliceIpc = run.sliceIpc;
-    result.run.sliceMixImbalance = run.sliceMixImbalance;
-    result.run.cycles = run.cycles;
-    result.ws = weightedSpeedup(mix, run.jobRetired, run.cycles);
-    return result;
+    return toScheduleRun(engine.runSchedule(mix, schedule, timeslices),
+                         mix);
 }
 
 std::vector<ParallelScheduleRunner::ScheduleRun>
 MachineExperiment::runAll(const std::vector<MachineSchedule> &schedules,
                           std::uint64_t timeslices) const
 {
+    if (!config_.snapshot) {
+        return runner_.map<ParallelScheduleRunner::ScheduleRun>(
+            schedules.size(), [&](std::size_t i) {
+                return runOne(schedules[i], timeslices);
+            });
+    }
+
+    // Shared-warmup fast path. The warmup key of a candidate is its
+    // allocation: warmupFor() depends on nothing else, and every task
+    // warms the same freshMix() on an identical machine, so all
+    // candidates sharing an allocation reach bit-identical warmed
+    // state (DESIGN.md §5c). Warm one snapshot per distinct
+    // allocation -- in parallel, the groups are independent -- then
+    // run each candidate's measured interval on a private fork.
+    std::vector<std::size_t> group_of(schedules.size());
+    std::vector<std::size_t> first_in_group;
+    std::map<std::string, std::size_t> group_index;
+    for (std::size_t i = 0; i < schedules.size(); ++i) {
+        const auto [it, inserted] = group_index.emplace(
+            partitionLabel(schedules[i].allocation()),
+            first_in_group.size());
+        if (inserted)
+            first_in_group.push_back(i);
+        group_of[i] = it->second;
+    }
+
+    const auto snapshots =
+        runner_.map<std::shared_ptr<const MachineSnapshot>>(
+            first_in_group.size(), [&](std::size_t g) {
+                const MachineSchedule &leader =
+                    schedules[first_in_group[g]];
+                JobMix mix = freshMix();
+                Machine machine(config_.coreFor(spec_.level),
+                                config_.mem, spec_.numCores);
+                MachineEngine engine(machine, timesliceCycles());
+                const MachineSchedule warm =
+                    warmupFor(leader.allocation());
+                engine.runSchedule(mix, warm, warm.periodTimeslices());
+                return std::make_shared<const MachineSnapshot>(
+                    machine, mix, engine);
+            });
+
     return runner_.map<ParallelScheduleRunner::ScheduleRun>(
         schedules.size(), [&](std::size_t i) {
-            return runOne(schedules[i], timeslices);
+            MachineSnapshot::Fork fork(*snapshots[group_of[i]]);
+            MachineEngine engine(fork.machine(), timesliceCycles());
+            fork.adopt(engine);
+            return toScheduleRun(
+                engine.runSchedule(fork.mix(), schedules[i],
+                                   timeslices),
+                fork.mix());
         });
 }
 

@@ -195,7 +195,13 @@ class MachineExperiment
     runOne(const MachineSchedule &schedule,
            std::uint64_t timeslices) const;
 
-    /** Fan @p runs of @p timeslices quanta across the worker pool. */
+    /**
+     * Fan @p schedules (for @p timeslices quanta each) across the
+     * worker pool. With SimConfig::snapshot set, candidates are
+     * grouped by allocation (the warmup key), one warmed snapshot is
+     * built per group and each candidate measures on a private fork;
+     * the results are bit-identical to per-candidate warmup (runOne).
+     */
     std::vector<ParallelScheduleRunner::ScheduleRun>
     runAll(const std::vector<MachineSchedule> &schedules,
            std::uint64_t timeslices) const;

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "cpu/machine.hh"
 #include "metrics/weighted_speedup.hh"
+#include "sim/snapshot.hh"
 
 namespace sos {
 
@@ -29,6 +30,40 @@ ParallelScheduleRunner::runAll(
     SOS_ASSERT(sweep.makeMix, "sweep needs a mix factory");
     SOS_ASSERT(sweep.timesliceCycles > 0);
 
+    const bool has_warmup =
+        sweep.warm.valid() && sweep.warmTimeslices > 0;
+    if (sweep.useSnapshot && has_warmup && !sweep.mixVariesByIndex) {
+        // Shared-warmup fast path: simulate the warmup once, then run
+        // every candidate's measured interval on a private fork of the
+        // warmed state.  Bit-identical to the legacy path below: each
+        // task there warms an identical mix on an identical machine,
+        // so its post-warmup state IS the snapshot (DESIGN.md §5c).
+        JobMix warm_mix = sweep.makeMix(0);
+        Machine warm_machine(sweep.core, sweep.mem);
+        TimesliceEngine warm_engine(warm_machine.core(0),
+                                    sweep.timesliceCycles);
+        warm_engine.runSchedule(warm_mix, sweep.warm,
+                                sweep.warmTimeslices);
+        const MachineSnapshot snapshot(warm_machine, warm_mix,
+                                       warm_engine);
+
+        return map<ScheduleRun>(schedules.size(), [&](std::size_t i) {
+            const Schedule &schedule = schedules[i];
+            MachineSnapshot::Fork fork(snapshot);
+            TimesliceEngine engine(fork.machine().core(0),
+                                   sweep.timesliceCycles);
+            fork.adopt(engine);
+
+            ScheduleRun result;
+            result.run = engine.runSchedule(fork.mix(), schedule,
+                                            timeslices(schedule));
+            result.ws = weightedSpeedup(fork.mix(),
+                                        result.run.jobRetired,
+                                        result.run.cycles);
+            return result;
+        });
+    }
+
     return map<ScheduleRun>(schedules.size(), [&](std::size_t i) {
         const Schedule &schedule = schedules[i];
         JobMix mix = sweep.makeMix(i);
@@ -36,7 +71,7 @@ ParallelScheduleRunner::runAll(
         // function of the task index (DESIGN.md determinism contract).
         Machine machine(sweep.core, sweep.mem);
         TimesliceEngine engine(machine.core(0), sweep.timesliceCycles);
-        if (sweep.warm.valid() && sweep.warmTimeslices > 0)
+        if (has_warmup)
             engine.runSchedule(mix, sweep.warm, sweep.warmTimeslices);
 
         ScheduleRun result;

@@ -69,6 +69,22 @@ class ParallelScheduleRunner
          */
         Schedule warm;
         std::uint64_t warmTimeslices = 0;
+
+        /**
+         * Share the warmup across candidates: run it once, snapshot
+         * the warmed state and fork a private copy per task (see
+         * sim/snapshot.hh).  Bit-identical to per-task warmup --
+         * SimConfig::snapshot / SOS_SNAPSHOT=0 forces the legacy
+         * path.  Ignored when there is no warmup to share.
+         */
+        bool useSnapshot = true;
+
+        /**
+         * Set when makeMix returns a *different* mix per index (e.g.
+         * per-candidate allocation plans): a shared warmed snapshot
+         * would be wrong, so the sweep always warms per task.
+         */
+        bool mixVariesByIndex = false;
     };
 
     /**

@@ -97,6 +97,9 @@ fields()
                       "schedule periods per profiled candidate"),
         SOS_FIELD_INT(jobs,
                       "sweep worker threads (0 = SOS_JOBS/auto)"),
+        SOS_FIELD_BOOL(snapshot,
+                       "share sweep warmups via snapshot forks "
+                       "(bit-identical; 0 = legacy path)"),
         SOS_FIELD_U64(calibWarmupCycles, "calibration warmup"),
         SOS_FIELD_U64(calibMeasureCycles, "calibration measurement"),
         // Core.
@@ -208,10 +211,11 @@ configPairs(const SimConfig &config)
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(fields().size());
     for (const Field &field : fields()) {
-        // The sweep worker count is host parallelism, not simulation
-        // configuration: results are bit-identical across it, and the
-        // manifest must be too.
-        if (std::string("jobs") == field.key)
+        // The sweep worker count and the snapshot fast path are host
+        // execution strategy, not simulation configuration: results
+        // are bit-identical across both, and the manifest must be too.
+        if (std::string("jobs") == field.key ||
+            std::string("snapshot") == field.key)
             continue;
         out.emplace_back(field.key, field.get(config));
     }

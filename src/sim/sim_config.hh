@@ -60,6 +60,16 @@ struct SimConfig
     int jobs = 0;
 
     /**
+     * Share candidate warmups through snapshot forks (see
+     * sim/snapshot.hh). Semantics-preserving: results and manifests
+     * are bit-identical either way (test-asserted), so this knob --
+     * like jobs -- is host execution strategy, not simulation
+     * configuration. SOS_SNAPSHOT=0 forces the legacy
+     * warmup-per-candidate path.
+     */
+    bool snapshot = true;
+
+    /**
      * Schedule periods run while profiling one candidate. The paper
      * uses exactly one period of 5 M-cycle timeslices; our scaled
      * timeslices make one period too noisy a counter sample, so each

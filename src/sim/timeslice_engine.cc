@@ -43,6 +43,39 @@ TimesliceEngine::evictJob(const Job *job)
     }
 }
 
+std::vector<std::pair<int, ThreadRef>>
+TimesliceEngine::residentUnits() const
+{
+    std::vector<std::pair<int, ThreadRef>> out;
+    for (int slot = 0; slot < core_.params().numContexts; ++slot) {
+        const Slot &s = slots_[static_cast<std::size_t>(slot)];
+        if (s.occupied)
+            out.emplace_back(slot, s.unit);
+    }
+    return out;
+}
+
+void
+TimesliceEngine::adoptResident(
+    const std::vector<std::pair<int, ThreadRef>> &resident)
+{
+    for (int slot = 0; slot < core_.params().numContexts; ++slot) {
+        SOS_ASSERT(!slots_[static_cast<std::size_t>(slot)].occupied,
+                   "adoptResident needs a fresh engine");
+    }
+    for (const auto &[slot, unit] : resident) {
+        SOS_ASSERT(core_.slotActive(slot),
+                   "adopted slot carries no pipeline state");
+        ThreadBinding binding;
+        binding.gen = &unit.job->generator(unit.thread);
+        binding.sync = unit.job->syncDomain();
+        binding.syncIndex = unit.thread;
+        binding.asid = unit.job->asid();
+        core_.rebindThread(slot, binding);
+        slots_[static_cast<std::size_t>(slot)] = {true, unit};
+    }
+}
+
 TimesliceEngine::SliceResult
 TimesliceEngine::runTimeslice(const std::vector<ThreadRef> &units)
 {
@@ -70,7 +103,8 @@ TimesliceEngine::runTimeslice(const std::vector<ThreadRef> &units)
     }
 
     // Swap in units that are entering; record each unit's slot.
-    std::vector<int> unit_slot(units.size(), -1);
+    std::vector<int> &unit_slot = unitSlotScratch_;
+    unit_slot.assign(units.size(), -1);
     for (std::size_t u = 0; u < units.size(); ++u) {
         for (int slot = 0; slot < num_slots; ++slot) {
             const Slot &s = slots_[static_cast<std::size_t>(slot)];
@@ -135,7 +169,8 @@ TimesliceEngine::runSchedule(JobMix &mix, const Schedule &schedule,
 
     for (std::uint64_t t = 0; t < timeslices; ++t) {
         const std::vector<int> &tuple = schedule.tupleAt(t);
-        std::vector<ThreadRef> units;
+        std::vector<ThreadRef> &units = unitsScratch_;
+        units.clear();
         units.reserve(tuple.size());
         for (int unit_index : tuple)
             units.push_back(mix.unit(unit_index));

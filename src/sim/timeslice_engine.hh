@@ -57,6 +57,20 @@ class TimesliceEngine
     /** Detach everything (e.g. before re-spawning adaptive jobs). */
     void evictAll();
 
+    /** The units currently resident, as (context slot, unit) pairs. */
+    std::vector<std::pair<int, ThreadRef>> residentUnits() const;
+
+    /**
+     * Seed a fresh engine with the resident set of a snapshot fork:
+     * the borrowed core already carries the (copied) pipeline state of
+     * every unit, so each slot is marked occupied and the core's
+     * context is rebound to the fork's own generators -- nothing is
+     * squashed or re-attached.  The engine must have no occupied slots
+     * and the core's active slots must match @p resident exactly.
+     */
+    void
+    adoptResident(const std::vector<std::pair<int, ThreadRef>> &resident);
+
     /** Detach any resident threads of one job (before destroying it). */
     void evictJob(const Job *job);
 
@@ -80,6 +94,11 @@ class TimesliceEngine
     SmtCore &core_;
     std::uint64_t timeslice_;
     std::array<Slot, MaxContexts> slots_;
+
+    /** @name Per-timeslice scratch (hoisted allocations) @{ */
+    std::vector<ThreadRef> unitsScratch_;
+    std::vector<int> unitSlotScratch_;
+    /** @} */
 };
 
 } // namespace sos
