@@ -99,6 +99,21 @@ main(int argc, char **argv)
                         fmt(mean_n.mean(), 1), std::to_string(phases)});
     }
 
+    // The fanned-out comparisons cannot stream decisions (their
+    // events would interleave across workers); when a trace was
+    // requested, replay the canonical level-3 run serially so the
+    // JSONL is deterministic and byte-comparable across runs.
+    if (harness.wantsTrace()) {
+        OpenSystemConfig open;
+        open.level = 3;
+        open.numJobs = 24;
+        open.seed = config.seed ^ static_cast<std::uint64_t>(97 * 3);
+        const std::vector<JobArrival> arrivals =
+            makeArrivalTrace(config, open);
+        runOpenSystem(config, open, arrivals, OpenPolicy::Sos,
+                      &harness.trace());
+    }
+
     std::printf("\n(Paper: improvements between 8%% and nearly 18%%, "
                 "including all sampling overhead.)\n");
     return harness.finish();

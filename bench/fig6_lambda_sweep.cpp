@@ -30,7 +30,7 @@ main(int argc, char **argv)
 
     OpenSystemConfig base;
     base.level = level;
-    const std::uint64_t stable = base.effectiveInterarrivalPaper();
+    const std::uint64_t stable = base.effectiveInterarrivalPaper(config);
 
     printBanner("Figure 6: response-time improvement vs lambda "
                 "(SMT level 3)");

@@ -34,7 +34,7 @@ main()
                 "paper-cycles solo\n\n",
                 open.numJobs,
                 fmtCycles(config.scaled(
-                              open.effectiveInterarrivalPaper()))
+                              open.effectiveInterarrivalPaper(config)))
                     .c_str(),
                 fmtCycles(open.meanJobPaperCycles).c_str());
 

@@ -63,6 +63,9 @@ std::vector<std::unique_ptr<Predictor>> makeAllPredictors();
  */
 std::unique_ptr<Predictor> makePredictor(const std::string &name);
 
+/** Names makePredictor() accepts, in lookup order. */
+const std::vector<std::string> &predictorNames();
+
 } // namespace sos
 
 #endif // SOS_CORE_PREDICTOR_HH

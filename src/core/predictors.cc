@@ -336,7 +336,26 @@ makePredictor(const std::string &name)
         if (predictor->name() == name)
             return std::move(predictor);
     }
-    fatal("unknown predictor '", name, "'");
+    std::string known;
+    for (const std::string &key : predictorNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += key;
+    }
+    fatal("unknown predictor '", name, "' (known: ", known, ")");
+}
+
+const std::vector<std::string> &
+predictorNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        out.push_back("SliceDiversity");
+        for (const auto &predictor : makeAllPredictors())
+            out.push_back(predictor->name());
+        return out;
+    }();
+    return names;
 }
 
 } // namespace sos

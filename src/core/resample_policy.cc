@@ -1,0 +1,84 @@
+#include "core/resample_policy.hh"
+
+namespace sos {
+
+namespace {
+
+/** The paper's exponential-backoff timer (Section 9). */
+class BackoffTimer : public ResampleTimer
+{
+  public:
+    explicit BackoffTimer(std::uint64_t base_interval)
+        : policy_(base_interval)
+    {
+    }
+
+    std::string name() const override { return "backoff"; }
+    std::uint64_t baseInterval() const override
+    {
+        return policy_.baseInterval();
+    }
+    std::uint64_t symbiosDuration() const override
+    {
+        return policy_.symbiosDuration();
+    }
+    void onJobChange() override { policy_.onJobChange(); }
+    void
+    onTimerSample(bool prediction_changed) override
+    {
+        policy_.onTimerSample(prediction_changed);
+    }
+
+  private:
+    ResamplePolicy policy_;
+};
+
+/** Constant symbios duration: resample at a fixed cadence. */
+class FixedTimer : public ResampleTimer
+{
+  public:
+    explicit FixedTimer(std::uint64_t base_interval)
+        : base_(base_interval)
+    {
+        SOS_ASSERT(base_interval > 0);
+    }
+
+    std::string name() const override { return "fixed"; }
+    std::uint64_t baseInterval() const override { return base_; }
+    std::uint64_t symbiosDuration() const override { return base_; }
+    void onJobChange() override {}
+    void onTimerSample(bool) override {}
+
+  private:
+    std::uint64_t base_;
+};
+
+} // namespace
+
+std::unique_ptr<ResampleTimer>
+makeResamplePolicy(const std::string &name,
+                   std::uint64_t base_interval)
+{
+    if (name == "backoff")
+        return std::make_unique<BackoffTimer>(base_interval);
+    if (name == "fixed")
+        return std::make_unique<FixedTimer>(base_interval);
+    std::string known;
+    for (const std::string &key : resamplePolicyNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += key;
+    }
+    fatal("unknown resample policy '", name, "' (known: ", known,
+          ")");
+}
+
+const std::vector<std::string> &
+resamplePolicyNames()
+{
+    static const std::vector<std::string> names = {"backoff",
+                                                   "fixed"};
+    return names;
+}
+
+} // namespace sos

@@ -15,6 +15,9 @@
 #define SOS_CORE_RESAMPLE_POLICY_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -65,6 +68,42 @@ class ResamplePolicy
     std::uint64_t base_;
     std::uint64_t current_;
 };
+
+/**
+ * A named resampling timer behind the registry. "backoff" wraps
+ * ResamplePolicy (the paper's policy, the default); "fixed" keeps a
+ * constant symbios duration for ablations.
+ */
+class ResampleTimer
+{
+  public:
+    virtual ~ResampleTimer() = default;
+
+    virtual std::string name() const = 0;
+
+    /** The configured base symbios interval in cycles. */
+    virtual std::uint64_t baseInterval() const = 0;
+
+    /** Cycles the current symbios phase runs before resampling. */
+    virtual std::uint64_t symbiosDuration() const = 0;
+
+    /** A job arrived or departed. */
+    virtual void onJobChange() = 0;
+
+    /** A timer-triggered sample completed; did the pick change? */
+    virtual void onTimerSample(bool prediction_changed) = 0;
+};
+
+/**
+ * Build a resample timer by registry name; fatal() -- listing the
+ * registered names -- when @p name is unknown.
+ */
+std::unique_ptr<ResampleTimer>
+makeResamplePolicy(const std::string &name,
+                   std::uint64_t base_interval);
+
+/** Names makeResamplePolicy() accepts, in registry order. */
+const std::vector<std::string> &resamplePolicyNames();
 
 } // namespace sos
 

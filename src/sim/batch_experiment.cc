@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/weighted_speedup.hh"
+#include "sim/sweep_backend.hh"
 #include "stats/stats.hh"
 #include "stats/trace.hh"
 
@@ -86,7 +87,6 @@ BatchExperiment::makeSweep() const
 void
 BatchExperiment::runSamplePhase()
 {
-    SOS_ASSERT(profiles_.empty(), "sample phase already ran");
     Rng rng(config_.seed ^ hashLabel(spec_.label) ^ 0x5a3217e1ULL);
 
     const ScheduleSpace space(spec_.numUnits(), spec_.level, spec_.swap);
@@ -94,81 +94,25 @@ BatchExperiment::runSamplePhase()
 
     const auto periods =
         static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
-    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
-        runner_.runAll(makeSweep(), schedules_,
-                       [periods](const Schedule &schedule) {
-                           return schedule.periodTimeslices() * periods;
-                       });
-
-    for (std::size_t i = 0; i < schedules_.size(); ++i) {
-        const ParallelScheduleRunner::ScheduleRun &result = runs[i];
-        ScheduleProfile profile;
-        profile.label = schedules_[i].label();
-        profile.counters = result.run.total;
-        profile.sliceIpc = result.run.sliceIpc;
-        profile.sliceMixImbalance = result.run.sliceMixImbalance;
-        profile.sampleWs = result.ws;
-        profiles_.push_back(std::move(profile));
-        sampleCycles_ += result.run.cycles;
-    }
+    const ScheduleSweepBackend backend(runner_, makeSweep(),
+                                       schedules_);
+    kernel_.runSamplePhase(backend, [&](std::size_t i) {
+        return schedules_[i].periodTimeslices() * periods;
+    });
 }
 
 void
 BatchExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
 {
-    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
-    SOS_ASSERT(symbiosWs_.empty(), "symbios validation already ran");
     const std::uint64_t cycles =
         symbios_cycles > 0 ? symbios_cycles : config_.symbiosCycles();
     const std::uint64_t timeslices =
         std::max<std::uint64_t>(1, cycles / timesliceCycles());
 
-    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
-        runner_.runAll(makeSweep(), schedules_,
-                       [timeslices](const Schedule &) {
-                           return timeslices;
-                       });
-    for (const ParallelScheduleRunner::ScheduleRun &result : runs)
-        symbiosWs_.push_back(result.ws);
-}
-
-double
-BatchExperiment::bestWs() const
-{
-    SOS_ASSERT(!symbiosWs_.empty());
-    return *std::max_element(symbiosWs_.begin(), symbiosWs_.end());
-}
-
-double
-BatchExperiment::worstWs() const
-{
-    SOS_ASSERT(!symbiosWs_.empty());
-    return *std::min_element(symbiosWs_.begin(), symbiosWs_.end());
-}
-
-double
-BatchExperiment::averageWs() const
-{
-    SOS_ASSERT(!symbiosWs_.empty());
-    double total = 0.0;
-    for (double ws : symbiosWs_)
-        total += ws;
-    return total / static_cast<double>(symbiosWs_.size());
-}
-
-int
-BatchExperiment::predictedIndex(const Predictor &predictor) const
-{
-    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
-    return predictor.best(profiles_);
-}
-
-double
-BatchExperiment::wsOfPredictor(const Predictor &predictor) const
-{
-    SOS_ASSERT(!symbiosWs_.empty(), "run the symbios validation first");
-    return symbiosWs_[static_cast<std::size_t>(
-        predictedIndex(predictor))];
+    const ScheduleSweepBackend backend(runner_, makeSweep(),
+                                       schedules_);
+    kernel_.runSymbiosValidation(
+        backend, [timeslices](std::size_t) { return timeslices; });
 }
 
 void
@@ -177,10 +121,12 @@ BatchExperiment::publishStats(const stats::Group &group) const
     group.info("label", "experiment label") = spec_.label;
     group.scalar("sample_phase_cycles",
                  "simulated cycles spent profiling candidates")
-        .bind(&sampleCycles_);
+        .bind(&kernel_.samplePhaseCyclesStorage());
 
-    for (std::size_t i = 0; i < profiles_.size(); ++i) {
-        const ScheduleProfile &profile = profiles_[i];
+    const std::vector<ScheduleProfile> &profiles = kernel_.profiles();
+    const std::vector<double> &symbios = kernel_.symbiosWs();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const ScheduleProfile &profile = profiles[i];
         const stats::Group cand =
             group.group("candidate" + std::to_string(i));
         cand.info("schedule", "candidate schedule label") =
@@ -191,13 +137,13 @@ BatchExperiment::publishStats(const stats::Group &group) const
             profile.balance();
         cand.value("diversity", "mean per-timeslice mix imbalance") =
             profile.diversity();
-        if (i < symbiosWs_.size())
+        if (i < symbios.size())
             cand.value("ws", "symbios-phase weighted speedup") =
-                symbiosWs_[i];
+                symbios[i];
         profile.counters.registerStats(cand.group("counters"));
     }
 
-    if (!symbiosWs_.empty()) {
+    if (!symbios.empty()) {
         const stats::Group summary = group.group("summary");
         summary.value("best_ws", "best symbios WS in the sample") =
             bestWs();
@@ -212,15 +158,17 @@ BatchExperiment::publishStats(const stats::Group &group) const
 void
 BatchExperiment::recordTrace(stats::EventTrace &trace) const
 {
-    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    const std::vector<ScheduleProfile> &profiles = kernel_.profiles();
+    const std::vector<double> &symbios = kernel_.symbiosWs();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
         trace.event("sample_candidate")
             .field("experiment", spec_.label)
             .field("index", static_cast<std::uint64_t>(i))
-            .field("schedule", profiles_[i].label)
-            .field("sample_ws", profiles_[i].sampleWs)
-            .field("ipc", profiles_[i].counters.ipc());
+            .field("schedule", profiles[i].label)
+            .field("sample_ws", profiles[i].sampleWs)
+            .field("ipc", profiles[i].counters.ipc());
     }
-    if (symbiosWs_.empty())
+    if (symbios.empty())
         return;
 
     for (const std::unique_ptr<Predictor> &predictor :
@@ -231,15 +179,15 @@ BatchExperiment::recordTrace(stats::EventTrace &trace) const
             .field("predictor", predictor->name())
             .field("pick", pick)
             .field("schedule",
-                   profiles_[static_cast<std::size_t>(pick)].label)
-            .field("ws", symbiosWs_[static_cast<std::size_t>(pick)]);
+                   profiles[static_cast<std::size_t>(pick)].label)
+            .field("ws", symbios[static_cast<std::size_t>(pick)]);
     }
-    for (std::size_t i = 0; i < symbiosWs_.size(); ++i) {
+    for (std::size_t i = 0; i < symbios.size(); ++i) {
         trace.event("symbios_result")
             .field("experiment", spec_.label)
             .field("index", static_cast<std::uint64_t>(i))
-            .field("schedule", profiles_[i].label)
-            .field("ws", symbiosWs_[i]);
+            .field("schedule", profiles[i].label)
+            .field("ws", symbios[i]);
     }
 }
 

@@ -31,6 +31,7 @@
 #include "sim/experiment_defs.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/sim_config.hh"
+#include "sos/kernel.hh"
 
 namespace sos {
 
@@ -67,26 +68,43 @@ class BatchExperiment
     const std::vector<Schedule> &schedules() const { return schedules_; }
     const std::vector<ScheduleProfile> &profiles() const
     {
-        return profiles_;
+        return kernel_.profiles();
     }
 
     /** Simulated cycles spent in the sample phase. */
-    std::uint64_t samplePhaseCycles() const { return sampleCycles_; }
+    std::uint64_t
+    samplePhaseCycles() const
+    {
+        return kernel_.samplePhaseCycles();
+    }
 
     /** Measured symbios-phase WS per sampled schedule. */
-    const std::vector<double> &symbiosWs() const { return symbiosWs_; }
+    const std::vector<double> &
+    symbiosWs() const
+    {
+        return kernel_.symbiosWs();
+    }
 
     /** @name Summary statistics over the symbios runs @{ */
-    double bestWs() const;
-    double worstWs() const;
-    double averageWs() const; ///< the oblivious-scheduler expectation
+    double bestWs() const { return kernel_.bestWs(); }
+    double worstWs() const { return kernel_.worstWs(); }
+    /** The oblivious-scheduler expectation. */
+    double averageWs() const { return kernel_.averageWs(); }
     /** @} */
 
     /** Index of the schedule the predictor picks from the profiles. */
-    int predictedIndex(const Predictor &predictor) const;
+    int
+    predictedIndex(const Predictor &predictor) const
+    {
+        return kernel_.predictedIndex(predictor);
+    }
 
     /** Symbios WS attained by trusting the given predictor. */
-    double wsOfPredictor(const Predictor &predictor) const;
+    double
+    wsOfPredictor(const Predictor &predictor) const
+    {
+        return kernel_.wsOfPredictor(predictor);
+    }
 
     /**
      * Register everything this experiment measured under @p group:
@@ -122,9 +140,7 @@ class BatchExperiment
     ParallelScheduleRunner runner_;
 
     std::vector<Schedule> schedules_;
-    std::vector<ScheduleProfile> profiles_;
-    std::vector<double> symbiosWs_;
-    std::uint64_t sampleCycles_ = 0;
+    SosKernel kernel_; ///< owns profiles, symbios WS, phase cycles
 };
 
 } // namespace sos

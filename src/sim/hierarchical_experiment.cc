@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/calibrator.hh"
+#include "sim/sweep_backend.hh"
 #include "stats/stats.hh"
 #include "stats/trace.hh"
 
@@ -106,37 +107,32 @@ HierarchicalExperiment::run(std::uint64_t symbios_cycles)
     for (const HierarchicalCandidate &candidate : candidates_)
         schedules.push_back(candidate.schedule);
 
+    const ScheduleSweepBackend backend(
+        runner_, makeSweep(), schedules, [this](std::size_t i) {
+            return candidates_[i].plan.label() + " " +
+                   candidates_[i].schedule.label();
+        });
+
     // Sample phase: a few periods per candidate (see samplePeriods).
     const auto periods =
         static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
-    const std::vector<ParallelScheduleRunner::ScheduleRun> sampled =
-        runner_.runAll(makeSweep(), schedules,
-                       [periods](const Schedule &schedule) {
-                           return schedule.periodTimeslices() * periods;
-                       });
-    for (std::size_t i = 0; i < candidates_.size(); ++i) {
-        HierarchicalCandidate &candidate = candidates_[i];
-        const ParallelScheduleRunner::ScheduleRun &result = sampled[i];
-        candidate.profile.label =
-            candidate.plan.label() + " " + candidate.schedule.label();
-        candidate.profile.counters = result.run.total;
-        candidate.profile.sliceIpc = result.run.sliceIpc;
-        candidate.profile.sliceMixImbalance =
-            result.run.sliceMixImbalance;
-        candidate.profile.sampleWs = result.ws;
-    }
+    kernel_.runSamplePhase(backend, [&](std::size_t i) {
+        return schedules[i].periodTimeslices() * periods;
+    });
 
     // Symbios validation: what each candidate would have delivered.
     const std::uint64_t timeslice = config_.timesliceCycles();
-    const std::vector<ParallelScheduleRunner::ScheduleRun> validated =
-        runner_.runAll(makeSweep(), schedules,
-                       [symbios, timeslice](const Schedule &schedule) {
-                           return std::max<std::uint64_t>(
-                               schedule.periodTimeslices(),
-                               symbios / timeslice);
-                       });
-    for (std::size_t i = 0; i < candidates_.size(); ++i)
-        candidates_[i].symbiosWs = validated[i].ws;
+    kernel_.runSymbiosValidation(backend, [&](std::size_t i) {
+        return std::max<std::uint64_t>(
+            schedules[i].periodTimeslices(), symbios / timeslice);
+    });
+
+    // Copy the kernel's results back onto the candidate structs the
+    // public API (and Figure 4 reporting) exposes.
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        candidates_[i].profile = kernel_.profiles()[i];
+        candidates_[i].symbiosWs = kernel_.symbiosWs()[i];
+    }
 }
 
 double

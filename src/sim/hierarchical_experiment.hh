@@ -29,6 +29,7 @@
 #include "sim/experiment_defs.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/sim_config.hh"
+#include "sos/kernel.hh"
 
 namespace sos {
 
@@ -113,6 +114,7 @@ class HierarchicalExperiment
      */
     std::map<std::pair<std::string, int>, double> soloIpc_;
     std::vector<HierarchicalCandidate> candidates_;
+    SosKernel kernel_; ///< runs both phases; results copied back
 };
 
 } // namespace sos

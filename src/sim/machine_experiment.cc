@@ -9,6 +9,7 @@
 #include "metrics/calibrator.hh"
 #include "metrics/weighted_speedup.hh"
 #include "sim/snapshot.hh"
+#include "sos/closed_backend.hh"
 #include "stats/stats.hh"
 #include "stats/trace.hh"
 
@@ -56,6 +57,49 @@ toScheduleRun(const MachineEngine::MachineRunResult &run,
     result.ws = weightedSpeedup(mix, run.jobRetired, run.cycles);
     return result;
 }
+
+/**
+ * The machine sweep presented to the kernel. Machine phases run every
+ * candidate for the same number of quanta, so the kernel's per-index
+ * interval function is evaluated once.
+ */
+class MachineSweepBackend : public ClosedSweepBackend
+{
+  public:
+    using RunFn = std::function<
+        std::vector<ParallelScheduleRunner::ScheduleRun>(
+            std::uint64_t)>;
+
+    MachineSweepBackend(const std::vector<MachineSchedule> &schedules,
+                        RunFn run)
+        : schedules_(schedules), run_(std::move(run))
+    {
+    }
+
+    std::size_t
+    numCandidates() const override
+    {
+        return schedules_.size();
+    }
+
+    std::string
+    candidateLabel(std::size_t index) const override
+    {
+        return schedules_[index].label();
+    }
+
+    std::vector<ParallelScheduleRunner::ScheduleRun>
+    runCandidates(
+        const std::function<std::uint64_t(std::size_t)> &timeslices)
+        const override
+    {
+        return run_(timeslices(0));
+    }
+
+  private:
+    const std::vector<MachineSchedule> &schedules_;
+    RunFn run_;
+};
 
 } // namespace
 
@@ -215,7 +259,6 @@ MachineExperiment::runAll(const std::vector<MachineSchedule> &schedules,
 void
 MachineExperiment::runSamplePhase()
 {
-    SOS_ASSERT(profiles_.empty(), "sample phase already ran");
     Rng rng(config_.seed ^ hashLabel(spec_.label) ^ 0x5a3217e1ULL);
     schedules_ = space_.sample(config_.sampleSchedules, rng);
 
@@ -223,43 +266,34 @@ MachineExperiment::runSamplePhase()
         static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
     const std::uint64_t timeslices =
         space_.periodTimeslices() * periods;
-    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
-        runAll(schedules_, timeslices);
-
-    for (std::size_t i = 0; i < schedules_.size(); ++i) {
-        const ParallelScheduleRunner::ScheduleRun &result = runs[i];
-        ScheduleProfile profile;
-        profile.label = schedules_[i].label();
-        profile.counters = result.run.total;
-        profile.sliceIpc = result.run.sliceIpc;
-        profile.sliceMixImbalance = result.run.sliceMixImbalance;
-        profile.sampleWs = result.ws;
-        profiles_.push_back(std::move(profile));
-        sampleCycles_ += result.run.cycles;
-    }
+    const MachineSweepBackend backend(
+        schedules_,
+        [this](std::uint64_t t) { return runAll(schedules_, t); });
+    kernel_.runSamplePhase(
+        backend, [timeslices](std::size_t) { return timeslices; });
 }
 
 void
 MachineExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
 {
-    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
-    SOS_ASSERT(symbiosWs_.empty(), "symbios validation already ran");
     const std::uint64_t cycles =
         symbios_cycles > 0 ? symbios_cycles : config_.symbiosCycles();
     const std::uint64_t timeslices =
         std::max<std::uint64_t>(1, cycles / timesliceCycles());
 
-    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
-        runAll(schedules_, timeslices);
-    for (const ParallelScheduleRunner::ScheduleRun &result : runs)
-        symbiosWs_.push_back(result.ws);
+    const MachineSweepBackend backend(
+        schedules_,
+        [this](std::uint64_t t) { return runAll(schedules_, t); });
+    kernel_.runSymbiosValidation(
+        backend, [timeslices](std::size_t) { return timeslices; });
 
     // Replay the measured best on a persistent machine so dumps can
     // read live cache and contention counters (publishStats binds,
     // never copies).
+    const std::vector<double> &symbios = kernel_.symbiosWs();
     bestIndex_ = static_cast<int>(
-        std::max_element(symbiosWs_.begin(), symbiosWs_.end()) -
-        symbiosWs_.begin());
+        std::max_element(symbios.begin(), symbios.end()) -
+        symbios.begin());
     const MachineSchedule &best =
         schedules_[static_cast<std::size_t>(bestIndex_)];
     JobMix mix = freshMix();
@@ -276,7 +310,8 @@ const MachineExperiment::PolicyResult &
 MachineExperiment::evaluatePolicy(const std::string &name,
                                   std::uint64_t symbios_cycles)
 {
-    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
+    SOS_ASSERT(!kernel_.profiles().empty(),
+               "run the sample phase first");
     const std::unique_ptr<ThreadToCorePolicy> policy =
         makeThreadToCorePolicy(name);
 
@@ -317,51 +352,13 @@ MachineExperiment::evaluatePolicy(const std::string &name,
     return policyResults_.back();
 }
 
-double
-MachineExperiment::bestWs() const
-{
-    SOS_ASSERT(!symbiosWs_.empty());
-    return *std::max_element(symbiosWs_.begin(), symbiosWs_.end());
-}
-
-double
-MachineExperiment::worstWs() const
-{
-    SOS_ASSERT(!symbiosWs_.empty());
-    return *std::min_element(symbiosWs_.begin(), symbiosWs_.end());
-}
-
-double
-MachineExperiment::averageWs() const
-{
-    SOS_ASSERT(!symbiosWs_.empty());
-    double total = 0.0;
-    for (double ws : symbiosWs_)
-        total += ws;
-    return total / static_cast<double>(symbiosWs_.size());
-}
-
-int
-MachineExperiment::predictedIndex(const Predictor &predictor) const
-{
-    SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
-    return predictor.best(profiles_);
-}
-
-double
-MachineExperiment::wsOfPredictor(const Predictor &predictor) const
-{
-    SOS_ASSERT(!symbiosWs_.empty(), "run the symbios validation first");
-    return symbiosWs_[static_cast<std::size_t>(
-        predictedIndex(predictor))];
-}
-
 std::vector<CoscheduleSample>
 MachineExperiment::coscheduleSamples() const
 {
+    const std::vector<ScheduleProfile> &profiles = kernel_.profiles();
     std::vector<CoscheduleSample> samples;
-    samples.reserve(profiles_.size());
-    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    samples.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
         CoscheduleSample sample;
         const MachineSchedule &schedule = schedules_[i];
         for (int k = 0; k < schedule.numCores(); ++k) {
@@ -369,7 +366,7 @@ MachineExperiment::coscheduleSamples() const
             sample.tuples.insert(sample.tuples.end(), tuples.begin(),
                                  tuples.end());
         }
-        sample.ws = profiles_[i].sampleWs;
+        sample.ws = profiles[i].sampleWs;
         samples.push_back(std::move(sample));
     }
     return samples;
@@ -381,10 +378,12 @@ MachineExperiment::publishStats(const stats::Group &group) const
     group.info("label", "machine experiment label") = spec_.label;
     group.scalar("sample_phase_cycles",
                  "simulated machine cycles spent profiling candidates")
-        .bind(&sampleCycles_);
+        .bind(&kernel_.samplePhaseCyclesStorage());
 
-    for (std::size_t i = 0; i < profiles_.size(); ++i) {
-        const ScheduleProfile &profile = profiles_[i];
+    const std::vector<ScheduleProfile> &profiles = kernel_.profiles();
+    const std::vector<double> &symbios = kernel_.symbiosWs();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const ScheduleProfile &profile = profiles[i];
         const stats::Group cand =
             group.group("candidate" + std::to_string(i));
         cand.info("schedule", "candidate machine schedule label") =
@@ -396,9 +395,9 @@ MachineExperiment::publishStats(const stats::Group &group) const
         cand.value("diversity",
                    "mean per-timeslice machine mix imbalance") =
             profile.diversity();
-        if (i < symbiosWs_.size())
+        if (i < symbios.size())
             cand.value("ws", "symbios-phase machine weighted speedup") =
-                symbiosWs_[i];
+                symbios[i];
         profile.counters.registerStats(cand.group("counters"));
     }
 
@@ -432,7 +431,7 @@ MachineExperiment::publishStats(const stats::Group &group) const
             static_cast<double>(policy.schedulesRun);
     }
 
-    if (!symbiosWs_.empty()) {
+    if (!symbios.empty()) {
         const stats::Group summary = group.group("summary");
         summary.value("best_ws", "best symbios WS in the sample") =
             bestWs();
@@ -447,15 +446,17 @@ MachineExperiment::publishStats(const stats::Group &group) const
 void
 MachineExperiment::recordTrace(stats::EventTrace &trace) const
 {
-    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    const std::vector<ScheduleProfile> &profiles = kernel_.profiles();
+    const std::vector<double> &symbios = kernel_.symbiosWs();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
         trace.event("machine_sample_candidate")
             .field("experiment", spec_.label)
             .field("index", static_cast<std::uint64_t>(i))
-            .field("schedule", profiles_[i].label)
-            .field("sample_ws", profiles_[i].sampleWs)
-            .field("ipc", profiles_[i].counters.ipc());
+            .field("schedule", profiles[i].label)
+            .field("sample_ws", profiles[i].sampleWs)
+            .field("ipc", profiles[i].counters.ipc());
     }
-    if (!symbiosWs_.empty()) {
+    if (!symbios.empty()) {
         for (const std::unique_ptr<Predictor> &predictor :
              makeAllPredictors()) {
             const int pick = predictedIndex(*predictor);
@@ -464,16 +465,16 @@ MachineExperiment::recordTrace(stats::EventTrace &trace) const
                 .field("predictor", predictor->name())
                 .field("pick", pick)
                 .field("schedule",
-                       profiles_[static_cast<std::size_t>(pick)].label)
+                       profiles[static_cast<std::size_t>(pick)].label)
                 .field("ws",
-                       symbiosWs_[static_cast<std::size_t>(pick)]);
+                       symbios[static_cast<std::size_t>(pick)]);
         }
-        for (std::size_t i = 0; i < symbiosWs_.size(); ++i) {
+        for (std::size_t i = 0; i < symbios.size(); ++i) {
             trace.event("machine_symbios_result")
                 .field("experiment", spec_.label)
                 .field("index", static_cast<std::uint64_t>(i))
-                .field("schedule", profiles_[i].label)
-                .field("ws", symbiosWs_[i]);
+                .field("schedule", profiles[i].label)
+                .field("ws", symbios[i]);
         }
     }
     for (const PolicyResult &policy : policyResults_) {

@@ -40,6 +40,7 @@
 #include "sim/machine_engine.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/sim_config.hh"
+#include "sos/kernel.hh"
 
 namespace sos {
 
@@ -123,26 +124,43 @@ class MachineExperiment
     }
     const std::vector<ScheduleProfile> &profiles() const
     {
-        return profiles_;
+        return kernel_.profiles();
     }
 
     /** Simulated machine cycles spent in the sample phase. */
-    std::uint64_t samplePhaseCycles() const { return sampleCycles_; }
+    std::uint64_t
+    samplePhaseCycles() const
+    {
+        return kernel_.samplePhaseCycles();
+    }
 
     /** Measured symbios-phase WS per sampled machine schedule. */
-    const std::vector<double> &symbiosWs() const { return symbiosWs_; }
+    const std::vector<double> &
+    symbiosWs() const
+    {
+        return kernel_.symbiosWs();
+    }
 
     /** @name Summary statistics over the symbios runs @{ */
-    double bestWs() const;
-    double worstWs() const;
-    double averageWs() const; ///< the oblivious expectation
+    double bestWs() const { return kernel_.bestWs(); }
+    double worstWs() const { return kernel_.worstWs(); }
+    /** The oblivious expectation. */
+    double averageWs() const { return kernel_.averageWs(); }
     /** @} */
 
     /** Index of the candidate the predictor picks from the profiles. */
-    int predictedIndex(const Predictor &predictor) const;
+    int
+    predictedIndex(const Predictor &predictor) const
+    {
+        return kernel_.predictedIndex(predictor);
+    }
 
     /** Symbios WS attained by trusting the given predictor. */
-    double wsOfPredictor(const Predictor &predictor) const;
+    double
+    wsOfPredictor(const Predictor &predictor) const
+    {
+        return kernel_.wsOfPredictor(predictor);
+    }
 
     /** Policy evaluations so far, in evaluation order. */
     const std::vector<PolicyResult> &policyResults() const
@@ -213,9 +231,7 @@ class MachineExperiment
     ParallelScheduleRunner runner_;
 
     std::vector<MachineSchedule> schedules_;
-    std::vector<ScheduleProfile> profiles_;
-    std::vector<double> symbiosWs_;
-    std::uint64_t sampleCycles_ = 0;
+    SosKernel kernel_; ///< owns profiles, symbios WS, phase cycles
 
     std::vector<PolicyResult> policyResults_;
 

@@ -1,20 +1,22 @@
 #include "open_system.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <map>
 #include <memory>
-#include <set>
+#include <mutex>
+#include <string>
 
-#include "common/combinatorics.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
-#include "core/predictor.hh"
-#include "core/resample_policy.hh"
-#include "core/schedule_profile.hh"
 #include "cpu/machine.hh"
 #include "metrics/calibrator.hh"
-#include "sched/schedule.hh"
+#include "metrics/weighted_speedup.hh"
 #include "sim/experiment_defs.hh"
+#include "sim/params_io.hh"
 #include "sim/timeslice_engine.hh"
+#include "sos/kernel.hh"
+#include "sos/open_backend.hh"
 #include "stats/trace.hh"
 #include "trace/workload_library.hh"
 
@@ -23,15 +25,14 @@ namespace sos {
 namespace {
 
 /**
- * Rough weighted-speedup capacity of the machine per SMT level, used
- * only to derive a default arrival rate that keeps the queue stable
- * around N = 2 x SMT (the paper sizes lambda by Little's law).
+ * Historical weighted-speedup capacity table, kept only as the
+ * SOS_CAPACITY_TABLE=1 fallback: values were measured on an early
+ * revision of this substrate and drift as the core model evolves.
+ * The default path measures the capacity instead (see below).
  */
 double
 capacityGuess(int level)
 {
-    // Roughly the naive scheduler's weighted-speedup capacity on the
-    // open-system workload population, measured on this substrate.
     switch (level) {
       case 1:
         return 0.95;
@@ -48,16 +49,121 @@ capacityGuess(int level)
     }
 }
 
+/**
+ * Measured weighted-speedup capacity of one SMT core at @p level:
+ * warm co-runs of level-sized groups covering the whole open-system
+ * workload population, scored against solo-IPC references from the
+ * memoized Calibrator cache (the same references arrival-trace
+ * generation uses). The probe is deterministic and cached
+ * process-wide per (config, level), so sweeps that derive many
+ * arrival rates pay for it once.
+ */
+double
+measuredCapacity(const SimConfig &sim, int level)
+{
+    static std::mutex mutex;
+    static std::map<std::string, double> cache;
+
+    std::string key = std::to_string(level);
+    for (const auto &pair : configPairs(sim))
+        key += "|" + pair.first + "=" + pair.second;
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        const auto hit = cache.find(key);
+        if (hit != cache.end())
+            return hit->second;
+    }
+
+    Calibrator calibrator(sim.coreFor(level), sim.mem,
+                          sim.calibWarmupCycles, sim.calibMeasureCycles);
+    const std::vector<std::string> &workloads = openSystemWorkloads();
+
+    Machine machine(sim.coreFor(level), sim.mem);
+    TimesliceEngine engine(machine.core(0), sim.timesliceCycles());
+    std::vector<std::unique_ptr<Job>> jobs;
+    std::vector<double> solo;
+    jobs.reserve(workloads.size());
+    solo.reserve(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const WorkloadProfile &profile =
+            WorkloadLibrary::instance().get(workloads[w]);
+        jobs.push_back(std::make_unique<Job>(
+            static_cast<std::uint32_t>(w + 1), profile,
+            0xcafac17eULL ^ mix64(w + 11), 1, false));
+        solo.push_back(calibrator.soloIpc(workloads[w]));
+    }
+
+    // The steady-state open system mostly runs a resident coschedule
+    // of `level` jobs for many consecutive timeslices, so capacity is
+    // the warm co-run WS of such groups, averaged over the population
+    // (a whole-population rotation would charge every slice a cold
+    // restart the real system doesn't pay).
+    const int n = static_cast<int>(jobs.size());
+    const auto groups =
+        static_cast<std::uint64_t>((n + level - 1) / level);
+    // Warm and measure over the same intervals the solo references
+    // used, so the co-run IPC is compared like for like.
+    const std::uint64_t timeslice = sim.timesliceCycles();
+    const std::uint64_t warm_slices = std::max<std::uint64_t>(
+        1, sim.calibWarmupCycles / timeslice);
+    const std::uint64_t measure_slices = std::max<std::uint64_t>(
+        1, sim.calibMeasureCycles / timeslice);
+    double ws_total = 0.0;
+    for (std::uint64_t g = 0; g < groups; ++g) {
+        std::vector<ThreadRef> units;
+        std::vector<std::size_t> members;
+        for (int k = 0; k < level; ++k) {
+            const std::size_t j =
+                (g * static_cast<std::uint64_t>(level) +
+                 static_cast<std::uint64_t>(k)) %
+                jobs.size();
+            members.push_back(j);
+            units.push_back(ThreadRef{jobs[j].get(), 0});
+        }
+        for (std::uint64_t s = 0; s < warm_slices; ++s)
+            engine.runTimeslice(units);
+        std::vector<std::uint64_t> before;
+        for (std::size_t j : members)
+            before.push_back(jobs[j]->retired());
+        for (std::uint64_t s = 0; s < measure_slices; ++s)
+            engine.runTimeslice(units);
+        std::vector<JobProgress> progress;
+        for (std::size_t m = 0; m < members.size(); ++m)
+            progress.push_back(JobProgress{
+                jobs[members[m]]->retired() - before[m],
+                solo[members[m]]});
+        ws_total += weightedSpeedup(
+            progress, measure_slices * timeslice);
+    }
+    const double capacity =
+        std::max(0.1, ws_total / static_cast<double>(groups));
+
+    const std::lock_guard<std::mutex> lock(mutex);
+    cache.emplace(key, capacity);
+    return capacity;
+}
+
+/** Whole-machine capacity: per-core capacity times the core count. */
+double
+machineCapacity(const SimConfig &sim, const OpenSystemConfig &config)
+{
+    const auto cores =
+        static_cast<double>(std::max(1, config.numCores));
+    if (std::getenv("SOS_CAPACITY_TABLE") != nullptr)
+        return capacityGuess(config.level) * cores;
+    return measuredCapacity(sim, config.level) * cores;
+}
+
 } // namespace
 
 std::uint64_t
-OpenSystemConfig::effectiveInterarrivalPaper() const
+OpenSystemConfig::effectiveInterarrivalPaper(const SimConfig &sim) const
 {
     if (meanInterarrivalPaper > 0)
         return meanInterarrivalPaper;
     // High but sub-saturation load: the paper sizes lambda so the
-    // queue holds about 2 x SMT jobs.
-    const double rate = 0.85 * capacityGuess(level);
+    // queue holds about 2 x capacity jobs.
+    const double rate = 0.85 * machineCapacity(sim, *this);
     return static_cast<std::uint64_t>(
         static_cast<double>(meanJobPaperCycles) / rate);
 }
@@ -71,7 +177,7 @@ makeArrivalTrace(const SimConfig &sim, const OpenSystemConfig &config)
                           sim.calibWarmupCycles, sim.calibMeasureCycles);
 
     const double interarrival = static_cast<double>(
-        sim.scaled(config.effectiveInterarrivalPaper()));
+        sim.scaled(config.effectiveInterarrivalPaper(sim)));
     const double mean_cycles =
         static_cast<double>(sim.scaled(config.meanJobPaperCycles));
     const auto &workloads = openSystemWorkloads();
@@ -97,345 +203,61 @@ makeArrivalTrace(const SimConfig &sim, const OpenSystemConfig &config)
     return trace;
 }
 
-namespace {
-
-/** One job currently in the system. */
-struct ActiveJob
+std::unique_ptr<EngineBackend>
+makeOpenBackend(const SimConfig &sim, const OpenSystemConfig &config)
 {
-    std::unique_ptr<Job> job;
-    int arrivalIndex = 0;
-};
+    if (config.numCores <= 1)
+        return std::make_unique<TimesliceBackend>(
+            sim.coreFor(config.level), sim.mem, sim.timesliceCycles());
+    return std::make_unique<MachineBackend>(
+        sim.coreFor(config.level), sim.mem, config.numCores,
+        sim.timesliceCycles());
+}
 
-/** SOS scheduling state machine over the open job pool. */
-class SosDriver
+OpenSystemResult
+runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
+              const std::vector<JobArrival> &trace, OpenPolicy policy,
+              EngineBackend &backend, stats::EventTrace *events)
 {
-  public:
-    SosDriver(int level, int sample_schedules,
-              const std::string &predictor,
-              std::uint64_t base_interval, std::uint64_t timeslice,
-              std::uint64_t seed, stats::EventTrace *events)
-        : level_(level), sampleSchedules_(sample_schedules),
-          timeslice_(timeslice), resample_(base_interval),
-          predictor_(makePredictor(predictor)), rng_(seed),
-          events_(events)
-    {
-    }
+    SOS_ASSERT(!trace.empty());
+    Calibrator calibrator(sim.coreFor(config.level), sim.mem,
+                          sim.calibWarmupCycles, sim.calibMeasureCycles);
 
-    /** The job pool changed; resample immediately. */
-    void
-    onMembershipChange(int num_jobs)
-    {
-        resample_.onJobChange();
-        beginPhase(num_jobs, /*timer_triggered=*/false);
-    }
+    SosKernel::OpenConfig kernel_config;
+    kernel_config.sampleSchedules = config.sampleSchedules;
+    kernel_config.predictor = config.predictor;
+    kernel_config.resamplePolicy = config.resamplePolicy;
+    kernel_config.baseIntervalCycles =
+        sim.scaled(config.effectiveInterarrivalPaper(sim));
+    kernel_config.seed = config.seed ^ 0x5051d67eULL;
+    kernel_config.jobs = sim.jobs;
 
-    /** Pick the unit indices (into the active list) for a timeslice. */
-    std::vector<int>
-    chooseTuple(int num_jobs)
-    {
-        SOS_ASSERT(num_jobs >= 1);
-        if (num_jobs <= level_) {
-            std::vector<int> everyone(static_cast<std::size_t>(num_jobs));
-            for (int j = 0; j < num_jobs; ++j)
-                everyone[static_cast<std::size_t>(j)] = j;
-            return everyone;
-        }
-        if (sampling_) {
-            return candidates_[candidate_].tupleAt(phaseOffset_ +
-                                                   candidateSlice_);
-        }
-        return current_.tupleAt(phaseOffset_ + symbiosSlice_);
-    }
-
-    /** Account a finished timeslice; advances the state machine. */
-    void
-    onSliceDone(int num_jobs, const PerfCounters &counters)
-    {
-        if (num_jobs <= level_)
-            return; // nothing to learn: only one possible schedule
-        if (sampling_) {
-            ++sampleCyclesSpent_;
-            profileInProgress_.counters += counters;
-            profileInProgress_.sliceIpc.push_back(counters.ipc());
-            profileInProgress_.sliceMixImbalance.push_back(
-                counters.mixImbalance());
-            ++candidateSlice_;
-            if (candidateSlice_ >= candidateSlices_) {
-                profileInProgress_.label =
-                    candidates_[candidate_].label();
-                profiles_.push_back(std::move(profileInProgress_));
-                profileInProgress_ = ScheduleProfile();
-                candidateSlice_ = 0;
-                ++candidate_;
-                if (candidate_ >= candidates_.size())
-                    finishSampling();
-            }
-        } else {
-            symbiosElapsed_ += timeslice_;
-            ++symbiosSlice_;
-            if (symbiosElapsed_ >= resample_.symbiosDuration())
-                beginPhase(num_jobs, /*timer_triggered=*/true);
-        }
-    }
-
-    bool sampling() const { return sampling_; }
-    std::uint64_t
-    sampleCyclesSpent() const
-    {
-        return sampleCyclesSpent_ * timeslice_;
-    }
-    int samplePhases() const { return samplePhases_; }
-    int jobChangeResamples() const { return jobChangeResamples_; }
-    int timerResamples() const { return timerResamples_; }
-
-  private:
-    void
-    beginPhase(int num_jobs, bool timer_triggered)
-    {
-        timerTriggered_ = timer_triggered;
-        profiles_.clear();
-        profileInProgress_ = ScheduleProfile();
-        candidate_ = 0;
-        candidateSlice_ = 0;
-        symbiosSlice_ = 0;
-        symbiosElapsed_ = 0;
-        // Start at a random point of each schedule's period: arrivals
-        // restart sampling so often that always beginning at the
-        // canonical first tuple would systematically starve the jobs
-        // that only appear late in the period.
-        phaseOffset_ = rng_.next() & 0xffff;
-        if (num_jobs <= level_) {
-            sampling_ = false;
-            return;
-        }
-        // Profiling window per candidate: a full period is fair but
-        // can be as long as N timeslices for awkward N; a couple of
-        // sweeps over the pool is statistically enough and lets the
-        // sample phase finish between arrivals.
-        candidateSlices_ = std::min<std::uint64_t>(
-            ScheduleSpace(num_jobs, level_, level_).periodTimeslices(),
-            2 * static_cast<std::uint64_t>(
-                    (num_jobs + level_ - 1) / level_));
-        // Spend at most about half the expected inter-arrival gap
-        // sampling, so a symbios phase usually gets to run; always
-        // compare at least two schedules.
-        const std::uint64_t budget_slices =
-            resample_.baseInterval() / (2 * timeslice_);
-        const int count = static_cast<int>(std::clamp<std::uint64_t>(
-            budget_slices / std::max<std::uint64_t>(1, candidateSlices_),
-            2, static_cast<std::uint64_t>(sampleSchedules_)));
-        const ScheduleSpace space(num_jobs, level_, level_);
-        candidates_ = space.sample(count, rng_);
-        sampling_ = true;
-        ++samplePhases_;
-        if (timer_triggered)
-            ++timerResamples_;
-        else
-            ++jobChangeResamples_;
-        if (events_) {
-            events_->event("sample_phase_begin")
-                .field("phase", samplePhases_)
-                .field("trigger",
-                       timer_triggered ? "timer" : "job_change")
-                .field("jobs", num_jobs)
-                .field("candidates",
-                       static_cast<std::uint64_t>(candidates_.size()))
-                .field("slices_per_candidate", candidateSlices_);
-        }
-    }
-
-    void
-    finishSampling()
-    {
-        const int best = predictor_->best(profiles_);
-        current_ = candidates_[static_cast<std::size_t>(best)];
-        const bool changed = current_.key() != previousKey_;
-        previousKey_ = current_.key();
-        if (timerTriggered_)
-            resample_.onTimerSample(changed);
-        sampling_ = false;
-        symbiosSlice_ = 0;
-        symbiosElapsed_ = 0;
-        if (events_) {
-            events_->event("symbios_pick")
-                .field("phase", samplePhases_)
-                .field("predictor", predictor_->name())
-                .field("pick", best)
-                .field("schedule", current_.label())
-                .field("changed", changed);
-        }
-    }
-
-    int level_;
-    int sampleSchedules_;
-    std::uint64_t timeslice_;
-    ResamplePolicy resample_;
-    std::unique_ptr<Predictor> predictor_;
-    Rng rng_;
-
-    bool sampling_ = false;
-    bool timerTriggered_ = false;
-    std::vector<Schedule> candidates_;
-    std::size_t candidate_ = 0;
-    std::uint64_t candidateSlice_ = 0;
-    std::uint64_t candidateSlices_ = 1; ///< profiling window
-    std::vector<ScheduleProfile> profiles_;
-    ScheduleProfile profileInProgress_;
-    std::uint64_t phaseOffset_ = 0;
-
-    Schedule current_;
-    std::string previousKey_;
-    std::uint64_t symbiosSlice_ = 0;
-    std::uint64_t symbiosElapsed_ = 0;
-    std::uint64_t sampleCyclesSpent_ = 0; // in timeslices
-    int samplePhases_ = 0;
-    int jobChangeResamples_ = 0;
-    int timerResamples_ = 0;
-    stats::EventTrace *events_;
-};
-
-} // namespace
+    SosKernel kernel;
+    return kernel.runOpen(
+        backend, kernel_config, trace, policy,
+        [&](std::size_t index) {
+            const JobArrival &arrival = trace[index];
+            const WorkloadProfile &profile =
+                WorkloadLibrary::instance().get(arrival.workload);
+            auto job = std::make_unique<Job>(
+                static_cast<std::uint32_t>(index + 1), profile,
+                config.seed ^ mix64(index + 101), 1, false);
+            job->arrivalCycle = arrival.arrivalCycle;
+            job->sizeInstructions = arrival.sizeInstructions;
+            job->soloIpc = calibrator.soloIpc(arrival.workload);
+            return job;
+        },
+        policy == OpenPolicy::Sos ? events : nullptr);
+}
 
 OpenSystemResult
 runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
               const std::vector<JobArrival> &trace, OpenPolicy policy,
               stats::EventTrace *events)
 {
-    SOS_ASSERT(!trace.empty());
-    const std::uint64_t timeslice = sim.timesliceCycles();
-
-    Machine machine(sim.coreFor(config.level), sim.mem);
-    SmtCore &core = machine.core(0);
-    TimesliceEngine engine(core, timeslice);
-    Calibrator calibrator(sim.coreFor(config.level), sim.mem,
-                          sim.calibWarmupCycles, sim.calibMeasureCycles);
-
-    SosDriver sos(config.level, config.sampleSchedules,
-                  config.predictor,
-                  sim.scaled(config.effectiveInterarrivalPaper()),
-                  timeslice, config.seed ^ 0x5051d67eULL,
-                  policy == OpenPolicy::Sos ? events : nullptr);
-
-    OpenSystemResult result;
-    result.responseByArrival.assign(trace.size(), 0);
-
-    std::vector<ActiveJob> active;
-    std::size_t next_arrival = 0;
-    std::uint64_t now = 0;
-    std::size_t completed = 0;
-    std::size_t naive_cursor = 0;
-    double jobs_in_system_integral = 0.0;
-    std::uint64_t slices = 0;
-
-    // Generous runaway bound: the run should end when all jobs finish.
-    const std::uint64_t max_slices =
-        2000 * trace.size() + 4000000000ULL / timeslice;
-
-    while (completed < trace.size()) {
-        SOS_ASSERT(slices < max_slices,
-                   "open system did not drain: unstable configuration");
-
-        // Admit arrivals due by now.
-        bool membership_changed = false;
-        while (next_arrival < trace.size() &&
-               trace[next_arrival].arrivalCycle <= now) {
-            const JobArrival &arrival = trace[next_arrival];
-            const WorkloadProfile &profile =
-                WorkloadLibrary::instance().get(arrival.workload);
-            auto job = std::make_unique<Job>(
-                static_cast<std::uint32_t>(next_arrival + 1), profile,
-                config.seed ^ mix64(next_arrival + 101), 1, false);
-            job->arrivalCycle = arrival.arrivalCycle;
-            job->sizeInstructions = arrival.sizeInstructions;
-            job->soloIpc = calibrator.soloIpc(arrival.workload);
-            active.push_back(
-                ActiveJob{std::move(job),
-                          static_cast<int>(next_arrival)});
-            ++next_arrival;
-            membership_changed = true;
-        }
-
-        if (active.empty()) {
-            // Idle until the next arrival, on the timeslice grid.
-            SOS_ASSERT(next_arrival < trace.size());
-            const std::uint64_t target =
-                trace[next_arrival].arrivalCycle;
-            now = (target / timeslice + 1) * timeslice;
-            continue;
-        }
-
-        if (membership_changed && policy == OpenPolicy::Sos)
-            sos.onMembershipChange(static_cast<int>(active.size()));
-
-        // Choose the running set.
-        std::vector<int> tuple;
-        const int n = static_cast<int>(active.size());
-        if (policy == OpenPolicy::Naive) {
-            const int count = std::min(n, config.level);
-            tuple.reserve(static_cast<std::size_t>(count));
-            for (int k = 0; k < count; ++k)
-                tuple.push_back(
-                    static_cast<int>((naive_cursor + k) % active.size()));
-            naive_cursor = (naive_cursor + static_cast<std::size_t>(
-                                               count)) %
-                           active.size();
-        } else {
-            tuple = sos.chooseTuple(n);
-        }
-
-        std::vector<ThreadRef> units;
-        units.reserve(tuple.size());
-        for (int index : tuple) {
-            units.push_back(ThreadRef{
-                active[static_cast<std::size_t>(index)].job.get(), 0});
-        }
-        const TimesliceEngine::SliceResult slice =
-            engine.runTimeslice(units);
-        if (policy == OpenPolicy::Sos)
-            sos.onSliceDone(n, slice.counters);
-
-        now += timeslice;
-        ++slices;
-        jobs_in_system_integral += static_cast<double>(active.size());
-
-        // Retire finished jobs.
-        bool any_finished = false;
-        for (std::size_t i = active.size(); i-- > 0;) {
-            Job &job = *active[i].job;
-            if (job.retired() >= job.sizeInstructions) {
-                result.responseByArrival[static_cast<std::size_t>(
-                    active[i].arrivalIndex)] = now - job.arrivalCycle;
-                engine.evictJob(&job);
-                active.erase(active.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-                ++completed;
-                any_finished = true;
-            }
-        }
-        if (any_finished) {
-            naive_cursor = active.empty()
-                               ? 0
-                               : naive_cursor % active.size();
-            if (policy == OpenPolicy::Sos && !active.empty())
-                sos.onMembershipChange(static_cast<int>(active.size()));
-        }
-    }
-
-    result.completed = static_cast<int>(completed);
-    double total_response = 0.0;
-    for (std::uint64_t r : result.responseByArrival)
-        total_response += static_cast<double>(r);
-    result.meanResponseCycles =
-        total_response / static_cast<double>(trace.size());
-    result.meanJobsInSystem =
-        slices > 0 ? jobs_in_system_integral / static_cast<double>(slices)
-                   : 0.0;
-    result.totalCycles = now;
-    result.sampleCycles = sos.sampleCyclesSpent();
-    result.samplePhases = sos.samplePhases();
-    result.resamplesOnJobChange = sos.jobChangeResamples();
-    result.resamplesOnTimer = sos.timerResamples();
-    return result;
+    const std::unique_ptr<EngineBackend> backend =
+        makeOpenBackend(sim, config);
+    return runOpenSystem(sim, config, trace, policy, *backend, events);
 }
 
 ResponseComparison

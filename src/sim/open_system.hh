@@ -1,21 +1,27 @@
 /**
  * @file
- * Open-system response-time experiment (Section 9, Figures 5-6).
+ * Open-system response-time experiment (Section 9, Figures 5-6, 8).
  *
  * Jobs enter with exponentially distributed interarrival times and
  * exponentially distributed lengths, drawn from the Table 1
  * applications. The same pregenerated arrival trace is fed to two
  * schedulers:
  *
- *  - Naive: coschedules jobs in tuples equal to the SMT level in the
- *    order they arrived (the paper's random control group);
- *  - SOS: samples schedules of the current mix, runs the Score-
- *    predicted best in the symbios phase, and resamples on job
- *    arrival, job departure, or timer expiry with exponential backoff.
+ *  - Naive: coschedules jobs in tuples equal to the machine capacity
+ *    in the order they arrived (the paper's random control group);
+ *  - SOS: samples coschedules of the current mix, runs the predicted
+ *    best in the symbios phase, and resamples on job arrival, job
+ *    departure, or timer expiry with exponential backoff.
  *
  * Both swap the whole running set each timeslice, as in the paper.
  * Response time is completion minus arrival; SOS's sampling overhead
  * is inside the measurement, exactly as the paper reports it.
+ *
+ * This file is a thin adapter: trace generation and configuration
+ * translation. The scheduling loop itself is SosKernel::runOpen() --
+ * the event-driven sample/symbios state machine shared with the
+ * closed-system drivers -- running on an EngineBackend substrate
+ * (one SMT core for Figures 5-6, a CMP of SMT cores for Figure 8).
  */
 
 #ifndef SOS_SIM_OPEN_SYSTEM_HH
@@ -29,6 +35,8 @@
 #include "sim/sim_config.hh"
 
 namespace sos {
+
+class EngineBackend;
 
 namespace stats {
 class EventTrace;
@@ -48,6 +56,13 @@ struct OpenSystemConfig
     int level = 3;
 
     /**
+     * SMT cores in the machine. 1 (the paper's substrate) schedules
+     * one core behind a TimesliceEngine; more build a CMP backend
+     * where every coschedule assigns a job group per core (Figure 8).
+     */
+    int numCores = 1;
+
+    /**
      * Mean job length in paper cycles of solo execution. The paper
      * uses 2 G; the default here is shorter so benchmark harnesses
      * finish in minutes -- response-time *ratios* are preserved
@@ -57,7 +72,7 @@ struct OpenSystemConfig
 
     /**
      * Mean interarrival time in paper cycles; 0 derives a value that
-     * keeps the system stable with roughly N = 2 x SMT jobs present.
+     * keeps the system stable with roughly N = 2 x capacity jobs.
      */
     std::uint64_t meanInterarrivalPaper = 0;
 
@@ -75,10 +90,25 @@ struct OpenSystemConfig
      */
     std::string predictor = "IPC";
 
+    /**
+     * Resample-timer policy ("backoff" is the paper's exponential
+     * backoff; any name makeResamplePolicy() accepts works).
+     */
+    std::string resamplePolicy = "backoff";
+
     std::uint64_t seed = 0x0b5e55edULL;
 
-    /** Effective interarrival mean (derives the default if unset). */
-    std::uint64_t effectiveInterarrivalPaper() const;
+    /**
+     * Effective interarrival mean (derives the default if unset).
+     *
+     * The derived value keeps the queue stable against the machine's
+     * measured weighted-speedup capacity: a short naive-rotation
+     * co-run of the open-system workload population on @p sim's
+     * substrate, scored against the memoized Calibrator solo-IPC
+     * references and cached process-wide. Set SOS_CAPACITY_TABLE=1 to
+     * use the historical hard-coded per-level table instead.
+     */
+    std::uint64_t effectiveInterarrivalPaper(const SimConfig &sim) const;
 };
 
 /** Outcome of one open-system run under one policy. */
@@ -110,20 +140,37 @@ std::vector<JobArrival> makeArrivalTrace(const SimConfig &sim,
                                          const OpenSystemConfig &config);
 
 /**
- * Run one policy over a trace.
- *
- * When @p events is non-null, the SOS driver's decisions -- each
- * "sample_phase_begin" (with its trigger: job_change or timer) and
- * each "symbios_pick" -- are appended to it. The run is serial, so
- * inline emission is deterministic.
+ * Build the engine backend an open-system run schedules onto: a
+ * single-SMT-core TimesliceBackend for numCores == 1, a CMP
+ * MachineBackend otherwise. Exposed so harnesses can keep the backend
+ * alive and publish its machine's stat groups after the run.
  */
+std::unique_ptr<EngineBackend>
+makeOpenBackend(const SimConfig &sim, const OpenSystemConfig &config);
+
+/**
+ * Run one policy over a trace on an externally owned backend.
+ *
+ * When @p events is non-null, the kernel's SOS decisions -- each
+ * "sample_phase_begin" (with its trigger: job_change or timer) and
+ * each "symbios_pick" -- are appended to it. Decisions are emitted
+ * from the kernel's deterministic event loop, so traces are
+ * byte-identical across runs and worker counts.
+ */
+OpenSystemResult runOpenSystem(const SimConfig &sim,
+                               const OpenSystemConfig &config,
+                               const std::vector<JobArrival> &trace,
+                               OpenPolicy policy, EngineBackend &backend,
+                               stats::EventTrace *events = nullptr);
+
+/** Convenience overload: builds (and discards) the backend itself. */
 OpenSystemResult runOpenSystem(const SimConfig &sim,
                                const OpenSystemConfig &config,
                                const std::vector<JobArrival> &trace,
                                OpenPolicy policy,
                                stats::EventTrace *events = nullptr);
 
-/** Side-by-side comparison used by Figures 5 and 6. */
+/** Side-by-side comparison used by Figures 5, 6 and 8. */
 struct ResponseComparison
 {
     OpenSystemResult naive;

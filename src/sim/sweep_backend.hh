@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Adapter from a ParallelScheduleRunner schedule sweep to the SOS
+ * kernel's ClosedSweepBackend: the batch and hierarchical drivers
+ * expose their candidate schedules (and per-task sweep recipe) to the
+ * kernel through this, keeping experiment code down to configuration
+ * translation and stats publication.
+ */
+
+#ifndef SOS_SIM_SWEEP_BACKEND_HH
+#define SOS_SIM_SWEEP_BACKEND_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/schedule.hh"
+#include "sim/parallel_runner.hh"
+#include "sos/closed_backend.hh"
+
+namespace sos {
+
+/** A candidate-schedule sweep presented to the kernel. */
+class ScheduleSweepBackend : public ClosedSweepBackend
+{
+  public:
+    /** Optional label override (e.g. "plan schedule" pairs). */
+    using LabelFn = std::function<std::string(std::size_t)>;
+
+    ScheduleSweepBackend(const ParallelScheduleRunner &runner,
+                         ParallelScheduleRunner::SweepSpec sweep,
+                         const std::vector<Schedule> &schedules,
+                         LabelFn label = {})
+        : runner_(runner), sweep_(std::move(sweep)),
+          schedules_(schedules), label_(std::move(label))
+    {
+    }
+
+    std::size_t
+    numCandidates() const override
+    {
+        return schedules_.size();
+    }
+
+    std::string
+    candidateLabel(std::size_t index) const override
+    {
+        return label_ ? label_(index) : schedules_[index].label();
+    }
+
+    std::vector<ParallelScheduleRunner::ScheduleRun>
+    runCandidates(
+        const std::function<std::uint64_t(std::size_t)> &timeslices)
+        const override
+    {
+        return runner_.runAll(
+            sweep_, schedules_, [&](const Schedule &schedule) {
+                // runAll passes references into schedules_, so the
+                // candidate index is recoverable by address.
+                return timeslices(static_cast<std::size_t>(
+                    &schedule - schedules_.data()));
+            });
+    }
+
+  private:
+    const ParallelScheduleRunner &runner_;
+    ParallelScheduleRunner::SweepSpec sweep_;
+    const std::vector<Schedule> &schedules_;
+    LabelFn label_;
+};
+
+} // namespace sos
+
+#endif // SOS_SIM_SWEEP_BACKEND_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The kernel's view of a closed-system candidate sweep.
+ *
+ * A closed-system experiment (batch, hierarchical, machine) owns its
+ * candidate set and knows how to run every candidate from equal
+ * footing -- on whichever substrate and with whichever warm-up recipe
+ * it needs. The kernel drives the SAMPLE and SYMBIOS phases through
+ * this interface and keeps the phase bookkeeping (profiles, measured
+ * symbios WS, phase-cycle accounting, predictor evaluation) in one
+ * place instead of three.
+ *
+ * Determinism: runCandidates() must be a pure function of the
+ * candidate index (the ParallelScheduleRunner contract), so the
+ * kernel's merged results are bit-identical for any worker count.
+ */
+
+#ifndef SOS_SOS_CLOSED_BACKEND_HH
+#define SOS_SOS_CLOSED_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_runner.hh"
+
+namespace sos {
+
+/** Candidate sweep a closed-system adapter exposes to the kernel. */
+class ClosedSweepBackend
+{
+  public:
+    virtual ~ClosedSweepBackend() = default;
+
+    /** Number of candidates in this experiment's sample. */
+    virtual std::size_t numCandidates() const = 0;
+
+    /** Display label of candidate @p index (profile labels). */
+    virtual std::string candidateLabel(std::size_t index) const = 0;
+
+    /**
+     * Run every candidate for timeslices(index) quanta from equal
+     * footing and report the merged, index-ordered results.
+     */
+    virtual std::vector<ParallelScheduleRunner::ScheduleRun>
+    runCandidates(
+        const std::function<std::uint64_t(std::size_t)> &timeslices)
+        const = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_SOS_CLOSED_BACKEND_HH

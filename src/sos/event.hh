@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The SOS kernel's deterministic event queue.
+ *
+ * Every kernel-visible occurrence -- a job arriving, a job departing,
+ * the backoff timer expiring, a phase window completing -- is an Event
+ * with a simulated cycle. The queue orders events by (cycle, sequence
+ * number): the sequence number is assigned at push time, so two events
+ * scheduled for the same cycle pop in the order they were scheduled,
+ * independent of heap internals, worker count or host. This is what
+ * makes the open-system run a pure function of its inputs.
+ *
+ * Timer events carry a generation: re-entering the symbios phase
+ * schedules a fresh timer and bumps the generation, so an older timer
+ * that is still queued pops as stale and is ignored instead of
+ * triggering a spurious resample.
+ */
+
+#ifndef SOS_SOS_EVENT_HH
+#define SOS_SOS_EVENT_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sos {
+
+/** What happened (or is scheduled to happen). */
+enum class EventKind
+{
+    JobArrival,    ///< pregenerated arrival enters the pool
+    JobDeparture,  ///< a job retired its last instruction
+    BackoffTimer,  ///< the resample timer expired
+    PhaseComplete, ///< the current phase's window elapsed
+};
+
+/** One scheduled occurrence. */
+struct Event
+{
+    std::uint64_t cycle = 0; ///< simulated cycle it fires at
+    std::uint64_t seq = 0;   ///< push order; total tie-break
+    EventKind kind = EventKind::PhaseComplete;
+    int index = -1;                 ///< e.g. arrival-trace index
+    std::uint64_t generation = 0;   ///< timer staleness check
+};
+
+/** Min-heap of events ordered by (cycle, seq); fully deterministic. */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Schedule an event; returns its sequence number. */
+    std::uint64_t
+    push(EventKind kind, std::uint64_t cycle, int index = -1,
+         std::uint64_t generation = 0)
+    {
+        Event event;
+        event.cycle = cycle;
+        event.seq = nextSeq_++;
+        event.kind = kind;
+        event.index = index;
+        event.generation = generation;
+        heap_.push_back(event);
+        std::push_heap(heap_.begin(), heap_.end(), After{});
+        return event.seq;
+    }
+
+    /** The earliest scheduled event. */
+    const Event &
+    top() const
+    {
+        SOS_ASSERT(!heap_.empty(), "popping an empty event queue");
+        return heap_.front();
+    }
+
+    /** Remove and return the earliest scheduled event. */
+    Event
+    pop()
+    {
+        SOS_ASSERT(!heap_.empty(), "popping an empty event queue");
+        std::pop_heap(heap_.begin(), heap_.end(), After{});
+        Event event = heap_.back();
+        heap_.pop_back();
+        return event;
+    }
+
+  private:
+    /** Heap predicate: a fires after b. */
+    struct After
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Event> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_SOS_EVENT_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The event-driven SOS kernel: one sample/symbios state machine.
+ *
+ * Before this kernel existed, four drivers (batch, hierarchical,
+ * machine, open system) each re-implemented the paper's
+ * Sample-Optimize-Symbios loop. The kernel owns the loop once:
+ *
+ *  - a Phase state machine (Idle -> Sample -> Symbios -> ... -> Done)
+ *    whose transitions are validated in one place;
+ *  - a deterministic EventQueue (job arrivals, departures, backoff-
+ *    timer expiries, phase completions) driving the open-system run;
+ *  - the phase bookkeeping every driver needs: candidate profiles,
+ *    measured symbios WS, sample-phase cycle accounting, predictor
+ *    evaluation.
+ *
+ * Closed-system experiments adapt through ClosedSweepBackend: the
+ * kernel runs their SAMPLE and SYMBIOS phases and keeps the results;
+ * the experiments only translate configuration and publish stats.
+ * The open system adapts through EngineBackend: the kernel replays an
+ * arrival trace, sampling candidate coschedules on parallel forks of
+ * the live machine state and adopting the predicted winner.
+ *
+ * Determinism: every decision is a pure function of (config, trace,
+ * candidate index). Fork profiling fans out through
+ * ParallelScheduleRunner, so runs are bit-identical for any SOS_JOBS
+ * worker count; the event queue breaks same-cycle ties by scheduling
+ * order (see event.hh).
+ */
+
+#ifndef SOS_SOS_KERNEL_HH
+#define SOS_SOS_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "core/schedule_profile.hh"
+#include "sim/open_system.hh"
+#include "sos/closed_backend.hh"
+#include "sos/event.hh"
+#include "sos/open_backend.hh"
+
+namespace sos {
+
+namespace stats {
+class EventTrace;
+} // namespace stats
+
+/** The shared sample/symbios state machine behind all four drivers. */
+class SosKernel
+{
+  public:
+    /** Where the state machine is. */
+    enum class Phase
+    {
+        Idle,    ///< nothing scheduled yet
+        Sample,  ///< profiling candidate coschedules
+        Symbios, ///< running the predicted best coschedule
+        Done,    ///< the run is complete
+    };
+
+    /** Timeslices to run candidate @p index for. */
+    using TimeslicesFn = std::function<std::uint64_t(std::size_t)>;
+
+    SosKernel() = default;
+    SosKernel(const SosKernel &) = delete;
+    SosKernel &operator=(const SosKernel &) = delete;
+    // Movable so experiments owning a kernel can be returned by
+    // value; stat groups bind to kernel storage only after the owner
+    // reaches its final location.
+    SosKernel(SosKernel &&) = default;
+    SosKernel &operator=(SosKernel &&) = default;
+
+    Phase phase() const { return phase_; }
+
+    /** @name Closed mode (batch / hierarchical / machine drivers) @{ */
+
+    /**
+     * SAMPLE: profile every backend candidate from equal footing and
+     * record one ScheduleProfile per candidate plus the cycles spent.
+     */
+    void runSamplePhase(const ClosedSweepBackend &backend,
+                        const TimeslicesFn &timeslices);
+
+    /**
+     * SYMBIOS: run every candidate for the validation interval and
+     * record its measured weighted speedup. Requires a completed
+     * sample phase; ends the state machine (closed runs validate all
+     * candidates instead of committing to one).
+     */
+    void runSymbiosValidation(const ClosedSweepBackend &backend,
+                              const TimeslicesFn &timeslices);
+
+    /** Sample-phase profiles, in candidate order. */
+    const std::vector<ScheduleProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+    /** Measured symbios WS per candidate. */
+    const std::vector<double> &symbiosWs() const { return symbiosWs_; }
+
+    /** Simulated cycles spent profiling candidates. */
+    std::uint64_t samplePhaseCycles() const { return sampleCycles_; }
+
+    /**
+     * Stable storage for samplePhaseCycles(), so stat groups can
+     * bind() to it (the kernel must outlive any dump).
+     */
+    const std::uint64_t &
+    samplePhaseCyclesStorage() const
+    {
+        return sampleCycles_;
+    }
+
+    /** @name Summary statistics over the symbios runs @{ */
+    double bestWs() const;
+    double worstWs() const;
+    double averageWs() const; ///< the oblivious-scheduler expectation
+    /** @} */
+
+    /** Candidate index the predictor picks from the profiles. */
+    int predictedIndex(const Predictor &predictor) const;
+
+    /** Symbios WS attained by trusting the given predictor. */
+    double wsOfPredictor(const Predictor &predictor) const;
+
+    /** @} */
+
+    /** @name Open mode (arrival-driven job pool) @{ */
+
+    /** Open-system knobs the kernel needs (substrate-independent). */
+    struct OpenConfig
+    {
+        /** Maximum candidates profiled per sample phase. */
+        int sampleSchedules = 10;
+
+        /** Predictor the symbios phase trusts. */
+        std::string predictor = "IPC";
+
+        /** Resample-timer policy name (makeResamplePolicy()). */
+        std::string resamplePolicy = "backoff";
+
+        /** Base symbios interval in cycles (the backoff seed). */
+        std::uint64_t baseIntervalCycles = 1;
+
+        /** Seed of the kernel's private decision stream. */
+        std::uint64_t seed = 0;
+
+        /** Sweep worker count (SimConfig::jobs semantics). */
+        int jobs = 0;
+    };
+
+    /** Materialize the job of arrival @p index, ready to run. */
+    using JobFactory =
+        std::function<std::unique_ptr<Job>(std::size_t index)>;
+
+    /**
+     * Replay @p trace on @p backend under @p policy until every job
+     * completes. Arrivals, departures, backoff-timer expiries and
+     * phase completions flow through the deterministic event queue;
+     * under OpenPolicy::Sos each sample phase profiles candidates on
+     * parallel forks of the live state (see EngineBackend) and adopts
+     * the predictor's pick. When @p events is non-null the kernel
+     * appends "sample_phase_begin" and "symbios_pick" decisions.
+     *
+     * A kernel instance runs once; use a fresh one per run.
+     */
+    OpenSystemResult runOpen(EngineBackend &backend,
+                             const OpenConfig &config,
+                             const std::vector<JobArrival> &trace,
+                             OpenPolicy policy,
+                             const JobFactory &make_job,
+                             stats::EventTrace *events = nullptr);
+
+    /** @} */
+
+  private:
+    /** Move the state machine, asserting the transition is legal. */
+    void advance(Phase next);
+
+    Phase phase_ = Phase::Idle;
+    EventQueue queue_;
+
+    std::vector<ScheduleProfile> profiles_;
+    std::vector<double> symbiosWs_;
+    std::uint64_t sampleCycles_ = 0;
+};
+
+} // namespace sos
+
+#endif // SOS_SOS_KERNEL_HH

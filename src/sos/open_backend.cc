@@ -1,0 +1,379 @@
+#include "sos/open_backend.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "metrics/weighted_speedup.hh"
+
+namespace sos {
+
+namespace {
+
+/** "{a,b,c}" for a pool-index group. */
+std::string
+groupLabel(const std::vector<int> &group)
+{
+    std::ostringstream out;
+    out << '{';
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        out << group[i];
+    }
+    out << '}';
+    return out.str();
+}
+
+/** Local-position schedule for a group of @p size jobs on an
+ *  @p level-context core (the open system always swaps fully). */
+Schedule
+groupSchedule(int size, int level)
+{
+    if (size <= 0)
+        return Schedule();
+    if (size <= level) {
+        Partition whole(1);
+        for (int i = 0; i < size; ++i)
+            whole[0].push_back(i);
+        return Schedule::fromPartition(whole);
+    }
+    std::vector<int> order(static_cast<std::size_t>(size));
+    std::iota(order.begin(), order.end(), 0);
+    return Schedule::fromRotation(order, level, level);
+}
+
+} // namespace
+
+std::vector<int>
+OpenCandidate::coreTupleAt(std::size_t k, std::uint64_t t) const
+{
+    std::vector<int> tuple;
+    if (k >= groups.size() || groups[k].empty() ||
+        !schedules[k].valid())
+        return tuple;
+    for (int position : schedules[k].tupleAt(t))
+        tuple.push_back(groups[k][static_cast<std::size_t>(position)]);
+    return tuple;
+}
+
+EngineBackend::EngineBackend(const CoreParams &core,
+                             const MemParams &mem, int num_cores,
+                             int level,
+                             std::uint64_t timeslice_cycles)
+    : numCores_(num_cores), level_(level),
+      timeslice_(timeslice_cycles)
+{
+    SOS_ASSERT(num_cores >= 1 && level >= 1,
+               "backend needs at least one core and one context");
+    live_.machine = std::make_unique<Machine>(core, mem, num_cores);
+    for (int k = 0; k < num_cores; ++k)
+        live_.engines.push_back(std::make_unique<TimesliceEngine>(
+            live_.machine->core(k), timeslice_cycles));
+}
+
+EngineBackend::~EngineBackend() = default;
+
+std::uint64_t
+EngineBackend::windowSlices(int num_jobs) const
+{
+    return 2 *
+           static_cast<std::uint64_t>(
+               (num_jobs + capacity() - 1) / capacity());
+}
+
+OpenCandidate
+EngineBackend::trivialCandidate(int num_jobs) const
+{
+    SOS_ASSERT(num_jobs <= capacity(),
+               "trivial coschedule needs the pool to fit the machine");
+    std::vector<int> everyone(static_cast<std::size_t>(num_jobs));
+    std::iota(everyone.begin(), everyone.end(), 0);
+
+    OpenCandidate candidate;
+    candidate.groups = spread(everyone);
+    std::ostringstream label, key;
+    for (std::size_t k = 0; k < candidate.groups.size(); ++k) {
+        const auto &group = candidate.groups[k];
+        candidate.schedules.push_back(
+            groupSchedule(static_cast<int>(group.size()), level_));
+        if (k > 0)
+            label << '|';
+        label << groupLabel(group);
+        key << groupLabel(group) << ';';
+    }
+    candidate.label = label.str();
+    candidate.key = key.str();
+    return candidate;
+}
+
+std::vector<std::vector<int>>
+EngineBackend::spread(const std::vector<int> &chosen) const
+{
+    SOS_ASSERT(static_cast<int>(chosen.size()) <= capacity(),
+               "cannot spread more jobs than contexts");
+    std::vector<std::vector<int>> groups(
+        static_cast<std::size_t>(numCores_));
+    std::size_t cursor = 0;
+    for (int k = 0; k < numCores_ && cursor < chosen.size(); ++k)
+        for (int c = 0; c < level_ && cursor < chosen.size(); ++c)
+            groups[static_cast<std::size_t>(k)].push_back(
+                chosen[cursor++]);
+    return groups;
+}
+
+PerfCounters
+EngineBackend::runLiveSlice(const std::vector<Job *> &pool,
+                            const std::vector<std::vector<int>>
+                                &core_tuples)
+{
+    PerfCounters slice;
+    for (int k = 0; k < numCores_; ++k) {
+        std::vector<ThreadRef> units;
+        if (static_cast<std::size_t>(k) < core_tuples.size())
+            for (int index : core_tuples[static_cast<std::size_t>(k)])
+                units.push_back(ThreadRef{
+                    pool.at(static_cast<std::size_t>(index)), 0});
+        slice += live_.engines[static_cast<std::size_t>(k)]
+                     ->runTimeslice(units)
+                     .counters;
+    }
+    // Cores run in parallel: machine-wide wall clock is one quantum.
+    slice.cycles = timeslice_;
+    return slice;
+}
+
+EngineBackend::State
+EngineBackend::forkLive(const std::vector<Job *> &pool) const
+{
+    State fork;
+    fork.machine = std::make_unique<Machine>(*live_.machine);
+    fork.jobs.reserve(pool.size());
+    for (const Job *job : pool)
+        fork.jobs.push_back(std::make_unique<Job>(*job));
+    for (int k = 0; k < numCores_; ++k) {
+        auto engine = std::make_unique<TimesliceEngine>(
+            fork.machine->core(k), timeslice_);
+        std::vector<std::pair<int, ThreadRef>> resident;
+        for (const auto &[slot, unit] :
+             live_.engines[static_cast<std::size_t>(k)]
+                 ->residentUnits()) {
+            // Rebind the resident context onto the fork's job copy.
+            std::size_t position = pool.size();
+            for (std::size_t p = 0; p < pool.size(); ++p) {
+                if (pool[p] == unit.job) {
+                    position = p;
+                    break;
+                }
+            }
+            SOS_ASSERT(position < pool.size(),
+                       "resident job missing from the pool snapshot");
+            resident.emplace_back(
+                slot, ThreadRef{fork.jobs[position].get(),
+                                unit.thread});
+        }
+        engine->adoptResident(resident);
+        fork.engines.push_back(std::move(engine));
+    }
+    return fork;
+}
+
+std::vector<ScheduleProfile>
+EngineBackend::profileCandidates(
+    const std::vector<Job *> &pool,
+    const std::vector<OpenCandidate> &candidates,
+    std::uint64_t window, std::uint64_t offset,
+    ParallelScheduleRunner &runner)
+{
+    forks_.clear();
+    forks_.resize(candidates.size());
+    auto profiles = runner.map<ScheduleProfile>(
+        candidates.size(), [&](std::size_t i) {
+            State fork = forkLive(pool);
+            std::vector<std::uint64_t> before;
+            before.reserve(fork.jobs.size());
+            for (const auto &job : fork.jobs)
+                before.push_back(job->retired());
+
+            ScheduleProfile profile;
+            profile.label = candidates[i].label;
+            for (std::uint64_t s = 0; s < window; ++s) {
+                PerfCounters slice;
+                for (int k = 0; k < numCores_; ++k) {
+                    std::vector<ThreadRef> units;
+                    for (int index : candidates[i].coreTupleAt(
+                             static_cast<std::size_t>(k),
+                             offset + s))
+                        units.push_back(ThreadRef{
+                            fork.jobs[static_cast<std::size_t>(index)]
+                                .get(),
+                            0});
+                    slice +=
+                        fork.engines[static_cast<std::size_t>(k)]
+                            ->runTimeslice(units)
+                            .counters;
+                }
+                slice.cycles = timeslice_;
+                profile.counters += slice;
+                profile.sliceIpc.push_back(slice.ipc());
+                profile.sliceMixImbalance.push_back(
+                    slice.mixImbalance());
+            }
+
+            std::vector<JobProgress> progress;
+            progress.reserve(fork.jobs.size());
+            for (std::size_t j = 0; j < fork.jobs.size(); ++j)
+                progress.push_back(
+                    JobProgress{fork.jobs[j]->retired() - before[j],
+                                fork.jobs[j]->soloIpc});
+            profile.sampleWs =
+                weightedSpeedup(progress, window * timeslice_);
+
+            forks_[i] = std::move(fork);
+            return profile;
+        });
+    return profiles;
+}
+
+std::vector<std::unique_ptr<Job>>
+EngineBackend::adoptFork(std::size_t index)
+{
+    SOS_ASSERT(index < forks_.size(), "adopting an unknown fork");
+    State &winner = forks_[index];
+    SOS_ASSERT(winner.machine != nullptr, "adopting an empty fork");
+    live_.machine = std::move(winner.machine);
+    live_.engines = std::move(winner.engines);
+    std::vector<std::unique_ptr<Job>> jobs = std::move(winner.jobs);
+    forks_.clear();
+    return jobs;
+}
+
+void
+EngineBackend::evictJob(const Job *job)
+{
+    for (auto &engine : live_.engines)
+        engine->evictJob(job);
+}
+
+TimesliceBackend::TimesliceBackend(const CoreParams &core,
+                                   const MemParams &mem,
+                                   std::uint64_t timeslice_cycles)
+    : EngineBackend(core, mem, 1, core.numContexts, timeslice_cycles)
+{
+}
+
+std::vector<OpenCandidate>
+TimesliceBackend::drawCandidates(int num_jobs, int count,
+                                 Rng &rng) const
+{
+    // Same draw as the pre-kernel open system: distinct schedules of
+    // Js(n, level, level) over the pool positions.
+    const ScheduleSpace space(num_jobs, level(), level());
+    std::vector<Schedule> schedules = space.sample(count, rng);
+
+    std::vector<int> everyone(static_cast<std::size_t>(num_jobs));
+    std::iota(everyone.begin(), everyone.end(), 0);
+    std::vector<OpenCandidate> candidates;
+    candidates.reserve(schedules.size());
+    for (Schedule &schedule : schedules) {
+        OpenCandidate candidate;
+        candidate.groups = {everyone};
+        candidate.label = schedule.label();
+        candidate.key = schedule.key();
+        candidate.schedules = {std::move(schedule)};
+        candidates.push_back(std::move(candidate));
+    }
+    return candidates;
+}
+
+std::uint64_t
+TimesliceBackend::windowSlices(int num_jobs) const
+{
+    return std::min<std::uint64_t>(
+        ScheduleSpace(num_jobs, level(), level()).periodTimeslices(),
+        EngineBackend::windowSlices(num_jobs));
+}
+
+MachineBackend::MachineBackend(const CoreParams &core,
+                               const MemParams &mem, int num_cores,
+                               std::uint64_t timeslice_cycles)
+    : EngineBackend(core, mem, num_cores, core.numContexts,
+                    timeslice_cycles)
+{
+}
+
+std::vector<OpenCandidate>
+MachineBackend::drawCandidates(int num_jobs, int count,
+                               Rng &rng) const
+{
+    const int cores = numCores();
+    std::vector<OpenCandidate> candidates;
+    std::set<std::string> seen;
+    // Rejection-sample distinct group assignments; the space can be
+    // smaller than the ask near the capacity boundary.
+    const int max_attempts = count * 8 + 8;
+    for (int attempt = 0;
+         attempt < max_attempts &&
+         static_cast<int>(candidates.size()) < count;
+         ++attempt) {
+        std::vector<int> perm(static_cast<std::size_t>(num_jobs));
+        std::iota(perm.begin(), perm.end(), 0);
+        for (std::size_t i = perm.size() - 1; i > 0; --i)
+            std::swap(perm[i],
+                      perm[rng.below(static_cast<std::uint64_t>(i) +
+                                     1)]);
+
+        // Near-equal contiguous split of the permutation.
+        const int base = num_jobs / cores;
+        const int extra = num_jobs % cores;
+        OpenCandidate candidate;
+        std::size_t cursor = 0;
+        for (int k = 0; k < cores; ++k) {
+            const int take = base + (k < extra ? 1 : 0);
+            std::vector<int> group(
+                perm.begin() + static_cast<std::ptrdiff_t>(cursor),
+                perm.begin() +
+                    static_cast<std::ptrdiff_t>(cursor) + take);
+            cursor += static_cast<std::size_t>(take);
+            candidate.schedules.push_back(
+                groupSchedule(take, level()));
+            candidate.groups.push_back(std::move(group));
+        }
+
+        // Canonical key: per-core identity strings, sorted so that
+        // permuting homogeneous cores does not create a "new"
+        // candidate.
+        std::vector<std::string> parts;
+        std::ostringstream label;
+        for (std::size_t k = 0; k < candidate.groups.size(); ++k) {
+            // Partition groups coschedule everyone at once, so member
+            // order is irrelevant; rotating groups are identified by
+            // their rotation order.
+            std::vector<int> members = candidate.groups[k];
+            if (static_cast<int>(members.size()) <= level())
+                std::sort(members.begin(), members.end());
+            parts.push_back(groupLabel(members) +
+                            candidate.schedules[k].key());
+            if (k > 0)
+                label << '|';
+            label << groupLabel(candidate.groups[k]);
+        }
+        std::sort(parts.begin(), parts.end());
+        std::ostringstream key;
+        for (const std::string &part : parts)
+            key << part << ';';
+        candidate.key = key.str();
+        candidate.label = label.str();
+        if (!seen.insert(candidate.key).second)
+            continue;
+        candidates.push_back(std::move(candidate));
+    }
+    SOS_ASSERT(!candidates.empty(),
+               "machine backend drew no candidates");
+    return candidates;
+}
+
+} // namespace sos

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Engine backends for the open-system SOS kernel.
+ *
+ * The kernel schedules a changing pool of jobs; an EngineBackend is
+ * the substrate it schedules onto. The backend owns the live machine
+ * state, runs one timeslice of a chosen coschedule, draws candidate
+ * coschedules over the pool, and -- the heart of the kernel's sample
+ * phase -- profiles every candidate in parallel on private forks of
+ * the live state and lets the kernel adopt the winner's end state.
+ *
+ * Two substrates implement the interface:
+ *  - TimesliceBackend: one SMT core behind a TimesliceEngine (the
+ *    paper's machine; Figures 5-6);
+ *  - MachineBackend:   a CMP of SMT cores behind a MachineEngine
+ *    (Figure 8), one coschedule group per core.
+ *
+ * Determinism: fork profiling is a pure function of (live state,
+ * candidate), fanned out via ParallelScheduleRunner::map, so results
+ * are bit-identical for any SOS_JOBS worker count.
+ */
+
+#ifndef SOS_SOS_OPEN_BACKEND_HH
+#define SOS_SOS_OPEN_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/schedule_profile.hh"
+#include "cpu/machine.hh"
+#include "sched/schedule.hh"
+#include "sim/machine_engine.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/timeslice_engine.hh"
+
+namespace sos {
+
+/** One candidate coschedule of the active pool across the cores. */
+struct OpenCandidate
+{
+    /** Pool indices assigned to each core; one entry per core. */
+    std::vector<std::vector<int>> groups;
+
+    /**
+     * Per-core schedule over *positions within the core's group*
+     * (0..group.size()-1); tupleAt() wraps, so any window works.
+     */
+    std::vector<Schedule> schedules;
+
+    /** Display label, e.g. "{0,2}01|{1,3}01". */
+    std::string label;
+
+    /** Canonical identity (the kernel's changed-schedule check). */
+    std::string key;
+
+    /** Pool indices core @p k runs at period position @p t. */
+    std::vector<int> coreTupleAt(std::size_t k, std::uint64_t t) const;
+};
+
+/** The substrate an open-system kernel run schedules onto. */
+class EngineBackend
+{
+  public:
+    virtual ~EngineBackend();
+
+    virtual std::string name() const = 0;
+
+    int numCores() const { return numCores_; }
+
+    /** Hardware contexts per core (the SMT level). */
+    int level() const { return level_; }
+
+    /** Units the whole machine can run per timeslice. */
+    int capacity() const { return numCores_ * level_; }
+
+    std::uint64_t timesliceCycles() const { return timeslice_; }
+
+    /** The live machine (per-core stat groups for manifests). */
+    const Machine &machine() const { return *live_.machine; }
+
+    /**
+     * Draw up to @p count distinct candidate coschedules of a pool of
+     * @p num_jobs jobs. Consumes @p rng deterministically.
+     */
+    virtual std::vector<OpenCandidate>
+    drawCandidates(int num_jobs, int count, Rng &rng) const = 0;
+
+    /**
+     * Profiling window per candidate, in timeslices: a couple of
+     * sweeps over the pool, so the sample phase can finish between
+     * arrivals even for awkward pool sizes.
+     */
+    virtual std::uint64_t windowSlices(int num_jobs) const;
+
+    /** The only sensible coschedule when the pool fits the machine. */
+    OpenCandidate trivialCandidate(int num_jobs) const;
+
+    /**
+     * Distribute the chosen pool indices (at most capacity() of them)
+     * into per-core tuples, filling cores in index order (the naive
+     * scheduler's placement).
+     */
+    std::vector<std::vector<int>>
+    spread(const std::vector<int> &chosen) const;
+
+    /**
+     * Run one live timeslice: core k runs core_tuples[k] (pool
+     * indices into @p pool). Cores with empty tuples still advance,
+     * evicting leftover residents. Returns machine-wide counters with
+     * cycles normalized to one quantum.
+     */
+    PerfCounters runLiveSlice(const std::vector<Job *> &pool,
+                              const std::vector<std::vector<int>>
+                                  &core_tuples);
+
+    /**
+     * Profile every candidate for @p window timeslices starting at
+     * period position @p offset, each on a private fork of the live
+     * state (machine, pool jobs, resident contexts), fanned out on
+     * @p runner. The forks are retained so the winner's end state can
+     * be adopted. Profiles are index-ordered and bit-identical for
+     * any worker count.
+     */
+    std::vector<ScheduleProfile>
+    profileCandidates(const std::vector<Job *> &pool,
+                      const std::vector<OpenCandidate> &candidates,
+                      std::uint64_t window, std::uint64_t offset,
+                      ParallelScheduleRunner &runner);
+
+    /**
+     * Make fork @p index's end state the live state and hand its job
+     * copies (pool-ordered) to the caller; drops the other forks.
+     */
+    std::vector<std::unique_ptr<Job>> adoptFork(std::size_t index);
+
+    /** Detach a departing job from every core. */
+    void evictJob(const Job *job);
+
+  protected:
+    EngineBackend(const CoreParams &core, const MemParams &mem,
+                  int num_cores, int level,
+                  std::uint64_t timeslice_cycles);
+
+  private:
+    /** A complete runnable copy of machine + engines (+ fork jobs). */
+    struct State
+    {
+        std::unique_ptr<Machine> machine;
+        std::vector<std::unique_ptr<TimesliceEngine>> engines;
+        /** Deep-copied pool jobs; empty for the live state (the
+         *  kernel owns the live pool). */
+        std::vector<std::unique_ptr<Job>> jobs;
+    };
+
+    /** Fork the live state against a pool snapshot (read-only). */
+    State forkLive(const std::vector<Job *> &pool) const;
+
+    int numCores_;
+    int level_;
+    std::uint64_t timeslice_;
+    State live_;
+    std::vector<State> forks_; ///< retained by profileCandidates()
+};
+
+/** The paper's substrate: one SMT core (TimesliceEngine). */
+class TimesliceBackend : public EngineBackend
+{
+  public:
+    TimesliceBackend(const CoreParams &core, const MemParams &mem,
+                     std::uint64_t timeslice_cycles);
+
+    std::string name() const override { return "smt-core"; }
+
+    /**
+     * Exactly the pre-kernel open system's candidate draw: sample
+     * distinct schedules of Js(num_jobs, level, level).
+     */
+    std::vector<OpenCandidate>
+    drawCandidates(int num_jobs, int count, Rng &rng) const override;
+
+    /** The pre-kernel window: min(schedule period, two sweeps). */
+    std::uint64_t windowSlices(int num_jobs) const override;
+};
+
+/** The CMP substrate: one coschedule group per core (Figure 8). */
+class MachineBackend : public EngineBackend
+{
+  public:
+    MachineBackend(const CoreParams &core, const MemParams &mem,
+                   int num_cores, std::uint64_t timeslice_cycles);
+
+    std::string name() const override { return "machine"; }
+
+    /**
+     * Random permutations of the pool split into near-equal
+     * contiguous per-core groups, deduplicated by canonical key.
+     */
+    std::vector<OpenCandidate>
+    drawCandidates(int num_jobs, int count, Rng &rng) const override;
+};
+
+} // namespace sos
+
+#endif // SOS_SOS_OPEN_BACKEND_HH

@@ -21,11 +21,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "core/predictor.hh"
+#include "core/resample_policy.hh"
 #include "sim/batch_experiment.hh"
 #include "sim/bench_harness.hh"
 #include "sim/config_env.hh"
@@ -34,6 +36,7 @@
 #include "sim/open_system.hh"
 #include "sim/params_io.hh"
 #include "sim/reporting.hh"
+#include "sos/open_backend.hh"
 #include "trace/workload_library.hh"
 
 namespace {
@@ -73,8 +76,14 @@ printUsage(const std::string &command)
         specific = "  --jobs N            sweep worker threads\n";
     } else if (command == "open") {
         specific = "  --level N           SMT level (default 3)\n"
+                   "  --cores N           SMT cores (default 1; more "
+                   "build the CMP backend)\n"
                    "  --jobs N            jobs in the open system "
-                   "(default 24)\n";
+                   "(default 24)\n"
+                   "  --set predictor=P   symbios predictor (see "
+                   "`sossim open --set predictor=? ...`)\n"
+                   "  --set policy=P      resample-timer policy "
+                   "(backoff, fixed)\n";
     } else if (command == "hier") {
         specific = "  --level N           SMT level (default 2)\n"
                    "  --jobs N            sweep worker threads\n";
@@ -260,24 +269,49 @@ cmdRun(const Args &args)
 int
 cmdOpen(const Args &args)
 {
-    BenchHarness harness("sossim open", configFor(args),
-                         outputsFor(args));
-    const SimConfig &config = harness.config();
     OpenSystemConfig open;
     open.level = std::stoi(args.flag("level", "3"));
+    open.numCores = std::stoi(args.flag("cores", "1"));
     open.numJobs = std::stoi(args.flag("jobs", "24"));
+
+    // The open system has its own --set keys: predictor= and policy=
+    // name registry entries, not SimConfig fields (the manifest's
+    // config block must stay comparable across figures). Peel them
+    // off before the SimConfig override pass sees them.
+    Args sim_args = args;
+    sim_args.overrides.clear();
+    for (const std::string &override : args.overrides) {
+        if (override.rfind("predictor=", 0) == 0)
+            open.predictor = override.substr(10);
+        else if (override.rfind("policy=", 0) == 0)
+            open.resamplePolicy = override.substr(7);
+        else
+            sim_args.overrides.push_back(override);
+    }
+    // Fail fast on unknown names, before any simulation runs; the
+    // registries list every registered name in their error message.
+    makePredictor(open.predictor);
+    makeResamplePolicy(open.resamplePolicy, 1);
+
+    BenchHarness harness("sossim open", configFor(sim_args),
+                         outputsFor(args));
+    const SimConfig &config = harness.config();
     open.seed = config.seed ^ 0x09e2ULL;
 
     // Run the two policies here (rather than compareResponseTimes) so
     // the SOS run can stream its decisions into the trace; both runs
-    // are serial, so the trace stays deterministic.
+    // are serial, so the trace stays deterministic. The SOS backend is
+    // owned here so its machine's stat groups survive into the
+    // manifest dump.
     const std::vector<JobArrival> arrivals =
         makeArrivalTrace(config, open);
+    const std::unique_ptr<EngineBackend> backend =
+        makeOpenBackend(config, open);
     ResponseComparison comparison;
     comparison.naive =
         runOpenSystem(config, open, arrivals, OpenPolicy::Naive);
     comparison.sos = runOpenSystem(
-        config, open, arrivals, OpenPolicy::Sos,
+        config, open, arrivals, OpenPolicy::Sos, *backend,
         harness.wantsTrace() ? &harness.trace() : nullptr);
     comparison.jobsCompared = static_cast<int>(arrivals.size());
     if (comparison.naive.meanResponseCycles > 0.0) {
@@ -291,6 +325,14 @@ cmdOpen(const Args &args)
     const stats::Group open_group = harness.group("open");
     open_group.scalar("jobs", "arrivals simulated") =
         static_cast<std::uint64_t>(comparison.jobsCompared);
+    open_group.info("backend", "engine backend substrate") =
+        backend->name();
+    open_group.info("predictor", "symbios predictor") = open.predictor;
+    open_group.info("resample_policy", "resample-timer policy") =
+        open.resamplePolicy;
+    open_group.scalar("cores", "SMT cores on the machine") =
+        static_cast<std::uint64_t>(open.numCores);
+    backend->machine().registerStats(open_group.group("machine"));
     const auto publishPolicy = [&](const char *name,
                                    const OpenSystemResult &result) {
         const stats::Group policy = open_group.group(name);

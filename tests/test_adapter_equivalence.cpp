@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Adapter-equivalence goldens: the closed-system experiment drivers
+ * (batch, hierarchical, machine) must keep producing byte-identical
+ * run manifests as their SOS loops migrate onto the shared kernel.
+ *
+ * The golden files under tests/golden/ were generated from the
+ * pre-kernel drivers (set SOS_REGEN_GOLDEN=1 to regenerate); any
+ * refactor of the sample/symbios pipeline must reproduce them to the
+ * byte, for every worker count (the SOS_JOBS=1/2/8 acceptance check,
+ * run in-process via config.jobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/batch_experiment.hh"
+#include "sim/hierarchical_experiment.hh"
+#include "sim/machine_experiment.hh"
+#include "sim/params_io.hh"
+#include "stats/manifest.hh"
+#include "stats/stats.hh"
+
+namespace sos {
+namespace {
+
+/** Render a manifest with everything host-dependent pinned. */
+std::string
+render(const char *tool, const SimConfig &config,
+       const stats::Registry &registry)
+{
+    stats::Manifest manifest;
+    manifest.tool = tool;
+    manifest.gitRev = "golden"; // goldens must not depend on the
+                                // building checkout's revision
+    manifest.seed = config.seed;
+    manifest.config = configPairs(config);
+    return renderManifest(manifest, registry);
+}
+
+std::string
+batchManifest(int jobs)
+{
+    SimConfig config = makeFastConfig();
+    config.jobs = jobs;
+    stats::Registry registry;
+    const stats::Group experiments =
+        stats::Group(registry).group("experiments");
+    std::string document;
+    {
+        // Both a full-space sweep (3 of 3 schedules) and a sampled
+        // one (10 of 60), the two shapes the kernel must preserve.
+        BatchExperiment small(experimentByLabel("Jsb(4,2,2)"), config);
+        BatchExperiment sampled(experimentByLabel("Jsb(6,3,1)"),
+                                config);
+        for (BatchExperiment *exp : {&small, &sampled}) {
+            exp->runSamplePhase();
+            exp->runSymbiosValidation();
+            exp->publishStats(experiments.group(
+                stats::sanitizeSegment(exp->spec().label)));
+        }
+        // Stats bind to the experiments' storage: render in scope.
+        document = render("adapter_equivalence_batch", config,
+                          registry);
+    }
+    return document;
+}
+
+std::string
+hierarchicalManifest(int jobs)
+{
+    SimConfig config = makeFastConfig();
+    config.jobs = jobs;
+    stats::Registry registry;
+    const stats::Group experiments =
+        stats::Group(registry).group("experiments");
+    std::string document;
+    {
+        const HierarchicalSpec &spec = hierarchicalExperiments()[0];
+        HierarchicalExperiment exp(spec, config, 6);
+        exp.run(200000);
+        exp.publishStats(
+            experiments.group(stats::sanitizeSegment(spec.label)));
+        document = render("adapter_equivalence_hierarchical", config,
+                          registry);
+    }
+    return document;
+}
+
+std::string
+machineManifest(int jobs)
+{
+    SimConfig config = makeFastConfig();
+    config.jobs = jobs;
+    stats::Registry registry;
+    const stats::Group experiments =
+        stats::Group(registry).group("experiments");
+    std::string document;
+    {
+        MachineExperimentSpec spec;
+        spec.label = "Jm(4,2,2,2)";
+        spec.workloads = {"FP", "MG", "GCC", "IS"};
+        spec.numCores = 2;
+        spec.level = 2;
+        spec.swap = 2;
+        MachineExperiment exp(spec, config);
+        exp.runSamplePhase();
+        exp.runSymbiosValidation();
+        exp.publishStats(
+            experiments.group(stats::sanitizeSegment(spec.label)));
+        document = render("adapter_equivalence_machine", config,
+                          registry);
+    }
+    return document;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(SOS_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void
+checkAgainstGolden(const std::string &name,
+                   const std::function<std::string(int)> &make)
+{
+    // Worker-count invariance first: the golden would be meaningless
+    // if the document depended on the sweep's thread count.
+    const std::string document = make(1);
+    EXPECT_EQ(make(2), document) << name << ": jobs=2 differs";
+    EXPECT_EQ(make(8), document) << name << ": jobs=8 differs";
+
+    const std::string path = goldenPath(name);
+    if (std::getenv("SOS_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << document;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (generate with SOS_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(document, golden.str())
+        << name << ": manifest diverged from the pre-kernel driver";
+}
+
+TEST(AdapterEquivalence, BatchManifestMatchesGolden)
+{
+    checkAgainstGolden("batch", batchManifest);
+}
+
+TEST(AdapterEquivalence, HierarchicalManifestMatchesGolden)
+{
+    checkAgainstGolden("hierarchical", hierarchicalManifest);
+}
+
+TEST(AdapterEquivalence, MachineManifestMatchesGolden)
+{
+    checkAgainstGolden("machine", machineManifest);
+}
+
+} // namespace
+} // namespace sos

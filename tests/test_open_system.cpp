@@ -50,11 +50,12 @@ TEST(OpenSystem, TraceIsOrderedAndSized)
 
 TEST(OpenSystem, InterarrivalDefaultDerivedFromLoad)
 {
+    const SimConfig sim = fast();
     OpenSystemConfig config;
     config.level = 3;
-    EXPECT_GT(config.effectiveInterarrivalPaper(), 0u);
+    EXPECT_GT(config.effectiveInterarrivalPaper(sim), 0u);
     config.meanInterarrivalPaper = 12345;
-    EXPECT_EQ(config.effectiveInterarrivalPaper(), 12345u);
+    EXPECT_EQ(config.effectiveInterarrivalPaper(sim), 12345u);
 }
 
 TEST(OpenSystem, NaiveCompletesAllJobs)

@@ -55,7 +55,21 @@ TEST(Predictors, FactoryProvidesAllTen)
 
 TEST(Predictors, UnknownNameIsFatal)
 {
-    EXPECT_DEATH(makePredictor("Oracle"), "unknown predictor");
+    // The failure must list the registered names, so the user can
+    // correct a typo without reading the source.
+    EXPECT_DEATH(makePredictor("Oracle"),
+                 "unknown predictor 'Oracle' .known: .*IPC.*Score");
+}
+
+TEST(Predictors, NamesListEveryConstructibleName)
+{
+    const std::vector<std::string> &names = predictorNames();
+    EXPECT_GE(names.size(), 10u);
+    for (const std::string &name : names) {
+        const auto made = makePredictor(name);
+        ASSERT_NE(made, nullptr);
+        EXPECT_EQ(made->name(), name);
+    }
 }
 
 TEST(Predictors, IpcPicksHighestIpc)

@@ -1,6 +1,14 @@
-/** @file Unit tests for the Section 9 resampling policy. */
+/**
+ * @file
+ * Unit tests for the Section 9 resampling policy and the named
+ * resample-timer registry behind makeResamplePolicy().
+ */
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/resample_policy.hh"
 
@@ -49,6 +57,68 @@ TEST(ResamplePolicy, BackoffIsCapped)
     for (int i = 0; i < 100; ++i)
         policy.onTimerSample(false);
     EXPECT_LT(policy.symbiosDuration(), std::uint64_t{1} << 62);
+}
+
+TEST(ResampleRegistry, BackoffTimerKeepsPaperSemantics)
+{
+    // The registry's "backoff" timer must behave exactly like the
+    // ResamplePolicy it wraps: doubling on stable predictions, reset
+    // on a changed prediction or any job change.
+    const std::unique_ptr<ResampleTimer> timer =
+        makeResamplePolicy("backoff", 1000);
+    EXPECT_EQ(timer->name(), "backoff");
+    EXPECT_EQ(timer->baseInterval(), 1000u);
+    EXPECT_EQ(timer->symbiosDuration(), 1000u);
+    timer->onTimerSample(false);
+    EXPECT_EQ(timer->symbiosDuration(), 2000u);
+    timer->onTimerSample(false);
+    EXPECT_EQ(timer->symbiosDuration(), 4000u);
+    timer->onTimerSample(true);
+    EXPECT_EQ(timer->symbiosDuration(), 1000u);
+    timer->onTimerSample(false);
+    timer->onJobChange();
+    EXPECT_EQ(timer->symbiosDuration(), 1000u);
+}
+
+TEST(ResampleRegistry, BackoffTimerIsCapped)
+{
+    const std::unique_ptr<ResampleTimer> timer =
+        makeResamplePolicy("backoff", 1);
+    for (int i = 0; i < 100; ++i)
+        timer->onTimerSample(false);
+    EXPECT_LT(timer->symbiosDuration(), std::uint64_t{1} << 62);
+}
+
+TEST(ResampleRegistry, FixedTimerNeverBacksOff)
+{
+    const std::unique_ptr<ResampleTimer> timer =
+        makeResamplePolicy("fixed", 500);
+    EXPECT_EQ(timer->name(), "fixed");
+    EXPECT_EQ(timer->baseInterval(), 500u);
+    timer->onTimerSample(false);
+    timer->onTimerSample(false);
+    EXPECT_EQ(timer->symbiosDuration(), 500u);
+    timer->onJobChange();
+    EXPECT_EQ(timer->symbiosDuration(), 500u);
+}
+
+TEST(ResampleRegistry, NamesListEveryRegisteredPolicy)
+{
+    const std::vector<std::string> &names = resamplePolicyNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "backoff");
+    EXPECT_EQ(names[1], "fixed");
+    for (const std::string &name : names)
+        EXPECT_NE(makeResamplePolicy(name, 1), nullptr);
+}
+
+TEST(ResampleRegistry, UnknownNameIsFatalAndListsNames)
+{
+    // A typo must fail fast with the registered names, so the user
+    // can correct the flag without reading the source.
+    EXPECT_DEATH(makeResamplePolicy("bogus", 1000),
+                 "unknown resample policy 'bogus' .known: backoff, "
+                 "fixed.");
 }
 
 } // namespace
