@@ -159,15 +159,28 @@ registerCoreThroughputStats(const stats::Group &group)
 int
 main(int argc, char **argv)
 {
-    // google-benchmark owns the command line, so --out/--trace are
-    // peeled off before Initialize() sees (and rejects) them.
+    // google-benchmark owns the command line, so every harness output
+    // flag is peeled off before Initialize() sees (and rejects) it.
+    // run_all.sh passes --bench-sweep to all bench binaries alike, so
+    // missing one here breaks the whole reproduction run.
     OutputPaths out = outputPathsFromEnv();
     std::vector<char *> forwarded;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if ((arg == "--out" || arg == "--trace") && i + 1 < argc) {
-            (arg == "--out" ? out.manifest : out.trace) = argv[++i];
-            continue;
+        if (i + 1 < argc) {
+            std::string *dest = nullptr;
+            if (arg == "--out")
+                dest = &out.manifest;
+            else if (arg == "--trace")
+                dest = &out.trace;
+            else if (arg == "--bench-sweep")
+                dest = &out.benchSweep;
+            else if (arg == "--bench-core")
+                dest = &out.benchCore;
+            if (dest != nullptr) {
+                *dest = argv[++i];
+                continue;
+            }
         }
         forwarded.push_back(argv[i]);
     }

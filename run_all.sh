@@ -5,10 +5,15 @@
 #
 # Every bench also writes its machine-readable run manifest to
 # results/<bench>.json (via --out) and its wall-clock timing report to
-# results/timing/<bench>.json (via --bench-sweep); when python3 is
-# available the manifests are consolidated into results/manifest.json
-# and the timing reports into results/BENCH_sweep.json. Timing stays
-# out of the manifests so those remain bit-comparable across hosts.
+# results/timing/<bench>.json (via --bench-sweep); the core-loop
+# microbench report lands in results/core/ (via --bench-core). When
+# python3 is available the manifests are consolidated into
+# results/manifest.json, the timing reports into
+# results/BENCH_sweep.json, and the core reports into
+# results/BENCH_core.json -- skipping (and reporting) any report a
+# failed bench left missing or truncated, so partial runs still
+# produce the consolidated files. Timing stays out of the manifests so
+# those remain bit-comparable across hosts.
 #
 # SOS_JOBS controls the sweep worker threads of every bench (and is
 # also used as the ctest parallelism); unset means one worker per
@@ -23,7 +28,7 @@ ctest --test-dir build --output-on-failure -j "$jobs" \
     >test_output.txt 2>&1 || status=$?
 cat test_output.txt
 
-mkdir -p results results/timing
+mkdir -p results results/timing results/core
 : >bench_output.txt
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
@@ -40,6 +45,21 @@ for b in build/bench/*; do
 done
 cat bench_output.txt
 
+# Core-loop host throughput (cycles/sec): one run per invocation,
+# via the micro_simulator harness. A failure here must not block the
+# consolidation below -- partial results still get collected.
+if [ -x build/bench/micro_simulator ]; then
+    echo "===== micro_simulator --bench-core =====" >>bench_output.txt
+    if ! build/bench/micro_simulator \
+            --benchmark_filter='^$' \
+            --bench-core results/core/micro_simulator.json \
+            >>bench_output.txt 2>&1
+    then
+        echo "FAILED: micro_simulator --bench-core" >>bench_output.txt
+        status=1
+    fi
+fi
+
 # Consolidate the per-bench manifests (and validate that every one is
 # well-formed JSON) when python3 is around; the simulator itself never
 # depends on python.
@@ -47,16 +67,46 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - <<'EOF' || status=1
 import json
 import os
+import sys
 
-runs = {}
-for entry in sorted(os.listdir("results")):
-    if not entry.endswith(".json") or entry == "manifest.json":
-        continue
-    with open(os.path.join("results", entry)) as f:
-        doc = json.load(f)
-    assert doc.get("schema") == "sos.run-manifest", entry
-    runs[entry[: -len(".json")]] = doc
+failures = []
 
+
+def load_docs(directory, schema, skip=()):
+    """Load every well-formed JSON doc of one schema from a directory.
+
+    A bench that crashed mid-run leaves a missing or truncated file;
+    those are reported and skipped so one bad bench never takes down
+    the consolidated reports of the others.
+    """
+    docs = {}
+    if not os.path.isdir(directory):
+        return docs
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json") or entry in skip:
+            continue
+        # The consolidated outputs live next to their inputs; never
+        # re-ingest them on a second run.
+        if entry.startswith("BENCH_") or entry == "manifest.json":
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            failures.append("%s: unreadable (%s)" % (path, exc))
+            continue
+        if doc.get("schema") != schema:
+            failures.append(
+                "%s: schema %r, wanted %r"
+                % (path, doc.get("schema"), schema)
+            )
+            continue
+        docs[entry[: -len(".json")]] = doc
+    return docs
+
+
+runs = load_docs("results", "sos.run-manifest")
 with open("results/manifest.json", "w") as f:
     json.dump(
         {"schema": "sos.run-set", "schema_version": 1, "runs": runs},
@@ -67,19 +117,10 @@ with open("results/manifest.json", "w") as f:
     f.write("\n")
 print("results/manifest.json: consolidated %d run manifests" % len(runs))
 
-timing = {}
-total = 0.0
-timing_dir = "results/timing"
-if os.path.isdir(timing_dir):
-    for entry in sorted(os.listdir(timing_dir)):
-        if not entry.endswith(".json"):
-            continue
-        with open(os.path.join(timing_dir, entry)) as f:
-            doc = json.load(f)
-        assert doc.get("schema") == "sos.bench-sweep", entry
-        timing[entry[: -len(".json")]] = doc
-        total += doc["stats"]["timing"]["elapsed_seconds"]
-
+timing = load_docs("results/timing", "sos.bench-sweep")
+total = sum(
+    doc["stats"]["timing"]["elapsed_seconds"] for doc in timing.values()
+)
 with open("results/BENCH_sweep.json", "w") as f:
     json.dump(
         {
@@ -97,6 +138,26 @@ print(
     "results/BENCH_sweep.json: %d bench timings, %.1fs total"
     % (len(timing), total)
 )
+
+core = load_docs("results/core", "sos.bench-core")
+with open("results/BENCH_core.json", "w") as f:
+    json.dump(
+        {
+            "schema": "sos.bench-core-set",
+            "schema_version": 1,
+            "benches": core,
+        },
+        f,
+        indent=2,
+        sort_keys=True,
+    )
+    f.write("\n")
+print("results/BENCH_core.json: %d core microbench reports" % len(core))
+
+if failures:
+    for failure in failures:
+        print("consolidation: %s" % failure, file=sys.stderr)
+    sys.exit(1)
 EOF
 else
     echo "python3 not found; skipping results/manifest.json" >&2

@@ -11,29 +11,6 @@ BranchPredictor::BranchPredictor(int index_bits)
     mask_ = static_cast<std::uint32_t>(table_.size() - 1);
 }
 
-bool
-BranchPredictor::predictAndUpdate(std::uint32_t salt, std::uint64_t pc,
-                                  bool taken)
-{
-    const std::uint32_t index =
-        (static_cast<std::uint32_t>(pc >> 2) ^ salt) & mask_;
-    std::uint8_t &counter = table_[index];
-    const bool predicted = counter >= 2;
-
-    ++lookups_;
-    if (predicted != taken)
-        ++mispredicts_;
-
-    if (taken) {
-        if (counter < 3)
-            ++counter;
-    } else {
-        if (counter > 0)
-            --counter;
-    }
-    return predicted;
-}
-
 void
 BranchPredictor::reset()
 {

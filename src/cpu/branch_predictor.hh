@@ -32,6 +32,8 @@ class BranchPredictor
 
     /**
      * Predict a branch and train the table with the actual outcome.
+     * Defined inline below: runs for every branch fetched
+     * (DESIGN.md section 9).
      *
      * @param salt Per-thread table salt (hash of the ASID).
      * @param pc Branch instruction address.
@@ -56,6 +58,29 @@ class BranchPredictor
     std::uint64_t lookups_ = 0;
     std::uint64_t mispredicts_ = 0;
 };
+
+inline bool
+BranchPredictor::predictAndUpdate(std::uint32_t salt, std::uint64_t pc,
+                                  bool taken)
+{
+    const std::uint32_t index =
+        (static_cast<std::uint32_t>(pc >> 2) ^ salt) & mask_;
+    std::uint8_t &counter = table_[index];
+    const bool predicted = counter >= 2;
+
+    ++lookups_;
+    if (predicted != taken)
+        ++mispredicts_;
+
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+    return predicted;
+}
 
 } // namespace sos
 

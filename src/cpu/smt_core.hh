@@ -18,6 +18,17 @@
  *    unit subcluster;
  *  - rename registers are released at commit of the writing
  *    instruction.
+ *
+ * Hot-path layout (DESIGN.md section 9): per-thread pipeline state is
+ * struct-of-arrays (`active_`, `icount_`, `fetchStall_`, ... indexed
+ * by slot), fetch queues and per-thread ROBs are ring buffers in flat
+ * slabs, operand readiness is event-driven (a producer wakes its
+ * waiting consumers when it issues, so the issue scan never polls),
+ * and each issue queue carries a wake cycle that lets whole scans be
+ * skipped when provably nothing can change. All of it is layout and
+ * scheduling of the *simulator*, not the simulated machine: counters
+ * and manifests are bit-identical to the pre-rewrite core (pinned by
+ * tests/test_smt_core_fastpath.cpp).
  */
 
 #ifndef SOS_CPU_SMT_CORE_HH
@@ -25,7 +36,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cpu/branch_predictor.hh"
@@ -88,6 +98,12 @@ class SmtCore
     /**
      * Simulate the given number of cycles, accumulating counters.
      * Per-slot retired counts land in counters.slotRetired.
+     *
+     * Stage bookkeeping accumulates into a local delta and flushes
+     * into @p counters when the call returns (the batched-counter
+     * contract: deltas become visible at run() boundaries, and every
+     * counter is additive, so any partition of an interval across
+     * run() calls sums to the same totals).
      */
     void run(std::uint64_t cycles, PerfCounters &counters);
 
@@ -110,7 +126,7 @@ class SmtCore
     void debugDump() const;
 
   private:
-    /** Fetched, pre-dispatch instruction. */
+    /** Fetched, pre-dispatch instruction (fetch-queue ring element). */
     struct Fetched
     {
         UOp op;
@@ -119,25 +135,42 @@ class SmtCore
         bool spin = false; ///< busy-wait op: consumes resources only
     };
 
-    /** Dispatched instruction tracked until commit. */
+    /**
+     * Dispatched instruction tracked until commit.
+     *
+     * Operand readiness is event-driven: a consumer whose producer has
+     * not issued yet registers itself on the producer's intrusive
+     * waiter list (`waiterHead`/`nextA`/`nextB`); when the producer
+     * issues, it walks the list and converts each waiting operand into
+     * an exact ready cycle.  `when` does double duty across the entry's
+     * two disjoint phases: before issue it accumulates the max of the
+     * resolved operand-available cycles (and dispatch+1); at issue it
+     * becomes the completion cycle.  The instruction is schedulable
+     * once `waitCount` drops to zero.  Producers are always older
+     * same-context instructions, so a waiter list can never outlive
+     * its members: a waiting consumer cannot issue or commit, and a
+     * context squash frees producers and consumers together.
+     *
+     * The whole entry fits one cache line; the per-cycle issue scan
+     * never touches it (see QEntry), only issue/wake/commit do.
+     */
     struct InFlight
     {
         UOp op;
-        std::uint64_t completeCycle = 0;
-        std::uint64_t seq = 0; ///< allocation stamp (detects slab reuse)
-        /**
-         * Program-order producers of the sources, captured at dispatch
-         * (slab id + its seq). Capturing at dispatch avoids the false
-         * write-after-read waits that re-reading a register scoreboard
-         * at issue time would introduce once architectural registers
-         * are reused by younger instructions.
-         */
+        /** Ready cycle before issue; completion cycle after. */
+        std::uint64_t when = 0;
+        /** Producers still being waited on (noInst once resolved). */
         std::uint32_t prodA = ~std::uint32_t{0};
-        std::uint64_t prodASeq = 0;
         std::uint32_t prodB = ~std::uint32_t{0};
-        std::uint64_t prodBSeq = 0;
+        /** Head of this instruction's waiting-consumer list. */
+        std::uint32_t waiterHead = ~std::uint32_t{0};
+        /** Waiter-list links (one per operand this entry waits with). */
+        std::uint32_t nextA = ~std::uint32_t{0};
+        std::uint32_t nextB = ~std::uint32_t{0};
+        /** Dispatch-order stamp (wrapping; compared via int32 diff). */
+        std::uint32_t age = 0;
         std::uint8_t ctx = 0;
-        bool issued = false;
+        std::uint8_t waitCount = 0; ///< unresolved operands
         bool completed = false;
         bool mispredicted = false;
         /**
@@ -146,34 +179,51 @@ class SmtCore
          * being counted as progress.
          */
         bool spin = false;
-        /**
-         * Sticky operand-ready flags: once a producer's value is
-         * available it stays available, so the issue scan only pays
-         * the producer lookup until the first success.
-         */
-        bool aDone = false;
-        bool bDone = false;
+    };
+    static_assert(sizeof(InFlight) <= 64,
+                  "InFlight must stay within one cache line");
+
+    /**
+     * Issue-queue record: everything the per-cycle scan needs without
+     * touching the instruction slab.  Queues hold only schedulable
+     * instructions (operands resolved), in dispatch order; an entry
+     * whose ready cycle lies in the future is skipped right here, so
+     * the scan's slab accesses are exactly the issue attempts.
+     */
+    struct QEntry
+    {
+        std::uint64_t readyAt = 0;
+        std::uint32_t id = 0;
+        std::uint32_t age = 0;
     };
 
-    /** Per-hardware-context state. */
-    struct Ctx
+    /**
+     * Architectural register scoreboard entry.  `ready` is the cycle
+     * the last written value becomes available (0 if the writer has
+     * long retired), or the pendingReg sentinel while the writer is
+     * dispatched but not yet issued -- in which case `writer` names
+     * the slab entry a consumer must wait on.
+     */
+    struct RegEntry
     {
-        bool active = false;
+        std::uint64_t ready = 0;
+        std::uint32_t writer = ~std::uint32_t{0};
+    };
+
+    /**
+     * Cold per-context state: touched at fetch/dispatch of individual
+     * instructions, not scanned per cycle (the per-cycle stage loops
+     * run over the struct-of-arrays members below instead).
+     */
+    struct CtxCold
+    {
         ThreadBinding bind;
-        std::deque<Fetched> fetchQ;
-        std::deque<std::uint32_t> rob; ///< in-order slab ids
-        std::array<std::uint32_t, NumArchRegs> lastWriter{};
-        std::array<std::uint64_t, NumArchRegs> lastWriterSeq{};
-        int icount = 0; ///< instructions in pre-issue stages + queues
-        std::uint64_t fetchStallUntil = 0;
-        bool atBarrier = false;
-        bool hasPending = false;
         UOp pendingOp; ///< op stalled behind an icache miss
+        std::array<RegEntry, NumArchRegs> regs{};
         std::uint64_t lastFetchLine = ~std::uint64_t{0};
         std::uint32_t predSalt = 0; ///< per-thread predictor salt
-        std::uint64_t retired = 0; ///< within the current run()
         std::uint32_t spinPhase = 0; ///< spin-loop op alternator
-        std::uint64_t lastFetchCycle = 0; ///< ICOUNT tie-breaking
+        bool hasPending = false;
     };
 
     /** Sentinel: fetch stalled until a mispredicted branch resolves. */
@@ -182,64 +232,153 @@ class SmtCore
     /** Sentinel: no instruction. */
     static constexpr std::uint32_t noInst = ~std::uint32_t{0};
 
-    /** Collect active slot indices; returns how many. */
-    int activeSlots(std::array<int, MaxContexts> &slots) const;
+    /** Sentinel: no wake scheduled (queue empty or all waiting). */
+    static constexpr std::uint64_t noWake = ~std::uint64_t{0};
 
-    void doCommit(PerfCounters &pc);
+    /** Sentinel RegEntry::ready: writer dispatched, not yet issued. */
+    static constexpr std::uint64_t pendingReg = ~std::uint64_t{0};
+
+    /** doDispatch() result bits (conflict flags + activity). */
+    static constexpr std::uint32_t dispConfRob = 1u << 0;
+    static constexpr std::uint32_t dispConfIntQ = 1u << 1;
+    static constexpr std::uint32_t dispConfFpQ = 1u << 2;
+    static constexpr std::uint32_t dispConfIntRegs = 1u << 3;
+    static constexpr std::uint32_t dispConfFpRegs = 1u << 4;
+    static constexpr std::uint32_t dispAny = 1u << 5;
+
+    /** @return true if anything committed. */
+    bool doCommit(PerfCounters &pc);
     void doIssue(PerfCounters &pc);
-    void doDispatch(PerfCounters &pc);
-    void doFetch(PerfCounters &pc);
+    /** @return dispConf* flags raised plus dispAny on any dispatch. */
+    std::uint32_t doDispatch(PerfCounters &pc);
+    /** @return true if any fetch slot was exercised or unblocked. */
+    bool doFetch(PerfCounters &pc);
+
+    /**
+     * The executed cycle was architecturally idle: no commit, both
+     * issue scans skipped, nothing dispatched, no fetch candidate.
+     * Pipeline state is then frozen until the next event; @return the
+     * earliest cycle at which any stage could act again (noWake if
+     * none is scheduled -- the caller treats that as "run out the
+     * interval").
+     */
+    std::uint64_t nextEventCycle() const;
 
     std::uint32_t allocInst();
     void releaseResources(const InFlight &inst);
-    bool tryFetchOne(Ctx &ctx, PerfCounters &pc);
+    bool tryFetchOne(int slot, PerfCounters &pc);
     void squashCtx(int slot);
 
-    /** True once the captured producer's value is available. */
-    bool producerDone(std::uint32_t pid, std::uint64_t seq) const;
+    /** Rebuild the cached ascending active-slot list. */
+    void rebuildActiveList();
 
     /**
-     * 0 when the producer's value is available; otherwise the earliest
-     * cycle at which re-examining it could succeed.
+     * Resolve one source operand at dispatch against the context's
+     * register scoreboard: immediately available, available at a known
+     * future cycle (folded into the ready cycle), or waiting on an
+     * un-issued producer (registered on its waiter list).
      */
-    std::uint64_t producerRecheck(std::uint32_t pid,
-                                  std::uint64_t seq) const;
+    void resolveOperand(InFlight &inst, std::uint32_t id,
+                        const CtxCold &cold, std::uint8_t reg,
+                        bool is_second);
 
     /**
-     * 0 when both operands are ready; otherwise the earliest cycle at
-     * which the instruction could become ready.
+     * Producer @p id issued with known completion @p complete_cycle:
+     * walk its waiter list and convert each waiting operand into an
+     * exact ready cycle; a consumer whose last operand resolves is
+     * appended to its queue's pending buffer and the queue woken.
      */
-    std::uint64_t readyOrRecheck(InFlight &inst) const;
+    void wakeWaiters(std::uint32_t id, std::uint64_t complete_cycle);
+
+    /**
+     * Fold the pending-wake buffer into the age-ordered queue (stable
+     * dispatch-order merge; called at the top of a queue scan).
+     */
+    static void mergePending(std::vector<QEntry> &queue,
+                             std::vector<QEntry> &pending);
+
+    /** Ring-buffer helpers (capacities are per-context strides). */
+    std::uint32_t
+    wrapFetch(std::uint32_t i) const
+    {
+        return i + 1 == fetchStride_ ? 0 : i + 1;
+    }
+    std::uint32_t
+    wrapRob(std::uint32_t i) const
+    {
+        return i + 1 == robStride_ ? 0 : i + 1;
+    }
 
     CoreParams params_;
     CacheHierarchy &mem_;
     BranchPredictor bpred_;
-    std::vector<Ctx> ctxs_;
+
+    /** @name Per-context state, struct-of-arrays (indexed by slot) @{ */
+    std::array<std::uint8_t, MaxContexts> active_{};
+    std::array<std::uint8_t, MaxContexts> atBarrier_{};
+    std::array<std::uint16_t, MaxContexts> asid_{};
+    std::array<std::int32_t, MaxContexts> icount_{};
+    std::array<std::uint64_t, MaxContexts> fetchStall_{};
+    std::array<std::uint64_t, MaxContexts> lastFetchCycle_{};
+    std::array<std::uint64_t, MaxContexts> retired_{};
+    /** Fetch-queue rings: ctx c owns fetchSlab_[c*fetchStride_ ...]. */
+    std::array<std::uint32_t, MaxContexts> fqHead_{};
+    std::array<std::uint32_t, MaxContexts> fqCount_{};
+    /** Per-thread ROB rings: ctx c owns robSlab_[c*robStride_ ...]. */
+    std::array<std::uint32_t, MaxContexts> robHead_{};
+    std::array<std::uint32_t, MaxContexts> robCount_{};
+    /** @} */
+
+    std::vector<CtxCold> cold_;
+    std::vector<Fetched> fetchSlab_;
+    std::vector<std::uint32_t> robSlab_;
+    std::uint32_t fetchStride_ = 0;
+    std::uint32_t robStride_ = 0;
+
+    /** Cached ascending list of active slots (rebuilt on attach). */
+    std::array<std::int32_t, MaxContexts> activeList_{};
+    int numActive_ = 0;
 
     std::vector<InFlight> slab_;
     std::vector<std::uint32_t> freeList_;
-    std::uint64_t seqCounter_ = 0;
+    std::uint32_t ageCounter_ = 0;
 
-    /** Issue-queue entry: slab id plus a readiness-recheck hint. */
-    struct QEntry
-    {
-        std::uint32_t id = 0;
-        /**
-         * Do not re-examine before this cycle: when an operand waits
-         * on an already-issued producer, its completion time is known,
-         * so the scan can skip the entry without touching the slab.
-         */
-        std::uint64_t recheckAt = 0;
-    };
-
-    std::vector<QEntry> intQ_; ///< age-ordered
+    /**
+     * Issue queues: schedulable instructions only, in dispatch (age)
+     * order.  Consumers woken by a producer's issue land in the
+     * pending buffer and are merged -- stable, by age -- at the top of
+     * the next scan, so mid-scan wakes never mutate the queue being
+     * walked.  Queue capacity counts every dispatched-not-issued
+     * instruction of the class, whether it currently sits in the
+     * queue, the pending buffer, or only on producers' waiter lists.
+     */
+    std::vector<QEntry> intQ_;
     std::vector<QEntry> fpQ_;
+    std::vector<QEntry> intPend_;
+    std::vector<QEntry> fpPend_;
+    int intQCount_ = 0;
+    int fpQCount_ = 0;
+    /**
+     * Earliest cycle the queue's scan could do anything: min over
+     * schedulable entries of readyAt, clamped to cycle+1 for entries
+     * denied a unit this cycle.  A scan at a cycle below the wake is
+     * provably a no-op (every entry would be skipped by the readyAt
+     * guard, which mutates nothing and raises no conflict flag), so
+     * doIssue skips it wholesale.
+     */
+    std::uint64_t intQWake_ = noWake;
+    std::uint64_t fpQWake_ = noWake;
 
     int intRenameFree_;
     int fpRenameFree_;
     int robFree_;
 
     std::array<std::uint64_t, 8> fpBusyUntil_{};
+
+    /** L1I line shift, pre-resolved from the memory geometry. */
+    std::uint32_t l1iLineShift_ = 0;
+    /** Fetch policy, pre-resolved at construction (not per cycle). */
+    bool roundRobinFetch_ = false;
 
     std::uint64_t cycle_ = 0;
     int commitRR_ = 0;

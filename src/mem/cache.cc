@@ -24,88 +24,9 @@ Cache::Cache(const CacheParams &params) : params_(params)
     numSets_ = params.sizeBytes / params.lineBytes / params.assoc;
     SOS_ASSERT(numSets_ > 0 && isPow2(numSets_),
                "set count must be a power of 2");
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(params.lineBytes));
     ways_.resize(static_cast<std::size_t>(numSets_) * params.assoc);
-}
-
-std::uint64_t
-Cache::lineFor(std::uint16_t asid, std::uint64_t addr) const
-{
-    // Fold the address space id into the high tag bits: same virtual
-    // line in different jobs occupies the same set but never matches.
-    return (addr / params_.lineBytes) |
-           (static_cast<std::uint64_t>(asid) << 48);
-}
-
-bool
-Cache::access(std::uint16_t asid, std::uint64_t addr)
-{
-    const std::uint64_t line = lineFor(asid, addr);
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(line) & (numSets_ - 1);
-    Way *const base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
-
-    ++lruClock_;
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line) {
-            way.lruStamp = lruClock_;
-            ++hits_;
-            return true;
-        }
-        if (!way.valid) {
-            victim = &way; // prefer an invalid way
-        } else if (victim->valid && way.lruStamp < victim->lruStamp) {
-            victim = &way;
-        }
-    }
-    victim->valid = true;
-    victim->tag = line;
-    victim->lruStamp = lruClock_;
-    ++misses_;
-    return false;
-}
-
-void
-Cache::prefetchFill(std::uint16_t asid, std::uint64_t addr)
-{
-    const std::uint64_t line = lineFor(asid, addr);
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(line) & (numSets_ - 1);
-    Way *const base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
-
-    ++lruClock_;
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line) {
-            way.lruStamp = lruClock_; // already resident: refresh only
-            return;
-        }
-        if (!way.valid) {
-            victim = &way;
-        } else if (victim->valid && way.lruStamp < victim->lruStamp) {
-            victim = &way;
-        }
-    }
-    victim->valid = true;
-    victim->tag = line;
-    victim->lruStamp = lruClock_;
-}
-
-bool
-Cache::probe(std::uint16_t asid, std::uint64_t addr) const
-{
-    const std::uint64_t line = lineFor(asid, addr);
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(line) & (numSets_ - 1);
-    const Way *const base =
-        &ways_[static_cast<std::size_t>(set) * params_.assoc];
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return true;
-    }
-    return false;
 }
 
 void

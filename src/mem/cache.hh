@@ -13,6 +13,7 @@
 #ifndef SOS_MEM_CACHE_HH
 #define SOS_MEM_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +52,10 @@ class Cache
 
     /**
      * Look up (and on miss, allocate) the line containing addr.
+     *
+     * Defined inline below: one lookup runs for every load, store and
+     * icache-line fetch the core simulates, so the body must be
+     * visible to the per-cycle loops (DESIGN.md section 9).
      *
      * @param asid Address-space id of the accessor (distinct per job).
      * @param addr Virtual byte address.
@@ -105,13 +110,100 @@ class Cache
 
     std::uint64_t lineFor(std::uint16_t asid, std::uint64_t addr) const;
 
+    /** Find the LRU victim way for @p line's set (hit => nullptr). */
+    Way *findOrVictim(std::uint64_t line);
+
     CacheParams params_;
     std::uint32_t numSets_;
+    std::uint32_t lineShift_; ///< log2(lineBytes), avoids division
     std::uint32_t lruClock_ = 0;
     std::vector<Way> ways_; // numSets_ * assoc, set-major
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };
+
+inline std::uint64_t
+Cache::lineFor(std::uint16_t asid, std::uint64_t addr) const
+{
+    // Fold the address space id into the high tag bits: same virtual
+    // line in different jobs occupies the same set but never matches.
+    return (addr >> lineShift_) |
+           (static_cast<std::uint64_t>(asid) << 48);
+}
+
+inline Cache::Way *
+Cache::findOrVictim(std::uint64_t line)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line) & (numSets_ - 1);
+    Way *const base = &ways_[static_cast<std::size_t>(set) * params_.assoc];
+
+    ++lruClock_;
+    const std::uint32_t assoc = params_.assoc;
+    // Hit scan first: the common case exits without tracking a
+    // victim, so the hot path is a bare tag compare per way.
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lruStamp = lruClock_;
+            return nullptr;
+        }
+    }
+    // Miss: last invalid way if any, else the first least-recently
+    // used way (the same choice the former fused scan made).
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        Way &way = base[w];
+        if (!way.valid)
+            victim = &way;
+        else if (victim->valid && way.lruStamp < victim->lruStamp)
+            victim = &way;
+    }
+    return victim;
+}
+
+inline bool
+Cache::access(std::uint16_t asid, std::uint64_t addr)
+{
+    const std::uint64_t line = lineFor(asid, addr);
+    Way *const victim = findOrVictim(line);
+    if (victim == nullptr) {
+        ++hits_;
+        return true;
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->lruStamp = lruClock_;
+    ++misses_;
+    return false;
+}
+
+inline void
+Cache::prefetchFill(std::uint16_t asid, std::uint64_t addr)
+{
+    const std::uint64_t line = lineFor(asid, addr);
+    Way *const victim = findOrVictim(line);
+    if (victim == nullptr)
+        return; // already resident: recency refreshed only
+    victim->valid = true;
+    victim->tag = line;
+    victim->lruStamp = lruClock_;
+}
+
+inline bool
+Cache::probe(std::uint16_t asid, std::uint64_t addr) const
+{
+    const std::uint64_t line = lineFor(asid, addr);
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line) & (numSets_ - 1);
+    const Way *const base =
+        &ways_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
 
 } // namespace sos
 

@@ -51,19 +51,6 @@ SharedL2::SharedL2(const MemParams &params, int num_cores)
     counters_.resize(static_cast<std::size_t>(num_cores));
 }
 
-bool
-SharedL2::access(int core, std::uint16_t asid, std::uint64_t addr)
-{
-    CoreCounters &c = counters_.at(static_cast<std::size_t>(core));
-    ++c.accesses;
-    const bool hit = l2_.access(asid, addr);
-    if (hit)
-        ++c.hits;
-    else
-        ++c.misses;
-    return hit;
-}
-
 void
 SharedL2::prefetchFill(int core, std::uint16_t asid, std::uint64_t addr)
 {
@@ -125,46 +112,20 @@ CacheHierarchy::CacheHierarchy(const CacheHierarchy &other, SharedL2 &l2)
     }
 }
 
-std::uint32_t
-CacheHierarchy::dataAccess(std::uint16_t asid, std::uint64_t addr,
-                           bool write, std::uint64_t pc)
+void
+CacheHierarchy::trainPrefetcher(std::uint16_t asid, std::uint64_t addr,
+                                std::uint64_t pc)
 {
-    std::uint32_t extra = 0;
-    if (!dtlb_.access(asid, addr))
-        extra += params_.tlbMissLatency;
-    if (!l1d_.access(asid, addr)) {
-        extra += params_.l2HitLatency;
-        if (!l2_.access(coreId_, asid, addr))
-            extra += params_.memLatency;
+    prefetchScratch_.clear();
+    prefetcher_.observe(asid, pc, addr, prefetchScratch_);
+    for (std::uint64_t target : prefetchScratch_) {
+        // Hardware prefetchers drop requests that would require a
+        // page walk.
+        if (!dtlb_.probe(asid, target))
+            continue;
+        l2_.prefetchFill(coreId_, asid, target);
+        l1d_.prefetchFill(asid, target);
     }
-
-    if (!write && pc != 0 && prefetcher_.enabled()) {
-        prefetchScratch_.clear();
-        prefetcher_.observe(asid, pc, addr, prefetchScratch_);
-        for (std::uint64_t target : prefetchScratch_) {
-            // Hardware prefetchers drop requests that would require a
-            // page walk.
-            if (!dtlb_.probe(asid, target))
-                continue;
-            l2_.prefetchFill(coreId_, asid, target);
-            l1d_.prefetchFill(asid, target);
-        }
-    }
-    return extra;
-}
-
-std::uint32_t
-CacheHierarchy::instAccess(std::uint16_t asid, std::uint64_t pc)
-{
-    std::uint32_t extra = 0;
-    if (!itlb_.access(asid, pc))
-        extra += params_.tlbMissLatency;
-    if (!l1i_.access(asid, pc)) {
-        extra += params_.l2HitLatency;
-        if (!l2_.access(coreId_, asid, pc))
-            extra += params_.memLatency;
-    }
-    return extra;
 }
 
 void

@@ -91,7 +91,11 @@ class SharedL2
      */
     SharedL2(const MemParams &params, int num_cores);
 
-    /** Demand access from @p core; true on hit (allocates on miss). */
+    /**
+     * Demand access from @p core; true on hit (allocates on miss).
+     * Defined inline below: this sits on the simulator's per-L1-miss
+     * path (DESIGN.md section 9).
+     */
     bool access(int core, std::uint16_t asid, std::uint64_t addr);
 
     /** Prefetch fill from @p core (no demand counters touched). */
@@ -214,6 +218,10 @@ class CacheHierarchy
     /** @} */
 
   private:
+    /** Prefetcher training + fills for a load (out of line: rare). */
+    void trainPrefetcher(std::uint16_t asid, std::uint64_t addr,
+                         std::uint64_t pc);
+
     MemParams params_;
     int coreId_;
     SharedL2 &l2_;
@@ -224,6 +232,51 @@ class CacheHierarchy
     StridePrefetcher prefetcher_;
     std::vector<std::uint64_t> prefetchScratch_;
 };
+
+inline bool
+SharedL2::access(int core, std::uint16_t asid, std::uint64_t addr)
+{
+    CoreCounters &c = counters_[static_cast<std::size_t>(core)];
+    ++c.accesses;
+    const bool hit = l2_.access(asid, addr);
+    if (hit)
+        ++c.hits;
+    else
+        ++c.misses;
+    return hit;
+}
+
+inline std::uint32_t
+CacheHierarchy::dataAccess(std::uint16_t asid, std::uint64_t addr,
+                           bool write, std::uint64_t pc)
+{
+    std::uint32_t extra = 0;
+    if (!dtlb_.access(asid, addr))
+        extra += params_.tlbMissLatency;
+    if (!l1d_.access(asid, addr)) {
+        extra += params_.l2HitLatency;
+        if (!l2_.access(coreId_, asid, addr))
+            extra += params_.memLatency;
+    }
+
+    if (!write && pc != 0 && prefetcher_.enabled())
+        trainPrefetcher(asid, addr, pc);
+    return extra;
+}
+
+inline std::uint32_t
+CacheHierarchy::instAccess(std::uint16_t asid, std::uint64_t pc)
+{
+    std::uint32_t extra = 0;
+    if (!itlb_.access(asid, pc))
+        extra += params_.tlbMissLatency;
+    if (!l1i_.access(asid, pc)) {
+        extra += params_.l2HitLatency;
+        if (!l2_.access(coreId_, asid, pc))
+            extra += params_.memLatency;
+    }
+    return extra;
+}
 
 } // namespace sos
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "sim/core_bench.hh"
 #include "sim/params_io.hh"
 #include "stats/json.hh"
 
@@ -138,6 +139,13 @@ BenchHarness::finish() const
         trace_.writeFile(options_.out.trace);
     if (!options_.out.benchSweep.empty())
         writeBenchSweep();
+    if (!options_.out.benchCore.empty()) {
+        // The core-loop microbench runs only on request: the flag is
+        // the opt-in, so every harness binary gains --bench-core
+        // without paying for it otherwise.
+        writeCoreBenchFile(options_.out.benchCore, tool_,
+                           runCoreBench());
+    }
     return 0;
 }
 

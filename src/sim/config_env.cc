@@ -41,6 +41,8 @@ outputPathsFromEnv()
         out.trace = path;
     if (const char *path = std::getenv("SOS_BENCH_SWEEP"))
         out.benchSweep = path;
+    if (const char *path = std::getenv("SOS_BENCH_CORE"))
+        out.benchCore = path;
     return out;
 }
 
@@ -67,11 +69,13 @@ parseBenchArgs(int argc, char **argv)
             options.out.trace = valueOf("--trace");
         else if (arg == "--bench-sweep")
             options.out.benchSweep = valueOf("--bench-sweep");
+        else if (arg == "--bench-core")
+            options.out.benchCore = valueOf("--bench-core");
         else
             fatal("unknown argument '", arg,
                   "' (bench harnesses accept --set key=value, "
                   "--jobs N, --out FILE, --trace FILE, "
-                  "--bench-sweep FILE)");
+                  "--bench-sweep FILE, --bench-core FILE)");
     }
     return options;
 }

@@ -8,10 +8,11 @@
  *                 threads), SOS_SNAPSHOT (0 disables the snapshot
  *                 fast path), SOS_OUT (manifest path), SOS_TRACE
  *                 (decision-trace path), SOS_BENCH_SWEEP (wall-clock
- *                 timing report path)
+ *                 timing report path), SOS_BENCH_CORE (core-loop
+ *                 microbench report path)
  *   command line  --set key=value (repeated), --jobs N,
  *                 --out FILE.json, --trace FILE.jsonl,
- *                 --bench-sweep FILE.json
+ *                 --bench-sweep FILE.json, --bench-core FILE.json
  *
  * This module is the one place that parsing lives; reporting.hh is
  * again purely about table formatting.
@@ -46,6 +47,12 @@ struct OutputPaths
      * manifests stay bit-comparable across hosts and worker counts.
      */
     std::string benchSweep;
+    /**
+     * --bench-core / SOS_BENCH_CORE; empty = skip. When set, the
+     * harness runs the fixed core-loop microbench at exit and writes
+     * its cycles/sec report here (host timing, never the manifest).
+     */
+    std::string benchCore;
 };
 
 /** Resolve SOS_OUT / SOS_TRACE / SOS_BENCH_SWEEP when no flags given. */

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Host-throughput microbenchmark of the SmtCore cycle loop.
+ *
+ * Runs a fixed, deterministic workload -- one SMT core per level in
+ * {1, 2, 4, 6} contexts, each bound to library workloads with fixed
+ * seeds and driven for a fixed cycle budget -- and reports how fast
+ * the *host* chews through simulated cycles and retired instructions.
+ *
+ * The simulated side (cycles, retired, IPC) is bit-reproducible: it
+ * must not change unless the architectural model changes, which makes
+ * the report double as a cheap identity probe. The host side
+ * (cycles/sec, kilo-instructions/sec) is what the CI perf trajectory
+ * tracks: it is pure wall-clock and never enters a run manifest.
+ *
+ * Requested with --bench-core FILE / SOS_BENCH_CORE; written by
+ * BenchHarness::finish() as a "sos.bench-core" schema v1 JSON report.
+ */
+
+#ifndef SOS_SIM_CORE_BENCH_HH
+#define SOS_SIM_CORE_BENCH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sos {
+
+/** Measured throughput of the core loop at one SMT level. */
+struct CoreBenchLevel
+{
+    int contexts = 0;             ///< hardware contexts exercised
+    std::uint64_t cycles = 0;     ///< simulated cycles driven
+    std::uint64_t retired = 0;    ///< instructions retired (deterministic)
+    double ipc = 0.0;             ///< simulated IPC (deterministic)
+    double elapsedSeconds = 0.0;  ///< host wall-clock for the run
+    double cyclesPerSec = 0.0;    ///< host throughput, simulated cycles/s
+    double retiredPerSec = 0.0;   ///< host throughput, retired insts/s
+};
+
+/** Result of one full microbench sweep over the SMT levels. */
+struct CoreBenchResult
+{
+    static constexpr int numLevels = 4;
+    std::array<CoreBenchLevel, numLevels> levels{};
+    double elapsedSeconds = 0.0; ///< total harness wall-clock
+};
+
+/**
+ * Drive the fixed core-loop workload at every SMT level.
+ *
+ * @param cycles_per_level Simulated cycles per level (default sized
+ *        so the whole sweep takes about a second on a laptop core).
+ */
+CoreBenchResult runCoreBench(std::uint64_t cycles_per_level = 300000);
+
+/**
+ * Write @p result to @p path as a "sos.bench-core" schema v1 JSON
+ * document. @p tool names the producing binary. fatal()s on I/O
+ * errors, mirroring the bench-sweep writer.
+ */
+void writeCoreBenchFile(const std::string &path, const std::string &tool,
+                        const CoreBenchResult &result);
+
+} // namespace sos
+
+#endif // SOS_SIM_CORE_BENCH_HH

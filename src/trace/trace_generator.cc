@@ -23,10 +23,12 @@ TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
     fillGeometricTable(depTable_, profile.avgDepDistance, 1.0);
     pc_ = 0x1000;
     bbRemaining_ = blockLen(pc_);
-    const std::uint64_t ws = std::max<std::uint64_t>(
-        profile.workingSetBytes, 64);
+    // First barrier fires on the call where count_ reaches the
+    // interval, i.e. syncInterval + 1 calls from now.
+    toSync_ = profile.syncInterval > 0 ? profile.syncInterval + 1 : 0;
+    wsBytes_ = std::max<std::uint64_t>(profile.workingSetBytes, 64);
     for (std::size_t s = 0; s < streamPos_.size(); ++s)
-        streamPos_[s] = ws / streamPos_.size() * s;
+        streamPos_[s] = wsBytes_ / streamPos_.size() * s;
 }
 
 void
@@ -106,15 +108,20 @@ TraceGenerator::dataAddress(bool &serialized)
 {
     serialized = false;
     const WorkloadProfile &p = *profile_;
-    const std::uint64_t ws = std::max<std::uint64_t>(p.workingSetBytes, 64);
+    const std::uint64_t ws = wsBytes_;
     const double u = rng_.uniform();
     std::uint64_t addr;
     if (u < p.streamFraction) {
         // Unit-stride walk; four interleaved streams model the several
-        // concurrent array traversals of a loop nest.
+        // concurrent array traversals of a loop nest. The pointers
+        // stay below ws, so the wrap is a conditional subtract rather
+        // than a modulo.
         const std::size_t s = streamCursor_++ % streamPos_.size();
-        streamPos_[s] = (streamPos_[s] + 8) % ws;
-        addr = streamPos_[s];
+        std::uint64_t pos = streamPos_[s] + 8;
+        if (pos >= ws)
+            pos -= ws;
+        streamPos_[s] = pos;
+        addr = pos;
     } else if (u < p.streamFraction + p.hotFraction) {
         const std::uint64_t hot = std::max<std::uint64_t>(p.hotBytes, 64);
         addr = ws + rng_.below(hot); // hot region sits above the arrays
@@ -155,7 +162,8 @@ TraceGenerator::next()
 
     // Barriers fire on a fixed instruction period so sibling threads
     // of a parallel job reach them in lockstep amounts of work.
-    if (p.syncInterval > 0 && count_ > 0 && count_ % p.syncInterval == 0) {
+    if (toSync_ != 0 && --toSync_ == 0) {
+        toSync_ = p.syncInterval;
         op.cls = OpClass::Barrier;
         ++count_;
         advancePc(op);

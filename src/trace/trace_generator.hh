@@ -85,6 +85,16 @@ class TraceGenerator
     std::uint64_t bbRemaining_;
     std::uint64_t branchCount_ = 0;
 
+    /**
+     * Calls remaining until the next barrier (0 when the profile has
+     * no syncInterval). A countdown instead of `count_ % syncInterval`
+     * keeps a 64-bit division off the per-op path.
+     */
+    std::uint64_t toSync_ = 0;
+
+    /** Cached max(workingSetBytes, 64): hoisted off the per-op path. */
+    std::uint64_t wsBytes_ = 64;
+
     /** Ring of recently produced register ids, per class. */
     std::array<std::uint8_t, 32> intRing_{};
     std::array<std::uint8_t, 32> fpRing_{};
