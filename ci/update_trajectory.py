@@ -9,7 +9,8 @@ fails the build when throughput regressed more than the allowed
 fraction against the best directly comparable prior entry.
 
 Entries are only compared when their configuration key matches: the
-same tool, cycle scale, worker count and snapshot setting. A full-
+same tool, cycle scale, worker count, snapshot setting and sampling
+windows (full-detail and sampled sweeps have different cost). A full-
 scale measurement from a developer box therefore coexists with the
 scaled-down CI smoke measurements without ever being compared against
 them.
@@ -32,11 +33,15 @@ SCHEMA_VERSION = 1
 
 
 def config_key(entry):
+    # Entries predating the sampled-simulation mode carry no "sampled"
+    # field; default it to "off" so the seed history keeps matching
+    # today's full-detail runs.
     return (
         entry.get("tool"),
         entry.get("cycle_scale"),
         entry.get("jobs"),
         entry.get("snapshot"),
+        entry.get("sampled", "off"),
     )
 
 
@@ -91,6 +96,7 @@ def main():
         "cycle_scale": args.cycle_scale,
         "jobs": sweep.get("jobs"),
         "snapshot": sweep.get("snapshot"),
+        "sampled": sweep.get("sample", "off"),
         "candidates": timing["candidates"],
         "candidates_per_sec": timing["candidates_per_sec"],
         "elapsed_seconds": timing["elapsed_seconds"],

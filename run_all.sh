@@ -60,6 +60,30 @@ if [ -x build/bench/micro_simulator ]; then
     fi
 fi
 
+# Sampled-mode fig1 sweep: the same golden sweep once more with the
+# SMARTS sampler on, so every full run also records the sampled-mode
+# wall-clock and fidelity next to the full-detail reference. Windows
+# scale with SOS_CYCLE_SCALE (quarter-timeslice periods, 10% detailed,
+# warm:measure 1:3 -- the tuning the CI smoke gates); an explicit
+# SOS_SAMPLE wins.
+if [ -x build/bench/fig1_ws_range ]; then
+    scale="${SOS_CYCLE_SCALE:-100}"
+    period=$((5000000 / scale / 4))
+    det=$((period / 10))
+    w=$((det / 4))
+    sample="${SOS_SAMPLE:-$((period - det)):$w:$((det - w))}"
+    mkdir -p results/sampled
+    echo "===== fig1_ws_range (sampled $sample) =====" >>bench_output.txt
+    if ! SOS_SAMPLE="$sample" build/bench/fig1_ws_range \
+            --out results/sampled/fig1_ws_range.json \
+            --bench-sweep results/sampled/timing.json \
+            >>bench_output.txt 2>&1
+    then
+        echo "FAILED: fig1_ws_range (sampled)" >>bench_output.txt
+        status=1
+    fi
+fi
+
 # Consolidate the per-bench manifests (and validate that every one is
 # well-formed JSON) when python3 is around; the simulator itself never
 # depends on python.
@@ -137,6 +161,65 @@ with open("results/BENCH_sweep.json", "w") as f:
 print(
     "results/BENCH_sweep.json: %d bench timings, %.1fs total"
     % (len(timing), total)
+)
+
+# The sampled-mode report: wall-clock of the sampled fig1 sweep
+# against its full-detail sibling, the manifest's sampling stats
+# (windows, cycle split, error estimates), and the pick-regret of the
+# sampled winner per jobmix scored in full detail.
+sampled_doc = {
+    "schema": "sos.bench-sampled",
+    "schema_version": 1,
+}
+try:
+    with open("results/sampled/fig1_ws_range.json") as f:
+        sampled_manifest = json.load(f)
+    with open("results/sampled/timing.json") as f:
+        sampled_timing = json.load(f)
+except (OSError, ValueError) as exc:
+    sampled_manifest = sampled_timing = None
+    failures.append("results/sampled: unreadable (%s)" % exc)
+if sampled_manifest is not None:
+    sampled_doc["sample"] = sampled_timing.get("sample")
+    sampled_doc["sampling"] = sampled_manifest["stats"].get("sampling")
+    sampled_doc["elapsed_seconds"] = (
+        sampled_timing["stats"]["timing"]["elapsed_seconds"]
+    )
+    full_timing = timing.get("fig1_ws_range")
+    if full_timing is not None:
+        full_elapsed = full_timing["stats"]["timing"]["elapsed_seconds"]
+        sampled_doc["full_elapsed_seconds"] = full_elapsed
+        sampled_doc["speedup"] = (
+            full_elapsed / sampled_doc["elapsed_seconds"]
+            if sampled_doc["elapsed_seconds"] > 0 else 0.0
+        )
+    full_run = runs.get("fig1_ws_range")
+    if full_run is not None:
+        regret = {}
+        fexp = full_run["stats"]["experiments"]
+        sexp = sampled_manifest["stats"]["experiments"]
+        for mix in fexp:
+            fc = [v for k, v in fexp[mix].items()
+                  if k.startswith("candidate")]
+            sc = [v for k, v in sexp[mix].items()
+                  if k.startswith("candidate")]
+            pick = max(sc, key=lambda c: c["ws"])["schedule"]
+            best = max(c["ws"] for c in fc)
+            picked = next(c["ws"] for c in fc if c["schedule"] == pick)
+            regret[mix] = (best - picked) / best if best > 0 else 0.0
+        sampled_doc["pick_regret"] = regret
+        sampled_doc["worst_pick_regret"] = max(
+            regret.values(), default=0.0
+        )
+with open("results/BENCH_sampled.json", "w") as f:
+    json.dump(sampled_doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(
+    "results/BENCH_sampled.json: %.2fx speedup, worst pick-regret %.2f%%"
+    % (
+        sampled_doc.get("speedup", 0.0),
+        100.0 * sampled_doc.get("worst_pick_regret", 0.0),
+    )
 )
 
 core = load_docs("results/core", "sos.bench-core")

@@ -1,0 +1,160 @@
+#include "functional_executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "cpu/smt_core.hh"
+#include "cpu/sync_domain.hh"
+
+namespace sos {
+
+namespace {
+
+/**
+ * Uops executed per slot before rotating to the next: small enough
+ * that barrier partners release each other within one pass, large
+ * enough that the rotation overhead disappears in the noise.
+ */
+constexpr std::uint64_t Chunk = 64;
+
+} // namespace
+
+void
+FunctionalExecutor::run(std::uint64_t cycles, const Rates &rates,
+                        PerfCounters &counters)
+{
+    SmtCore &c = core_;
+    if (cycles == 0)
+        return;
+    SOS_ASSERT(c.inFlightCount() == 0,
+               "functional fast-forward needs a drained core");
+
+    // Memory-system counters are component deltas, exactly as in the
+    // detailed SmtCore::run -- the warming traffic is real traffic.
+    const std::uint64_t l1i_h0 = c.mem_.l1i().hits();
+    const std::uint64_t l1i_m0 = c.mem_.l1i().misses();
+    const std::uint64_t l1d_h0 = c.mem_.l1d().hits();
+    const std::uint64_t l1d_m0 = c.mem_.l1d().misses();
+    const std::uint64_t l2_h0 = c.mem_.l2CoreCounters().hits;
+    const std::uint64_t l2_m0 = c.mem_.l2CoreCounters().misses;
+    const std::uint64_t itlb_m0 = c.mem_.itlb().misses();
+    const std::uint64_t dtlb_m0 = c.mem_.dtlb().misses();
+
+    PerfCounters d;
+
+    // The rate (detailed uops/cycle) converts the cycle span into the
+    // uop count full detail would have retired in it.
+    std::array<std::uint64_t, MaxContexts> budget{};
+    for (int i = 0; i < c.numActive_; ++i) {
+        const auto s = static_cast<std::size_t>(
+            c.activeList_[static_cast<std::size_t>(i)]);
+        budget[s] = static_cast<std::uint64_t>(
+            std::llround(rates[s] * static_cast<double>(cycles)));
+    }
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int i = 0; i < c.numActive_; ++i) {
+            const auto s = static_cast<std::size_t>(
+                c.activeList_[static_cast<std::size_t>(i)]);
+            if (budget[s] == 0)
+                continue;
+            SmtCore::CtxCold &cold = c.cold_[s];
+            const ThreadBinding &bind = cold.bind;
+            if (c.atBarrier_[s]) {
+                // Parked threads spend no budget: functionally the
+                // spin loop is pure waiting. The partner that must
+                // release them keeps running in this same pass.
+                if (bind.sync->blocked(bind.syncIndex))
+                    continue;
+                c.atBarrier_[s] = 0;
+            }
+            std::uint64_t n = std::min(Chunk, budget[s]);
+            while (n > 0) {
+                const UOp op = bind.gen->next();
+                if (op.cls == OpClass::Barrier) {
+                    // Consumed for free, as at detailed fetch. An
+                    // arrival is progress even when it blocks this
+                    // thread: it may have released a partner already
+                    // passed over in this rotation.
+                    bind.sync->arrive(bind.syncIndex);
+                    ++d.barriers;
+                    progress = true;
+                    if (bind.sync->blocked(bind.syncIndex)) {
+                        c.atBarrier_[s] = 1;
+                        break;
+                    }
+                    continue;
+                }
+
+                // Warm the instruction side on line changes (the same
+                // filter detailed fetch applies) and the data side,
+                // TLBs and prefetcher on every memory op; latencies
+                // are ignored, the state updates are the point.
+                const std::uint64_t line = op.pc >> c.l1iLineShift_;
+                if (line != cold.lastFetchLine) {
+                    cold.lastFetchLine = line;
+                    (void)c.mem_.instAccess(c.asid_[s], op.pc);
+                }
+                if (op.isMem()) {
+                    (void)c.mem_.dataAccess(c.asid_[s], op.addr,
+                                            op.cls == OpClass::Store,
+                                            op.pc);
+                }
+                switch (op.cls) {
+                  case OpClass::IntAlu:
+                  case OpClass::IntMult:
+                    ++d.intOps;
+                    break;
+                  case OpClass::Branch:
+                    ++d.intOps;
+                    ++d.branches;
+                    if (c.bpred_.predictAndUpdate(cold.predSalt, op.pc,
+                                                  op.taken) != op.taken)
+                        ++d.branchMispredicts;
+                    break;
+                  case OpClass::FpAdd:
+                  case OpClass::FpMult:
+                  case OpClass::FpDiv:
+                    ++d.fpOps;
+                    break;
+                  case OpClass::Load:
+                    ++d.loads;
+                    break;
+                  case OpClass::Store:
+                    ++d.stores;
+                    break;
+                  case OpClass::Barrier:
+                    panic("barrier handled above");
+                }
+                ++d.fetched;
+                ++d.dispatched;
+                ++d.issued;
+                ++d.retired;
+                ++d.slotRetired[s];
+                --budget[s];
+                --n;
+                progress = true;
+            }
+        }
+        // A full rotation without a single retired uop means every
+        // slot with budget left is parked behind a barrier whose
+        // partners ran dry: the remaining span is idle time.
+    }
+
+    c.cycle_ += cycles;
+    d.cycles = cycles;
+    d.l1iHits = c.mem_.l1i().hits() - l1i_h0;
+    d.l1iMisses = c.mem_.l1i().misses() - l1i_m0;
+    d.l1dHits = c.mem_.l1d().hits() - l1d_h0;
+    d.l1dMisses = c.mem_.l1d().misses() - l1d_m0;
+    d.l2Hits = c.mem_.l2CoreCounters().hits - l2_h0;
+    d.l2Misses = c.mem_.l2CoreCounters().misses - l2_m0;
+    d.itlbMisses = c.mem_.itlb().misses() - itlb_m0;
+    d.dtlbMisses = c.mem_.dtlb().misses() - dtlb_m0;
+    counters += d;
+}
+
+} // namespace sos

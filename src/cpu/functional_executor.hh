@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional fast-forward executor for sampled simulation.
+ *
+ * The low-fidelity half of the fidelity-polymorphic execution stack
+ * (DESIGN.md section 10). It advances exactly the state a later
+ * detailed window depends on -- TraceGenerator streams (the RNG
+ * streams ARE the program), barrier arrivals, caches, TLBs, the
+ * stride prefetcher and the branch predictor -- while skipping
+ * everything that only yields per-cycle timing: issue queues,
+ * dependence wakeups, rename/ROB occupancy, fetch policy. Each
+ * retired uop is a handful of RNG draws plus at most two cache
+ * probes, versus ~800 host cycles through the detailed pipeline.
+ *
+ * It deliberately has no timing model of its own: the caller (the
+ * SamplingController) converts a fast-forwarded cycle span into
+ * per-slot uop budgets using retirement rates measured in the
+ * preceding detailed window, which keeps instruction counts and job
+ * progress consistent with what full detail would have retired.
+ */
+
+#ifndef SOS_CPU_FUNCTIONAL_EXECUTOR_HH
+#define SOS_CPU_FUNCTIONAL_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/core_params.hh"
+#include "cpu/perf_counters.hh"
+
+namespace sos {
+
+class SmtCore;
+
+/** Advances an SmtCore's threads functionally (no pipeline timing). */
+class FunctionalExecutor
+{
+  public:
+    /** Per-slot retirement rates (uops per cycle, from detail). */
+    using Rates = std::array<double, MaxContexts>;
+
+    explicit FunctionalExecutor(SmtCore &core) : core_(core) {}
+
+    /**
+     * Fast-forward @p cycles simulated cycles: each active slot
+     * retires ~rates[slot] * cycles uops (warming the memory system
+     * and branch predictor along the way), barriers arrive and
+     * release exactly as the generators dictate, and the core's clock
+     * jumps by @p cycles. The core must be drained
+     * (SmtCore::drainInFlight) first -- the executor feeds straight
+     * from the generators and asserts nothing is in flight.
+     *
+     * Counter semantics: every retired uop is credited through all
+     * four stage counters (fetched/dispatched/issued/retired), class
+     * counters, branch and memory counters, and slotRetired; cycles
+     * and the memory-component deltas accrue exactly as in a detailed
+     * run. Per-cycle conflict counters stay untouched (the controller
+     * extrapolates those). Threads parked at a barrier make no
+     * progress and synthesize no spin filler; their unspent budget is
+     * simply idle time, and partners they are waiting on keep running
+     * in the same pass (execution is interleaved in small chunks so
+     * no barrier deadlocks on budget ordering).
+     */
+    void run(std::uint64_t cycles, const Rates &rates,
+             PerfCounters &counters);
+
+  private:
+    SmtCore &core_;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_FUNCTIONAL_EXECUTOR_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Window configuration of the sampled (SMARTS-style) execution mode.
+ *
+ * Lives at the cpu layer so everything that drives a core -- the sim
+ * engines, but also the solo-IPC Calibrator in metrics -- can speak
+ * both fidelity levels without reaching up into sim configuration.
+ */
+
+#ifndef SOS_CPU_SAMPLE_WINDOWS_HH
+#define SOS_CPU_SAMPLE_WINDOWS_HH
+
+#include <cstdint>
+
+namespace sos {
+
+/**
+ * Sampled-simulation window lengths (simulated cycles), the SMARTS
+ * pattern: fast-forward U cycles functionally (caches, TLBs and the
+ * branch predictor stay warm, architectural state and RNG streams
+ * advance, but no per-cycle pipeline modeling), then run W cycles of
+ * detailed warm-up and M cycles of detailed measurement. The detailed
+ * windows' counters are real; only the per-cycle conflict counters
+ * are extrapolated over the fast-forwarded span. fastForward == 0
+ * disables sampling entirely (the default), leaving the full-detail
+ * path untouched.
+ */
+struct SampleWindows
+{
+    std::uint64_t fastForward = 0; ///< U: functional cycles per period
+    std::uint64_t warm = 0;        ///< W: detailed warm-up cycles
+    std::uint64_t measure = 0;     ///< M: detailed measured cycles
+
+    bool enabled() const { return fastForward > 0; }
+
+    /** Detailed cycles per period (rate estimation spans both). */
+    std::uint64_t detailed() const { return warm + measure; }
+
+    bool operator==(const SampleWindows &) const = default;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_SAMPLE_WINDOWS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SMARTS-style sampling controller over the fidelity-polymorphic
+ * execution stack (DESIGN.md section 10).
+ *
+ * A sampled interval alternates detailed and functional execution:
+ * run W detailed warm-up cycles and M detailed measured cycles, take
+ * each slot's retirement rate from the M window, then drain the
+ * pipeline and fast-forward U cycles functionally (the
+ * FunctionalExecutor retires rate * U uops per slot, warming caches,
+ * TLBs and the branch predictor), and repeat until the interval is
+ * spent. Stage and memory counters are real everywhere; only the
+ * per-cycle conflict counters -- which exist solely in the detailed
+ * windows -- are extrapolated over the full interval by the cycle
+ * ratio.
+ *
+ * Rates are local to each controller call (one timeslice), never
+ * carried across calls: the controller holds no mutable state, so
+ * snapshot forks and engine adoption stay trivially deterministic.
+ */
+
+#ifndef SOS_CPU_SAMPLING_HH
+#define SOS_CPU_SAMPLING_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "cpu/functional_executor.hh"
+#include "cpu/sample_windows.hh"
+#include "cpu/smt_core.hh"
+
+namespace sos {
+
+namespace stats {
+class Group;
+} // namespace stats
+
+/**
+ * Process-wide sampled-mode bookkeeping, the raw material of the
+ * manifest's "sampling" stats group. Counters are integers
+ * accumulated with relaxed atomics, so totals are independent of
+ * worker count and scheduling order (the determinism contract); warm
+ * runs are excluded by the callers (recording off), which keeps the
+ * totals identical across the snapshot fast path too.
+ */
+struct SamplingStats
+{
+    std::atomic<std::uint64_t> periods{0}; ///< fast-forward windows run
+    std::atomic<std::uint64_t> fastForwardCycles{0};
+    std::atomic<std::uint64_t> detailedCycles{0};
+    /** Full-length measurement windows (truncated tails excluded). */
+    std::atomic<std::uint64_t> measureWindows{0};
+    /** Sum and sum of squares of per-window retired uop counts. */
+    std::atomic<std::uint64_t> windowRetired{0};
+    std::atomic<std::uint64_t> windowRetiredSq{0};
+
+    void reset();
+};
+
+/** The process-wide accumulator. */
+SamplingStats &samplingStats();
+
+/** Zero the accumulator (between in-process experiments/tests). */
+void resetSamplingStats();
+
+/**
+ * Register the sampled-mode stats group under @p group: the
+ * configured windows, the cycle split between fidelity levels, and
+ * the error-estimate fields (ipc_cv, the coefficient of variation of
+ * IPC across full measurement windows -- the within-run estimate of
+ * sampled-vs-full error -- and detailed_fraction, the share of cycles
+ * actually simulated in detail).
+ */
+void publishSamplingStats(const stats::Group &group,
+                          const SampleWindows &sample);
+
+/** Drives one core through an interval at the configured fidelity. */
+class SamplingController
+{
+  public:
+    SamplingController(SmtCore &core, const SampleWindows &sample)
+        : core_(core), fx_(core), sample_(sample)
+    {
+    }
+
+    /**
+     * Run @p cycles simulated cycles, accumulating counters exactly
+     * like SmtCore::run would (cycles, slotRetired and memory deltas
+     * included). With sampling disabled this IS SmtCore::run; enabled,
+     * conflict counters are extrapolated as documented above.
+     */
+    void run(std::uint64_t cycles, PerfCounters &counters);
+
+    /**
+     * Record into the global SamplingStats (default on). Callers turn
+     * it off for warm-up intervals so the totals stay independent of
+     * how warm state is shared (snapshot forks run the warmup once).
+     */
+    void setRecording(bool recording) { recording_ = recording; }
+
+    /** Swap the window configuration (engines wire it post-build). */
+    void setSample(const SampleWindows &sample) { sample_ = sample; }
+
+    const SampleWindows &sample() const { return sample_; }
+
+  private:
+    SmtCore &core_;
+    FunctionalExecutor fx_;
+    SampleWindows sample_;
+    bool recording_ = true;
+};
+
+} // namespace sos
+
+#endif // SOS_CPU_SAMPLING_HH

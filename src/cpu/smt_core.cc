@@ -265,6 +265,125 @@ SmtCore::releaseResources(const InFlight &inst)
     }
 }
 
+namespace {
+
+/** Dispatch-stage class bookkeeping for a drained (non-spin) uop. */
+void
+creditDispatchClass(const UOp &op, PerfCounters &pc)
+{
+    switch (op.cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+        ++pc.intOps;
+        break;
+      case OpClass::Branch:
+        ++pc.intOps;
+        ++pc.branches;
+        break;
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        ++pc.fpOps;
+        break;
+      case OpClass::Load:
+        ++pc.loads;
+        break;
+      case OpClass::Store:
+        ++pc.stores;
+        break;
+      case OpClass::Barrier:
+        panic("barriers never enter the fetch queue");
+    }
+    ++pc.dispatched;
+}
+
+} // namespace
+
+void
+SmtCore::drainInFlight(PerfCounters &counters)
+{
+    for (int i = 0; i < numActive_; ++i) {
+        const auto s = static_cast<std::size_t>(
+            activeList_[static_cast<std::size_t>(i)]);
+        CtxCold &cold = cold_[s];
+
+        // Uops the generator emitted but the pipeline has not finished
+        // are retired instantly: the generator cannot rewind, so every
+        // emitted uop must be accounted exactly once. Spin ops are
+        // synthetic busy-wait filler and vanish uncounted (as in a
+        // squash). An op parked behind an icache miss was never even
+        // counted as fetched; credit its whole pipeline walk.
+        if (cold.hasPending) {
+            ++counters.fetched;
+            creditDispatchClass(cold.pendingOp, counters);
+            ++counters.issued;
+            ++counters.retired;
+            ++counters.slotRetired[s];
+            cold.hasPending = false;
+        }
+        std::uint32_t fhead = fqHead_[s];
+        const Fetched *const fq = &fetchSlab_[s * fetchStride_];
+        for (std::uint32_t k = 0; k < fqCount_[s]; ++k) {
+            const Fetched &front = fq[fhead];
+            if (!front.spin) {
+                creditDispatchClass(front.op, counters);
+                ++counters.issued;
+                ++counters.retired;
+                ++counters.slotRetired[s];
+            }
+            fhead = wrapFetch(fhead);
+        }
+        fqHead_[s] = 0;
+        fqCount_[s] = 0;
+
+        std::uint32_t head = robHead_[s];
+        const std::uint32_t *const rob = &robSlab_[s * robStride_];
+        for (std::uint32_t k = 0; k < robCount_[s]; ++k) {
+            const std::uint32_t id = rob[head];
+            const InFlight &inst = slab_[id];
+            if (!inst.completed) {
+                // Dispatched but never issued: still holds queue
+                // capacity and owes its issue credit.
+                if (inst.op.isFp())
+                    --fpQCount_;
+                else
+                    --intQCount_;
+                if (!inst.spin)
+                    ++counters.issued;
+            }
+            if (!inst.spin) {
+                ++counters.retired;
+                ++counters.slotRetired[s];
+            }
+            releaseResources(inst);
+            freeList_.push_back(id);
+            head = wrapRob(head);
+        }
+        robHead_[s] = 0;
+        robCount_[s] = 0;
+
+        // Values of drained writers are architecturally available now;
+        // pendingReg entries would otherwise point at freed slab ids.
+        cold.regs.fill(RegEntry{});
+        icount_[s] = 0;
+        // Clears icache-miss stalls and -- crucially -- the
+        // redirectPending parking of drained mispredicted branches,
+        // which would otherwise never resolve.
+        fetchStall_[s] = 0;
+    }
+
+    intQ_.clear();
+    fpQ_.clear();
+    intPend_.clear();
+    fpPend_.clear();
+    intQWake_ = noWake;
+    fpQWake_ = noWake;
+    SOS_ASSERT(intQCount_ == 0 && fpQCount_ == 0,
+               "issue-queue occupancy leaked through a drain");
+    SOS_ASSERT(robFree_ == params_.robSize, "ROB leaked through a drain");
+    fpBusyUntil_.fill(0);
+}
+
 void
 SmtCore::run(std::uint64_t cycles, PerfCounters &counters)
 {

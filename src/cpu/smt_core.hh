@@ -122,10 +122,33 @@ class SmtCore
     /** Instructions currently dispatched but not committed. */
     int inFlightCount() const;
 
+    /**
+     * Instantly retire everything in flight -- fetch queues, pending
+     * icache-miss ops and the ROB -- crediting each non-spin
+     * instruction's remaining stage counters into @p counters
+     * (including slotRetired), so the fetch streams stay exactly where
+     * the generators left them: a generator cannot rewind, so a
+     * fidelity switch must account for every emitted uop exactly once.
+     * Spin-loop ops are synthetic and are discarded uncounted, like a
+     * squash. Clears fetch stalls (including mispredict redirects) and
+     * the register scoreboards; barrier parking (atBarrier_) and fetch
+     * line state survive. Used by the sampling controller right before
+     * handing the core to the functional executor.
+     */
+    void drainInFlight(PerfCounters &counters);
+
     /** Print internal pipeline state to stderr (debugging aid). */
     void debugDump() const;
 
   private:
+    /**
+     * The functional fast-forward executor advances the same context
+     * state (generators, barriers, fetch lines, predictor salts)
+     * without per-cycle pipeline modeling; see
+     * cpu/functional_executor.hh.
+     */
+    friend class FunctionalExecutor;
+
     /** Fetched, pre-dispatch instruction (fetch-queue ring element). */
     struct Fetched
     {

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "cpu/machine.hh"
+#include "cpu/sampling.hh"
 #include "sched/job.hh"
 #include "sched/jobmix.hh"
 #include "trace/workload_library.hh"
@@ -47,7 +48,8 @@ appendCache(std::string &key, const CacheParams &cache)
 std::string
 soloIpcKey(const CoreParams &core, const MemParams &mem,
            std::uint64_t warmup_cycles, std::uint64_t measure_cycles,
-           const std::string &workload, int threads)
+           const SampleWindows &sample, const std::string &workload,
+           int threads)
 {
     std::string key;
     key.reserve(256);
@@ -55,6 +57,9 @@ soloIpcKey(const CoreParams &core, const MemParams &mem,
     appendField(key, threads);
     appendField(key, warmup_cycles);
     appendField(key, measure_cycles);
+    appendField(key, sample.fastForward);
+    appendField(key, sample.warm);
+    appendField(key, sample.measure);
 
     appendField(key, core.numContexts);
     appendField(key, core.fetchWidth);
@@ -130,7 +135,7 @@ Calibrator::soloIpc(const std::string &workload, int threads)
 
     const std::string global_key =
         soloIpcKey(coreParams_, memParams_, warmupCycles_,
-                   measureCycles_, workload, threads);
+                   measureCycles_, sample_, workload, threads);
     {
         const std::lock_guard<std::mutex> lock(soloIpcCacheMutex);
         const auto shared = soloIpcCache.find(global_key);
@@ -157,10 +162,15 @@ Calibrator::soloIpc(const std::string &workload, int threads)
         core.attachThread(t, binding);
     }
 
+    // References are measured at the experiment's fidelity (see
+    // setSampling), but never recorded into the run's sampling stats:
+    // a reference is cached machinery, not part of any one run.
+    SamplingController sampler(core, sample_);
+    sampler.setRecording(false);
     PerfCounters warmup;
-    core.run(warmupCycles_, warmup);
+    sampler.run(warmupCycles_, warmup);
     PerfCounters measured;
-    core.run(measureCycles_, measured);
+    sampler.run(measureCycles_, measured);
 
     const double ipc = measured.ipc();
     SOS_ASSERT(ipc > 0.0, "calibration produced zero IPC for ", workload);

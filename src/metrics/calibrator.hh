@@ -29,6 +29,7 @@
 #include <utility>
 
 #include "cpu/core_params.hh"
+#include "cpu/sample_windows.hh"
 #include "mem/cache_hierarchy.hh"
 
 namespace sos {
@@ -51,6 +52,15 @@ class Calibrator
                std::uint64_t measure_cycles = 500000);
 
     /**
+     * Measure references at sampled fidelity (default: full detail).
+     * A sweep that runs its co-schedules sampled scores them against
+     * references measured the same way, so fidelity error largely
+     * cancels in the weighted-speedup ratio. Sampled and full-detail
+     * references are cached under distinct keys and never mix.
+     */
+    void setSampling(const SampleWindows &sample) { sample_ = sample; }
+
+    /**
      * Reference IPC of a workload running alone with the given number
      * of threads (1 for sequential jobs).
      */
@@ -67,6 +77,7 @@ class Calibrator
     MemParams memParams_;
     std::uint64_t warmupCycles_;
     std::uint64_t measureCycles_;
+    SampleWindows sample_;
     std::map<std::pair<std::string, int>, double> cache_;
 };
 

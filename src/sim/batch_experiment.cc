@@ -51,6 +51,7 @@ BatchExperiment::BatchExperiment(const ExperimentSpec &spec,
     Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
                           config_.calibWarmupCycles,
                           config_.calibMeasureCycles);
+    calibrator.setSampling(config_.sample);
     calibrator.calibrate(mix_);
 }
 
@@ -81,6 +82,7 @@ BatchExperiment::makeSweep() const
     sweep.warm = warmupSchedule(spec_);
     sweep.warmTimeslices = sweep.warm.periodTimeslices();
     sweep.useSnapshot = config_.snapshot;
+    sweep.sample = config_.sample;
     return sweep;
 }
 

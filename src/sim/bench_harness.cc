@@ -8,6 +8,7 @@
 #include "common/thread_pool.hh"
 #include "sim/core_bench.hh"
 #include "sim/params_io.hh"
+#include "cpu/sampling.hh"
 #include "stats/json.hh"
 
 namespace sos {
@@ -106,6 +107,8 @@ BenchHarness::writeBenchSweep() const
         resolveJobs(options_.config.jobs)));
     json.key("snapshot");
     json.boolean(options_.config.snapshot);
+    json.key("sample");
+    json.string(renderSampleWindows(options_.config.sample));
     json.key("stats");
     writeJsonTree(timing, json);
     json.endObject();
@@ -125,8 +128,13 @@ BenchHarness::writeBenchSweep() const
 }
 
 int
-BenchHarness::finish() const
+BenchHarness::finish()
 {
+    // The sampled-mode bookkeeping group: recorded only when sampling
+    // is enabled, so full-detail manifests stay byte-identical to the
+    // pre-sampling goldens.
+    if (options_.config.sample.enabled())
+        publishSamplingStats(group("sampling"), options_.config.sample);
     if (!options_.out.manifest.empty()) {
         stats::Manifest manifest;
         manifest.tool = tool_;

@@ -68,8 +68,11 @@ class BenchHarness
      * Write the manifest, trace and bench-sweep timing report if
      * their destinations were set. Returns the process exit status
      * (0), so mains can end with `return harness.finish();`.
+     * Non-const: with sampling enabled it first registers the
+     * "sampling" stats group (config, cycle split, error estimates)
+     * from the process-wide accumulator.
      */
-    int finish() const;
+    int finish();
 
     /** Wall-clock seconds since the harness was constructed. */
     double elapsedSeconds() const;

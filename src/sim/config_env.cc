@@ -25,6 +25,10 @@ benchConfigFromEnv()
     // an escape hatch rather than a tuning knob.
     if (const char *snapshot = std::getenv("SOS_SNAPSHOT"))
         applyOverride(config, std::string("snapshot=") + snapshot);
+    // Sampled-simulation windows (U:W:M or 'off'); validated up front
+    // so a typo dies here rather than deep inside a sweep.
+    if (const char *sample = std::getenv("SOS_SAMPLE"))
+        applyOverride(config, std::string("sample=") + sample);
     // Sweep worker threads; resolveJobs() validates the value and
     // falls back to the hardware concurrency when unset.
     config.jobs = resolveJobs(0);

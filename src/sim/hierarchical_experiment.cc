@@ -48,6 +48,7 @@ HierarchicalExperiment::HierarchicalExperiment(
     Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
                           config_.calibWarmupCycles,
                           config_.calibMeasureCycles);
+    calibrator.setSampling(config_.sample);
     for (const AllocationPlan &plan : plans) {
         for (int j = 0; j < prototype.numJobs(); ++j) {
             const int threads =
@@ -92,6 +93,7 @@ HierarchicalExperiment::makeSweep() const
     // mix also differs per candidate (allocation plans change thread
     // counts), so a shared warmed snapshot would be wrong anyway.
     sweep.mixVariesByIndex = true;
+    sweep.sample = config_.sample;
     return sweep;
 }
 

@@ -60,6 +60,22 @@ class MachineEngine
 
     std::uint64_t timesliceCycles() const { return timeslice_; }
 
+    /** Configure sampled simulation on every core's engine. */
+    void
+    setSampling(const SampleWindows &sample)
+    {
+        for (TimesliceEngine &engine : engines_)
+            engine.setSampling(sample);
+    }
+
+    /** Toggle sampling-stats recording on every core's engine. */
+    void
+    setSampleRecording(bool recording)
+    {
+        for (TimesliceEngine &engine : engines_)
+            engine.setSampleRecording(recording);
+    }
+
     /**
      * Run @p schedule for @p timeslices quanta: every timeslice, core
      * k runs tuple t of its per-core schedule. The schedule's

@@ -142,6 +142,7 @@ MachineExperiment::MachineExperiment(const MachineExperimentSpec &spec,
     Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
                           config_.calibWarmupCycles,
                           config_.calibMeasureCycles);
+    calibrator.setSampling(config_.sample);
     calibrator.calibrate(mix_);
 }
 
@@ -190,9 +191,12 @@ MachineExperiment::runOne(const MachineSchedule &schedule,
     Machine machine(config_.coreFor(spec_.level), config_.mem,
                     spec_.numCores);
     MachineEngine engine(machine, timesliceCycles());
+    engine.setSampling(config_.sample);
 
     const MachineSchedule warm = warmupFor(schedule.allocation());
+    engine.setSampleRecording(false);
     engine.runSchedule(mix, warm, warm.periodTimeslices());
+    engine.setSampleRecording(true);
 
     return toScheduleRun(engine.runSchedule(mix, schedule, timeslices),
                          mix);
@@ -237,6 +241,8 @@ MachineExperiment::runAll(const std::vector<MachineSchedule> &schedules,
                 Machine machine(config_.coreFor(spec_.level),
                                 config_.mem, spec_.numCores);
                 MachineEngine engine(machine, timesliceCycles());
+                engine.setSampling(config_.sample);
+                engine.setSampleRecording(false);
                 const MachineSchedule warm =
                     warmupFor(leader.allocation());
                 engine.runSchedule(mix, warm, warm.periodTimeslices());
@@ -248,6 +254,7 @@ MachineExperiment::runAll(const std::vector<MachineSchedule> &schedules,
         schedules.size(), [&](std::size_t i) {
             MachineSnapshot::Fork fork(*snapshots[group_of[i]]);
             MachineEngine engine(fork.machine(), timesliceCycles());
+            engine.setSampling(config_.sample);
             fork.adopt(engine);
             return toScheduleRun(
                 engine.runSchedule(fork.mix(), schedules[i],
@@ -300,8 +307,11 @@ MachineExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
     statsMachine_ = std::make_unique<Machine>(
         config_.coreFor(spec_.level), config_.mem, spec_.numCores);
     MachineEngine engine(*statsMachine_, timesliceCycles());
+    engine.setSampling(config_.sample);
     const MachineSchedule warm = warmupFor(best.allocation());
+    engine.setSampleRecording(false);
     engine.runSchedule(mix, warm, warm.periodTimeslices());
+    engine.setSampleRecording(true);
     bestRun_ = engine.runSchedule(mix, best, timeslices);
     engine.evictAll();
 }

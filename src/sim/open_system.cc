@@ -206,12 +206,19 @@ makeArrivalTrace(const SimConfig &sim, const OpenSystemConfig &config)
 std::unique_ptr<EngineBackend>
 makeOpenBackend(const SimConfig &sim, const OpenSystemConfig &config)
 {
-    if (config.numCores <= 1)
-        return std::make_unique<TimesliceBackend>(
+    std::unique_ptr<EngineBackend> backend;
+    if (config.numCores <= 1) {
+        backend = std::make_unique<TimesliceBackend>(
             sim.coreFor(config.level), sim.mem, sim.timesliceCycles());
-    return std::make_unique<MachineBackend>(
-        sim.coreFor(config.level), sim.mem, config.numCores,
-        sim.timesliceCycles());
+    } else {
+        backend = std::make_unique<MachineBackend>(
+            sim.coreFor(config.level), sim.mem, config.numCores,
+            sim.timesliceCycles());
+    }
+    // Capacity calibration (measuredCapacity above) deliberately stays
+    // full detail; only the live system and its candidate forks sample.
+    backend->setSampling(sim.sample);
+    return backend;
 }
 
 OpenSystemResult

@@ -42,6 +42,8 @@ ParallelScheduleRunner::runAll(
         Machine warm_machine(sweep.core, sweep.mem);
         TimesliceEngine warm_engine(warm_machine.core(0),
                                     sweep.timesliceCycles);
+        warm_engine.setSampling(sweep.sample);
+        warm_engine.setSampleRecording(false);
         warm_engine.runSchedule(warm_mix, sweep.warm,
                                 sweep.warmTimeslices);
         const MachineSnapshot snapshot(warm_machine, warm_mix,
@@ -52,6 +54,7 @@ ParallelScheduleRunner::runAll(
             MachineSnapshot::Fork fork(snapshot);
             TimesliceEngine engine(fork.machine().core(0),
                                    sweep.timesliceCycles);
+            engine.setSampling(sweep.sample);
             fork.adopt(engine);
 
             ScheduleRun result;
@@ -71,8 +74,15 @@ ParallelScheduleRunner::runAll(
         // function of the task index (DESIGN.md determinism contract).
         Machine machine(sweep.core, sweep.mem);
         TimesliceEngine engine(machine.core(0), sweep.timesliceCycles);
-        if (has_warmup)
+        engine.setSampling(sweep.sample);
+        if (has_warmup) {
+            // Warm-up is charged to every task identically; keep it
+            // out of the sampling stats so the totals match the
+            // shared-warmup fast path above.
+            engine.setSampleRecording(false);
             engine.runSchedule(mix, sweep.warm, sweep.warmTimeslices);
+            engine.setSampleRecording(true);
+        }
 
         ScheduleRun result;
         result.run =

@@ -85,6 +85,15 @@ class ParallelScheduleRunner
          * would be wrong, so the sweep always warms per task.
          */
         bool mixVariesByIndex = false;
+
+        /**
+         * Sampled-simulation windows applied to every task's engine
+         * (and the shared warm-up engine). Disabled by default; see
+         * cpu/sampling.hh. Warm-up runs never record sampling stats,
+         * so the manifest's sampling group stays identical across the
+         * snapshot fast path and the legacy per-task warm-up.
+         */
+        SampleWindows sample;
     };
 
     /**

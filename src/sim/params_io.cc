@@ -26,9 +26,12 @@ parseU64(const std::string &key, const std::string &value)
     char *end = nullptr;
     const unsigned long long parsed =
         std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0')
+    // strtoull wraps negatives around; no unsigned value spells '-'.
+    if (end == value.c_str() || *end != '\0' ||
+        value.find('-') != std::string::npos) {
         fatal("value for ", key, " is not an unsigned integer: '",
               value, "'");
+    }
     return parsed;
 }
 
@@ -102,6 +105,15 @@ fields()
                        "(bit-identical; 0 = legacy path)"),
         SOS_FIELD_U64(calibWarmupCycles, "calibration warmup"),
         SOS_FIELD_U64(calibMeasureCycles, "calibration measurement"),
+        Field{"sample",
+              "sampled simulation windows U:W:M (fast-forward:warm:"
+              "measure simulated cycles; 'off' = full detail)",
+              [](SimConfig &c, const std::string &v) {
+                  c.sample = parseSampleWindows(v);
+              },
+              [](const SimConfig &c) {
+                  return renderSampleWindows(c.sample);
+              }},
         // Core.
         SOS_FIELD_INT(core.fetchWidth, "instructions fetched per cycle"),
         SOS_FIELD_INT(core.fetchThreads, "threads fetched per cycle"),
@@ -205,6 +217,50 @@ renderConfig(const SimConfig &config)
     return os.str();
 }
 
+SampleWindows
+parseSampleWindows(const std::string &value)
+{
+    if (value == "off" || value == "0")
+        return SampleWindows{};
+    const std::size_t first = value.find(':');
+    const std::size_t second =
+        first == std::string::npos ? first : value.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos ||
+        value.find(':', second + 1) != std::string::npos)
+        fatal("value for sample must be U:W:M (fast-forward:warm:"
+              "measure simulated cycles) or 'off', got '", value, "'");
+    SampleWindows sample;
+    sample.fastForward =
+        parseU64("sample (U)", value.substr(0, first));
+    sample.warm =
+        parseU64("sample (W)", value.substr(first + 1,
+                                            second - first - 1));
+    sample.measure = parseU64("sample (M)", value.substr(second + 1));
+    if (!sample.enabled()) {
+        // 0:W:M is full detail in awkward clothing; make the caller
+        // say what they mean.
+        if (sample.detailed() > 0)
+            fatal("sample=", value, " has no fast-forward window; "
+                  "use 'off' for full detail");
+        return SampleWindows{};
+    }
+    if (sample.measure == 0)
+        fatal("sample=", value, " fast-forwards but never measures; "
+              "the M window must be positive");
+    return sample;
+}
+
+std::string
+renderSampleWindows(const SampleWindows &sample)
+{
+    if (!sample.enabled())
+        return "off";
+    std::ostringstream os;
+    os << sample.fastForward << ":" << sample.warm << ":"
+       << sample.measure;
+    return os.str();
+}
+
 std::vector<std::pair<std::string, std::string>>
 configPairs(const SimConfig &config)
 {
@@ -216,6 +272,12 @@ configPairs(const SimConfig &config)
         // are bit-identical across both, and the manifest must be too.
         if (std::string("jobs") == field.key ||
             std::string("snapshot") == field.key)
+            continue;
+        // Sampling windows change what the counters mean, so they are
+        // recorded -- but only when enabled, keeping pre-sampling
+        // golden manifests byte-stable.
+        if (std::string("sample") == field.key &&
+            !config.sample.enabled())
             continue;
         out.emplace_back(field.key, field.get(config));
     }

@@ -42,10 +42,24 @@ std::string renderConfig(const SimConfig &config);
 
 /**
  * The full configuration as ordered key/value pairs (the "config"
- * section of a run manifest; same keys as `sossim params`).
+ * section of a run manifest; same keys as `sossim params`). The
+ * `sample` key appears only when sampling is enabled: a disabled
+ * sampled mode is byte-for-byte the full-detail simulator, so golden
+ * manifests recorded before the knob existed stay valid.
  */
 std::vector<std::pair<std::string, std::string>>
 configPairs(const SimConfig &config);
+
+/**
+ * Parse a sampled-simulation window spec: "U:W:M" (fast-forward,
+ * detailed-warm and detailed-measure cycles) or "off"/"0" to disable.
+ * fatal() with the expected shape on anything else, including an
+ * enabled spec with no detailed window (U > 0 needs W + M > 0).
+ */
+SampleWindows parseSampleWindows(const std::string &value);
+
+/** Render windows as "U:W:M", or "off" when sampling is disabled. */
+std::string renderSampleWindows(const SampleWindows &sample);
 
 } // namespace sos
 

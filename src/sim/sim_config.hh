@@ -5,7 +5,7 @@
  * The paper's experiments use 5 M-cycle timeslices (a 10 ms quantum at
  * 500 MHz) and 2 G-cycle symbios phases. A software simulator cannot
  * afford that in a regression harness, so every paper duration is
- * divided by cycleScale (default 50). Relative quantities -- the
+ * divided by cycleScale (default 100). Relative quantities -- the
  * ratio of timeslice to cache warmup, of symbios to sample phase, of
  * job length to quantum -- are preserved, which is what the
  * sample/symbios machinery depends on. Reports print both scaled and
@@ -19,6 +19,7 @@
 
 #include "common/logging.hh"
 #include "cpu/core_params.hh"
+#include "cpu/sample_windows.hh"
 #include "mem/cache_hierarchy.hh"
 
 namespace sos {
@@ -101,6 +102,17 @@ struct SimConfig
     std::uint64_t calibWarmupCycles = 300000;
     std::uint64_t calibMeasureCycles = 500000;
     /** @} */
+
+    /**
+     * Sampled-simulation windows (SOS_SAMPLE / --set sample=U:W:M).
+     * Disabled by default: the full-detail path is bit-identical to a
+     * build without this knob and stays pinned by the §8/§9 goldens.
+     * Unlike jobs/snapshot this IS simulation configuration -- sampled
+     * counters are approximations -- so manifests record it whenever
+     * it is enabled (and omit it when off, keeping golden manifests
+     * byte-stable). Solo-IPC calibration always runs full detail.
+     */
+    SampleWindows sample;
 
     /** Scale a paper-time duration into simulated cycles. */
     std::uint64_t

@@ -8,7 +8,8 @@ namespace sos {
 
 TimesliceEngine::TimesliceEngine(SmtCore &core,
                                  std::uint64_t timeslice_cycles)
-    : core_(core), timeslice_(timeslice_cycles)
+    : core_(core), timeslice_(timeslice_cycles),
+      sampler_(core, SampleWindows{})
 {
     SOS_ASSERT(timeslice_cycles > 0);
 }
@@ -137,7 +138,7 @@ TimesliceEngine::runTimeslice(const std::vector<ThreadRef> &units)
     }
 
     SliceResult result;
-    core_.run(timeslice_, result.counters);
+    sampler_.run(timeslice_, result.counters);
 
     result.unitRetired.resize(units.size(), 0);
     for (std::size_t u = 0; u < units.size(); ++u) {

@@ -21,6 +21,7 @@
 #include "sched/job.hh"
 #include "sched/jobmix.hh"
 #include "sched/schedule.hh"
+#include "cpu/sampling.hh"
 
 namespace sos {
 
@@ -78,6 +79,22 @@ class TimesliceEngine
     void setTimesliceCycles(std::uint64_t cycles);
 
     /**
+     * Configure sampled simulation for this engine's quanta (default:
+     * disabled, in which case runTimeslice is exactly the full-detail
+     * path -- not an approximation of it).
+     */
+    void setSampling(const SampleWindows &sample)
+    {
+        sampler_.setSample(sample);
+    }
+
+    /** See SamplingController::setRecording (off for warm-up runs). */
+    void setSampleRecording(bool recording)
+    {
+        sampler_.setRecording(recording);
+    }
+
+    /**
      * Run @p timeslices quanta of @p schedule over @p mix, crediting
      * per-job progress. Schedule job identifiers index mix units.
      */
@@ -93,6 +110,7 @@ class TimesliceEngine
 
     SmtCore &core_;
     std::uint64_t timeslice_;
+    SamplingController sampler_;
     std::array<Slot, MaxContexts> slots_;
 
     /** @name Per-timeslice scratch (hoisted allocations) @{ */

@@ -77,6 +77,14 @@ EngineBackend::EngineBackend(const CoreParams &core,
 
 EngineBackend::~EngineBackend() = default;
 
+void
+EngineBackend::setSampling(const SampleWindows &sample)
+{
+    sample_ = sample;
+    for (auto &engine : live_.engines)
+        engine->setSampling(sample_);
+}
+
 std::uint64_t
 EngineBackend::windowSlices(int num_jobs) const
 {
@@ -157,6 +165,7 @@ EngineBackend::forkLive(const std::vector<Job *> &pool) const
     for (int k = 0; k < numCores_; ++k) {
         auto engine = std::make_unique<TimesliceEngine>(
             fork.machine->core(k), timeslice_);
+        engine->setSampling(sample_);
         std::vector<std::pair<int, ThreadRef>> resident;
         for (const auto &[slot, unit] :
              live_.engines[static_cast<std::size_t>(k)]

@@ -139,6 +139,14 @@ class EngineBackend
     /** Detach a departing job from every core. */
     void evictJob(const Job *job);
 
+    /**
+     * Configure sampled simulation on the live engines and every
+     * future fork (cpu/sampling.hh). The live slices and the
+     * candidate-profiling forks run at the same fidelity, so the
+     * kernel's WS comparisons stay internally consistent.
+     */
+    void setSampling(const SampleWindows &sample);
+
   protected:
     EngineBackend(const CoreParams &core, const MemParams &mem,
                   int num_cores, int level,
@@ -161,6 +169,7 @@ class EngineBackend
     int numCores_;
     int level_;
     std::uint64_t timeslice_;
+    SampleWindows sample_;
     State live_;
     std::vector<State> forks_; ///< retained by profileCandidates()
 };
