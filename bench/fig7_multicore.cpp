@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/bench_harness.hh"
@@ -44,6 +45,12 @@ main(int argc, char **argv)
     table.printHeader();
 
     for (const MachineExperimentSpec &spec : machineExperiments()) {
+        // A loaded machine config fixes the core count; skip the
+        // machines the configured hardware cannot host. Without a
+        // config every machine runs (the pre-config sweep).
+        if (config.machineCores > 0 &&
+            spec.numCores != config.machineCores)
+            continue;
         kept.push_back(
             std::make_unique<MachineExperiment>(spec, config));
         MachineExperiment &exp = *kept.back();
@@ -63,13 +70,23 @@ main(int argc, char **argv)
                           {13, 16, 22, 8, 8});
     policies.printHeader();
 
+    // The paper's four policies; heterogeneous machines additionally
+    // run the placement-aware ones (no goldens pin those manifests).
+    std::vector<std::string> policy_names = {"naive", "random",
+                                             "balanced-icount",
+                                             "synpa"};
+    if (!config.heteroCores.empty()) {
+        policy_names.push_back("big-core-first");
+        policy_names.push_back("synpa-class");
+    }
+
     for (std::size_t i = 0; i < kept.size(); ++i) {
         MachineExperiment &exp = *kept[i];
-        for (const std::string &name :
-             {std::string("naive"), std::string("random"),
-              std::string("balanced-icount"), std::string("synpa")}) {
+        std::vector<MachineExperiment::PolicyResult> results;
+        for (const std::string &name : policy_names) {
+            results.push_back(exp.evaluatePolicy(name));
             const MachineExperiment::PolicyResult &result =
-                exp.evaluatePolicy(name);
+                results.back();
             policies.printRow({exp.spec().label, result.policy,
                                result.allocationLabel,
                                fmt(result.avgWs, 3),
@@ -81,8 +98,28 @@ main(int argc, char **argv)
                            fmt(exp.averageWs(), 3),
                            fmt(exp.bestWs(), 3)});
 
-        exp.publishStats(experiments.group(
-            stats::sanitizeSegment(exp.spec().label)));
+        const stats::Group expGroup = experiments.group(
+            stats::sanitizeSegment(exp.spec().label));
+        exp.publishStats(expGroup);
+        // Policy outcomes enter the manifest only for heterogeneous
+        // machines (no goldens pin those); the homogeneous manifest
+        // stays byte-identical to the pre-config-file bench.
+        if (!config.heteroCores.empty()) {
+            const stats::Group policyStats = expGroup.group("policies");
+            for (const MachineExperiment::PolicyResult &result :
+                 results) {
+                const stats::Group g = policyStats.group(
+                    stats::sanitizeSegment(result.policy));
+                g.info("allocation", "partition the policy chose") =
+                    result.allocationLabel;
+                g.value("avg_ws",
+                        "mean symbios WS over the allocation") =
+                    result.avgWs;
+                g.value("best_ws",
+                        "best symbios WS over the allocation") =
+                    result.bestWs;
+            }
+        }
         if (harness.wantsTrace())
             exp.recordTrace(harness.trace());
     }

@@ -1,0 +1,349 @@
+#include "machine_config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/params_io.hh"
+
+namespace sos {
+
+namespace {
+
+/** One `class NAME` section: defaults captured at declaration. */
+struct ClassDef
+{
+    std::string name;
+    SimConfig scratch; ///< machine defaults + this class's overrides
+    std::string file;  ///< where the class was declared, for errors
+    int line = 0;
+};
+
+struct ParseState
+{
+    SimConfig machine; ///< machine-scope scratch (core/mem defaults)
+    std::vector<ClassDef> classes;
+    int currentClass = -1; ///< -1 = machine scope
+    bool sawCores = false;
+    std::vector<int> coreClassIndex; ///< per core, into classes
+    int homogeneousCount = 0;        ///< `cores N` form
+    std::string coresFile;
+    int coresLine = 0;
+};
+
+[[noreturn]] void
+bad(const std::string &file, int line, const std::string &message)
+{
+    throw MachineConfigError(file + ":" + std::to_string(line) + ": " +
+                             message);
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream is(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+bool
+isCount(const std::string &token)
+{
+    return !token.empty() &&
+           std::all_of(token.begin(), token.end(), [](unsigned char c) {
+               return std::isdigit(c) != 0;
+           });
+}
+
+int
+parseCount(const std::string &file, int line, const std::string &token)
+{
+    if (!isCount(token) || token.size() > 3)
+        bad(file, line, "core count must be a small positive integer, "
+                        "got '" + token + "'");
+    const int count = std::stoi(token);
+    if (count < 1 || count > MaxCores) {
+        bad(file, line, "core count must be in [1, " +
+                            std::to_string(MaxCores) + "], got " +
+                            token);
+    }
+    return count;
+}
+
+void parseFile(const std::string &path, int depth, ParseState &state);
+
+void
+handleCores(const std::vector<std::string> &tokens,
+            const std::string &file, int line, ParseState &state)
+{
+    if (state.sawCores) {
+        bad(file, line, "duplicate 'cores' line (first at " +
+                            state.coresFile + ":" +
+                            std::to_string(state.coresLine) + ")");
+    }
+    if (tokens.size() < 2)
+        bad(file, line, "'cores' needs a count or class specs");
+    state.sawCores = true;
+    state.coresFile = file;
+    state.coresLine = line;
+    state.currentClass = -1;
+
+    if (tokens.size() == 2 && isCount(tokens[1])) {
+        state.homogeneousCount = parseCount(file, line, tokens[1]);
+        return;
+    }
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+        const std::string &spec = tokens[t];
+        const std::size_t star = spec.find('*');
+        const std::string name =
+            star == std::string::npos ? spec : spec.substr(0, star);
+        const int count =
+            star == std::string::npos
+                ? 1
+                : parseCount(file, line, spec.substr(star + 1));
+        const auto it = std::find_if(
+            state.classes.begin(), state.classes.end(),
+            [&name](const ClassDef &c) { return c.name == name; });
+        if (it == state.classes.end()) {
+            bad(file, line, "core spec '" + spec +
+                                "' names undeclared class '" + name +
+                                "'");
+        }
+        const int index =
+            static_cast<int>(it - state.classes.begin());
+        for (int k = 0; k < count; ++k)
+            state.coreClassIndex.push_back(index);
+        if (static_cast<int>(state.coreClassIndex.size()) > MaxCores) {
+            bad(file, line, "machine exceeds " +
+                                std::to_string(MaxCores) + " cores");
+        }
+    }
+}
+
+void
+handleLine(const std::vector<std::string> &tokens,
+           const std::string &file, int line, int depth,
+           ParseState &state)
+{
+    const std::string &head = tokens.front();
+    if (head == "include") {
+        if (tokens.size() != 2)
+            bad(file, line, "'include' needs exactly one path");
+        const std::string &target = tokens[1];
+        parseFile(target.front() == '/' ? target
+                                        : dirOf(file) + target,
+                  depth + 1, state);
+        return;
+    }
+    if (head == "class") {
+        if (tokens.size() != 2)
+            bad(file, line, "'class' needs exactly one name");
+        const std::string &name = tokens[1];
+        if (name.empty() || std::isalpha(static_cast<unsigned char>(
+                                name.front())) == 0) {
+            bad(file, line, "class name must start with a letter, "
+                            "got '" + name + "'");
+        }
+        for (const ClassDef &c : state.classes) {
+            if (c.name == name) {
+                bad(file, line, "duplicate class '" + name +
+                                    "' (first declared at " + c.file +
+                                    ":" + std::to_string(c.line) + ")");
+            }
+        }
+        // The class is seeded from the machine defaults as of this
+        // line, so shared knobs set above apply to every class.
+        state.classes.push_back(
+            ClassDef{name, state.machine, file, line});
+        state.currentClass =
+            static_cast<int>(state.classes.size()) - 1;
+        return;
+    }
+    if (head == "cores") {
+        handleCores(tokens, file, line, state);
+        return;
+    }
+    if (tokens.size() != 2) {
+        bad(file, line, "expected 'key value', got '" + head + "' and " +
+                            std::to_string(tokens.size() - 1) +
+                            " operand(s)");
+    }
+    const std::string &key = head;
+    const std::string &value = tokens[1];
+    if (key.rfind("core.", 0) != 0 && key.rfind("mem.", 0) != 0) {
+        bad(file, line, "machine configs may only set core.* and "
+                        "mem.* keys, got '" + key + "'");
+    }
+    SimConfig &scratch =
+        state.currentClass < 0
+            ? state.machine
+            : state.classes[static_cast<std::size_t>(
+                                state.currentClass)]
+                  .scratch;
+    std::string error;
+    if (!tryApplyOverride(scratch, key, value, error))
+        bad(file, line, error);
+}
+
+void
+parseLines(std::istream &in, const std::string &file, int depth,
+           ParseState &state)
+{
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+        ++line;
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        const std::vector<std::string> tokens = tokenize(raw);
+        if (tokens.empty())
+            continue;
+        handleLine(tokens, file, line, depth, state);
+    }
+}
+
+void
+parseFile(const std::string &path, int depth, ParseState &state)
+{
+    constexpr int MaxIncludeDepth = 8;
+    if (depth > MaxIncludeDepth) {
+        throw MachineConfigError(
+            path + ": includes nest deeper than " +
+            std::to_string(MaxIncludeDepth) + " (include cycle?)");
+    }
+    std::ifstream in(path);
+    if (!in) {
+        throw MachineConfigError("cannot open machine config '" + path +
+                                 "'");
+    }
+    parseLines(in, path, depth, state);
+}
+
+/** Build the result: instantiate, validate, collapse if uniform. */
+ParsedMachineConfig
+assemble(ParseState &state, const std::string &path)
+{
+    ParsedMachineConfig out;
+    out.path = path;
+    out.core = state.machine.core;
+    out.mem = state.machine.mem;
+    try {
+        validateCoreParams(out.core);
+        validateMemParams(out.mem);
+    } catch (const std::invalid_argument &err) {
+        throw MachineConfigError(path + ": machine defaults: " +
+                                 err.what());
+    }
+
+    if (!state.sawCores) {
+        if (!state.classes.empty()) {
+            throw MachineConfigError(
+                path + ": classes are declared but never "
+                       "instantiated (missing 'cores' line)");
+        }
+        return out; // pure defaults file: numCores stays 0
+    }
+    if (state.coreClassIndex.empty()) {
+        out.numCores = state.homogeneousCount;
+        return out;
+    }
+
+    out.numCores = static_cast<int>(state.coreClassIndex.size());
+    for (const int index : state.coreClassIndex) {
+        const ClassDef &def =
+            state.classes[static_cast<std::size_t>(index)];
+        CoreParams core_params = def.scratch.core;
+        MemParams mem_params = def.scratch.mem;
+        // The shared cache belongs to the machine: a class's l2
+        // geometry is overwritten so identical cores stay identical
+        // (and a single class collapses to the homogeneous path).
+        mem_params.l2 = out.mem.l2;
+        try {
+            validateCoreParams(core_params);
+            validateMemParams(mem_params);
+        } catch (const std::invalid_argument &err) {
+            bad(def.file, def.line,
+                "class '" + def.name + "': " + err.what());
+        }
+        out.cores.push_back(core_params);
+        out.coreMem.push_back(mem_params);
+        out.coreNames.push_back(def.name);
+    }
+
+    const bool identical =
+        std::all_of(out.cores.begin(), out.cores.end(),
+                    [&out](const CoreParams &c) {
+                        return c == out.cores.front();
+                    }) &&
+        std::all_of(out.coreMem.begin(), out.coreMem.end(),
+                    [&out](const MemParams &m) {
+                        return m == out.coreMem.front();
+                    });
+    if (identical) {
+        // All cores identical: collapse onto the homogeneous
+        // representation so every downstream path (keys, goldens,
+        // manifests) is bit-identical to a config-free run.
+        out.core = out.cores.front();
+        out.mem = out.coreMem.front();
+        out.cores.clear();
+        out.coreMem.clear();
+        out.coreNames.clear();
+    }
+    return out;
+}
+
+} // namespace
+
+ParsedMachineConfig
+parseMachineConfig(const std::string &path, const SimConfig &base)
+{
+    ParseState state;
+    state.machine = base;
+    parseFile(path, 0, state);
+    return assemble(state, path);
+}
+
+ParsedMachineConfig
+parseMachineConfigText(const std::string &text, const std::string &name,
+                       const SimConfig &base)
+{
+    ParseState state;
+    state.machine = base;
+    std::istringstream in(text);
+    parseLines(in, name, 0, state);
+    return assemble(state, name);
+}
+
+void
+applyMachineConfig(SimConfig &config, const std::string &path)
+{
+    try {
+        const ParsedMachineConfig parsed =
+            parseMachineConfig(path, config);
+        config.core = parsed.core;
+        config.mem = parsed.mem;
+        config.machineCores = parsed.numCores;
+        config.heteroCores = parsed.cores;
+        config.heteroCoreMem = parsed.coreMem;
+        config.heteroCoreNames = parsed.coreNames;
+        config.machineConfigPath = parsed.path;
+    } catch (const MachineConfigError &err) {
+        fatal("machine config: ", err.what());
+    }
+}
+
+} // namespace sos

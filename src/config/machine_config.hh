@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Config-driven machine descriptions: heterogeneous CMPs from a file.
+ *
+ * A machine config is a small line-oriented file (one `key value`
+ * line per tunable, in the spirit of simtrax's bigcache.config) that
+ * declares what a run's machine looks like without recompiling:
+ *
+ *     # paper-default Alpha 21264 CMP
+ *     include alpha21264.inc       # parsed in place, relative path
+ *     mem.l2.sizeBytes 2097152     # machine scope: shared L2 + defaults
+ *
+ *     class big                    # a core class: defaults + overrides
+ *       core.numIntUnits 6
+ *       core.fpAddPipes 2
+ *     class little
+ *       core.fetchWidth 4
+ *       mem.l1d.sizeBytes 32768
+ *
+ *     cores big*2 little*2         # instantiate: core0..1 big, 2..3 little
+ *
+ * Grammar, line by line (blank lines and `#` comments ignored):
+ *
+ *  - `key value`    -- any `core.*` / `mem.*` key of `sossim params`.
+ *                      At machine scope (before the first `class`)
+ *                      the pair sets the machine-wide defaults and the
+ *                      shared-L2 geometry; inside a class it overrides
+ *                      that class only.  A class's `mem.l2.*` is
+ *                      ignored: the shared cache belongs to the
+ *                      machine, not to a core.
+ *  - `class NAME`   -- begin a core class seeded from the machine
+ *                      defaults as of this line.
+ *  - `cores SPEC..` -- instantiate the machine, once per file: either
+ *                      a bare core count (`cores 4`, homogeneous) or
+ *                      `NAME` / `NAME*COUNT` specs in core order.
+ *  - `include PATH` -- parse PATH (relative to the including file) as
+ *                      if its lines appeared here.
+ *
+ * Every error names the offending file:line, key and value.  A config
+ * whose instantiated cores are all identical collapses to the
+ * homogeneous representation, so e.g. the paper-default config
+ * reproduces a no-config run byte-for-byte.
+ */
+
+#ifndef SOS_CONFIG_MACHINE_CONFIG_HH
+#define SOS_CONFIG_MACHINE_CONFIG_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+
+namespace sos {
+
+/** Parse failure; what() carries "file:line: message". */
+class MachineConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The machine a config file describes. */
+struct ParsedMachineConfig
+{
+    /** Cores the file instantiates (0 = file never says). */
+    int numCores = 0;
+
+    /** Machine-wide core defaults (every core when homogeneous). */
+    CoreParams core;
+
+    /** Machine-wide memory defaults; .l2 is the shared geometry. */
+    MemParams mem;
+
+    /**
+     * Per-core overrides in core order; empty when the instantiated
+     * machine is homogeneous (identical per-core params collapse onto
+     * `core`/`mem` so downstream paths stay bit-identical).
+     */
+    std::vector<CoreParams> cores;
+    std::vector<MemParams> coreMem;
+
+    /** Class name of each core (empty when homogeneous). */
+    std::vector<std::string> coreNames;
+
+    /** Top-level file the description came from. */
+    std::string path;
+};
+
+/**
+ * Parse @p path on top of @p base's core/mem defaults (a class or
+ * machine-scope line only overrides what it names).
+ *
+ * @throws MachineConfigError naming file, line, key and value on any
+ *         syntax, unknown-key, malformed-value or validation error.
+ */
+ParsedMachineConfig parseMachineConfig(const std::string &path,
+                                       const SimConfig &base);
+
+/**
+ * Parse a config given as text (tests, here-docs). @p name stands in
+ * for the file name in errors; `include` resolves against the current
+ * working directory.
+ */
+ParsedMachineConfig parseMachineConfigText(const std::string &text,
+                                           const std::string &name,
+                                           const SimConfig &base);
+
+/**
+ * Load @p path into @p config: machine-wide defaults replace
+ * config.core/config.mem, and the instantiated topology fills
+ * config.machineCores / heteroCores / heteroCoreMem / heteroCoreNames
+ * / machineConfigPath. fatal() on any parse error (CLI entry point;
+ * parseMachineConfig is the throwing API underneath).
+ */
+void applyMachineConfig(SimConfig &config, const std::string &path);
+
+} // namespace sos
+
+#endif // SOS_CONFIG_MACHINE_CONFIG_HH

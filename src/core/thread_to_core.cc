@@ -134,6 +134,81 @@ class BalancedIcountPolicy : public ThreadToCorePolicy
  * affinity is zero and the policy degenerates to naive packing --
  * the honest cold-start behaviour.
  */
+/**
+ * Rank cores by the capability of their class: mean per-class solo
+ * IPC over the mix, descending (ties and missing per-class references
+ * fall back to class id, then core index -- deterministic, and the
+ * identity order on a homogeneous machine).
+ */
+std::vector<int>
+coresByCapability(const AllocationContext &ctx)
+{
+    std::vector<int> cores = identityJobs(ctx.numCores);
+    if (ctx.coreClass.empty())
+        return cores;
+    SOS_ASSERT(static_cast<int>(ctx.coreClass.size()) == ctx.numCores,
+               "one class id per core required");
+    const auto capability = [&ctx](int core) {
+        const auto c =
+            static_cast<std::size_t>(ctx.coreClass[
+                static_cast<std::size_t>(core)]);
+        if (c >= ctx.soloIpcByClass.size() ||
+            ctx.soloIpcByClass[c].empty()) {
+            return 0.0;
+        }
+        double sum = 0.0;
+        for (const double ipc : ctx.soloIpcByClass[c])
+            sum += ipc;
+        return sum / static_cast<double>(ctx.soloIpcByClass[c].size());
+    };
+    std::stable_sort(cores.begin(), cores.end(),
+                     [&](int a, int b) {
+                         return capability(a) > capability(b);
+                     });
+    return cores;
+}
+
+/**
+ * Big-core-first: visit jobs from the highest solo-IPC reference down
+ * and pack them onto cores in capability order, so the jobs with the
+ * most instruction throughput to lose get the most capable cores.
+ * On a homogeneous machine this is IPC-sorted in-order packing.
+ */
+class BigCoreFirstPolicy : public ThreadToCorePolicy
+{
+  public:
+    std::string name() const override { return "big-core-first"; }
+
+    Partition
+    allocate(const AllocationContext &ctx) const override
+    {
+        checkContext(ctx);
+        SOS_ASSERT(static_cast<int>(ctx.soloIpc.size()) == ctx.numJobs,
+                   "big-core-first needs a solo IPC per job");
+        const int group = ctx.numJobs / ctx.numCores;
+
+        std::vector<int> order = identityJobs(ctx.numJobs);
+        std::stable_sort(order.begin(), order.end(),
+                         [&ctx](int a, int b) {
+                             return ctx.soloIpc[static_cast<std::size_t>(
+                                        a)] >
+                                    ctx.soloIpc[static_cast<std::size_t>(
+                                        b)];
+                         });
+
+        const std::vector<int> cores = coresByCapability(ctx);
+        Partition out(static_cast<std::size_t>(ctx.numCores));
+        for (int k = 0; k < ctx.numCores; ++k) {
+            const auto core =
+                static_cast<std::size_t>(cores[static_cast<std::size_t>(k)]);
+            out[core].assign(order.begin() + k * group,
+                             order.begin() + (k + 1) * group);
+            std::sort(out[core].begin(), out[core].end());
+        }
+        return out;
+    }
+};
+
 class SynpaPolicy : public ThreadToCorePolicy
 {
   public:
@@ -212,6 +287,53 @@ class SynpaPolicy : public ThreadToCorePolicy
     }
 };
 
+/**
+ * SYNPA crossed with core classes: groups still form from sampled
+ * pair affinities (exactly SynpaPolicy's greedy), but instead of
+ * landing on cores in anchor order, the groups with the highest
+ * aggregate solo-IPC demand are placed on the most capable core
+ * class.  On a homogeneous machine the capability order is the
+ * identity, so only the demand reordering differs from "synpa".
+ */
+class SynpaClassPolicy : public SynpaPolicy
+{
+  public:
+    std::string name() const override { return "synpa-class"; }
+
+    Partition
+    allocate(const AllocationContext &ctx) const override
+    {
+        const Partition groups = SynpaPolicy::allocate(ctx);
+
+        const auto demand = [&ctx](const std::vector<int> &g) {
+            if (static_cast<int>(ctx.soloIpc.size()) != ctx.numJobs)
+                return 0.0;
+            double sum = 0.0;
+            for (const int job : g)
+                sum += ctx.soloIpc[static_cast<std::size_t>(job)];
+            return sum;
+        };
+        std::vector<int> order = identityJobs(ctx.numCores);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](int a, int b) {
+                             return demand(groups[static_cast<std::size_t>(
+                                        a)]) >
+                                    demand(groups[static_cast<std::size_t>(
+                                        b)]);
+                         });
+
+        const std::vector<int> cores = coresByCapability(ctx);
+        Partition out(static_cast<std::size_t>(ctx.numCores));
+        for (int k = 0; k < ctx.numCores; ++k) {
+            out[static_cast<std::size_t>(
+                cores[static_cast<std::size_t>(k)])] =
+                groups[static_cast<std::size_t>(
+                    order[static_cast<std::size_t>(k)])];
+        }
+        return out;
+    }
+};
+
 using PolicyFactory =
     std::function<std::unique_ptr<ThreadToCorePolicy>()>;
 
@@ -224,6 +346,10 @@ registry()
         {"balanced-icount",
          [] { return std::make_unique<BalancedIcountPolicy>(); }},
         {"synpa", [] { return std::make_unique<SynpaPolicy>(); }},
+        {"big-core-first",
+         [] { return std::make_unique<BigCoreFirstPolicy>(); }},
+        {"synpa-class",
+         [] { return std::make_unique<SynpaClassPolicy>(); }},
     };
     return table;
 }

@@ -22,7 +22,16 @@
  *                       affinities from sample-phase coschedule
  *                       measurements and greedily group jobs that
  *                       measured well together (falls back to naive
- *                       packing when no samples exist yet).
+ *                       packing when no samples exist yet);
+ *  - "big-core-first":  heterogeneity-aware: rank core classes by
+ *                       their measured per-class solo IPC and hand
+ *                       the highest-reference jobs to the most
+ *                       capable cores (degenerates to IPC-sorted
+ *                       packing on a homogeneous machine);
+ *  - "synpa-class":     SYNPA affinity grouping crossed with core
+ *                       classes: groups form from sampled pair
+ *                       affinities, then the most demanding groups
+ *                       land on the most capable core class.
  */
 
 #ifndef SOS_CORE_THREAD_TO_CORE_HH
@@ -61,6 +70,21 @@ struct AllocationContext
 
     /** Deterministic seed; consulted by random. */
     std::uint64_t seed = 0;
+
+    /**
+     * Per-core equivalence class (MachineParams::coreClasses); empty
+     * on homogeneous machines.  Consulted by the heterogeneity-aware
+     * policies, which must know *which* core a group lands on.
+     */
+    std::vector<int> coreClass;
+
+    /**
+     * Solo IPC per job as measured on each core class:
+     * soloIpcByClass[c][j] is job j's reference on a class-c core.
+     * Empty on homogeneous machines (soloIpc suffices).  The spread
+     * across classes is what ranks big cores above little ones.
+     */
+    std::vector<std::vector<double>> soloIpcByClass;
 };
 
 /** Places jobs onto cores: one group of job indices per core. */
@@ -75,7 +99,8 @@ class ThreadToCorePolicy
     /**
      * Partition {0..numJobs-1} into numCores groups of equal size
      * (numCores must divide numJobs), groups sorted ascending.
-     * Deterministic for a given context.
+     * Group k is core k's group -- on a heterogeneous machine the
+     * order is the placement.  Deterministic for a given context.
      */
     virtual Partition allocate(const AllocationContext &ctx) const = 0;
 };

@@ -19,8 +19,10 @@ bad(const std::string &what)
 void
 requirePositive(int value, const char *name)
 {
-    if (value < 1)
-        bad(std::string(name) + " must be >= 1");
+    if (value < 1) {
+        bad(std::string(name) + " must be >= 1, got " +
+            std::to_string(value));
+    }
 }
 
 } // namespace
@@ -36,14 +38,17 @@ validateCoreParams(const CoreParams &params)
     if (params.fpMulPipes > MaxFpMulPipes) {
         bad("fpMulPipes exceeds the issue stage's busy-tracking "
             "capacity of " +
-            std::to_string(MaxFpMulPipes));
+            std::to_string(MaxFpMulPipes) + ", got " +
+            std::to_string(params.fpMulPipes));
     }
     requirePositive(params.fetchWidth, "fetchWidth");
     requirePositive(params.fetchThreads, "fetchThreads");
     requirePositive(params.fetchQueueSize, "fetchQueueSize");
     requirePositive(params.frontendDelay, "frontendDelay");
-    if (params.mispredictRedirect < 0)
-        bad("mispredictRedirect must be >= 0");
+    if (params.mispredictRedirect < 0) {
+        bad("mispredictRedirect must be >= 0, got " +
+            std::to_string(params.mispredictRedirect));
+    }
     requirePositive(params.dispatchWidth, "dispatchWidth");
     requirePositive(params.commitWidth, "commitWidth");
     requirePositive(params.intQueueSize, "intQueueSize");
@@ -62,8 +67,11 @@ validateCoreParams(const CoreParams &params)
     requirePositive(params.fpDivLat, "fpDivLat");
     requirePositive(params.l1dHitLat, "l1dHitLat");
     requirePositive(params.predictorBits, "predictorBits");
-    if (params.predictorBits > 30)
-        bad("predictorBits above 30 would allocate a >8 GiB table");
+    if (params.predictorBits > 30) {
+        bad("predictorBits above 30 would allocate a >8 GiB table, "
+            "got " +
+            std::to_string(params.predictorBits));
+    }
 }
 
 } // namespace sos

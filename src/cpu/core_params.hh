@@ -73,6 +73,13 @@ struct CoreParams
      * the active contexts instead of favouring low-ICOUNT threads.
      */
     bool roundRobinFetch = false;
+
+    /**
+     * Field-wise equality.  Machine::coreClasses partitions cores by
+     * comparing params, so every behavioural field participates; any
+     * new member is automatically included by the defaulted operator.
+     */
+    bool operator==(const CoreParams &) const = default;
 };
 
 /**

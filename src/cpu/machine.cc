@@ -7,6 +7,41 @@
 
 namespace sos {
 
+bool
+MachineParams::homogeneous() const
+{
+    for (int k = 0; k < numCores; ++k) {
+        if (!(coreParams(k) == coreParams(0)) ||
+            !(memParams(k) == memParams(0))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<int>
+MachineParams::coreClasses() const
+{
+    std::vector<int> ids(static_cast<std::size_t>(numCores), -1);
+    std::vector<int> representatives; // core index of each class
+    for (int k = 0; k < numCores; ++k) {
+        for (std::size_t c = 0; c < representatives.size(); ++c) {
+            const int rep = representatives[c];
+            if (coreParams(k) == coreParams(rep) &&
+                memParams(k) == memParams(rep)) {
+                ids[static_cast<std::size_t>(k)] = static_cast<int>(c);
+                break;
+            }
+        }
+        if (ids[static_cast<std::size_t>(k)] < 0) {
+            ids[static_cast<std::size_t>(k)] =
+                static_cast<int>(representatives.size());
+            representatives.push_back(k);
+        }
+    }
+    return ids;
+}
+
 void
 validateMachineParams(const MachineParams &params)
 {
@@ -16,8 +51,30 @@ validateMachineParams(const MachineParams &params)
             std::to_string(MaxCores) + "], got " +
             std::to_string(params.numCores));
     }
+    const auto checkSize = [&params](std::size_t size,
+                                     const char *field) {
+        if (size != 0 &&
+            size != static_cast<std::size_t>(params.numCores)) {
+            throw std::invalid_argument(
+                "MachineParams: " + std::string(field) +
+                " must be empty or hold one entry per core (" +
+                std::to_string(params.numCores) + "), got " +
+                std::to_string(size));
+        }
+    };
+    checkSize(params.cores.size(), "cores");
+    checkSize(params.coreMem.size(), "coreMem");
     validateCoreParams(params.core);
     validateMemParams(params.mem);
+    for (int k = 0; k < params.numCores; ++k) {
+        try {
+            validateCoreParams(params.coreParams(k));
+            validateMemParams(params.memParams(k));
+        } catch (const std::invalid_argument &err) {
+            throw std::invalid_argument(
+                "core " + std::to_string(k) + ": " + err.what());
+        }
+    }
 }
 
 Machine::Machine(const MachineParams &params)
@@ -27,10 +84,10 @@ Machine::Machine(const MachineParams &params)
     views_.reserve(static_cast<std::size_t>(params.numCores));
     cores_.reserve(static_cast<std::size_t>(params.numCores));
     for (int k = 0; k < params.numCores; ++k) {
-        views_.push_back(
-            std::make_unique<CacheHierarchy>(params.mem, l2_, k));
-        cores_.push_back(
-            std::make_unique<SmtCore>(params.core, *views_.back()));
+        views_.push_back(std::make_unique<CacheHierarchy>(
+            params.memParams(k), l2_, k));
+        cores_.push_back(std::make_unique<SmtCore>(
+            params.coreParams(k), *views_.back()));
     }
 }
 

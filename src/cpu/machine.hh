@@ -36,14 +36,69 @@ constexpr int MaxCores = 16;
 /** Static configuration of a machine. */
 struct MachineParams
 {
-    /** Number of identical SMT cores sharing the L2. */
+    /** Number of SMT cores sharing the L2. */
     int numCores = 1;
 
-    /** Per-core microarchitecture (homogeneous CMP). */
+    /**
+     * Default per-core microarchitecture.  When @c cores is empty this
+     * is every core's configuration (homogeneous CMP, the pre-config
+     * behaviour); otherwise it is only the template heterogeneous
+     * configs start from.
+     */
     CoreParams core;
 
-    /** Memory configuration: private-level geometry + shared L2. */
+    /**
+     * Default memory configuration.  Always supplies the shared-L2
+     * geometry (@c mem.l2); when @c coreMem is empty it also supplies
+     * every core's private levels and latencies.
+     */
     MemParams mem;
+
+    /**
+     * Per-core microarchitecture overrides.  Empty for a homogeneous
+     * machine; otherwise exactly @c numCores entries, one per core in
+     * core-index order.  Kept after the original members so aggregate
+     * initialisation `MachineParams{n, core, mem}` stays valid.
+     */
+    std::vector<CoreParams> cores;
+
+    /**
+     * Per-core private-memory overrides (L1s, TLBs, latencies,
+     * prefetcher).  Empty for uniform memory; otherwise exactly
+     * @c numCores entries.  The shared-L2 geometry always comes from
+     * @c mem.l2 -- a per-core entry's .l2 field is ignored.
+     */
+    std::vector<MemParams> coreMem;
+
+    /** Core @p k's microarchitecture (override or shared default). */
+    const CoreParams &
+    coreParams(int k) const
+    {
+        return cores.empty() ? core
+                             : cores.at(static_cast<std::size_t>(k));
+    }
+
+    /** Core @p k's private-memory configuration. */
+    const MemParams &
+    memParams(int k) const
+    {
+        return coreMem.empty() ? mem
+                               : coreMem.at(static_cast<std::size_t>(k));
+    }
+
+    /** True when every core is identical (the pre-config fast path). */
+    bool homogeneous() const;
+
+    /**
+     * Partition cores into equivalence classes of identical
+     * configuration: classIds[k] is core k's class, numbered 0.. in
+     * order of first appearance (so class 0 always contains core 0).
+     * Two cores are in one class iff their CoreParams and effective
+     * MemParams compare equal -- the invariance classes under which
+     * MachineScheduleSpace keys may still treat cores as
+     * interchangeable.
+     */
+    std::vector<int> coreClasses() const;
 };
 
 /**

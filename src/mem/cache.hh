@@ -35,6 +35,13 @@ struct CacheParams
     std::uint32_t lineBytes = 64;
     /** Associativity; sizeBytes / lineBytes / assoc sets. */
     std::uint32_t assoc = 2;
+
+    /**
+     * Geometry equality (name included: it names the unit's role).
+     * Machine::coreClasses partitions cores by comparing params, so
+     * every field that affects behaviour must participate.
+     */
+    bool operator==(const CacheParams &) const = default;
 };
 
 /**

@@ -12,19 +12,31 @@ namespace {
 void
 validateCacheParams(const CacheParams &params)
 {
-    const auto bad = [&params](const char *what) {
+    const auto bad = [&params](const std::string &what) {
         throw std::invalid_argument("cache '" + params.name +
                                     "': " + what);
     };
-    if (params.sizeBytes == 0 || params.lineBytes == 0 ||
-        params.assoc == 0) {
-        bad("size, line size and associativity must be positive");
+    const auto requirePositive = [&bad](std::uint32_t value,
+                                        const char *field) {
+        if (value == 0) {
+            bad(std::string(field) + " must be positive, got " +
+                std::to_string(value));
+        }
+    };
+    requirePositive(params.sizeBytes, "sizeBytes");
+    requirePositive(params.lineBytes, "lineBytes");
+    requirePositive(params.assoc, "assoc");
+    if (params.sizeBytes % params.lineBytes != 0) {
+        bad("lineBytes must divide sizeBytes, got lineBytes=" +
+            std::to_string(params.lineBytes) + " sizeBytes=" +
+            std::to_string(params.sizeBytes));
     }
-    if (params.sizeBytes % params.lineBytes != 0)
-        bad("line size must divide the capacity");
     const std::uint32_t lines = params.sizeBytes / params.lineBytes;
-    if (lines % params.assoc != 0)
-        bad("associativity must divide the line count");
+    if (lines % params.assoc != 0) {
+        bad("assoc must divide the line count, got assoc=" +
+            std::to_string(params.assoc) + " lines=" +
+            std::to_string(lines));
+    }
 }
 
 } // namespace
@@ -37,10 +49,16 @@ validateMemParams(const MemParams &params)
     validateCacheParams(params.l2);
     validateCacheParams(params.itlb);
     validateCacheParams(params.dtlb);
-    if (params.l2HitLatency == 0 || params.memLatency == 0) {
-        throw std::invalid_argument(
-            "L2 and memory latencies must be positive");
-    }
+    const auto requirePositive = [](std::uint32_t value,
+                                    const char *field) {
+        if (value == 0) {
+            throw std::invalid_argument(
+                "MemParams: " + std::string(field) +
+                " must be positive, got " + std::to_string(value));
+        }
+    };
+    requirePositive(params.l2HitLatency, "l2HitLatency");
+    requirePositive(params.memLatency, "memLatency");
 }
 
 SharedL2::SharedL2(const MemParams &params, int num_cores)

@@ -53,6 +53,13 @@ struct MemParams
 
     /** Optional stride prefetcher (off by default; see ablation). */
     PrefetcherParams prefetch;
+
+    /**
+     * Field-wise equality.  Machine::coreClasses partitions cores by
+     * comparing params, so every behavioural field participates; any
+     * new member is automatically included by the defaulted operator.
+     */
+    bool operator==(const MemParams &) const = default;
 };
 
 /**

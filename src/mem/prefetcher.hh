@@ -31,6 +31,8 @@ struct PrefetcherParams
     int confidenceThreshold = 2;
     /** Lines prefetched ahead of a confident stream. */
     int degree = 2;
+
+    bool operator==(const PrefetcherParams &) const = default;
 };
 
 /** Stride predictor over load addresses. */

@@ -18,6 +18,14 @@
  *   equalPartitionCount(X, X/C) * ScheduleSpace(X/C, Y, Z)^C
  * e.g. Jm(8,2,2,2): 35 * 3 * 3 = 315, and Jm(8,4,2,2): 105 * 1 = 105
  * -- the spaces the multicore figure sweeps.
+ *
+ * On a heterogeneous machine the cores are only interchangeable
+ * within equivalence classes of identical configuration (see
+ * MachineParams::coreClasses), so an allocation additionally chooses
+ * which groups land on which class: distinct allocations number
+ *   equalPartitionCount(X, X/C) * C! / prod_c(n_c!)
+ * where n_c counts the cores of class c -- e.g. 8 jobs on a 2+2
+ * big.LITTLE machine: 105 * 4!/(2!*2!) = 630 allocations.
  */
 
 #ifndef SOS_SCHED_MACHINE_SCHEDULE_HH
@@ -50,6 +58,17 @@ class MachineSchedule
     MachineSchedule(Partition allocation,
                     std::vector<Schedule> per_core);
 
+    /**
+     * Heterogeneity-aware constructor: @p core_classes gives each
+     * core's equivalence class (see MachineParams::coreClasses).
+     * Cores are only interchangeable within a class, so the canonical
+     * key sorts per-core schedules within class partitions instead of
+     * globally.  An empty or single-class vector reproduces the
+     * homogeneous key byte-for-byte.
+     */
+    MachineSchedule(Partition allocation, std::vector<Schedule> per_core,
+                    const std::vector<int> &core_classes);
+
     int
     numCores() const
     {
@@ -72,9 +91,12 @@ class MachineSchedule
     const std::string &label() const { return label_; }
 
     /**
-     * Canonical identity key. Cores are interchangeable, so the key
-     * sorts the (group, schedule) pairs; two machine schedules that
-     * differ only by a core permutation share a key.
+     * Canonical identity key. Identical cores are interchangeable, so
+     * the key sorts the (group, schedule) pairs within each core
+     * class; two machine schedules that differ only by a permutation
+     * of same-class cores share a key.  On a homogeneous machine that
+     * is full core-permutation invariance ("M:" + sorted schedule
+     * keys); heterogeneous keys tag every part with its core class.
      */
     const std::string &key() const { return key_; }
 
@@ -103,10 +125,29 @@ class MachineScheduleSpace
     MachineScheduleSpace(int num_jobs, int num_cores, int level,
                          int swap);
 
+    /**
+     * Heterogeneity-aware space: @p core_classes gives each core's
+     * equivalence class (any labels; normalised internally to
+     * first-appearance order, as MachineParams::coreClasses emits).
+     * Allocations then count distinct *class-labelled* partitions --
+     * moving a group between unlike cores is a new schedule -- and
+     * enumeration, sampling and dedup follow the class-aware keys.
+     * An empty or single-class vector is exactly the homogeneous
+     * space, bit-identical keys and RNG stream included.
+     */
+    MachineScheduleSpace(int num_jobs, int num_cores, int level,
+                         int swap, std::vector<int> core_classes);
+
     int numJobs() const { return numJobs_; }
     int numCores() const { return numCores_; }
     int level() const { return level_; }
     int swap() const { return swap_; }
+
+    /** Per-core class ids; empty for a homogeneous space. */
+    const std::vector<int> &coreClasses() const { return classes_; }
+
+    /** True when the space distinguishes at least two core classes. */
+    bool heterogeneous() const { return !classes_.empty(); }
 
     /** Jobs per core, X/C. */
     int groupSize() const { return groupSize_; }
@@ -149,11 +190,19 @@ class MachineScheduleSpace
                                      Rng &rng) const;
 
   private:
+    /** Jobs of each class's cores, ascending core index per class. */
+    std::vector<std::vector<int>> classCores() const;
+
+    /** Turn per-group class labels into a per-core allocation. */
+    Partition allocationFromLabels(const Partition &groups,
+                                   const std::vector<int> &labels) const;
+
     int numJobs_;
     int numCores_;
     int level_;
     int swap_;
     int groupSize_;
+    std::vector<int> classes_; ///< per-core class id; empty = uniform
 };
 
 } // namespace sos

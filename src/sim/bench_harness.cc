@@ -1,5 +1,6 @@
 #include "bench_harness.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <set>
@@ -31,7 +32,75 @@ isCandidateSegment(const std::string &path, std::size_t begin,
     return true;
 }
 
+/** Register one cache's geometry under @p group. */
+void
+publishCacheGeometry(const stats::Group &group,
+                     const CacheParams &cache)
+{
+    const stats::Group g = group.group(cache.name);
+    g.value("size_bytes", "total capacity") =
+        static_cast<double>(cache.sizeBytes);
+    g.value("line_bytes", "line (or page) size") =
+        static_cast<double>(cache.lineBytes);
+    g.value("assoc", "associativity") =
+        static_cast<double>(cache.assoc);
+}
+
 } // namespace
+
+void
+BenchHarness::publishMachineTopology()
+{
+    const SimConfig &config = options_.config;
+    if (config.heteroCores.empty())
+        return; // homogeneous runs keep pre-config manifests byte-identical
+    const int num_cores = static_cast<int>(config.heteroCores.size());
+    MachineParams params;
+    params.numCores = num_cores;
+    params.core = config.heteroCores.front();
+    params.mem = config.mem;
+    params.cores = config.heteroCores;
+    params.coreMem = config.heteroCoreMem;
+    const std::vector<int> classes = params.coreClasses();
+
+    const stats::Group topology = group("machine").group("topology");
+    topology.info("config", "machine description file") =
+        config.machineConfigPath;
+    topology.value("num_cores", "cores in the configured machine") =
+        static_cast<double>(num_cores);
+    topology.value("num_classes",
+                   "core equivalence classes (identical params)") =
+        static_cast<double>(
+            1 + *std::max_element(classes.begin(), classes.end()));
+    publishCacheGeometry(topology, config.mem.l2);
+    for (int k = 0; k < num_cores; ++k) {
+        const CoreParams &core = params.coreParams(k);
+        const MemParams &mem = params.memParams(k);
+        const stats::Group g =
+            topology.group("core" + std::to_string(k));
+        g.value("class", "core equivalence class id") =
+            static_cast<double>(classes[static_cast<std::size_t>(k)]);
+        if (static_cast<int>(config.heteroCoreNames.size()) >
+            k) {
+            g.info("class_name", "config-file class name") =
+                config.heteroCoreNames[static_cast<std::size_t>(k)];
+        }
+        g.value("contexts", "hardware thread contexts") =
+            static_cast<double>(core.numContexts);
+        g.value("fetch_width", "instructions fetched per cycle") =
+            static_cast<double>(core.fetchWidth);
+        g.value("int_units", "integer ALUs") =
+            static_cast<double>(core.numIntUnits);
+        g.value("fp_add_pipes", "FP add pipelines") =
+            static_cast<double>(core.fpAddPipes);
+        g.value("fp_mul_pipes", "FP multiply pipelines") =
+            static_cast<double>(core.fpMulPipes);
+        g.value("ls_ports", "load/store ports") =
+            static_cast<double>(core.numLsPorts);
+        publishCacheGeometry(g, mem.l1i);
+        publishCacheGeometry(g, mem.l1d);
+    }
+}
 
 BenchHarness::BenchHarness(std::string tool, int argc, char **argv)
     : tool_(std::move(tool)), options_(parseBenchArgs(argc, argv))
@@ -135,6 +204,11 @@ BenchHarness::finish()
     // pre-sampling goldens.
     if (options_.config.sample.enabled())
         publishSamplingStats(group("sampling"), options_.config.sample);
+    // The configured-machine description: emitted only for machines
+    // loaded from a heterogeneous config file, so default manifests
+    // stay byte-identical to the pre-config goldens. Pure function of
+    // the parsed config -- identical across SOS_JOBS / SOS_SNAPSHOT.
+    publishMachineTopology();
     if (!options_.out.manifest.empty()) {
         stats::Manifest manifest;
         manifest.tool = tool_;

@@ -87,6 +87,14 @@ class BenchHarness
   private:
     void writeBenchSweep() const;
 
+    /**
+     * Register the "machine.topology" info group describing the
+     * configured machine (per-core class, contexts, FU mix, cache
+     * geometry). No-op for homogeneous runs, so default manifests
+     * stay byte-identical to the pre-config goldens.
+     */
+    void publishMachineTopology();
+
     std::string tool_;
     BenchOptions options_;
     stats::Registry registry_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "config/machine_config.hh"
 #include "sim/params_io.hh"
 
 namespace sos {
@@ -29,6 +30,11 @@ benchConfigFromEnv()
     // so a typo dies here rather than deep inside a sweep.
     if (const char *sample = std::getenv("SOS_SAMPLE"))
         applyOverride(config, std::string("sample=") + sample);
+    // Machine description file: core count, per-core params, shared
+    // L2 geometry. Parsed (and validated) before any --set flag so
+    // explicit CLI overrides still win over the file's defaults.
+    if (const char *machine = std::getenv("SOS_MACHINE_CONFIG"))
+        applyMachineConfig(config, machine);
     // Sweep worker threads; resolveJobs() validates the value and
     // falls back to the hardware concurrency when unset.
     config.jobs = resolveJobs(0);
@@ -67,6 +73,9 @@ parseBenchArgs(int argc, char **argv)
             applyOverride(options.config, valueOf("--set"));
         else if (arg == "--jobs")
             applyOverride(options.config, "jobs=" + valueOf("--jobs"));
+        else if (arg == "--machine-config")
+            applyMachineConfig(options.config,
+                               valueOf("--machine-config"));
         else if (arg == "--out")
             options.out.manifest = valueOf("--out");
         else if (arg == "--trace")
@@ -78,8 +87,9 @@ parseBenchArgs(int argc, char **argv)
         else
             fatal("unknown argument '", arg,
                   "' (bench harnesses accept --set key=value, "
-                  "--jobs N, --out FILE, --trace FILE, "
-                  "--bench-sweep FILE, --bench-core FILE)");
+                  "--jobs N, --machine-config FILE, --out FILE, "
+                  "--trace FILE, --bench-sweep FILE, "
+                  "--bench-core FILE)");
     }
     return options;
 }

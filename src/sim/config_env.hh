@@ -6,13 +6,15 @@
  *
  *   environment   SOS_CYCLE_SCALE, SOS_SEED, SOS_JOBS (worker
  *                 threads), SOS_SNAPSHOT (0 disables the snapshot
- *                 fast path), SOS_OUT (manifest path), SOS_TRACE
- *                 (decision-trace path), SOS_BENCH_SWEEP (wall-clock
- *                 timing report path), SOS_BENCH_CORE (core-loop
- *                 microbench report path)
+ *                 fast path), SOS_MACHINE_CONFIG (machine description
+ *                 file; see configs/), SOS_OUT (manifest path),
+ *                 SOS_TRACE (decision-trace path), SOS_BENCH_SWEEP
+ *                 (wall-clock timing report path), SOS_BENCH_CORE
+ *                 (core-loop microbench report path)
  *   command line  --set key=value (repeated), --jobs N,
- *                 --out FILE.json, --trace FILE.jsonl,
- *                 --bench-sweep FILE.json, --bench-core FILE.json
+ *                 --machine-config FILE, --out FILE.json,
+ *                 --trace FILE.jsonl, --bench-sweep FILE.json,
+ *                 --bench-core FILE.json
  *
  * This module is the one place that parsing lives; reporting.hh is
  * again purely about table formatting.

@@ -133,17 +133,49 @@ machineExperiments()
 MachineExperiment::MachineExperiment(const MachineExperimentSpec &spec,
                                      const SimConfig &config)
     : spec_(spec), config_(config),
-      space_(spec.numJobs(), spec.numCores, spec.level, spec.swap),
+      machineParams_(config.machineFor(spec.level, spec.numCores)),
+      space_(spec.numJobs(), spec.numCores, spec.level, spec.swap,
+             machineParams_.coreClasses()),
       mix_(spec.makeMix(config.seed ^ hashLabel(spec.label))),
       runner_(config.jobs)
 {
-    // Solo IPC is a property of one job alone on one core; the
-    // single-core calibrator stays the reference.
-    Calibrator calibrator(config_.coreFor(spec_.level), config_.mem,
+    if (space_.heterogeneous())
+        coreClasses_ = space_.coreClasses();
+
+    // Solo IPC is a property of one job alone on one core; core 0's
+    // configuration is the machine's reference class (on a
+    // homogeneous machine that is the one configuration there is).
+    Calibrator calibrator(machineParams_.coreParams(0),
+                          machineParams_.memParams(0),
                           config_.calibWarmupCycles,
                           config_.calibMeasureCycles);
     calibrator.setSampling(config_.sample);
     calibrator.calibrate(mix_);
+
+    if (coreClasses_.empty())
+        return;
+    // Heterogeneity-aware policies additionally need every job's solo
+    // IPC on every core class. One calibrator per class representative
+    // -- the process-wide cache already keys on the full per-class
+    // configuration, so repeated experiments share the measurements.
+    const int num_classes =
+        1 + *std::max_element(coreClasses_.begin(), coreClasses_.end());
+    soloIpcByClass_.resize(static_cast<std::size_t>(num_classes));
+    for (int c = 0; c < num_classes; ++c) {
+        const int rep = static_cast<int>(
+            std::find(coreClasses_.begin(), coreClasses_.end(), c) -
+            coreClasses_.begin());
+        Calibrator class_calibrator(machineParams_.coreParams(rep),
+                                    machineParams_.memParams(rep),
+                                    config_.calibWarmupCycles,
+                                    config_.calibMeasureCycles);
+        class_calibrator.setSampling(config_.sample);
+        auto &references = soloIpcByClass_[static_cast<std::size_t>(c)];
+        for (int j = 0; j < mix_.numJobs(); ++j) {
+            references.push_back(class_calibrator.soloIpc(
+                mix_.job(j).name(), mix_.job(j).numThreads()));
+        }
+    }
 }
 
 std::uint64_t
@@ -188,8 +220,7 @@ MachineExperiment::runOne(const MachineSchedule &schedule,
     JobMix mix = freshMix();
     // A private machine per task keeps the sweep a pure function of
     // the candidate index (DESIGN.md determinism contract).
-    Machine machine(config_.coreFor(spec_.level), config_.mem,
-                    spec_.numCores);
+    Machine machine(machineParams_);
     MachineEngine engine(machine, timesliceCycles());
     engine.setSampling(config_.sample);
 
@@ -238,8 +269,7 @@ MachineExperiment::runAll(const std::vector<MachineSchedule> &schedules,
                 const MachineSchedule &leader =
                     schedules[first_in_group[g]];
                 JobMix mix = freshMix();
-                Machine machine(config_.coreFor(spec_.level),
-                                config_.mem, spec_.numCores);
+                Machine machine(machineParams_);
                 MachineEngine engine(machine, timesliceCycles());
                 engine.setSampling(config_.sample);
                 engine.setSampleRecording(false);
@@ -304,8 +334,7 @@ MachineExperiment::runSymbiosValidation(std::uint64_t symbios_cycles)
     const MachineSchedule &best =
         schedules_[static_cast<std::size_t>(bestIndex_)];
     JobMix mix = freshMix();
-    statsMachine_ = std::make_unique<Machine>(
-        config_.coreFor(spec_.level), config_.mem, spec_.numCores);
+    statsMachine_ = std::make_unique<Machine>(machineParams_);
     MachineEngine engine(*statsMachine_, timesliceCycles());
     engine.setSampling(config_.sample);
     const MachineSchedule warm = warmupFor(best.allocation());
@@ -332,6 +361,8 @@ MachineExperiment::evaluatePolicy(const std::string &name,
         ctx.soloIpc.push_back(mix_.job(j).soloIpc);
     ctx.samples = coscheduleSamples();
     ctx.seed = config_.seed ^ hashLabel(spec_.label);
+    ctx.coreClass = coreClasses_;
+    ctx.soloIpcByClass = soloIpcByClass_;
 
     PolicyResult result;
     result.policy = policy->name();

@@ -118,6 +118,12 @@ class MachineExperiment
     const MachineScheduleSpace &space() const { return space_; }
     JobMix &mix() { return mix_; }
 
+    /** The machine every candidate runs on (per-core params). */
+    const MachineParams &machineParams() const { return machineParams_; }
+
+    /** Per-core equivalence classes (empty = homogeneous). */
+    const std::vector<int> &coreClasses() const { return coreClasses_; }
+
     const std::vector<MachineSchedule> &schedules() const
     {
         return schedules_;
@@ -226,9 +232,15 @@ class MachineExperiment
 
     MachineExperimentSpec spec_;
     SimConfig config_;
+    MachineParams machineParams_; ///< the (possibly hetero) CMP built
     MachineScheduleSpace space_;
     JobMix mix_; ///< calibrated prototype; tasks clone its soloIpc
     ParallelScheduleRunner runner_;
+
+    /** @name Heterogeneity context for allocation policies @{ */
+    std::vector<int> coreClasses_; ///< empty when homogeneous
+    std::vector<std::vector<double>> soloIpcByClass_;
+    /** @} */
 
     std::vector<MachineSchedule> schedules_;
     SosKernel kernel_; ///< owns profiles, symbios WS, phase cycles

@@ -64,7 +64,11 @@ measuredCapacity(const SimConfig &sim, int level)
     static std::mutex mutex;
     static std::map<std::string, double> cache;
 
+    // configPairs deliberately omits the machine-config fields (they
+    // must not perturb manifests), so the cache key carries the config
+    // path explicitly: different machine files probe different cores.
     std::string key = std::to_string(level);
+    key += "|machine=" + sim.machineConfigPath;
     for (const auto &pair : configPairs(sim))
         key += "|" + pair.first + "=" + pair.second;
     {
@@ -74,11 +78,12 @@ measuredCapacity(const SimConfig &sim, int level)
             return hit->second;
     }
 
-    Calibrator calibrator(sim.coreFor(level), sim.mem,
-                          sim.calibWarmupCycles, sim.calibMeasureCycles);
+    Calibrator calibrator(sim.referenceCoreFor(level),
+                          sim.referenceMem(), sim.calibWarmupCycles,
+                          sim.calibMeasureCycles);
     const std::vector<std::string> &workloads = openSystemWorkloads();
 
-    Machine machine(sim.coreFor(level), sim.mem);
+    Machine machine(sim.referenceCoreFor(level), sim.referenceMem());
     TimesliceEngine engine(machine.core(0), sim.timesliceCycles());
     std::vector<std::unique_ptr<Job>> jobs;
     std::vector<double> solo;
@@ -173,8 +178,9 @@ makeArrivalTrace(const SimConfig &sim, const OpenSystemConfig &config)
 {
     SOS_ASSERT(config.numJobs > 0);
     Rng rng(config.seed ^ 0x7ace7aceULL);
-    Calibrator calibrator(sim.coreFor(config.level), sim.mem,
-                          sim.calibWarmupCycles, sim.calibMeasureCycles);
+    Calibrator calibrator(sim.referenceCoreFor(config.level),
+                          sim.referenceMem(), sim.calibWarmupCycles,
+                          sim.calibMeasureCycles);
 
     const double interarrival = static_cast<double>(
         sim.scaled(config.effectiveInterarrivalPaper(sim)));
@@ -209,10 +215,10 @@ makeOpenBackend(const SimConfig &sim, const OpenSystemConfig &config)
     std::unique_ptr<EngineBackend> backend;
     if (config.numCores <= 1) {
         backend = std::make_unique<TimesliceBackend>(
-            sim.coreFor(config.level), sim.mem, sim.timesliceCycles());
+            sim.machineFor(config.level, 1), sim.timesliceCycles());
     } else {
         backend = std::make_unique<MachineBackend>(
-            sim.coreFor(config.level), sim.mem, config.numCores,
+            sim.machineFor(config.level, config.numCores),
             sim.timesliceCycles());
     }
     // Capacity calibration (measuredCapacity above) deliberately stays
@@ -227,8 +233,9 @@ runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
               EngineBackend &backend, stats::EventTrace *events)
 {
     SOS_ASSERT(!trace.empty());
-    Calibrator calibrator(sim.coreFor(config.level), sim.mem,
-                          sim.calibWarmupCycles, sim.calibMeasureCycles);
+    Calibrator calibrator(sim.referenceCoreFor(config.level),
+                          sim.referenceMem(), sim.calibWarmupCycles,
+                          sim.calibMeasureCycles);
 
     SosKernel::OpenConfig kernel_config;
     kernel_config.sampleSchedules = config.sampleSchedules;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <functional>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -20,6 +21,10 @@ struct Field
     std::function<std::string(const SimConfig &)> get;
 };
 
+// The typed parsers throw instead of fatal()ing so that
+// tryApplyOverride can hand the message back to callers that have
+// their own error context (the machine-config parser prepends
+// file:line); applyOverride turns the exception back into fatal().
 std::uint64_t
 parseU64(const std::string &key, const std::string &value)
 {
@@ -29,8 +34,9 @@ parseU64(const std::string &key, const std::string &value)
     // strtoull wraps negatives around; no unsigned value spells '-'.
     if (end == value.c_str() || *end != '\0' ||
         value.find('-') != std::string::npos) {
-        fatal("value for ", key, " is not an unsigned integer: '",
-              value, "'");
+        throw std::invalid_argument("value for " + key +
+                                    " is not an unsigned integer: '" +
+                                    value + "'");
     }
     return parsed;
 }
@@ -40,8 +46,11 @@ parseInt(const std::string &key, const std::string &value)
 {
     char *end = nullptr;
     const long parsed = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0')
-        fatal("value for ", key, " is not an integer: '", value, "'");
+    if (end == value.c_str() || *end != '\0') {
+        throw std::invalid_argument("value for " + key +
+                                    " is not an integer: '" + value +
+                                    "'");
+    }
     return static_cast<int>(parsed);
 }
 
@@ -52,7 +61,8 @@ parseBool(const std::string &key, const std::string &value)
         return true;
     if (value == "0" || value == "false" || value == "off")
         return false;
-    fatal("value for ", key, " is not a boolean: '", value, "'");
+    throw std::invalid_argument("value for " + key +
+                                " is not a boolean: '" + value + "'");
 }
 
 #define SOS_FIELD_U64(path, doc)                                            \
@@ -181,6 +191,26 @@ configurableParams()
     return out;
 }
 
+bool
+tryApplyOverride(SimConfig &config, const std::string &key,
+                 const std::string &value, std::string &error)
+{
+    for (const Field &field : fields()) {
+        if (key == field.key) {
+            try {
+                field.set(config, value);
+            } catch (const std::invalid_argument &err) {
+                error = err.what();
+                return false;
+            }
+            return true;
+        }
+    }
+    error = "unknown configuration key '" + key +
+            "' (see `sossim params` for the full list)";
+    return false;
+}
+
 void
 applyOverride(SimConfig &config, const std::string &assignment)
 {
@@ -188,16 +218,11 @@ applyOverride(SimConfig &config, const std::string &assignment)
     if (eq == std::string::npos || eq == 0)
         fatal("override must look like key=value, got '", assignment,
               "'");
-    const std::string key = assignment.substr(0, eq);
-    const std::string value = assignment.substr(eq + 1);
-    for (const Field &field : fields()) {
-        if (key == field.key) {
-            field.set(config, value);
-            return;
-        }
+    std::string error;
+    if (!tryApplyOverride(config, assignment.substr(0, eq),
+                          assignment.substr(eq + 1), error)) {
+        fatal(error);
     }
-    fatal("unknown configuration key '", key,
-          "' (see `sossim params` for the full list)");
 }
 
 void
@@ -230,12 +255,17 @@ parseSampleWindows(const std::string &value)
         fatal("value for sample must be U:W:M (fast-forward:warm:"
               "measure simulated cycles) or 'off', got '", value, "'");
     SampleWindows sample;
-    sample.fastForward =
-        parseU64("sample (U)", value.substr(0, first));
-    sample.warm =
-        parseU64("sample (W)", value.substr(first + 1,
-                                            second - first - 1));
-    sample.measure = parseU64("sample (M)", value.substr(second + 1));
+    try {
+        sample.fastForward =
+            parseU64("sample (U)", value.substr(0, first));
+        sample.warm =
+            parseU64("sample (W)", value.substr(first + 1,
+                                                second - first - 1));
+        sample.measure =
+            parseU64("sample (M)", value.substr(second + 1));
+    } catch (const std::invalid_argument &err) {
+        fatal(err.what());
+    }
     if (!sample.enabled()) {
         // 0:W:M is full detail in awkward clothing; make the caller
         // say what they mean.

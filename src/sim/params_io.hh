@@ -33,6 +33,15 @@ std::vector<ParamInfo> configurableParams();
 /** Apply a single "key=value" assignment; fatal() on any error. */
 void applyOverride(SimConfig &config, const std::string &assignment);
 
+/**
+ * Apply one key/value pair, reporting failure instead of fatal()ing:
+ * returns false and fills @p error (unknown key or malformed value)
+ * so callers with their own context -- the machine-config parser
+ * prepends file:line -- can rethrow with a better message.
+ */
+bool tryApplyOverride(SimConfig &config, const std::string &key,
+                      const std::string &value, std::string &error);
+
 /** Apply several assignments in order. */
 void applyOverrides(SimConfig &config,
                     const std::vector<std::string> &assignments);

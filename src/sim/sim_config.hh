@@ -17,8 +17,11 @@
 
 #include <cstdint>
 
+#include <string>
+#include <vector>
+
 #include "common/logging.hh"
-#include "cpu/core_params.hh"
+#include "cpu/machine.hh"
 #include "cpu/sample_windows.hh"
 #include "mem/cache_hierarchy.hh"
 
@@ -98,6 +101,38 @@ struct SimConfig
     /** Memory hierarchy configuration. */
     MemParams mem;
 
+    /**
+     * @name Machine topology (--machine-config / SOS_MACHINE_CONFIG)
+     *
+     * A parsed machine config can force the core count and give every
+     * core its own parameters.  All four fields stay at their empty
+     * defaults when no config file is loaded, and none of them enters
+     * configPairs(): the homogeneous default path must keep producing
+     * byte-identical manifests to pre-config builds, and a
+     * heterogeneous run documents itself through the machine.topology
+     * manifest group instead.
+     * @{
+     */
+    /** Core count forced by the config file (0 = per-experiment). */
+    int machineCores = 0;
+
+    /**
+     * Per-core microarchitecture overrides; empty = homogeneous
+     * machines built from `core`.  numContexts is still forced to the
+     * experiment's MT level (see machineFor).
+     */
+    std::vector<CoreParams> heteroCores;
+
+    /** Per-core private-memory overrides; empty = uniform `mem`. */
+    std::vector<MemParams> heteroCoreMem;
+
+    /** Per-core class name from the config file, for reporting. */
+    std::vector<std::string> heteroCoreNames;
+
+    /** Path of the loaded machine config ("" = none). */
+    std::string machineConfigPath;
+    /** @} */
+
     /** @name Calibration intervals (simulated cycles) @{ */
     std::uint64_t calibWarmupCycles = 300000;
     std::uint64_t calibMeasureCycles = 500000;
@@ -141,6 +176,64 @@ struct SimConfig
         CoreParams params = core;
         params.numContexts = level;
         return params;
+    }
+
+    /**
+     * Machine parameters for a @p num_cores machine at MT level
+     * @p level: the homogeneous `core`/`mem` pair unless a machine
+     * config supplied per-core overrides, in which case the config
+     * must agree on the core count (fatal otherwise -- the caller
+     * picked an experiment the configured machine cannot host).
+     * Every core's numContexts is forced to @p level either way.
+     */
+    MachineParams
+    machineFor(int level, int num_cores) const
+    {
+        MachineParams params;
+        params.numCores = num_cores;
+        params.core = coreFor(level);
+        params.mem = mem;
+        if (!heteroCores.empty()) {
+            if (static_cast<int>(heteroCores.size()) != num_cores) {
+                fatal("machine config '", machineConfigPath,
+                      "' describes ", heteroCores.size(),
+                      " cores but the experiment needs ", num_cores);
+            }
+            params.cores = heteroCores;
+            for (CoreParams &core_params : params.cores)
+                core_params.numContexts = level;
+            params.coreMem = heteroCoreMem;
+        }
+        return params;
+    }
+
+    /** Per-core equivalence classes of the machineFor(level, n) CMP. */
+    std::vector<int>
+    machineClassesFor(int level, int num_cores) const
+    {
+        return machineFor(level, num_cores).coreClasses();
+    }
+
+    /**
+     * The reference (core 0) configuration at @p level: what
+     * single-core probes -- solo-IPC calibration, the open system's
+     * capacity measurement -- run on. Identical to coreFor()/mem on
+     * homogeneous machines.
+     */
+    CoreParams
+    referenceCoreFor(int level) const
+    {
+        CoreParams params =
+            heteroCores.empty() ? core : heteroCores.front();
+        params.numContexts = level;
+        return params;
+    }
+
+    /** Core 0's memory hierarchy (== `mem` when homogeneous). */
+    const MemParams &
+    referenceMem() const
+    {
+        return heteroCoreMem.empty() ? mem : heteroCoreMem.front();
     }
 };
 

@@ -60,19 +60,24 @@ OpenCandidate::coreTupleAt(std::size_t k, std::uint64_t t) const
     return tuple;
 }
 
-EngineBackend::EngineBackend(const CoreParams &core,
-                             const MemParams &mem, int num_cores,
-                             int level,
+EngineBackend::EngineBackend(const MachineParams &params, int level,
                              std::uint64_t timeslice_cycles)
-    : numCores_(num_cores), level_(level),
-      timeslice_(timeslice_cycles)
+    : numCores_(params.numCores), level_(level),
+      classes_(params.coreClasses()), timeslice_(timeslice_cycles)
 {
-    SOS_ASSERT(num_cores >= 1 && level >= 1,
+    SOS_ASSERT(params.numCores >= 1 && level >= 1,
                "backend needs at least one core and one context");
-    live_.machine = std::make_unique<Machine>(core, mem, num_cores);
-    for (int k = 0; k < num_cores; ++k)
+    live_.machine = std::make_unique<Machine>(params);
+    for (int k = 0; k < params.numCores; ++k)
         live_.engines.push_back(std::make_unique<TimesliceEngine>(
             live_.machine->core(k), timeslice_cycles));
+}
+
+bool
+EngineBackend::heterogeneous() const
+{
+    return std::any_of(classes_.begin(), classes_.end(),
+                       [](int c) { return c != 0; });
 }
 
 EngineBackend::~EngineBackend() = default;
@@ -267,11 +272,13 @@ EngineBackend::evictJob(const Job *job)
         engine->evictJob(job);
 }
 
-TimesliceBackend::TimesliceBackend(const CoreParams &core,
-                                   const MemParams &mem,
+TimesliceBackend::TimesliceBackend(const MachineParams &params,
                                    std::uint64_t timeslice_cycles)
-    : EngineBackend(core, mem, 1, core.numContexts, timeslice_cycles)
+    : EngineBackend(params, params.coreParams(0).numContexts,
+                    timeslice_cycles)
 {
+    SOS_ASSERT(params.numCores == 1,
+               "the timeslice backend is single-core");
 }
 
 std::vector<OpenCandidate>
@@ -306,10 +313,9 @@ TimesliceBackend::windowSlices(int num_jobs) const
         EngineBackend::windowSlices(num_jobs));
 }
 
-MachineBackend::MachineBackend(const CoreParams &core,
-                               const MemParams &mem, int num_cores,
+MachineBackend::MachineBackend(const MachineParams &params,
                                std::uint64_t timeslice_cycles)
-    : EngineBackend(core, mem, num_cores, core.numContexts,
+    : EngineBackend(params, params.coreParams(0).numContexts,
                     timeslice_cycles)
 {
 }
@@ -353,8 +359,11 @@ MachineBackend::drawCandidates(int num_jobs, int count,
         }
 
         // Canonical key: per-core identity strings, sorted so that
-        // permuting homogeneous cores does not create a "new"
-        // candidate.
+        // permuting identical cores does not create a "new"
+        // candidate. On a heterogeneous machine each part carries the
+        // core's equivalence class, so moving a group across classes
+        // changes the key (the placement matters there).
+        const bool hetero = heterogeneous();
         std::vector<std::string> parts;
         std::ostringstream label;
         for (std::size_t k = 0; k < candidate.groups.size(); ++k) {
@@ -364,8 +373,11 @@ MachineBackend::drawCandidates(int num_jobs, int count,
             std::vector<int> members = candidate.groups[k];
             if (static_cast<int>(members.size()) <= level())
                 std::sort(members.begin(), members.end());
-            parts.push_back(groupLabel(members) +
-                            candidate.schedules[k].key());
+            std::string part = groupLabel(members) +
+                               candidate.schedules[k].key();
+            if (hetero)
+                part = std::to_string(coreClasses()[k]) + ':' + part;
+            parts.push_back(std::move(part));
             if (k > 0)
                 label << '|';
             label << groupLabel(candidate.groups[k]);

@@ -148,9 +148,18 @@ class EngineBackend
     void setSampling(const SampleWindows &sample);
 
   protected:
-    EngineBackend(const CoreParams &core, const MemParams &mem,
-                  int num_cores, int level,
+    /**
+     * @p params describes the (possibly heterogeneous) machine; the
+     * SMT level is uniform across cores (machineFor() forces it).
+     */
+    EngineBackend(const MachineParams &params, int level,
                   std::uint64_t timeslice_cycles);
+
+    /** Per-core equivalence classes (all zero when homogeneous). */
+    const std::vector<int> &coreClasses() const { return classes_; }
+
+    /** True when the cores are not all identical. */
+    bool heterogeneous() const;
 
   private:
     /** A complete runnable copy of machine + engines (+ fork jobs). */
@@ -168,6 +177,7 @@ class EngineBackend
 
     int numCores_;
     int level_;
+    std::vector<int> classes_; ///< core equivalence classes
     std::uint64_t timeslice_;
     SampleWindows sample_;
     State live_;
@@ -178,7 +188,8 @@ class EngineBackend
 class TimesliceBackend : public EngineBackend
 {
   public:
-    TimesliceBackend(const CoreParams &core, const MemParams &mem,
+    /** @p params must describe a single-core machine. */
+    TimesliceBackend(const MachineParams &params,
                      std::uint64_t timeslice_cycles);
 
     std::string name() const override { return "smt-core"; }
@@ -198,14 +209,18 @@ class TimesliceBackend : public EngineBackend
 class MachineBackend : public EngineBackend
 {
   public:
-    MachineBackend(const CoreParams &core, const MemParams &mem,
-                   int num_cores, std::uint64_t timeslice_cycles);
+    explicit MachineBackend(const MachineParams &params,
+                            std::uint64_t timeslice_cycles);
 
     std::string name() const override { return "machine"; }
 
     /**
      * Random permutations of the pool split into near-equal
-     * contiguous per-core groups, deduplicated by canonical key.
+     * contiguous per-core groups, deduplicated by canonical key. On a
+     * heterogeneous machine the key tags each per-core part with the
+     * core's equivalence class, so placements that differ only by
+     * permuting identical cores still collapse while moves across
+     * classes count as distinct candidates.
      */
     std::vector<OpenCandidate>
     drawCandidates(int num_jobs, int count, Rng &rng) const override;

@@ -19,6 +19,7 @@
  * environment variables handled by the bench harnesses.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "config/machine_config.hh"
 #include "core/predictor.hh"
 #include "core/resample_policy.hh"
 #include "sim/batch_experiment.hh"
@@ -98,13 +100,15 @@ printUsage(const std::string &command)
         "%s"
         "  --set key=value     configuration override (repeatable; "
         "see `sossim params`)\n"
+        "  --machine-config F  machine description file (per-core "
+        "params; env SOS_MACHINE_CONFIG)\n"
         "  --out FILE.json     write the JSON run manifest (env "
         "SOS_OUT)\n"
         "  --trace FILE.jsonl  write the scheduler decision trace "
         "(env SOS_TRACE)\n"
         "  --help              show this message and exit\n\n"
-        "environment: SOS_CYCLE_SCALE, SOS_SEED, SOS_JOBS, SOS_OUT, "
-        "SOS_TRACE\n",
+        "environment: SOS_CYCLE_SCALE, SOS_SEED, SOS_JOBS, "
+        "SOS_MACHINE_CONFIG, SOS_OUT, SOS_TRACE\n",
         command.c_str(), synopsis, specific);
 }
 
@@ -146,6 +150,11 @@ SimConfig
 configFor(const Args &args)
 {
     SimConfig config = benchConfigFromEnv();
+    // The machine file loads before the --set pass so explicit CLI
+    // overrides still win over the file's machine-wide defaults.
+    const std::string machine = args.flag("machine-config", "");
+    if (!machine.empty())
+        applyMachineConfig(config, machine);
     applyOverrides(config, args.overrides);
     return config;
 }
@@ -271,7 +280,6 @@ cmdOpen(const Args &args)
 {
     OpenSystemConfig open;
     open.level = std::stoi(args.flag("level", "3"));
-    open.numCores = std::stoi(args.flag("cores", "1"));
     open.numJobs = std::stoi(args.flag("jobs", "24"));
 
     // The open system has its own --set keys: predictor= and policy=
@@ -296,6 +304,12 @@ cmdOpen(const Args &args)
     BenchHarness harness("sossim open", configFor(sim_args),
                          outputsFor(args));
     const SimConfig &config = harness.config();
+    // --cores wins; otherwise a loaded machine config sets the core
+    // count, and the default stays the paper's single SMT core.
+    const std::string cores_flag = args.flag("cores", "");
+    open.numCores = !cores_flag.empty()
+                        ? std::stoi(cores_flag)
+                        : std::max(1, config.machineCores);
     open.seed = config.seed ^ 0x09e2ULL;
 
     // Run the two policies here (rather than compareResponseTimes) so
@@ -418,7 +432,14 @@ cmdMachine(const Args &args)
     BenchHarness harness("sossim machine", configWithWorkers(args),
                          outputsFor(args));
     const SimConfig &config = harness.config();
-    const int cores = std::stoi(args.flag("cores", "2"));
+    // --cores wins; otherwise a loaded machine config picks the
+    // experiment its core count can host, defaulting to the 2-core CMP.
+    const std::string cores_flag = args.flag("cores", "");
+    const int cores = !cores_flag.empty()
+                          ? std::stoi(cores_flag)
+                          : (config.machineCores > 0
+                                 ? config.machineCores
+                                 : 2);
     const MachineExperimentSpec *chosen = nullptr;
     for (const MachineExperimentSpec &spec : machineExperiments()) {
         if (spec.numCores == cores)

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Machine-config parser tests: the grammar (keys, classes, cores,
+ * include), file:line-carrying errors, validation hookup, and the
+ * collapse-to-homogeneous rule that keeps config-free runs
+ * byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "config/machine_config.hh"
+#include "sim/sim_config.hh"
+
+namespace sos {
+namespace {
+
+SimConfig
+base()
+{
+    return makeFastConfig();
+}
+
+ParsedMachineConfig
+parse(const std::string &text)
+{
+    return parseMachineConfigText(text, "test.cfg", base());
+}
+
+/** EXPECT that parsing throws and what() contains every needle. */
+void
+expectError(const std::string &text,
+            const std::vector<std::string> &needles)
+{
+    try {
+        parse(text);
+        FAIL() << "expected MachineConfigError";
+    } catch (const MachineConfigError &err) {
+        const std::string what = err.what();
+        for (const std::string &needle : needles) {
+            EXPECT_NE(what.find(needle), std::string::npos)
+                << "missing '" << needle << "' in: " << what;
+        }
+    }
+}
+
+TEST(MachineConfig, MachineScopeKeysSetDefaults)
+{
+    const ParsedMachineConfig parsed = parse(R"(
+        # comment-only and blank lines are skipped
+        core.fetchWidth 4        # trailing comments too
+        mem.l2.sizeBytes 524288
+        cores 2
+    )");
+    EXPECT_EQ(parsed.numCores, 2);
+    EXPECT_EQ(parsed.core.fetchWidth, 4);
+    EXPECT_EQ(parsed.mem.l2.sizeBytes, 524288u);
+    // `cores N` is the homogeneous form: no per-core entries.
+    EXPECT_TRUE(parsed.cores.empty());
+    EXPECT_TRUE(parsed.coreMem.empty());
+}
+
+TEST(MachineConfig, ClassesInstantiateInCoreOrder)
+{
+    const ParsedMachineConfig parsed = parse(R"(
+        class big
+        class little
+          core.fetchWidth 4
+          mem.l1d.sizeBytes 32768
+        cores big*2 little*2
+    )");
+    EXPECT_EQ(parsed.numCores, 4);
+    ASSERT_EQ(parsed.cores.size(), 4u);
+    ASSERT_EQ(parsed.coreNames.size(), 4u);
+    EXPECT_EQ(parsed.coreNames[0], "big");
+    EXPECT_EQ(parsed.coreNames[1], "big");
+    EXPECT_EQ(parsed.coreNames[2], "little");
+    EXPECT_EQ(parsed.coreNames[3], "little");
+    EXPECT_EQ(parsed.cores[0].fetchWidth, base().core.fetchWidth);
+    EXPECT_EQ(parsed.cores[2].fetchWidth, 4);
+    EXPECT_EQ(parsed.coreMem[2].l1d.sizeBytes, 32768u);
+}
+
+TEST(MachineConfig, BareClassNamesCountOnce)
+{
+    const ParsedMachineConfig parsed = parse(R"(
+        class a
+          core.numIntUnits 6
+        class b
+          core.numIntUnits 2
+        cores a b
+    )");
+    EXPECT_EQ(parsed.numCores, 2);
+    ASSERT_EQ(parsed.cores.size(), 2u);
+    EXPECT_EQ(parsed.cores[0].numIntUnits, 6);
+    EXPECT_EQ(parsed.cores[1].numIntUnits, 2);
+}
+
+TEST(MachineConfig, ClassSeedsFromMachineDefaultsAtDeclaration)
+{
+    // Machine-scope keys precede the first class; every class seeds
+    // from those defaults and only its own keys refine it further.
+    const ParsedMachineConfig parsed = parse(R"(
+        core.fetchWidth 6
+        class tuned
+          core.numIntUnits 2
+        class stock
+        cores tuned stock
+    )");
+    ASSERT_EQ(parsed.cores.size(), 2u);
+    EXPECT_EQ(parsed.cores[0].fetchWidth, 6);
+    EXPECT_EQ(parsed.cores[0].numIntUnits, 2);
+    EXPECT_EQ(parsed.cores[1].fetchWidth, 6);
+    EXPECT_EQ(parsed.cores[1].numIntUnits, base().core.numIntUnits);
+}
+
+TEST(MachineConfig, IdenticalCoresCollapseToHomogeneous)
+{
+    // Two instantiations of one class -- and even two classes with
+    // identical params -- are a homogeneous machine.
+    const ParsedMachineConfig one_class = parse(R"(
+        class only
+          core.fetchWidth 4
+        cores only*2
+    )");
+    EXPECT_EQ(one_class.numCores, 2);
+    EXPECT_TRUE(one_class.cores.empty()) << "must collapse";
+    EXPECT_EQ(one_class.core.fetchWidth, 4);
+
+    const ParsedMachineConfig twins = parse(R"(
+        class a
+        class b
+        cores a b
+    )");
+    EXPECT_TRUE(twins.cores.empty()) << "identical classes collapse";
+}
+
+TEST(MachineConfig, ClassL2IsOverwrittenByTheMachine)
+{
+    // The shared cache belongs to the machine: a class setting
+    // mem.l2.* silently inherits the machine geometry, so the two
+    // classes below differ only in L1 and still form two classes.
+    const ParsedMachineConfig parsed = parse(R"(
+        mem.l2.sizeBytes 1048576
+        class a
+          mem.l2.sizeBytes 65536
+        class b
+          mem.l1d.sizeBytes 32768
+        cores a b
+    )");
+    ASSERT_EQ(parsed.coreMem.size(), 2u);
+    EXPECT_EQ(parsed.coreMem[0].l2.sizeBytes, 1048576u);
+    EXPECT_EQ(parsed.coreMem[1].l2.sizeBytes, 1048576u);
+}
+
+TEST(MachineConfig, ErrorsNameFileLineKeyAndValue)
+{
+    expectError("core.fetchWidth zap\ncores 1\n",
+                {"test.cfg:1", "core.fetchWidth", "zap"});
+    expectError("\n\ncore.noSuchKnob 3\n", {"test.cfg:3", "noSuchKnob"});
+    expectError("seed 42\ncores 1\n", {"test.cfg:1", "core.*", "seed"});
+    expectError("core.fetchWidth\n", {"test.cfg:1", "key value"});
+    expectError("cores 0\n", {"test.cfg:1", "[1, "});
+    expectError("cores 99\n", {"test.cfg:1", "[1, "});
+    expectError("cores big\n", {"test.cfg:1", "undeclared", "big"});
+    expectError("class 9lives\ncores 1\n",
+                {"test.cfg:1", "start with a letter"});
+    expectError("class a\nclass a\ncores a\n",
+                {"test.cfg:2", "duplicate class", "test.cfg:1"});
+    expectError("cores 1\ncores 1\n",
+                {"test.cfg:2", "duplicate 'cores'", "test.cfg:1"});
+    expectError("class a\n", {"never", "instantiated"});
+}
+
+TEST(MachineConfig, ValidationErrorsCarryTheClassContext)
+{
+    // Validation failures surface the class and the offending field
+    // with its value, anchored at the class declaration line.
+    expectError("class broken\n  core.fetchWidth -1\ncores broken\n",
+                {"test.cfg:1", "class 'broken'", "fetchWidth"});
+    expectError("mem.l2HitLatency 0\ncores 1\n",
+                {"machine defaults", "l2HitLatency", "got 0"});
+}
+
+TEST(MachineConfig, IncludeResolvesRelativeToTheIncluder)
+{
+    // Write a pair of files under /tmp and include one from the other.
+    const std::string dir = ::testing::TempDir();
+    const std::string inc_path = dir + "sos_defaults.inc";
+    const std::string cfg_path = dir + "sos_machine.cfg";
+    {
+        std::ofstream inc(inc_path);
+        inc << "core.fetchWidth 4\n";
+    }
+    {
+        std::ofstream cfg(cfg_path);
+        cfg << "include sos_defaults.inc\ncores 2\n";
+    }
+    const ParsedMachineConfig parsed =
+        parseMachineConfig(cfg_path, base());
+    EXPECT_EQ(parsed.core.fetchWidth, 4);
+    EXPECT_EQ(parsed.numCores, 2);
+    std::remove(inc_path.c_str());
+    std::remove(cfg_path.c_str());
+}
+
+TEST(MachineConfig, IncludeCyclesAreBounded)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "sos_cycle.cfg";
+    {
+        std::ofstream cfg(path);
+        cfg << "include sos_cycle.cfg\n";
+    }
+    EXPECT_THROW(parseMachineConfig(path, base()), MachineConfigError);
+    std::remove(path.c_str());
+}
+
+TEST(MachineConfig, MissingFileThrows)
+{
+    EXPECT_THROW(
+        parseMachineConfig("/no/such/dir/machine.cfg", base()),
+        MachineConfigError);
+}
+
+TEST(MachineConfig, DefaultsOnlyFileLeavesCoreCountOpen)
+{
+    const ParsedMachineConfig parsed = parse("core.fetchWidth 4\n");
+    EXPECT_EQ(parsed.numCores, 0) << "no 'cores' line = any machine";
+    EXPECT_EQ(parsed.core.fetchWidth, 4);
+    EXPECT_TRUE(parsed.cores.empty());
+}
+
+TEST(MachineConfig, ExampleConfigsParse)
+{
+    // The checked-in examples must stay valid. SOS_CONFIG_DIR points
+    // at <repo>/configs (set by the test's CMake target).
+    const std::string dir = SOS_CONFIG_DIR "/";
+    const ParsedMachineConfig paper =
+        parseMachineConfig(dir + "paper_default.cfg", base());
+    EXPECT_EQ(paper.numCores, 0);
+    EXPECT_TRUE(paper.cores.empty()) << "paper default is homogeneous";
+    EXPECT_EQ(paper.core.fetchWidth, base().core.fetchWidth);
+    EXPECT_EQ(paper.mem.l2.sizeBytes, base().mem.l2.sizeBytes);
+
+    const ParsedMachineConfig bl =
+        parseMachineConfig(dir + "big_little.cfg", base());
+    EXPECT_EQ(bl.numCores, 4);
+    ASSERT_EQ(bl.cores.size(), 4u);
+    EXPECT_EQ(bl.coreNames[0], "big");
+    EXPECT_EQ(bl.coreNames[3], "little");
+    EXPECT_LT(bl.cores[3].fetchWidth, bl.cores[0].fetchWidth);
+
+    const ParsedMachineConfig fu =
+        parseMachineConfig(dir + "asymmetric_fu.cfg", base());
+    EXPECT_EQ(fu.numCores, 2);
+    ASSERT_EQ(fu.cores.size(), 2u);
+    EXPECT_GT(fu.cores[0].numIntUnits, fu.cores[1].numIntUnits);
+    EXPECT_LT(fu.cores[0].fpMulPipes, fu.cores[1].fpMulPipes);
+
+    const ParsedMachineConfig l2 =
+        parseMachineConfig(dir + "small_l2_slice.cfg", base());
+    EXPECT_EQ(l2.numCores, 2);
+    EXPECT_TRUE(l2.cores.empty()) << "homogeneous cores collapse";
+    EXPECT_EQ(l2.mem.l2.sizeBytes, 524288u);
+}
+
+TEST(MachineConfig, ApplyFillsTheSimConfig)
+{
+    SimConfig config = base();
+    const std::string dir = SOS_CONFIG_DIR "/";
+    applyMachineConfig(config, dir + "big_little.cfg");
+    EXPECT_EQ(config.machineCores, 4);
+    EXPECT_EQ(config.heteroCores.size(), 4u);
+    EXPECT_EQ(config.heteroCoreMem.size(), 4u);
+    EXPECT_EQ(config.heteroCoreNames.size(), 4u);
+    EXPECT_EQ(config.machineConfigPath, dir + "big_little.cfg");
+
+    // machineFor threads the per-core params through and forces the
+    // MT level onto every core.
+    const MachineParams params = config.machineFor(2, 4);
+    EXPECT_FALSE(params.homogeneous());
+    for (int k = 0; k < 4; ++k)
+        EXPECT_EQ(params.coreParams(k).numContexts, 2);
+    const std::vector<int> classes = params.coreClasses();
+    EXPECT_EQ(classes, (std::vector<int>{0, 0, 1, 1}));
+}
+
+} // namespace
+} // namespace sos

@@ -137,5 +137,110 @@ TEST(MachineScheduleSpace, RandomIsDeterministicInTheSeed)
     EXPECT_NE(first, other);
 }
 
+// --- Heterogeneous machines: core classes partition the symmetry ---
+
+TEST(HeteroMachineScheduleSpace, DistinctCountScalesByClassPartition)
+{
+    // Two classes of two identical cores each: every homogeneous
+    // allocation splits into C!/(n_big! n_little!) = 4!/(2!2!) = 6
+    // distinct placements.
+    const MachineScheduleSpace hetero(8, 4, 2, 2, {0, 0, 1, 1});
+    EXPECT_TRUE(hetero.heterogeneous());
+    EXPECT_EQ(hetero.distinctCount(), 105u * 6u);
+    // All-distinct cores: the full 2! = 2 factor on the 2-core CMP.
+    const MachineScheduleSpace two(8, 2, 2, 2, {0, 1});
+    EXPECT_EQ(two.distinctCount(), 315u * 2u);
+}
+
+TEST(HeteroMachineScheduleSpace, EnumerationMatchesTheCount)
+{
+    // Jm(4,2,2,2) on a big.LITTLE pair: 3 pairings x 2 placements.
+    const MachineScheduleSpace space(4, 2, 2, 2, {0, 1});
+    const std::vector<MachineSchedule> all = space.enumerateAll();
+    EXPECT_EQ(all.size(), space.distinctCount());
+    EXPECT_EQ(all.size(), 6u);
+    std::set<std::string> keys;
+    for (const MachineSchedule &s : all) {
+        EXPECT_TRUE(s.valid());
+        keys.insert(s.key());
+    }
+    EXPECT_EQ(keys.size(), all.size()) << "duplicate canonical keys";
+}
+
+TEST(HeteroMachineScheduleSpace, KeyDistinguishesCrossClassSwaps)
+{
+    const Partition alloc_a = {{0, 1}, {2, 3}};
+    const Partition alloc_b = {{2, 3}, {0, 1}};
+    const std::vector<Schedule> sched_a = {
+        Schedule::fromPartition({{0, 1}}),
+        Schedule::fromPartition({{2, 3}})};
+    const std::vector<Schedule> sched_b = {
+        Schedule::fromPartition({{2, 3}}),
+        Schedule::fromPartition({{0, 1}})};
+    // Identical cores: the swap is the same machine schedule.
+    EXPECT_EQ(MachineSchedule(alloc_a, sched_a, {0, 0}).key(),
+              MachineSchedule(alloc_b, sched_b, {0, 0}).key());
+    // Different classes: who runs on the big core matters.
+    EXPECT_NE(MachineSchedule(alloc_a, sched_a, {0, 1}).key(),
+              MachineSchedule(alloc_b, sched_b, {0, 1}).key());
+    // Within-class permutation on a {0,0,1,1} machine still
+    // collapses: swap the two class-0 cores only.
+    const Partition four_a = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+    const Partition four_b = {{2, 3}, {0, 1}, {4, 5}, {6, 7}};
+    const auto scheds = [](const Partition &p) {
+        std::vector<Schedule> out;
+        for (const auto &group : p)
+            out.push_back(Schedule::fromPartition({group}));
+        return out;
+    };
+    EXPECT_EQ(
+        MachineSchedule(four_a, scheds(four_a), {0, 0, 1, 1}).key(),
+        MachineSchedule(four_b, scheds(four_b), {0, 0, 1, 1}).key());
+    // ...but swapping across the class boundary does not.
+    const Partition four_c = {{4, 5}, {2, 3}, {0, 1}, {6, 7}};
+    EXPECT_NE(
+        MachineSchedule(four_a, scheds(four_a), {0, 0, 1, 1}).key(),
+        MachineSchedule(four_c, scheds(four_c), {0, 0, 1, 1}).key());
+}
+
+TEST(HeteroMachineScheduleSpace, SingleClassCollapsesToHomogeneous)
+{
+    // A uniform class vector (whatever its label) is the homogeneous
+    // machine: same flag, same counts, same keys, same RNG stream.
+    const MachineScheduleSpace plain(8, 2, 2, 2);
+    const MachineScheduleSpace labeled(8, 2, 2, 2, {5, 5});
+    EXPECT_FALSE(labeled.heterogeneous());
+    EXPECT_EQ(labeled.distinctCount(), plain.distinctCount());
+    Rng a(42), b(42);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(plain.random(a).key(), labeled.random(b).key());
+}
+
+TEST(HeteroMachineScheduleSpace, SampleIsDeterministicAndDistinct)
+{
+    const MachineScheduleSpace space(8, 2, 2, 2, {0, 1});
+    Rng a(0x5eedULL), b(0x5eedULL);
+    const std::vector<MachineSchedule> first = space.sample(24, a);
+    const std::vector<MachineSchedule> second = space.sample(24, b);
+    ASSERT_EQ(first.size(), 24u);
+    ASSERT_EQ(second.size(), 24u);
+    std::set<std::string> keys;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].key(), second[i].key());
+        keys.insert(first[i].key());
+    }
+    EXPECT_EQ(keys.size(), first.size());
+}
+
+TEST(HeteroMachineScheduleSpace, ClassLabelsNormalizeByFirstUse)
+{
+    // {7, 3} and {0, 1} describe the same two-singleton partition.
+    const MachineScheduleSpace odd(8, 2, 2, 2, {7, 3});
+    const MachineScheduleSpace canon(8, 2, 2, 2, {0, 1});
+    EXPECT_TRUE(odd.heterogeneous());
+    EXPECT_EQ(odd.coreClasses(), canon.coreClasses());
+    EXPECT_EQ(odd.distinctCount(), canon.distinctCount());
+}
+
 } // namespace
 } // namespace sos

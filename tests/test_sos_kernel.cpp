@@ -95,7 +95,7 @@ TEST(EventQueue, TimerGenerationsSurviveTheHeap)
 TEST(OpenBackend, SpreadFillsCoresInIndexOrder)
 {
     const SimConfig sim = fast();
-    MachineBackend backend(sim.coreFor(2), sim.mem, 2,
+    MachineBackend backend(sim.machineFor(2, 2),
                            sim.timesliceCycles());
     EXPECT_EQ(backend.capacity(), 4);
     const auto groups = backend.spread({0, 1, 2});
@@ -107,7 +107,7 @@ TEST(OpenBackend, SpreadFillsCoresInIndexOrder)
 TEST(OpenBackend, TrivialCandidateCoversTheWholePool)
 {
     const SimConfig sim = fast();
-    TimesliceBackend backend(sim.coreFor(3), sim.mem,
+    TimesliceBackend backend(sim.machineFor(3, 1),
                              sim.timesliceCycles());
     const OpenCandidate candidate = backend.trivialCandidate(2);
     ASSERT_EQ(candidate.groups.size(), 1u);
@@ -121,7 +121,7 @@ TEST(OpenBackend, TrivialCandidateCoversTheWholePool)
 TEST(OpenBackend, DrawCandidatesIsDeterministicAndDistinct)
 {
     const SimConfig sim = fast();
-    TimesliceBackend backend(sim.coreFor(2), sim.mem,
+    TimesliceBackend backend(sim.machineFor(2, 1),
                              sim.timesliceCycles());
     Rng rng_a(1234);
     Rng rng_b(1234);
@@ -142,7 +142,7 @@ TEST(OpenBackend, DrawCandidatesIsDeterministicAndDistinct)
 TEST(OpenBackend, MachineCandidatesAssignEveryJobToOneCore)
 {
     const SimConfig sim = fast();
-    MachineBackend backend(sim.coreFor(2), sim.mem, 2,
+    MachineBackend backend(sim.machineFor(2, 2),
                            sim.timesliceCycles());
     Rng rng(99);
     const auto candidates = backend.drawCandidates(6, 5, rng);

@@ -48,7 +48,8 @@ TEST(ThreadToCore, RegistryListsTheFamily)
 {
     const std::vector<std::string> names = threadToCorePolicyNames();
     for (const char *expected :
-         {"balanced-icount", "naive", "random", "synpa"}) {
+         {"balanced-icount", "big-core-first", "naive", "random",
+          "synpa", "synpa-class"}) {
         EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                     names.end())
             << expected;
@@ -134,6 +135,87 @@ TEST(ThreadToCore, SynpaGroupsHighAffinityPairs)
     const Partition allocation = policy->allocate(ctx);
     EXPECT_EQ(allocation[0], (std::vector<int>{0, 3}));
     EXPECT_EQ(allocation[1], (std::vector<int>{1, 2}));
+}
+
+TEST(ThreadToCore, BigCoreFirstPacksByIpcOnHomogeneousMachines)
+{
+    // No class info: capability order is the identity, so the policy
+    // is IPC-sorted in-order packing.
+    const auto policy = makeThreadToCorePolicy("big-core-first");
+    AllocationContext ctx = contextFor(8, 2);
+    ctx.soloIpc = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+    const Partition allocation = policy->allocate(ctx);
+    expectWellFormed(allocation, 8, 2);
+    EXPECT_EQ(allocation[0], (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(allocation[1], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadToCore, BigCoreFirstSendsFastJobsToTheCapableCore)
+{
+    // Core 1 belongs to the more capable class (higher mean solo
+    // IPC), so the highest-IPC jobs must land there -- placement now
+    // carries information, not just grouping.
+    const auto policy = makeThreadToCorePolicy("big-core-first");
+    AllocationContext ctx = contextFor(8, 2);
+    ctx.soloIpc = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+    ctx.coreClass = {0, 1};
+    ctx.soloIpcByClass = {
+        {0.3, 0.5, 0.8, 1.0, 1.2, 1.5, 1.8, 2.0},  // little class
+        {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}}; // big class
+    const Partition allocation = policy->allocate(ctx);
+    expectWellFormed(allocation, 8, 2);
+    EXPECT_EQ(allocation[1], (std::vector<int>{4, 5, 6, 7}))
+        << "fast jobs belong on the big core";
+    EXPECT_EQ(allocation[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadToCore, SynpaClassKeepsGroupsButRanksThePlacement)
+{
+    // synpa-class reuses synpa's affinity grouping, then gives the
+    // group with the most solo throughput at stake to the most
+    // capable core.
+    const auto policy = makeThreadToCorePolicy("synpa-class");
+    AllocationContext ctx = contextFor(4, 2);
+    CoscheduleSample good;
+    good.tuples = {{0, 3}, {1, 2}};
+    good.ws = 2.0;
+    CoscheduleSample bad;
+    bad.tuples = {{0, 1}, {2, 3}};
+    bad.ws = 1.0;
+    ctx.samples = {good, bad};
+    ctx.soloIpc = {4.0, 1.0, 1.0, 4.0};
+    ctx.coreClass = {0, 1};
+    ctx.soloIpcByClass = {{1.0, 0.5, 0.5, 1.0},  // little class
+                          {4.0, 1.0, 1.0, 4.0}}; // big class
+    const Partition allocation = policy->allocate(ctx);
+    expectWellFormed(allocation, 4, 2);
+    EXPECT_EQ(allocation[1], (std::vector<int>{0, 3}))
+        << "the demanding affinity group gets the big core";
+    EXPECT_EQ(allocation[0], (std::vector<int>{1, 2}));
+}
+
+TEST(ThreadToCore, HeteroPoliciesStayWellFormedEverywhere)
+{
+    // The class-aware policies must keep the partition contract on
+    // every shape, including single-core and classless contexts.
+    for (const char *name : {"big-core-first", "synpa-class"}) {
+        const auto policy = makeThreadToCorePolicy(name);
+        for (const auto &[jobs, cores] :
+             {std::pair{8, 2}, {8, 4}, {12, 4}, {6, 1}}) {
+            AllocationContext ctx = contextFor(jobs, cores);
+            if (cores > 1) {
+                // Alternate classes 0/1 across the cores.
+                for (int k = 0; k < cores; ++k)
+                    ctx.coreClass.push_back(k % 2);
+                ctx.soloIpcByClass = {
+                    std::vector<double>(
+                        static_cast<std::size_t>(jobs), 2.0),
+                    std::vector<double>(
+                        static_cast<std::size_t>(jobs), 1.0)};
+            }
+            expectWellFormed(policy->allocate(ctx), jobs, cores);
+        }
+    }
 }
 
 } // namespace
