@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Figure 9: cluster scale-out -- dispatch-policy comparison across
+ * node counts, plus the host-thread scaling curve.
+ *
+ * The paper schedules jobs onto one SMT machine; this figure
+ * extrapolates its symbiosis machinery one level up. A Cluster of N
+ * single-machine open systems replays one deterministic arrival trace
+ * per node count through each dispatch policy (random, round-robin,
+ * least-loaded, signature), so policy differences are purely routing:
+ * the signature dispatcher reads the same per-node counter signatures
+ * the SOS kernel samples, and wins exactly when symbiosis-aware
+ * placement beats load balancing alone.
+ *
+ * The manifest carries, per (nodes, policy), the cluster's streaming
+ * response-time percentiles (cluster-wide and per class) and per-node
+ * utilization. Wall-clock numbers never enter the manifest: when
+ * --bench-cluster / SOS_BENCH_CLUSTER names a report file, a second
+ * pass re-runs the largest configuration under 1, 2 and 4 host
+ * workers (SOS_JOBS-style fan-out, one ThreadPool task per node),
+ * asserts the results stay bit-identical, and writes the scaling
+ * curve there -- the flag is the opt-in, as with --bench-core.
+ *
+ * Scale knobs (the defaults keep a laptop run in minutes; CI smoke
+ * and large-trace runs override them):
+ *   SOS_CLUSTER_JOBS      arrivals per run          (default 400)
+ *   SOS_CLUSTER_NODES     single node count         (default 2 and 4)
+ *   SOS_DISPATCH          single policy             (default all four)
+ *   SOS_CLUSTER_MEAN_JOB  mean job, paper cycles    (default 30M)
+ * A 10^5-10^6 job trace is a matter of SOS_CLUSTER_JOBS plus a
+ * coarser SOS_CYCLE_SCALE (see EXPERIMENTS.md "Figure 9").
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats_util.hh"
+#include "sim/bench_harness.hh"
+#include "sim/reporting.hh"
+#include "stats/json.hh"
+
+namespace {
+
+using namespace sos;
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::strtoull(value, nullptr, 10)
+                            : fallback;
+}
+
+/** Exact percentile over the drained responses (doubles, cycles). */
+double
+responsePercentile(const ClusterResult &result, double pct)
+{
+    std::vector<double> xs;
+    xs.reserve(result.responseByArrival.size());
+    for (std::uint64_t response : result.responseByArrival)
+        xs.push_back(static_cast<double>(response));
+    return percentile(std::move(xs), pct);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sos;
+
+    BenchHarness harness("fig9_cluster", argc, argv);
+    SimConfig &config = harness.config();
+    // Cluster runs replay whole open systems per node; default to a
+    // coarser scale than even the fig8 open-system bench.
+    if (std::getenv("SOS_CYCLE_SCALE") == nullptr)
+        config.cycleScale = 1000;
+
+    const int jobs =
+        static_cast<int>(envU64("SOS_CLUSTER_JOBS", 400));
+    const std::uint64_t mean_job =
+        envU64("SOS_CLUSTER_MEAN_JOB", 30000000ULL);
+    std::vector<int> node_counts = {2, 4};
+    if (const char *nodes = std::getenv("SOS_CLUSTER_NODES"))
+        node_counts = {std::atoi(nodes)};
+    std::vector<std::string> policies = dispatcherNames();
+    if (const char *policy = std::getenv("SOS_DISPATCH"))
+        policies = {policy};
+
+    const auto clusterConfig = [&](int nodes,
+                                   const std::string &policy) {
+        ClusterConfig cc;
+        cc.numNodes = nodes;
+        cc.dispatch = policy;
+        cc.numJobs = jobs;
+        cc.meanJobPaperCycles = mean_job;
+        // Same seed across policies: per node count, every policy
+        // replays the identical arrival trace, so the comparison is
+        // pure routing.
+        cc.seed = config.seed ^ mix64(static_cast<std::uint64_t>(
+                                    0xf19cULL + nodes));
+        return cc;
+    };
+
+    printBanner(
+        "Figure 9: cluster scale-out -- dispatch policy x node count "
+        "(" + std::to_string(jobs) + " arrivals)");
+    TablePrinter table({"nodes", "policy", "mean resp", "p50", "p95",
+                        "p99", "makespan", "util%"},
+                       {5, 12, 11, 9, 9, 9, 10, 6});
+    table.printHeader();
+
+    const stats::Group by_nodes = harness.group("nodes");
+    for (int nodes : node_counts) {
+        const stats::Group nodes_group =
+            by_nodes.group(std::to_string(nodes));
+        for (const std::string &policy : policies) {
+            Cluster cluster(config, clusterConfig(nodes, policy));
+            const ClusterResult result = cluster.run(
+                harness.wantsTrace() ? &harness.trace() : nullptr);
+            cluster.publishStats(nodes_group.group(policy));
+
+            double util = 0.0;
+            for (const ClusterNodeSummary &node : result.nodes)
+                util += node.utilization;
+            util /= static_cast<double>(result.nodes.size());
+            table.printRow(
+                {std::to_string(nodes), policy,
+                 fmtCycles(static_cast<std::uint64_t>(
+                     result.meanResponseCycles)),
+                 fmtCycles(static_cast<std::uint64_t>(
+                     responsePercentile(result, 50.0))),
+                 fmtCycles(static_cast<std::uint64_t>(
+                     responsePercentile(result, 95.0))),
+                 fmtCycles(static_cast<std::uint64_t>(
+                     responsePercentile(result, 99.0))),
+                 fmtCycles(result.totalCycles),
+                 fmt(100.0 * util, 1)});
+        }
+    }
+
+    // Host-thread scaling curve: opt-in via --bench-cluster, timed
+    // outside the manifest. The largest node count under the
+    // signature policy is re-run at 1, 2 and 4 workers; results must
+    // stay bit-identical (the cluster determinism contract), only the
+    // wall clock may move.
+    if (!harness.outputs().benchCluster.empty()) {
+        const int nodes = node_counts.back();
+        const std::string policy = "signature";
+        const std::vector<int> workers = {1, 2, 4};
+        std::printf("\nscaling curve: %d nodes, %s dispatch\n", nodes,
+                    policy.c_str());
+
+        std::vector<double> elapsed;
+        std::vector<ClusterResult> results;
+        for (int w : workers) {
+            SimConfig run_config = config;
+            run_config.jobs = w;
+            Cluster cluster(run_config,
+                            clusterConfig(nodes, policy));
+            const auto start = std::chrono::steady_clock::now();
+            results.push_back(cluster.run());
+            elapsed.push_back(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            std::printf("  %d worker%s  %8.2fs  (speedup %.2fx)\n", w,
+                        w == 1 ? ": " : "s:", elapsed.back(),
+                        elapsed.front() / elapsed.back());
+        }
+        for (const ClusterResult &result : results) {
+            SOS_ASSERT(result.responseByArrival ==
+                               results.front().responseByArrival &&
+                           result.nodeByArrival ==
+                               results.front().nodeByArrival,
+                       "cluster results drifted across worker counts");
+        }
+
+        std::string document;
+        stats::JsonWriter json(&document);
+        json.beginObject();
+        json.key("schema");
+        json.string("sos.bench-cluster");
+        json.key("schema_version");
+        json.number(1);
+        json.key("tool");
+        json.string("fig9_cluster");
+        json.key("nodes");
+        json.number(nodes);
+        json.key("jobs");
+        json.number(jobs);
+        json.key("policy");
+        json.string(policy);
+        json.key("deterministic");
+        json.boolean(true);
+        json.key("points");
+        json.beginArray();
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            json.beginObject();
+            json.key("workers");
+            json.number(workers[i]);
+            json.key("elapsed_seconds");
+            json.number(elapsed[i]);
+            json.key("speedup");
+            json.number(elapsed.front() / elapsed[i]);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        SOS_ASSERT(json.complete());
+        document += '\n';
+
+        const std::string &path = harness.outputs().benchCluster;
+        std::FILE *file = std::fopen(path.c_str(), "w");
+        if (file == nullptr)
+            fatal("cannot open bench-cluster output '", path, "'");
+        const std::size_t written =
+            std::fwrite(document.data(), 1, document.size(), file);
+        if (written != document.size() || std::fclose(file) != 0)
+            fatal("short write to bench-cluster output '", path, "'");
+    }
+
+    std::printf("\n(Extrapolation: the paper stops at one SMT "
+                "machine; the signature dispatcher applies its "
+                "counter-based symbiosis reasoning across nodes.)\n");
+    return harness.finish();
+}

@@ -6,11 +6,13 @@
 # Every bench also writes its machine-readable run manifest to
 # results/<bench>.json (via --out) and its wall-clock timing report to
 # results/timing/<bench>.json (via --bench-sweep); the core-loop
-# microbench report lands in results/core/ (via --bench-core). When
-# python3 is available the manifests are consolidated into
-# results/manifest.json, the timing reports into
-# results/BENCH_sweep.json, and the core reports into
-# results/BENCH_core.json -- skipping (and reporting) any report a
+# microbench report lands in results/core/ (via --bench-core) and the
+# fig9 cluster scaling curve in results/cluster/ (via
+# --bench-cluster). When python3 is available the manifests are
+# consolidated into results/manifest.json, the timing reports into
+# results/BENCH_sweep.json, the core reports into
+# results/BENCH_core.json, and the cluster reports into
+# results/BENCH_cluster.json -- skipping (and reporting) any report a
 # failed bench left missing or truncated, so partial runs still
 # produce the consolidated files. Timing stays out of the manifests so
 # those remain bit-comparable across hosts.
@@ -28,15 +30,20 @@ ctest --test-dir build --output-on-failure -j "$jobs" \
     >test_output.txt 2>&1 || status=$?
 cat test_output.txt
 
-mkdir -p results results/timing results/core
+mkdir -p results results/timing results/core results/cluster
 : >bench_output.txt
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
         name="$(basename "$b")"
         echo "===== $b =====" >>bench_output.txt
-        if ! "$b" --out "results/$name.json" \
-                --bench-sweep "results/timing/$name.json" \
-                >>bench_output.txt 2>&1
+        # The cluster bench opts into its host-thread scaling curve
+        # (wall-clock per worker count) via --bench-cluster.
+        set -- --out "results/$name.json" \
+            --bench-sweep "results/timing/$name.json"
+        if [ "$name" = "fig9_cluster" ]; then
+            set -- "$@" --bench-cluster "results/cluster/$name.json"
+        fi
+        if ! "$b" "$@" >>bench_output.txt 2>&1
         then
             echo "FAILED: $b" >>bench_output.txt
             status=1
@@ -220,6 +227,24 @@ print(
         sampled_doc.get("speedup", 0.0),
         100.0 * sampled_doc.get("worst_pick_regret", 0.0),
     )
+)
+
+cluster = load_docs("results/cluster", "sos.bench-cluster")
+with open("results/BENCH_cluster.json", "w") as f:
+    json.dump(
+        {
+            "schema": "sos.bench-cluster-set",
+            "schema_version": 1,
+            "benches": cluster,
+        },
+        f,
+        indent=2,
+        sort_keys=True,
+    )
+    f.write("\n")
+print(
+    "results/BENCH_cluster.json: %d cluster scaling reports"
+    % len(cluster)
 )
 
 core = load_docs("results/core", "sos.bench-core")

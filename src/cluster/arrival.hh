@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cluster arrival traces: large deterministic job streams.
+ *
+ * The single-machine open system (sim/open_system.hh) draws Poisson
+ * arrivals sized for one machine. A cluster front door sees orders of
+ * magnitude more jobs and less well-behaved processes, so this module
+ * generalizes trace generation along three axes:
+ *
+ *  - process: "poisson" (memoryless, the paper's model), "mmpp" (a
+ *    two-state Markov-modulated Poisson process alternating bursts
+ *    and lulls), and "diurnal" (sinusoidal rate modulation, the
+ *    day/night load swing of a shared cluster);
+ *  - classes: optional priority/SLA classes drawn by weight, each
+ *    scaling the mean job length (interactive jobs are short, batch
+ *    jobs long) -- response-time percentiles are reported per class;
+ *  - scale: traces of 10^5..10^6 arrivals are routine, so arrivals
+ *    are plain value structs and generation is a single pass.
+ *
+ * Determinism: a trace is a pure function of (SimConfig, ArrivalSpec).
+ * The generator owns a private RNG stream seeded from the spec alone;
+ * two calls with equal inputs return equal traces, byte for byte
+ * (test-pinned), which is what lets every dispatch policy and worker
+ * count replay the identical job stream.
+ */
+
+#ifndef SOS_CLUSTER_ARRIVAL_HH
+#define SOS_CLUSTER_ARRIVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+
+namespace sos {
+
+/** One job at the cluster front door. */
+struct ClusterArrival
+{
+    std::string workload;               ///< Table 1 application name
+    std::uint64_t arrivalCycle = 0;     ///< simulated cycles
+    std::uint64_t sizeInstructions = 0; ///< retire this many to finish
+    int klass = 0;                      ///< index into the class list
+
+    bool operator==(const ClusterArrival &) const = default;
+};
+
+/** One priority/SLA class of the arrival mix. */
+struct ArrivalClass
+{
+    std::string name;
+    double weight = 1.0;     ///< relative draw probability
+    double sizeFactor = 1.0; ///< scales the mean job length
+};
+
+/** The single implicit class of an unclassed arrival spec. */
+ArrivalClass defaultArrivalClass();
+
+/** Parameters of one cluster arrival trace. */
+struct ArrivalSpec
+{
+    /** "poisson", "mmpp" or "diurnal" (see processNames()). */
+    std::string process = "poisson";
+
+    /** Arrivals to generate. */
+    int numJobs = 1000;
+
+    /** Mean interarrival time in simulated cycles (all processes). */
+    double meanInterarrivalCycles = 0.0;
+
+    /** Mean job length in simulated solo cycles (before sizeFactor). */
+    double meanJobCycles = 0.0;
+
+    /** SMT level sizing the solo-IPC reference (Calibrator). */
+    int level = 3;
+
+    /** Empty = one implicit class (defaultArrivalClass()). */
+    std::vector<ArrivalClass> classes;
+
+    std::uint64_t seed = 0;
+
+    /** @name MMPP shape (burst state arrives this much faster) @{ */
+    double burstRateFactor = 4.0;
+    /** Fraction of time spent in the burst state. */
+    double burstFraction = 0.25;
+    /** Mean burst sojourn, in units of the mean interarrival. @{ */
+    double burstLengthArrivals = 16.0;
+    /** @} */
+
+    /** @name Diurnal shape @{ */
+    /** Peak-to-mean rate swing in [0, 1). */
+    double diurnalAmplitude = 0.5;
+    /** Modulation period, in units of the mean interarrival. */
+    double diurnalPeriodArrivals = 256.0;
+    /** @} */
+};
+
+/** Registered arrival-process names. */
+const std::vector<std::string> &arrivalProcessNames();
+
+/**
+ * Generate the deterministic arrival trace the whole cluster replays.
+ * Arrival cycles are nondecreasing; job sizes are drawn exponentially
+ * around meanJobCycles x the class sizeFactor (clamped like the
+ * single-machine trace) and converted to instructions through the
+ * memoized solo-IPC calibration of @p sim's reference core.
+ */
+std::vector<ClusterArrival> makeClusterArrivals(const SimConfig &sim,
+                                                const ArrivalSpec &spec);
+
+/** The effective class list: spec.classes or the implicit default. */
+std::vector<ArrivalClass> effectiveClasses(const ArrivalSpec &spec);
+
+} // namespace sos
+
+#endif // SOS_CLUSTER_ARRIVAL_HH
+

@@ -1,0 +1,162 @@
+#include "cluster/dispatch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "trace/workload_library.hh"
+
+namespace sos {
+
+namespace {
+
+class RandomDispatcher : public Dispatcher
+{
+  public:
+    explicit RandomDispatcher(std::uint64_t seed)
+        : rng_(seed ^ 0xd15a7c4edULL)
+    {
+    }
+
+    std::string name() const override { return "random"; }
+
+    int
+    pick(const ClusterArrival &,
+         const std::vector<NodeView> &views) override
+    {
+        return static_cast<int>(rng_.below(views.size()));
+    }
+
+  private:
+    Rng rng_;
+};
+
+class RoundRobinDispatcher : public Dispatcher
+{
+  public:
+    std::string name() const override { return "round-robin"; }
+
+    int
+    pick(const ClusterArrival &,
+         const std::vector<NodeView> &views) override
+    {
+        const int node = cursor_ % static_cast<int>(views.size());
+        cursor_ = (cursor_ + 1) % static_cast<int>(views.size());
+        return node;
+    }
+
+  private:
+    int cursor_ = 0;
+};
+
+class LeastLoadedDispatcher : public Dispatcher
+{
+  public:
+    std::string name() const override { return "least-loaded"; }
+
+    int
+    pick(const ClusterArrival &,
+         const std::vector<NodeView> &views) override
+    {
+        const NodeView *best = &views.front();
+        for (const NodeView &view : views) {
+            if (view.poolSize < best->poolSize ||
+                (view.poolSize == best->poolSize &&
+                 view.queuedWork < best->queuedWork)) {
+                best = &view;
+            }
+        }
+        return best->id;
+    }
+};
+
+/**
+ * Symbiosis-aware routing: start from the normalized load and discount
+ * nodes whose measured signature complements the job's static mix.
+ * A node heavy in FP issue pairs well with an integer-leaning job
+ * (and vice versa: disjoint functional units, the paper's Figure 3
+ * observation), while a node already missing in L1D is a bad home for
+ * a large-working-set job. Weights are mild on purpose -- load
+ * balance dominates, symbiosis breaks the ties it can.
+ */
+class SignatureDispatcher : public Dispatcher
+{
+  public:
+    std::string name() const override { return "signature"; }
+
+    int
+    pick(const ClusterArrival &arrival,
+         const std::vector<NodeView> &views) override
+    {
+        const WorkloadProfile &profile =
+            WorkloadLibrary::instance().get(arrival.workload);
+        const double job_fp = profile.fpFraction();
+        // Working sets land in [0, 1] against a 64 KiB yardstick (the
+        // largest Table 1 sets; anything bigger is equally "large").
+        const double job_ws = std::min(
+            1.0,
+            static_cast<double>(profile.workingSetBytes) / 65536.0);
+
+        double mean_pool = 0.0;
+        for (const NodeView &view : views)
+            mean_pool += static_cast<double>(view.poolSize);
+        mean_pool =
+            std::max(1.0, mean_pool /
+                              static_cast<double>(views.size()));
+
+        const NodeView *best = nullptr;
+        double best_score = 0.0;
+        for (const NodeView &view : views) {
+            double score =
+                static_cast<double>(view.poolSize) / mean_pool;
+            if (view.signature.cycles > 0) {
+                const std::uint64_t arith = view.signature.intOps +
+                                            view.signature.fpOps;
+                const double node_fp =
+                    arith > 0 ? static_cast<double>(
+                                    view.signature.fpOps) /
+                                    static_cast<double>(arith)
+                              : 0.0;
+                // Complementary mixes attract, cache pressure repels.
+                score -= 0.3 * std::abs(node_fp - job_fp);
+                score += 0.3 * job_ws *
+                         (1.0 - view.signature.l1dHitRate());
+            }
+            if (best == nullptr || score < best_score) {
+                best = &view;
+                best_score = score;
+            }
+        }
+        return best->id;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(const std::string &name, std::uint64_t seed)
+{
+    if (name == "random")
+        return std::make_unique<RandomDispatcher>(seed);
+    if (name == "round-robin")
+        return std::make_unique<RoundRobinDispatcher>();
+    if (name == "least-loaded")
+        return std::make_unique<LeastLoadedDispatcher>();
+    if (name == "signature")
+        return std::make_unique<SignatureDispatcher>();
+    std::string known;
+    for (const std::string &registered : dispatcherNames())
+        known += (known.empty() ? "" : ", ") + registered;
+    fatal("unknown dispatch policy '", name, "' (known: ", known, ")");
+}
+
+const std::vector<std::string> &
+dispatcherNames()
+{
+    static const std::vector<std::string> names = {
+        "random", "round-robin", "least-loaded", "signature"};
+    return names;
+}
+
+} // namespace sos

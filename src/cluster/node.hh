@@ -1,0 +1,120 @@
+/**
+ * @file
+ * One cluster node: a machine, its SOS kernel loop, and a calibrated
+ * job factory, advanced between dispatch barriers.
+ *
+ * A node owns the full single-machine stack -- an EngineBackend (one
+ * SMT core or a CMP), an OpenRun (the kernel's arrival-driven loop in
+ * resumable form) and the Calibrator its job factory sizes solo-IPC
+ * references from. dispatch() queues a routed arrival; advanceTo()
+ * runs the node's event loop to the epoch barrier. The node performs
+ * no synchronization of its own, so the cluster may advance all nodes
+ * concurrently on a thread pool (one task per node, a pure function
+ * of node state) and remain bit-identical to a serial sweep.
+ *
+ * The inner ParallelScheduleRunner is pinned to one worker: node-level
+ * parallelism replaces fork-level parallelism -- nesting both would
+ * oversubscribe the host and the inner fan-out would buy nothing.
+ */
+
+#ifndef SOS_CLUSTER_NODE_HH
+#define SOS_CLUSTER_NODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/arrival.hh"
+#include "cluster/dispatch.hh"
+#include "metrics/calibrator.hh"
+#include "sim/sim_config.hh"
+#include "sos/open_run.hh"
+#include "stats/trace.hh"
+
+namespace sos {
+
+/** One machine of the cluster, advanced between dispatch epochs. */
+class ClusterNode
+{
+  public:
+    /** Kernel knobs shared by every node of a cluster. */
+    struct Params
+    {
+        int level = 3;
+        int numCores = 1;
+        int sampleSchedules = 10;
+        std::string predictor = "IPC";
+        std::string resamplePolicy = "backoff";
+        /** Base symbios interval in simulated cycles. */
+        std::uint64_t baseIntervalCycles = 1;
+        std::uint64_t seed = 0;
+        /** Record this node's kernel decisions (gated upstream). */
+        bool wantTrace = false;
+        std::uint64_t traceStride = 1;
+    };
+
+    /**
+     * @param id      Node index; tags the trace and salts the seed.
+     * @param sim     This node's simulation config (a cluster with
+     *                per-node machine files passes distinct configs).
+     * @param params  Shared kernel knobs.
+     * @param arrivals The cluster-wide trace; the factory materializes
+     *                jobs from it by global index. Must outlive the
+     *                node.
+     */
+    ClusterNode(int id, const SimConfig &sim, const Params &params,
+                const std::vector<ClusterArrival> &arrivals);
+
+    ClusterNode(const ClusterNode &) = delete;
+    ClusterNode &operator=(const ClusterNode &) = delete;
+
+    int id() const { return id_; }
+
+    /** Route one arrival here (cycles nondecreasing per node). */
+    void dispatch(std::size_t global_index);
+
+    /** Advance the node's event loop to the barrier cycle. */
+    void advanceTo(std::uint64_t limit) { run_->advanceTo(limit); }
+
+    /** Every routed job completed. */
+    bool drained() const { return run_->drained(); }
+
+    /** Close the node's phase machine (requires drained()). */
+    void finalize() { run_->finalize(); }
+
+    /** The dispatcher's snapshot of this node, taken at a barrier. */
+    NodeView view();
+
+    /** @name Results (read after the run) @{ */
+    std::size_t dispatched() const { return run_->injected(); }
+    std::size_t completed() const { return run_->completed(); }
+    std::uint64_t now() const { return run_->now(); }
+    std::uint64_t slicesRun() const { return run_->slicesRun(); }
+    std::uint64_t sampleSlices() const { return run_->sampleSlices(); }
+    int samplePhases() const { return run_->samplePhases(); }
+    std::uint64_t timesliceCycles() const { return timeslice_; }
+
+    /** (global index, response cycles) per completion, retire order. */
+    const std::vector<std::pair<int, std::uint64_t>> &
+    responses() const
+    {
+        return run_->responses();
+    }
+
+    /** This node's decision trace (node-tagged, stride-gated). */
+    const stats::EventTrace &trace() const { return trace_; }
+    /** @} */
+
+  private:
+    int id_;
+    const std::vector<ClusterArrival> &arrivals_;
+    Calibrator calibrator_;
+    std::unique_ptr<EngineBackend> backend_;
+    stats::EventTrace trace_;
+    std::unique_ptr<OpenRun> run_;
+    std::uint64_t timeslice_;
+};
+
+} // namespace sos
+
+#endif // SOS_CLUSTER_NODE_HH

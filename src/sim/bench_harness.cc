@@ -105,6 +105,7 @@ BenchHarness::publishMachineTopology()
 BenchHarness::BenchHarness(std::string tool, int argc, char **argv)
     : tool_(std::move(tool)), options_(parseBenchArgs(argc, argv))
 {
+    trace_.setPhaseStride(options_.config.traceSample);
 }
 
 BenchHarness::BenchHarness(std::string tool, SimConfig config,
@@ -113,6 +114,7 @@ BenchHarness::BenchHarness(std::string tool, SimConfig config,
 {
     options_.config = config;
     options_.out = std::move(out);
+    trace_.setPhaseStride(options_.config.traceSample);
 }
 
 double

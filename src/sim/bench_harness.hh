@@ -64,6 +64,9 @@ class BenchHarness
     /** True when --trace / SOS_TRACE asked for decision events. */
     bool wantsTrace() const { return !options_.out.trace.empty(); }
 
+    /** The parsed output destinations (fig9 writes --bench-cluster). */
+    const OutputPaths &outputs() const { return options_.out; }
+
     /**
      * Write the manifest, trace and bench-sweep timing report if
      * their destinations were set. Returns the process exit status

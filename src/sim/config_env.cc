@@ -30,6 +30,10 @@ benchConfigFromEnv()
     // so a typo dies here rather than deep inside a sweep.
     if (const char *sample = std::getenv("SOS_SAMPLE"))
         applyOverride(config, std::string("sample=") + sample);
+    // Decision-trace sampling stride; observability only, never in
+    // configPairs (long cluster runs keep traces bounded with it).
+    if (const char *stride = std::getenv("SOS_TRACE_SAMPLE"))
+        applyOverride(config, std::string("traceSample=") + stride);
     // Machine description file: core count, per-core params, shared
     // L2 geometry. Parsed (and validated) before any --set flag so
     // explicit CLI overrides still win over the file's defaults.
@@ -53,6 +57,8 @@ outputPathsFromEnv()
         out.benchSweep = path;
     if (const char *path = std::getenv("SOS_BENCH_CORE"))
         out.benchCore = path;
+    if (const char *path = std::getenv("SOS_BENCH_CLUSTER"))
+        out.benchCluster = path;
     return out;
 }
 
@@ -84,12 +90,14 @@ parseBenchArgs(int argc, char **argv)
             options.out.benchSweep = valueOf("--bench-sweep");
         else if (arg == "--bench-core")
             options.out.benchCore = valueOf("--bench-core");
+        else if (arg == "--bench-cluster")
+            options.out.benchCluster = valueOf("--bench-cluster");
         else
             fatal("unknown argument '", arg,
                   "' (bench harnesses accept --set key=value, "
                   "--jobs N, --machine-config FILE, --out FILE, "
                   "--trace FILE, --bench-sweep FILE, "
-                  "--bench-core FILE)");
+                  "--bench-core FILE, --bench-cluster FILE)");
     }
     return options;
 }

@@ -6,15 +6,17 @@
  *
  *   environment   SOS_CYCLE_SCALE, SOS_SEED, SOS_JOBS (worker
  *                 threads), SOS_SNAPSHOT (0 disables the snapshot
- *                 fast path), SOS_MACHINE_CONFIG (machine description
- *                 file; see configs/), SOS_OUT (manifest path),
- *                 SOS_TRACE (decision-trace path), SOS_BENCH_SWEEP
- *                 (wall-clock timing report path), SOS_BENCH_CORE
- *                 (core-loop microbench report path)
+ *                 fast path), SOS_TRACE_SAMPLE (keep every Nth
+ *                 sample-phase trace group), SOS_MACHINE_CONFIG
+ *                 (machine description file; see configs/), SOS_OUT
+ *                 (manifest path), SOS_TRACE (decision-trace path),
+ *                 SOS_BENCH_SWEEP (wall-clock timing report path),
+ *                 SOS_BENCH_CORE (core-loop microbench report path),
+ *                 SOS_BENCH_CLUSTER (fig9 scaling-curve report path)
  *   command line  --set key=value (repeated), --jobs N,
  *                 --machine-config FILE, --out FILE.json,
  *                 --trace FILE.jsonl, --bench-sweep FILE.json,
- *                 --bench-core FILE.json
+ *                 --bench-core FILE.json, --bench-cluster FILE.json
  *
  * This module is the one place that parsing lives; reporting.hh is
  * again purely about table formatting.
@@ -55,6 +57,14 @@ struct OutputPaths
      * its cycles/sec report here (host timing, never the manifest).
      */
     std::string benchCore;
+
+    /**
+     * --bench-cluster / SOS_BENCH_CLUSTER; empty = skip. Only the
+     * fig9 cluster bench consumes it: the host-thread scaling curve
+     * (wall-clock per worker count) is written here, never to the
+     * manifest.
+     */
+    std::string benchCluster;
 };
 
 /** Resolve SOS_OUT / SOS_TRACE / SOS_BENCH_SWEEP when no flags given. */

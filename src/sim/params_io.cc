@@ -113,6 +113,9 @@ fields()
         SOS_FIELD_BOOL(snapshot,
                        "share sweep warmups via snapshot forks "
                        "(bit-identical; 0 = legacy path)"),
+        SOS_FIELD_U64(traceSample,
+                      "keep every Nth sample-phase trace group "
+                      "(observability only)"),
         SOS_FIELD_U64(calibWarmupCycles, "calibration warmup"),
         SOS_FIELD_U64(calibMeasureCycles, "calibration measurement"),
         Field{"sample",
@@ -297,11 +300,13 @@ configPairs(const SimConfig &config)
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(fields().size());
     for (const Field &field : fields()) {
-        // The sweep worker count and the snapshot fast path are host
-        // execution strategy, not simulation configuration: results
-        // are bit-identical across both, and the manifest must be too.
+        // The sweep worker count, the snapshot fast path and the trace
+        // sampling stride are host execution/observability strategy,
+        // not simulation configuration: results are bit-identical
+        // across all of them, and the manifest must be too.
         if (std::string("jobs") == field.key ||
-            std::string("snapshot") == field.key)
+            std::string("snapshot") == field.key ||
+            std::string("traceSample") == field.key)
             continue;
         // Sampling windows change what the counters mean, so they are
         // recorded -- but only when enabled, keeping pre-sampling

@@ -139,6 +139,16 @@ struct SimConfig
     /** @} */
 
     /**
+     * Keep every Nth sample-phase decision group in the JSONL trace
+     * (SOS_TRACE_SAMPLE / --set traceSample=N). 1 records every
+     * decision; cluster runs at 10^5-10^6 jobs raise it to keep the
+     * trace bounded. Pure observability -- simulation results and
+     * manifests are identical for every stride -- so, like jobs and
+     * snapshot, it never enters configPairs().
+     */
+    std::uint64_t traceSample = 1;
+
+    /**
      * Sampled-simulation windows (SOS_SAMPLE / --set sample=U:W:M).
      * Disabled by default: the full-detail path is bit-identical to a
      * build without this knob and stays pinned by the §8/§9 goldens.

@@ -3,37 +3,36 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
-#include "core/resample_policy.hh"
-#include "sim/parallel_runner.hh"
-#include "stats/trace.hh"
+#include "sos/open_run.hh"
 
 namespace sos {
 
-void
-SosKernel::advance(Phase next)
+bool
+SosKernel::legalTransition(Phase from, Phase to)
 {
-    bool legal = false;
-    switch (phase_) {
+    switch (from) {
       case Phase::Idle:
-        legal = next == Phase::Sample || next == Phase::Symbios ||
-                next == Phase::Done;
-        break;
+        return to == Phase::Sample || to == Phase::Symbios ||
+               to == Phase::Done;
       case Phase::Sample:
         // Sample -> Sample: an arrival due at the phase boundary
         // supersedes a scheduled-but-not-yet-run sample window, just
         // as arrivals interrupted in-place sampling before the kernel.
-        legal = next == Phase::Symbios || next == Phase::Sample;
-        break;
+        return to == Phase::Symbios || to == Phase::Sample;
       case Phase::Symbios:
-        legal = next == Phase::Sample || next == Phase::Symbios ||
-                next == Phase::Done;
-        break;
+        return to == Phase::Sample || to == Phase::Symbios ||
+               to == Phase::Done;
       case Phase::Done:
-        legal = false;
-        break;
+        return false;
     }
-    SOS_ASSERT(legal, "illegal SOS phase transition");
+    return false;
+}
+
+void
+SosKernel::advance(Phase next)
+{
+    SOS_ASSERT(legalTransition(phase_, next),
+               "illegal SOS phase transition");
     phase_ = next;
 }
 
@@ -119,27 +118,6 @@ SosKernel::wsOfPredictor(const Predictor &predictor) const
         predictedIndex(predictor))];
 }
 
-namespace {
-
-/** One job currently in the open system. */
-struct PoolEntry
-{
-    std::unique_ptr<Job> job;
-    int arrivalIndex = 0;
-};
-
-std::vector<Job *>
-poolPointers(const std::vector<PoolEntry> &pool)
-{
-    std::vector<Job *> jobs;
-    jobs.reserve(pool.size());
-    for (const PoolEntry &entry : pool)
-        jobs.push_back(entry.job.get());
-    return jobs;
-}
-
-} // namespace
-
 OpenSystemResult
 SosKernel::runOpen(EngineBackend &backend, const OpenConfig &config,
                    const std::vector<JobArrival> &trace,
@@ -149,299 +127,37 @@ SosKernel::runOpen(EngineBackend &backend, const OpenConfig &config,
     SOS_ASSERT(!trace.empty());
     SOS_ASSERT(phase_ == Phase::Idle && profiles_.empty(),
                "a kernel instance runs once");
-    const std::uint64_t timeslice = backend.timesliceCycles();
-    const int capacity = backend.capacity();
 
-    Rng rng(config.seed);
-    const std::unique_ptr<ResampleTimer> resample =
-        makeResamplePolicy(config.resamplePolicy,
-                           config.baseIntervalCycles);
-    const std::unique_ptr<Predictor> predictor =
-        makePredictor(config.predictor);
-    ParallelScheduleRunner runner(config.jobs);
-
-    // Preload the whole arrival trace; cycles are nondecreasing, so
-    // arrivals pop in trace order.
+    // Preload the whole arrival trace and drain it in one step: this
+    // replays the exact pre-OpenRun operation sequence.
+    OpenRun run(backend, config, policy, make_job, events);
     for (std::size_t i = 0; i < trace.size(); ++i)
-        queue_.push(EventKind::JobArrival, trace[i].arrivalCycle,
-                    static_cast<int>(i));
+        run.inject(trace[i].arrivalCycle, static_cast<int>(i));
+    run.advanceTo(OpenRun::kNoLimit);
+    run.finalize();
+    phase_ = run.phase();
 
     OpenSystemResult result;
     result.responseByArrival.assign(trace.size(), 0);
-
-    std::vector<PoolEntry> pool;
-    std::size_t next_arrival = 0; ///< trace index; next-arrival peeks
-    std::uint64_t now = 0;
-    std::size_t completed = 0;
-    std::size_t naive_cursor = 0;
-    double jobs_in_system_integral = 0.0;
-    std::uint64_t slices = 0;
-    std::uint64_t sample_slices = 0;
-    int sample_phases = 0;
-    int job_change_resamples = 0;
-    int timer_resamples = 0;
-
-    // Symbios state.
-    OpenCandidate current;
-    std::string previous_key;
-    std::uint64_t symbios_slice = 0;
-    std::uint64_t timer_generation = 0;
-
-    // Sample state.
-    std::vector<OpenCandidate> candidates;
-    std::uint64_t window = 1;
-    std::uint64_t phase_offset = 0;
-    bool timer_triggered = false;
-
-    // Generous runaway bound: the run should end when all jobs finish.
-    const std::uint64_t max_slices =
-        2000 * trace.size() + 4000000000ULL / timeslice;
-
-    const auto retire = [&]() {
-        bool any_finished = false;
-        for (std::size_t i = pool.size(); i-- > 0;) {
-            Job &job = *pool[i].job;
-            if (job.retired() < job.sizeInstructions)
-                continue;
-            result.responseByArrival[static_cast<std::size_t>(
-                pool[i].arrivalIndex)] = now - job.arrivalCycle;
-            backend.evictJob(&job);
-            queue_.push(EventKind::JobDeparture, now,
-                        pool[i].arrivalIndex);
-            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
-            ++completed;
-            any_finished = true;
-        }
-        if (any_finished)
-            naive_cursor =
-                pool.empty() ? 0 : naive_cursor % pool.size();
-        return any_finished;
-    };
-
-    const auto beginPhase = [&](bool from_timer) {
-        const int n = static_cast<int>(pool.size());
-        // Start at a random point of each schedule's period: arrivals
-        // restart sampling so often that always beginning at the
-        // canonical first tuple would systematically starve the jobs
-        // that only appear late in the period.
-        phase_offset = rng.next() & 0xffff;
-        ++timer_generation; // stale any outstanding backoff timer
-        symbios_slice = 0;
-        if (n <= capacity) {
-            // Trivial pool: only one sensible coschedule, nothing to
-            // learn. Run it; the next membership change resamples.
-            current = backend.trivialCandidate(n);
-            advance(Phase::Symbios);
-            return;
-        }
-        window = backend.windowSlices(n);
-        // Spend at most about half the expected inter-arrival gap
-        // sampling, so a symbios phase usually gets to run; always
-        // compare at least two schedules.
-        const std::uint64_t budget_slices =
-            resample->baseInterval() / (2 * timeslice);
-        const int count = static_cast<int>(std::clamp<std::uint64_t>(
-            budget_slices / std::max<std::uint64_t>(1, window), 2,
-            static_cast<std::uint64_t>(config.sampleSchedules)));
-        candidates = backend.drawCandidates(n, count, rng);
-        timer_triggered = from_timer;
-        ++sample_phases;
-        if (from_timer)
-            ++timer_resamples;
-        else
-            ++job_change_resamples;
-        // The window runs atomically, but never past the next
-        // arrival: an imminent arrival shortens the profile the same
-        // way it used to interrupt serial in-place sampling.
-        if (next_arrival < trace.size() &&
-            trace[next_arrival].arrivalCycle > now) {
-            const std::uint64_t until =
-                trace[next_arrival].arrivalCycle - now;
-            window = std::min(
-                window, (until + timeslice - 1) / timeslice);
-        }
-        window = std::max<std::uint64_t>(1, window);
-        advance(Phase::Sample);
-        queue_.push(EventKind::PhaseComplete,
-                    now + window * timeslice);
-        if (events) {
-            events->event("sample_phase_begin")
-                .field("phase", sample_phases)
-                .field("trigger", from_timer ? "timer" : "job_change")
-                .field("jobs", n)
-                .field("candidates",
-                       static_cast<std::uint64_t>(candidates.size()))
-                .field("slices_per_candidate", window);
-        }
-    };
-
-    while (completed < trace.size()) {
-        SOS_ASSERT(slices < max_slices,
-                   "open system did not drain: unstable configuration");
-
-        // Dispatch every event due by now.
-        bool membership_changed = false;
-        bool timer_due = false;
-        while (!queue_.empty() && queue_.top().cycle <= now) {
-            const Event event = queue_.pop();
-            switch (event.kind) {
-              case EventKind::JobArrival: {
-                SOS_ASSERT(event.index ==
-                               static_cast<int>(next_arrival),
-                           "arrivals must pop in trace order");
-                std::unique_ptr<Job> job = make_job(next_arrival);
-                pool.push_back(PoolEntry{
-                    std::move(job),
-                    static_cast<int>(next_arrival)});
-                ++next_arrival;
-                membership_changed = true;
-                break;
-              }
-              case EventKind::BackoffTimer:
-                // Only the timer of the current symbios phase counts;
-                // older generations were superseded by a resample.
-                if (event.generation == timer_generation)
-                    timer_due = true;
-                break;
-              case EventKind::JobDeparture:
-              case EventKind::PhaseComplete:
-                // Bookkeeping records: departures resample at the
-                // retire site, phase windows complete inline.
-                break;
-            }
-        }
-
-        if (pool.empty()) {
-            // Idle until the next event (an arrival: timers need a
-            // pool), on the timeslice grid.
-            SOS_ASSERT(!queue_.empty());
-            const std::uint64_t target = queue_.top().cycle;
-            now = (target / timeslice + 1) * timeslice;
-            continue;
-        }
-
-        const int n = static_cast<int>(pool.size());
-
-        if (policy == OpenPolicy::Naive) {
-            // Coschedule the next `capacity` jobs in arrival-rotation
-            // order, spread over the cores.
-            const int count = std::min(n, capacity);
-            std::vector<int> chosen;
-            chosen.reserve(static_cast<std::size_t>(count));
-            for (int k = 0; k < count; ++k)
-                chosen.push_back(static_cast<int>(
-                    (naive_cursor + static_cast<std::size_t>(k)) %
-                    pool.size()));
-            naive_cursor =
-                (naive_cursor + static_cast<std::size_t>(count)) %
-                pool.size();
-            backend.runLiveSlice(poolPointers(pool),
-                                 backend.spread(chosen));
-            now += timeslice;
-            ++slices;
-            jobs_in_system_integral += static_cast<double>(n);
-            retire();
-            continue;
-        }
-
-        if (membership_changed) {
-            resample->onJobChange();
-            beginPhase(/*from_timer=*/false);
-        } else if (timer_due && phase_ == Phase::Symbios &&
-                   n > capacity) {
-            beginPhase(/*from_timer=*/true);
-        }
-
-        if (phase_ == Phase::Sample) {
-            // Profile every candidate on a private fork of the live
-            // state, in parallel; the whole window elapses at once.
-            const std::vector<ScheduleProfile> profiles =
-                backend.profileCandidates(poolPointers(pool),
-                                          candidates, window,
-                                          phase_offset, runner);
-            const int best = predictor->best(profiles);
-            const OpenCandidate &pick =
-                candidates[static_cast<std::size_t>(best)];
-            const bool changed = pick.key != previous_key;
-            previous_key = pick.key;
-            if (timer_triggered)
-                resample->onTimerSample(changed);
-            if (events) {
-                events->event("symbios_pick")
-                    .field("phase", sample_phases)
-                    .field("predictor", predictor->name())
-                    .field("pick", best)
-                    .field("schedule", pick.label)
-                    .field("changed", changed);
-            }
-
-            // The winner's fork ran the pool for the whole window on
-            // its schedule: adopt its end state as the live state.
-            std::vector<std::unique_ptr<Job>> adopted =
-                backend.adoptFork(static_cast<std::size_t>(best));
-            SOS_ASSERT(adopted.size() == pool.size());
-            for (std::size_t j = 0; j < pool.size(); ++j)
-                pool[j].job = std::move(adopted[j]);
-            current = pick;
-
-            now += window * timeslice;
-            slices += window;
-            sample_slices += window;
-            jobs_in_system_integral +=
-                static_cast<double>(n) *
-                static_cast<double>(window);
-
-            advance(Phase::Symbios);
-            symbios_slice = 0;
-            queue_.push(EventKind::BackoffTimer,
-                        now + resample->symbiosDuration(), -1,
-                        ++timer_generation);
-
-            if (retire() && !pool.empty()) {
-                resample->onJobChange();
-                beginPhase(/*from_timer=*/false);
-            }
-            continue;
-        }
-
-        // Symbios (also covers trivial pools): run the committed
-        // coschedule one timeslice at a time.
-        SOS_ASSERT(phase_ == Phase::Symbios);
-        std::vector<std::vector<int>> tuples;
-        tuples.reserve(static_cast<std::size_t>(backend.numCores()));
-        for (int k = 0; k < backend.numCores(); ++k)
-            tuples.push_back(current.coreTupleAt(
-                static_cast<std::size_t>(k),
-                phase_offset + symbios_slice));
-        backend.runLiveSlice(poolPointers(pool), tuples);
-        ++symbios_slice;
-        now += timeslice;
-        ++slices;
-        jobs_in_system_integral += static_cast<double>(n);
-
-        if (retire() && !pool.empty()) {
-            resample->onJobChange();
-            beginPhase(/*from_timer=*/false);
-        }
-    }
-
-    advance(Phase::Done);
-
-    result.completed = static_cast<int>(completed);
+    for (const auto &[index, response] : run.responses())
+        result.responseByArrival[static_cast<std::size_t>(index)] =
+            response;
+    result.completed = static_cast<int>(run.completed());
     double total_response = 0.0;
     for (std::uint64_t r : result.responseByArrival)
         total_response += static_cast<double>(r);
     result.meanResponseCycles =
         total_response / static_cast<double>(trace.size());
     result.meanJobsInSystem =
-        slices > 0
-            ? jobs_in_system_integral / static_cast<double>(slices)
+        run.slicesRun() > 0
+            ? run.jobsInSystemIntegral() /
+                  static_cast<double>(run.slicesRun())
             : 0.0;
-    result.totalCycles = now;
-    result.sampleCycles = sample_slices * timeslice;
-    result.samplePhases = sample_phases;
-    result.resamplesOnJobChange = job_change_resamples;
-    result.resamplesOnTimer = timer_resamples;
+    result.totalCycles = run.now();
+    result.sampleCycles = run.sampleSlices() * backend.timesliceCycles();
+    result.samplePhases = run.samplePhases();
+    result.resamplesOnJobChange = run.resamplesOnJobChange();
+    result.resamplesOnTimer = run.resamplesOnTimer();
     return result;
 }
 

@@ -77,6 +77,12 @@ class SosKernel
 
     Phase phase() const { return phase_; }
 
+    /**
+     * True when @p from -> @p to is a legal phase transition; shared
+     * with OpenRun, which owns its own copy of the state machine.
+     */
+    static bool legalTransition(Phase from, Phase to);
+
     /** @name Closed mode (batch / hierarchical / machine drivers) @{ */
 
     /**
@@ -168,6 +174,10 @@ class SosKernel
      * the predictor's pick. When @p events is non-null the kernel
      * appends "sample_phase_begin" and "symbios_pick" decisions.
      *
+     * The loop itself lives in OpenRun (sos/open_run.hh); this wrapper
+     * injects the whole trace up front and drains it, which replays
+     * the exact pre-OpenRun operation sequence (golden-pinned).
+     *
      * A kernel instance runs once; use a fresh one per run.
      */
     OpenSystemResult runOpen(EngineBackend &backend,
@@ -184,7 +194,6 @@ class SosKernel
     void advance(Phase next);
 
     Phase phase_ = Phase::Idle;
-    EventQueue queue_;
 
     std::vector<ScheduleProfile> profiles_;
     std::vector<double> symbiosWs_;

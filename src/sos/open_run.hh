@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A resumable open-system run: the kernel's arrival-driven loop as an
+ * object that can be advanced in bounded steps.
+ *
+ * SosKernel::runOpen() replays a complete arrival trace to the end in
+ * one call. The cluster layer needs the same loop sliced differently:
+ * each node advances to a barrier cycle (the dispatch epoch), receives
+ * whatever arrivals the dispatcher routed to it, and resumes -- all
+ * while staying bit-identical to a serial execution. OpenRun is that
+ * loop with its state (pool, event queue, phase machine, resample
+ * timers, RNG) lifted from locals into members:
+ *
+ *   - inject() appends one arrival (cycles must be nondecreasing);
+ *   - advanceTo() runs the event loop until the virtual clock reaches
+ *     the limit or every injected job has completed;
+ *   - finalize() asserts the run drained and closes the phase machine.
+ *
+ * With every arrival injected up front and no limit, the sequence of
+ * operations is exactly runOpen()'s -- the wrapper in kernel.cc stays
+ * byte-identical to the pre-refactor loop (golden-pinned). Under a
+ * finite limit the only new behaviour is the epoch cap: an atomic
+ * sample window never crosses the advanceTo() horizon, truncated the
+ * same way an imminent arrival always truncated it.
+ *
+ * Determinism: an OpenRun is a pure function of (config, injected
+ * arrivals). It performs no synchronization, so a cluster may advance
+ * distinct nodes on distinct ThreadPool workers between barriers and
+ * still produce bit-identical results for any SOS_JOBS.
+ */
+
+#ifndef SOS_SOS_OPEN_RUN_HH
+#define SOS_SOS_OPEN_RUN_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/predictor.hh"
+#include "core/resample_policy.hh"
+#include "cpu/perf_counters.hh"
+#include "sim/parallel_runner.hh"
+#include "sos/event.hh"
+#include "sos/kernel.hh"
+#include "sos/open_backend.hh"
+
+namespace sos {
+
+/** One open-system kernel run, advanced in barrier-bounded steps. */
+class OpenRun
+{
+  public:
+    /** No horizon: advance until every injected job completes. */
+    static constexpr std::uint64_t kNoLimit = ~0ULL;
+
+    OpenRun(EngineBackend &backend, const SosKernel::OpenConfig &config,
+            OpenPolicy policy, SosKernel::JobFactory make_job,
+            stats::EventTrace *events = nullptr);
+
+    OpenRun(const OpenRun &) = delete;
+    OpenRun &operator=(const OpenRun &) = delete;
+
+    /**
+     * Queue the arrival of global job @p index at @p arrival_cycle.
+     * Cycles must be nondecreasing across calls; the job itself is
+     * materialized by the factory when the arrival event fires.
+     */
+    void inject(std::uint64_t arrival_cycle, int index);
+
+    /**
+     * Run the event loop while the clock is below @p limit and
+     * injected jobs remain. @p limit must be a multiple of the
+     * backend's timeslice (or kNoLimit); every injected arrival must
+     * lie below the limit of the advanceTo() call that consumes it.
+     */
+    void advanceTo(std::uint64_t limit);
+
+    /** All injected jobs completed (trivially true before inject). */
+    bool drained() const { return completed_ == injected_; }
+
+    /** Close the phase machine; requires drained(). */
+    void finalize();
+
+    SosKernel::Phase phase() const { return phase_; }
+    std::uint64_t now() const { return now_; }
+    std::size_t injected() const { return injected_; }
+    std::size_t completed() const { return completed_; }
+
+    /** Jobs currently resident (arrived, not yet finished). */
+    int poolSize() const { return static_cast<int>(pool_.size()); }
+
+    /** Global index of every resident job, in pool order. */
+    std::vector<int> poolIndices() const;
+
+    /** Instructions the resident jobs still have to retire. */
+    std::uint64_t remainingInstructions() const;
+
+    /** (global index, response cycles) per completion, retire order. */
+    const std::vector<std::pair<int, std::uint64_t>> &
+    responses() const
+    {
+        return responses_;
+    }
+
+    /** @name Accumulators backing OpenSystemResult / node stats @{ */
+    std::uint64_t slicesRun() const { return slices_; }
+    std::uint64_t sampleSlices() const { return sample_slices_; }
+    int samplePhases() const { return sample_phases_; }
+    int resamplesOnJobChange() const { return job_change_resamples_; }
+    int resamplesOnTimer() const { return timer_resamples_; }
+    double jobsInSystemIntegral() const
+    {
+        return jobs_in_system_integral_;
+    }
+    /** @} */
+
+    /**
+     * Machine counters accumulated over live slices since the last
+     * takeRecentCounters() -- the measured signature the cluster's
+     * signature-aware dispatcher reads at each barrier. (Sample-phase
+     * forks profile into ScheduleProfiles instead; live symbios slices
+     * dominate, which is what a node "looks like" to new work.)
+     */
+    PerfCounters takeRecentCounters();
+
+  private:
+    void advance(SosKernel::Phase next);
+    bool retire();
+    void beginPhase(bool from_timer);
+    std::uint64_t maxSlices() const;
+
+    /** One resident job. */
+    struct PoolEntry
+    {
+        std::unique_ptr<Job> job;
+        int arrivalIndex = 0;
+    };
+
+    std::vector<Job *> poolPointers() const;
+
+    EngineBackend &backend_;
+    SosKernel::OpenConfig config_;
+    OpenPolicy policy_;
+    SosKernel::JobFactory makeJob_;
+    stats::EventTrace *events_;
+
+    std::uint64_t timeslice_;
+    int capacity_;
+
+    Rng rng_;
+    std::unique_ptr<ResampleTimer> resample_;
+    std::unique_ptr<Predictor> predictor_;
+    ParallelScheduleRunner runner_;
+
+    SosKernel::Phase phase_ = SosKernel::Phase::Idle;
+    EventQueue queue_;
+    std::vector<PoolEntry> pool_;
+    /** Injected, not yet arrived: (cycle, global index), FIFO. */
+    std::deque<std::pair<std::uint64_t, int>> pending_;
+    std::vector<std::pair<int, std::uint64_t>> responses_;
+
+    std::uint64_t limit_ = kNoLimit; ///< horizon of the current step
+    std::uint64_t now_ = 0;
+    std::size_t injected_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t naive_cursor_ = 0;
+    double jobs_in_system_integral_ = 0.0;
+    std::uint64_t slices_ = 0;
+    std::uint64_t sample_slices_ = 0;
+    int sample_phases_ = 0;
+    int job_change_resamples_ = 0;
+    int timer_resamples_ = 0;
+
+    // Symbios state.
+    OpenCandidate current_;
+    std::string previousKey_;
+    std::uint64_t symbios_slice_ = 0;
+    std::uint64_t timer_generation_ = 0;
+
+    // Sample state.
+    std::vector<OpenCandidate> candidates_;
+    std::uint64_t window_ = 1;
+    std::uint64_t phase_offset_ = 0;
+    bool timer_triggered_ = false;
+
+    PerfCounters recentCounters_;
+};
+
+} // namespace sos
+
+#endif // SOS_SOS_OPEN_RUN_HH

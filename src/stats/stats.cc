@@ -109,6 +109,113 @@ Distribution::renderText() const
            formatDouble(min()) + " max=" + formatDouble(max());
 }
 
+Quantile::Quantile(std::string path, std::string desc)
+    : Stat(std::move(path), std::move(desc), Kind::Quantile),
+      // Unit buckets below 2^kSubBits, then 2^kSubBits sub-buckets for
+      // each of the remaining (64 - kSubBits) octaves.
+      buckets_((64 - kSubBits + 1) << kSubBits, 0)
+{
+}
+
+std::size_t
+Quantile::bucketOf(std::uint64_t v)
+{
+    if (v < (1ULL << kSubBits))
+        return static_cast<std::size_t>(v);
+    int msb = 0;
+    for (std::uint64_t t = v; t >>= 1;)
+        ++msb;
+    const int shift = msb - kSubBits;
+    const auto sub = static_cast<std::size_t>(
+        (v >> shift) & ((1ULL << kSubBits) - 1));
+    return (static_cast<std::size_t>(msb - kSubBits) << kSubBits) +
+           (1ULL << kSubBits) + sub;
+}
+
+double
+Quantile::bucketMid(std::size_t index)
+{
+    constexpr std::size_t sub_count = 1ULL << kSubBits;
+    if (index < sub_count)
+        return static_cast<double>(index); // unit buckets are exact
+    const std::size_t octave = (index - sub_count) >> kSubBits;
+    const std::size_t sub = (index - sub_count) & (sub_count - 1);
+    const int shift = static_cast<int>(octave);
+    const double lo = static_cast<double>((sub_count + sub)) *
+                      static_cast<double>(1ULL << shift);
+    const double width = static_cast<double>(1ULL << shift);
+    return lo + width / 2.0;
+}
+
+void
+Quantile::sample(double x)
+{
+    const double clamped = x < 0.0 ? 0.0 : x;
+    // Quantize to an integer; response times and cycle counts (the
+    // intended samples) already are.
+    const double ceiling = 9.2e18; // < 2^63, keeps the cast defined
+    const auto v = static_cast<std::uint64_t>(
+        clamped < ceiling ? clamped : ceiling);
+    ++buckets_[bucketOf(v)];
+    ++n_;
+    sum_ += static_cast<double>(v);
+    if (n_ == 1) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+}
+
+double
+Quantile::quantile(double q) const
+{
+    if (n_ == 0)
+        return 0.0;
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(clamped * static_cast<double>(n_)));
+    target = std::max<std::uint64_t>(1, target);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        cum += buckets_[b];
+        if (cum >= target)
+            return bucketMid(b);
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Quantile::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("count");
+    json.number(static_cast<std::uint64_t>(n_));
+    json.key("mean");
+    json.number(mean());
+    json.key("min");
+    json.number(min());
+    json.key("max");
+    json.number(max());
+    json.key("p50");
+    json.number(quantile(0.50));
+    json.key("p95");
+    json.number(quantile(0.95));
+    json.key("p99");
+    json.number(quantile(0.99));
+    json.endObject();
+}
+
+std::string
+Quantile::renderText() const
+{
+    return "n=" + std::to_string(n_) + " mean=" + formatDouble(mean()) +
+           " p50=" + formatDouble(quantile(0.50)) +
+           " p95=" + formatDouble(quantile(0.95)) +
+           " p99=" + formatDouble(quantile(0.99)) +
+           " max=" + formatDouble(max());
+}
+
 Vector &
 Vector::push(double v)
 {
@@ -265,6 +372,12 @@ Registry::distribution(const std::string &path, std::string desc)
     return add<Distribution>(path, std::move(desc), Kind::Distribution);
 }
 
+Quantile &
+Registry::quantile(const std::string &path, std::string desc)
+{
+    return add<Quantile>(path, std::move(desc));
+}
+
 Vector &
 Registry::vector(const std::string &path, std::string desc)
 {
@@ -331,6 +444,12 @@ Distribution &
 Group::distribution(const std::string &name, std::string desc) const
 {
     return registry_->distribution(join(name), std::move(desc));
+}
+
+Quantile &
+Group::quantile(const std::string &name, std::string desc) const
+{
+    return registry_->quantile(join(name), std::move(desc));
 }
 
 Vector &

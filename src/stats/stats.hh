@@ -43,6 +43,7 @@ enum class Kind
     Value,        ///< floating-point result
     Formula,      ///< computed on demand at dump time
     Distribution, ///< count/mean/stddev/min/max summary
+    Quantile,     ///< streaming p50/p95/p99 (log-histogram)
     Vector,       ///< ordered (optionally named) series of doubles
     Info,         ///< free-form string metadata (labels, names)
 };
@@ -194,6 +195,64 @@ class Distribution : public Stat
     double max_ = 0.0;
 };
 
+/**
+ * Streaming quantile estimator over non-negative samples.
+ *
+ * An HdrHistogram-style log-histogram: values below 2^kSubBits land in
+ * exact unit-width buckets, larger values in 2^kSubBits sub-buckets
+ * per power of two, so every bucket's width is at most 1/2^kSubBits of
+ * its value. Memory is a fixed ~15 KiB regardless of sample count --
+ * the property that lets million-job cluster runs record response-time
+ * percentiles -- and quantile() is exact to within one bucket
+ * (relative error <= 2^-kSubBits). Bucket indexing is pure integer
+ * arithmetic, so accumulation order and host libm cannot perturb the
+ * rendered percentiles; count/mean/min/max are tracked exactly.
+ */
+class Quantile : public Stat
+{
+  public:
+    /** Sub-bucket resolution: 2^5 buckets per octave, ~3.1% error. */
+    static constexpr int kSubBits = 5;
+
+    Quantile(std::string path, std::string desc);
+
+    /** Record one sample; negative values clamp to zero. */
+    void sample(double x);
+
+    /** Convenience: sample every element. */
+    void
+    samples(const std::vector<double> &xs)
+    {
+        for (const double x : xs)
+            sample(x);
+    }
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? static_cast<double>(min_) : 0.0; }
+    double max() const { return n_ ? static_cast<double>(max_) : 0.0; }
+
+    /**
+     * The smallest bucket whose cumulative count covers rank
+     * ceil(q * count), rendered as the bucket midpoint. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    void writeJson(JsonWriter &json) const override;
+    std::string renderText() const override;
+
+  private:
+    static std::size_t bucketOf(std::uint64_t v);
+    /** Midpoint of bucket @p index's value range. */
+    static double bucketMid(std::size_t index);
+
+    std::vector<std::uint64_t> buckets_;
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
 /** Ordered series of doubles, optionally with per-element names. */
 class Vector : public Stat
 {
@@ -258,6 +317,7 @@ class Registry
                      std::function<double()> fn);
     Distribution &distribution(const std::string &path,
                                std::string desc = "");
+    Quantile &quantile(const std::string &path, std::string desc = "");
     Vector &vector(const std::string &path, std::string desc = "");
     Info &info(const std::string &path, std::string desc = "");
     /** @} */
@@ -310,6 +370,8 @@ class Group
                      std::function<double()> fn) const;
     Distribution &distribution(const std::string &name,
                                std::string desc = "") const;
+    Quantile &quantile(const std::string &name,
+                       std::string desc = "") const;
     Vector &vector(const std::string &name, std::string desc = "") const;
     Info &info(const std::string &name, std::string desc = "") const;
     /** @} */

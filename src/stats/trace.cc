@@ -69,10 +69,51 @@ EventTrace::Event::field(const std::string &name, bool value)
     return *this;
 }
 
+namespace {
+
+/** True for the event types that begin a sampled decision group. */
+bool
+isPhaseOpener(const std::string &type)
+{
+    return type == "sample_phase_begin" || type == "dispatch_epoch";
+}
+
+} // namespace
+
+void
+EventTrace::setPhaseStride(std::uint64_t stride)
+{
+    SOS_ASSERT(stride > 0, "trace phase stride must be positive");
+    phaseStride_ = stride;
+}
+
+void
+EventTrace::setContextField(const std::string &name,
+                            const std::string &rendered_value)
+{
+    appendField(&context_, name, rendered_value);
+}
+
+void
+EventTrace::append(const EventTrace &other)
+{
+    lines_.insert(lines_.end(), other.lines_.begin(),
+                  other.lines_.end());
+}
+
 EventTrace::Event
 EventTrace::event(const std::string &type)
 {
-    lines_.emplace_back("\"event\":\"" + escapeJson(type) + "\"");
+    if (phaseStride_ > 1 && isPhaseOpener(type)) {
+        gateOpen_ = phasesSeen_ % phaseStride_ == 0;
+        ++phasesSeen_;
+    }
+    if (!gateOpen_) {
+        discard_.clear();
+        return Event(&discard_);
+    }
+    lines_.emplace_back("\"event\":\"" + escapeJson(type) + "\"" +
+                        context_);
     return Event(&lines_.back());
 }
 

@@ -44,8 +44,34 @@ class EventTrace
         std::string *line_; ///< the growing JSON object (no brace yet)
     };
 
-    /** Begin a new event of the given type. */
+    /**
+     * Begin a new event of the given type. With a phase stride above 1
+     * (setPhaseStride), phase-opener events -- "sample_phase_begin"
+     * and "dispatch_epoch" -- open the gate only every Nth time;
+     * events emitted while the gate is closed (the skipped opener and
+     * its followers, e.g. "symbios_pick") are dropped. Events emitted
+     * before the first opener always record.
+     */
     Event event(const std::string &type);
+
+    /**
+     * Keep every Nth sample-phase decision group (SOS_TRACE_SAMPLE).
+     * 1 (the default) records everything -- long cluster runs sample
+     * the trace down to a fixed budget without touching what any
+     * recorded event contains.
+     */
+    void setPhaseStride(std::uint64_t stride);
+
+    /**
+     * Fields appended to every subsequent event, e.g. a cluster
+     * node id. @p rendered_value must be valid JSON (a number or a
+     * quoted string).
+     */
+    void setContextField(const std::string &name,
+                         const std::string &rendered_value);
+
+    /** Append every line of @p other (already gated at its source). */
+    void append(const EventTrace &other);
 
     std::size_t size() const { return lines_.size(); }
     bool empty() const { return lines_.empty(); }
@@ -58,6 +84,11 @@ class EventTrace
 
   private:
     std::vector<std::string> lines_; ///< one "key":value,... body each
+    std::string context_;  ///< pre-rendered fields stamped on every event
+    std::string discard_;  ///< scratch body for gated-out events
+    std::uint64_t phaseStride_ = 1;
+    std::uint64_t phasesSeen_ = 0;
+    bool gateOpen_ = true;
 };
 
 } // namespace sos::stats

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hh"
 #include "common/logging.hh"
 #include "config/machine_config.hh"
 #include "core/predictor.hh"
@@ -93,6 +94,34 @@ printUsage(const std::string &command)
         specific = "  --cores N           SMT cores on the machine "
                    "(default 2)\n"
                    "  --jobs N            sweep worker threads\n";
+    } else if (command == "cluster") {
+        specific =
+            "  --nodes N           machines in the cluster (default "
+            "2; env SOS_CLUSTER_NODES)\n"
+            "  --dispatch P        dispatch policy: random, "
+            "round-robin, least-loaded,\n"
+            "                      signature (default; env "
+            "SOS_DISPATCH)\n"
+            "  --arrivals N        jobs in the arrival trace "
+            "(default 1000)\n"
+            "  --process P         arrival process: poisson "
+            "(default), mmpp, diurnal\n"
+            "  --epoch N           timeslices per dispatch epoch "
+            "(default 8)\n"
+            "  --level N           SMT level of every node (default "
+            "3)\n"
+            "  --cores N           SMT cores per node (default 1)\n"
+            "  --mean-job C        mean job length in paper cycles\n"
+            "  --mean-interarrival C\n"
+            "                      front-door mean interarrival in "
+            "paper cycles\n"
+            "                      (default derives the stable load)\n"
+            "  --classes SPEC      SLA classes as "
+            "name:weight:sizeFactor[,...]\n"
+            "  --jobs N            host worker threads for the node "
+            "fan-out\n"
+            "  (repeat --machine-config to give each node its own "
+            "machine file)\n";
     }
     std::printf(
         "usage: sossim %s %s\n\n"
@@ -482,6 +511,126 @@ cmdMachine(const Args &args)
     return harness.finish();
 }
 
+/** Parse an SLA class list: "name:weight:sizeFactor[,...]". */
+std::vector<ArrivalClass>
+parseClasses(const std::string &spec)
+{
+    std::vector<ArrivalClass> classes;
+    std::size_t start = 0;
+    while (start < spec.size()) {
+        std::size_t end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(start, end - start);
+        const std::size_t first = entry.find(':');
+        const std::size_t second =
+            first == std::string::npos ? std::string::npos
+                                       : entry.find(':', first + 1);
+        if (first == std::string::npos || second == std::string::npos)
+            fatal("class entry '", entry,
+                  "' is not name:weight:sizeFactor");
+        ArrivalClass klass;
+        klass.name = entry.substr(0, first);
+        klass.weight =
+            std::stod(entry.substr(first + 1, second - first - 1));
+        klass.sizeFactor = std::stod(entry.substr(second + 1));
+        classes.push_back(std::move(klass));
+        start = end + 1;
+    }
+    return classes;
+}
+
+int
+cmdCluster(const Args &args)
+{
+    ClusterConfig cluster;
+    // Environment defaults; explicit flags win below.
+    if (const char *nodes = std::getenv("SOS_CLUSTER_NODES"))
+        cluster.numNodes = std::stoi(nodes);
+    if (const char *dispatch = std::getenv("SOS_DISPATCH"))
+        cluster.dispatch = dispatch;
+    cluster.numNodes =
+        std::stoi(args.flag("nodes", std::to_string(cluster.numNodes)));
+    cluster.dispatch = args.flag("dispatch", cluster.dispatch);
+    cluster.process = args.flag("process", cluster.process);
+    cluster.numJobs = std::stoi(args.flag("arrivals", "1000"));
+    cluster.level = std::stoi(args.flag("level", "3"));
+    cluster.numCores = std::stoi(args.flag("cores", "1"));
+    cluster.epochSlices = std::stoi(args.flag("epoch", "8"));
+    cluster.meanJobPaperCycles = std::stoull(args.flag(
+        "mean-job", std::to_string(cluster.meanJobPaperCycles)));
+    cluster.meanInterarrivalPaper =
+        std::stoull(args.flag("mean-interarrival", "0"));
+    const std::string classes = args.flag("classes", "");
+    if (!classes.empty())
+        cluster.classes = parseClasses(classes);
+    // Fail fast on unknown registry names, before any simulation.
+    makeDispatcher(cluster.dispatch, 0);
+    makePredictor(cluster.predictor);
+    makeResamplePolicy(cluster.resamplePolicy, 1);
+
+    // One --machine-config applies to every node; repeating the flag
+    // gives each node its own machine file.
+    std::vector<std::string> machines;
+    for (const auto &[key, value] : args.flags) {
+        if (key == "machine-config")
+            machines.push_back(value);
+    }
+    SimConfig config = benchConfigFromEnv();
+    if (machines.size() == 1)
+        applyMachineConfig(config, machines.front());
+    else if (machines.size() > 1)
+        cluster.nodeMachineConfigs = machines;
+    applyOverrides(config, args.overrides);
+    const std::string jobs = args.flag("jobs", "");
+    if (!jobs.empty())
+        applyOverride(config, "jobs=" + jobs);
+
+    BenchHarness harness("sossim cluster", config, outputsFor(args));
+    cluster.seed = harness.config().seed ^ 0xc105edULL;
+
+    Cluster machine_room(harness.config(), cluster);
+    const ClusterResult result = machine_room.run(
+        harness.wantsTrace() ? &harness.trace() : nullptr);
+    machine_room.publishStats(harness.group("cluster"));
+
+    printBanner("Cluster: " + std::to_string(cluster.numNodes) +
+                " nodes, " + cluster.dispatch + " dispatch, " +
+                cluster.process + " arrivals");
+    TablePrinter table({"node", "dispatched", "completed", "util%",
+                        "sample phases"},
+                       {5, 10, 9, 6, 13});
+    table.printHeader();
+    for (const ClusterNodeSummary &node : result.nodes) {
+        table.printRow({std::to_string(node.id),
+                        std::to_string(node.dispatched),
+                        std::to_string(node.completed),
+                        fmt(100.0 * node.utilization, 1),
+                        std::to_string(node.samplePhases)});
+    }
+    // Exact percentiles for the console; the manifest carries the
+    // streaming histogram's (bounded-memory) approximations.
+    std::vector<std::uint64_t> sorted = result.responseByArrival;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+        const std::size_t rank = std::min(
+            sorted.size() - 1,
+            static_cast<std::size_t>(
+                q * static_cast<double>(sorted.size())));
+        return sorted[rank];
+    };
+    std::printf("\njobs: %zu completed over %zu epochs\n",
+                result.completed,
+                static_cast<std::size_t>(result.epochs));
+    std::printf("response cycles: mean %s  p50 %s  p95 %s  p99 %s\n",
+                fmtCycles(static_cast<std::uint64_t>(
+                              result.meanResponseCycles))
+                    .c_str(),
+                fmtCycles(at(0.50)).c_str(), fmtCycles(at(0.95)).c_str(),
+                fmtCycles(at(0.99)).c_str());
+    return harness.finish();
+}
+
 int
 cmdHelp()
 {
@@ -500,6 +649,9 @@ cmdHelp()
         "                         hierarchical symbiosis\n"
         "  machine [--cores N]    machine-level SOS on a CMP of SMT "
         "cores\n"
+        "  cluster [--nodes N] [--dispatch P] [--arrivals N]\n"
+        "                         N machines behind a symbiosis-aware "
+        "dispatcher\n"
         "  config                 print the effective configuration\n\n"
         "`sossim <command> --help` prints each subcommand's options.\n"
         "options: repeated --set key=value; env SOS_CYCLE_SCALE, "
@@ -542,6 +694,8 @@ main(int argc, char **argv)
         return cmdHier(args);
     if (command == "machine")
         return cmdMachine(args);
+    if (command == "cluster")
+        return cmdCluster(args);
     if (command == "config") {
         std::fputs(renderConfig(configFor(args)).c_str(), stdout);
         return 0;

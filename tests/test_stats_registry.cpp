@@ -305,6 +305,57 @@ TEST(EventTrace, RendersOneJsonObjectPerLine)
               "{\"event\":\"symbios_pick\",\"pick\":7}\n");
 }
 
+TEST(EventTrace, PhaseStrideKeepsEveryNthGroup)
+{
+    EventTrace trace;
+    trace.setPhaseStride(2);
+    trace.event("preamble").field("kept", true); // before any opener
+    for (int phase = 0; phase < 4; ++phase) {
+        trace.event("sample_phase_begin").field("phase", phase);
+        trace.event("symbios_pick").field("phase", phase);
+    }
+    // Groups 0 and 2 survive, each with its follower event.
+    EXPECT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace.render(),
+              "{\"event\":\"preamble\",\"kept\":true}\n"
+              "{\"event\":\"sample_phase_begin\",\"phase\":0}\n"
+              "{\"event\":\"symbios_pick\",\"phase\":0}\n"
+              "{\"event\":\"sample_phase_begin\",\"phase\":2}\n"
+              "{\"event\":\"symbios_pick\",\"phase\":2}\n");
+}
+
+TEST(EventTrace, DefaultStrideRecordsEverything)
+{
+    EventTrace trace;
+    for (int phase = 0; phase < 3; ++phase)
+        trace.event("sample_phase_begin").field("phase", phase);
+    EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(EventTrace, ContextFieldsStampEveryEvent)
+{
+    EventTrace trace;
+    trace.setContextField("node", "3");
+    trace.event("sample_phase_begin").field("phase", 0);
+    EXPECT_EQ(trace.render(),
+              "{\"event\":\"sample_phase_begin\",\"node\":3,"
+              "\"phase\":0}\n");
+}
+
+TEST(EventTrace, AppendConcatenatesTraces)
+{
+    EventTrace main_trace;
+    main_trace.event("dispatch_epoch").field("epoch", 0);
+    EventTrace node_trace;
+    node_trace.setContextField("node", "1");
+    node_trace.event("sample_phase_begin").field("phase", 0);
+    main_trace.append(node_trace);
+    EXPECT_EQ(main_trace.render(),
+              "{\"event\":\"dispatch_epoch\",\"epoch\":0}\n"
+              "{\"event\":\"sample_phase_begin\",\"node\":1,"
+              "\"phase\":0}\n");
+}
+
 TEST(JsonWriter, ArraysObjectsAndNull)
 {
     std::string out;
