@@ -7,7 +7,9 @@
 
 #include <cstdio>
 
+#include "core/learned_predictor.hh"
 #include "core/predictor.hh"
+#include "model/model.hh"
 #include "sim/batch_experiment.hh"
 #include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
@@ -46,6 +48,14 @@ main(int argc, char **argv)
     bar("Average", avg);
     for (const auto &predictor : makeAllPredictors())
         bar(predictor->name(), exp.wsOfPredictor(*predictor));
+
+    // With --model/SOS_MODEL, add the trained model's bar: it ranks
+    // the same candidates from static features alone.
+    if (!config.modelPath.empty()) {
+        LearnedPredictor learned(model::loadModel(config.modelPath));
+        learned.setCandidateFeatures(exp.candidateFeatures());
+        bar(learned.name(), exp.wsOfPredictor(learned));
+    }
 
     std::printf("\n(Paper: best is 17%% over worst and 9%% over "
                 "average; IPC, Dcache, FQ, Composite and Score come "

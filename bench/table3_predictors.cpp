@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/learned_predictor.hh"
 #include "core/predictor.hh"
+#include "model/model.hh"
 #include "sim/batch_experiment.hh"
 #include "sim/bench_harness.hh"
 #include "sim/reporting.hh"
@@ -98,6 +100,19 @@ main(int argc, char **argv)
         column.values = makePredictor("Composite")->score(profiles);
         columns.push_back(std::move(column));
     }
+    // With --model/SOS_MODEL, add the trained model's predicted-WS
+    // column (higher is better), scored from static features.
+    std::unique_ptr<LearnedPredictor> learned;
+    if (!config.modelPath.empty()) {
+        learned = std::make_unique<LearnedPredictor>(
+            model::loadModel(config.modelPath));
+        learned->setCandidateFeatures(exp.candidateFeatures());
+        Column column;
+        column.name = "Learned";
+        column.lower_is_better = false;
+        column.values = learned->score(profiles);
+        columns.push_back(std::move(column));
+    }
 
     std::vector<std::string> headers{"Schedule"};
     std::vector<int> widths{10};
@@ -131,18 +146,22 @@ main(int argc, char **argv)
                 "these.)\n");
     std::printf("\nPredicted-best schedule per predictor:\n");
     const stats::Group picks = harness.group("predictors");
-    for (const auto &predictor : makeAllPredictors()) {
-        const int index = exp.predictedIndex(*predictor);
+    const auto report_pick = [&](const Predictor &predictor) {
+        const int index = exp.predictedIndex(predictor);
         std::printf("  %-10s -> %-10s (symbios WS %.3f)\n",
-                    predictor->name().c_str(),
+                    predictor.name().c_str(),
                     profiles[static_cast<std::size_t>(index)]
                         .label.c_str(),
                     exp.symbiosWs()[static_cast<std::size_t>(index)]);
-        const stats::Group pick = picks.group(predictor->name());
+        const stats::Group pick = picks.group(predictor.name());
         pick.info("schedule", "schedule this predictor selects") =
             profiles[static_cast<std::size_t>(index)].label;
         pick.value("ws", "symbios WS of the selected schedule") =
             exp.symbiosWs()[static_cast<std::size_t>(index)];
-    }
+    };
+    for (const auto &predictor : makeAllPredictors())
+        report_pick(*predictor);
+    if (learned)
+        report_pick(*learned);
     return harness.finish();
 }

@@ -43,6 +43,11 @@ for b in build/bench/*; do
         if [ "$name" = "fig9_cluster" ]; then
             set -- "$@" --bench-cluster "results/cluster/$name.json"
         fi
+        # fig1's decision trace is the training set for the learned
+        # WS model (see the sostrain block below).
+        if [ "$name" = "fig1_ws_range" ]; then
+            set -- "$@" --trace "results/$name.trace.jsonl"
+        fi
         if ! "$b" "$@" >>bench_output.txt 2>&1
         then
             echo "FAILED: $b" >>bench_output.txt
@@ -88,6 +93,34 @@ if [ -x build/bench/fig1_ws_range ]; then
     then
         echo "FAILED: fig1_ws_range (sampled)" >>bench_output.txt
         status=1
+    fi
+fi
+
+# Learned-model leg: fit a WS model from the fig1 decision trace
+# (sostrain writes results/model.txt plus the sos.train-report JSON),
+# then rerun fig2 with the model so the reproduction record carries
+# the learned predictor's bar next to the paper's ten.
+if [ -x build/src/tools/sostrain ] \
+    && [ -f results/fig1_ws_range.trace.jsonl ]; then
+    mkdir -p results/learned
+    echo "===== sostrain (fig1 trace) =====" >>bench_output.txt
+    if ! build/src/tools/sostrain results/fig1_ws_range.trace.jsonl \
+            --model-out results/model.txt \
+            --report-out results/learned/train_report.json \
+            >>bench_output.txt 2>&1
+    then
+        echo "FAILED: sostrain" >>bench_output.txt
+        status=1
+    elif [ -x build/bench/fig2_predictor_ws ]; then
+        echo "===== fig2_predictor_ws (learned) =====" >>bench_output.txt
+        if ! build/bench/fig2_predictor_ws \
+                --model results/model.txt \
+                --out results/learned/fig2_predictor_ws.json \
+                >>bench_output.txt 2>&1
+        then
+            echo "FAILED: fig2_predictor_ws (learned)" >>bench_output.txt
+            status=1
+        fi
     fi
 fi
 

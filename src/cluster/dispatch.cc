@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "model/features.hh"
+#include "model/model.hh"
 #include "trace/workload_library.hh"
 
 namespace sos {
@@ -92,11 +95,8 @@ class SignatureDispatcher : public Dispatcher
         const WorkloadProfile &profile =
             WorkloadLibrary::instance().get(arrival.workload);
         const double job_fp = profile.fpFraction();
-        // Working sets land in [0, 1] against a 64 KiB yardstick (the
-        // largest Table 1 sets; anything bigger is equally "large").
-        const double job_ws = std::min(
-            1.0,
-            static_cast<double>(profile.workingSetBytes) / 65536.0);
+        const double job_ws =
+            model::normalizedWorkingSet(profile.workingSetBytes);
 
         double mean_pool = 0.0;
         for (const NodeView &view : views)
@@ -111,13 +111,8 @@ class SignatureDispatcher : public Dispatcher
             double score =
                 static_cast<double>(view.poolSize) / mean_pool;
             if (view.signature.cycles > 0) {
-                const std::uint64_t arith = view.signature.intOps +
-                                            view.signature.fpOps;
                 const double node_fp =
-                    arith > 0 ? static_cast<double>(
-                                    view.signature.fpOps) /
-                                    static_cast<double>(arith)
-                              : 0.0;
+                    model::counterFpShare(view.signature);
                 // Complementary mixes attract, cache pressure repels.
                 score -= 0.3 * std::abs(node_fp - job_fp);
                 score += 0.3 * job_ws *
@@ -130,6 +125,78 @@ class SignatureDispatcher : public Dispatcher
         }
         return best->id;
     }
+};
+
+/**
+ * Model-driven routing: the load term of "signature", but with the
+ * hand-tuned symbiosis discount replaced by a trained WS model's
+ * prediction for the (job, node) coschedule tuple. The job side is
+ * its static ThreadSignature; the node side is the proxy signature of
+ * its recent counter measurements. Like the learned predictor, the
+ * model arrives via SOS_MODEL; construction without one succeeds
+ * (every registered name must construct) and pick() fails loudly.
+ */
+class LearnedDispatcher : public Dispatcher
+{
+  public:
+    LearnedDispatcher()
+    {
+        const char *path = std::getenv("SOS_MODEL");
+        if (path == nullptr || *path == '\0')
+            return;
+        try {
+            model_ = model::loadModel(path);
+        } catch (const model::ModelError &error) {
+            fatal("SOS_MODEL: ", error.what());
+        }
+    }
+
+    std::string name() const override { return "learned"; }
+
+    int
+    pick(const ClusterArrival &arrival,
+         const std::vector<NodeView> &views) override
+    {
+        if (!model_) {
+            fatal("the 'learned' dispatcher needs a model: set "
+                  "SOS_MODEL to a file written by sostrain");
+        }
+        const WorkloadProfile &profile =
+            WorkloadLibrary::instance().get(arrival.workload);
+        const model::ThreadSignature job =
+            model::makeThreadSignature(arrival.klass, profile, 0.0);
+
+        double mean_pool = 0.0;
+        for (const NodeView &view : views)
+            mean_pool += static_cast<double>(view.poolSize);
+        mean_pool =
+            std::max(1.0, mean_pool /
+                              static_cast<double>(views.size()));
+
+        const NodeView *best = nullptr;
+        double best_score = 0.0;
+        for (const NodeView &view : views) {
+            double score =
+                static_cast<double>(view.poolSize) / mean_pool;
+            if (view.signature.cycles > 0) {
+                const model::FeatureVector features =
+                    model::composeTupleFeatures(
+                        {job,
+                         model::signatureFromCounters(view.signature)});
+                // Higher predicted WS makes the node more attractive;
+                // the weight matches "signature" so load still rules.
+                score -= 0.3 * model_->predict(features);
+            }
+            if (best == nullptr || score < best_score) {
+                best = &view;
+                best_score = score;
+            }
+        }
+        return best->id;
+    }
+
+  private:
+    std::shared_ptr<const model::WsModel> model_;
 };
 
 } // namespace
@@ -145,6 +212,8 @@ makeDispatcher(const std::string &name, std::uint64_t seed)
         return std::make_unique<LeastLoadedDispatcher>();
     if (name == "signature")
         return std::make_unique<SignatureDispatcher>();
+    if (name == "learned")
+        return std::make_unique<LearnedDispatcher>();
     std::string known;
     for (const std::string &registered : dispatcherNames())
         known += (known.empty() ? "" : ", ") + registered;
@@ -155,7 +224,7 @@ const std::vector<std::string> &
 dispatcherNames()
 {
     static const std::vector<std::string> names = {
-        "random", "round-robin", "least-loaded", "signature"};
+        "random", "round-robin", "least-loaded", "signature", "learned"};
     return names;
 }
 

@@ -20,7 +20,11 @@
  *                    (FP/int balance, L1D pressure) -- the symbiosis
  *                    argument of the paper lifted one level up: route
  *                    jobs so each node's SOS kernel has friendly mixes
- *                    to coschedule.
+ *                    to coschedule;
+ *  - "learned":      the load term of "signature" with the hand-tuned
+ *                    discount replaced by a trained WS model's
+ *                    prediction for the (job, node) tuple; the model
+ *                    file comes from SOS_MODEL (see sostrain).
  */
 
 #ifndef SOS_CLUSTER_DISPATCH_HH

@@ -4,8 +4,13 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "core/learned_predictor.hh"
+#include "model/features.hh"
 
 namespace sos {
+
+using model::ProfileSignature;
+using model::profileSignature;
 
 int
 Predictor::best(const std::vector<ScheduleProfile> &profiles) const
@@ -29,122 +34,23 @@ constexpr double confFloor = 1e-6;
 /** Floor for the Balance denominator (a perfectly smooth sample). */
 constexpr double balanceFloor = 0.01;
 
-/** High observed IPC in the sample predicts symbiosis. */
-class IpcPredictor : public Predictor
-{
-  public:
-    std::string name() const override { return "IPC"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(p.counters.ipc());
-        return out;
-    }
-};
-
-/** Low total conflicts across all eight shared resources. */
-class AllConfPredictor : public Predictor
-{
-  public:
-    std::string name() const override { return "AllConf"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(-p.counters.allConflictPct());
-        return out;
-    }
-};
-
-/** High L1 data-cache hit rate. */
-class DcachePredictor : public Predictor
-{
-  public:
-    std::string name() const override { return "Dcache"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(p.counters.l1dHitRate());
-        return out;
-    }
-};
-
-/** Low conflicts on the floating-point issue queue. */
-class FqPredictor : public Predictor
-{
-  public:
-    std::string name() const override { return "FQ"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(-p.counters.conflictPct(p.counters.confFpQueue));
-        return out;
-    }
-};
-
-/** Low conflicts on the floating-point units. */
-class FpPredictor : public Predictor
-{
-  public:
-    std::string name() const override { return "FP"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(-p.counters.conflictPct(p.counters.confFpUnits));
-        return out;
-    }
-};
-
-/** Low combined FP-queue + FP-unit conflicts. */
-class Sum2Predictor : public Predictor
-{
-  public:
-    std::string name() const override { return "Sum2"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles) {
-            out.push_back(
-                -(p.counters.conflictPct(p.counters.confFpQueue) +
-                  p.counters.conflictPct(p.counters.confFpUnits)));
-        }
-        return out;
-    }
-};
-
 /**
- * A balanced FP/integer instruction mix, measured over the whole
- * schedule as in the paper's Table 3 (whose Diversity column scores
- * the segregated schedule best -- which is why the paper finds the
- * predictor ineffective; see SliceDiversityPredictor for the repaired
- * variant this library adds as an extension).
+ * A hand-tuned predictor defined on one field of the shared
+ * ProfileSignature (model/features.hh). Every paper predictor is one
+ * of these: extract the signature, read one normalized field, maybe
+ * negate it ("lower is better" resources).
  */
-class DiversityPredictor : public Predictor
+class SignatureFieldPredictor : public Predictor
 {
   public:
-    std::string name() const override { return "Diversity"; }
+    using Field = double (*)(const ProfileSignature &);
+
+    SignatureFieldPredictor(std::string name, Field field)
+        : name_(std::move(name)), field_(field)
+    {
+    }
+
+    std::string name() const override { return name_; }
 
     std::vector<double>
     score(const std::vector<ScheduleProfile> &profiles) const override
@@ -152,49 +58,20 @@ class DiversityPredictor : public Predictor
         std::vector<double> out;
         out.reserve(profiles.size());
         for (const auto &p : profiles)
-            out.push_back(-p.counters.mixImbalance());
+            out.push_back(field_(profileSignature(p)));
         return out;
     }
+
+  private:
+    std::string name_;
+    Field field_;
 };
 
-/**
- * Extension (not part of the paper's predictor set): diversity
- * evaluated per timeslice, so a schedule that alternates an FP-only
- * tuple with an integer-only tuple is correctly penalized even though
- * its aggregate mix looks balanced.
- */
-class SliceDiversityPredictor : public Predictor
+std::unique_ptr<Predictor>
+fieldPredictor(std::string name, SignatureFieldPredictor::Field field)
 {
-  public:
-    std::string name() const override { return "SliceDiversity"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(-p.diversity());
-        return out;
-    }
-};
-
-/** Low variation of IPC between consecutive timeslices. */
-class BalancePredictor : public Predictor
-{
-  public:
-    std::string name() const override { return "Balance"; }
-
-    std::vector<double>
-    score(const std::vector<ScheduleProfile> &profiles) const override
-    {
-        std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles)
-            out.push_back(-p.balance());
-        return out;
-    }
-};
+    return std::make_unique<SignatureFieldPredictor>(std::move(name), field);
+}
 
 /**
  * The paper's experimental fit:
@@ -203,7 +80,10 @@ class BalancePredictor : public Predictor
  *
  * smoothness-dominated with weight on the critical FP resources (the
  * typeset formula in the paper is ambiguous; DESIGN.md records this
- * literal fractional reading).
+ * literal fractional reading). Note the asymmetry the original code
+ * had and the goldens pin: the per-sample lows come from the raw
+ * conflict percentages, while each schedule's own terms are floored
+ * first (so its sum2 is the sum of the floored parts).
  */
 class CompositePredictor : public Predictor
 {
@@ -213,33 +93,32 @@ class CompositePredictor : public Predictor
     std::vector<double>
     score(const std::vector<ScheduleProfile> &profiles) const override
     {
+        std::vector<ProfileSignature> sigs;
+        sigs.reserve(profiles.size());
+        for (const auto &p : profiles)
+            sigs.push_back(profileSignature(p));
+
         double low_fq = 1e300;
         double low_fp = 1e300;
         double low_sum2 = 1e300;
-        for (const auto &p : profiles) {
-            const double fq =
-                p.counters.conflictPct(p.counters.confFpQueue);
-            const double fp =
-                p.counters.conflictPct(p.counters.confFpUnits);
-            low_fq = std::min(low_fq, fq);
-            low_fp = std::min(low_fp, fp);
-            low_sum2 = std::min(low_sum2, fq + fp);
+        for (const auto &sig : sigs) {
+            low_fq = std::min(low_fq, sig.fqConflictPct);
+            low_fp = std::min(low_fp, sig.fpConflictPct);
+            low_sum2 = std::min(low_sum2, sig.sum2ConflictPct);
         }
         low_fq = std::max(low_fq, confFloor);
         low_fp = std::max(low_fp, confFloor);
         low_sum2 = std::max(low_sum2, confFloor);
 
         std::vector<double> out;
-        out.reserve(profiles.size());
-        for (const auto &p : profiles) {
-            const double fq = std::max(
-                p.counters.conflictPct(p.counters.confFpQueue), confFloor);
-            const double fp = std::max(
-                p.counters.conflictPct(p.counters.confFpUnits), confFloor);
+        out.reserve(sigs.size());
+        for (const auto &sig : sigs) {
+            const double fq = std::max(sig.fqConflictPct, confFloor);
+            const double fp = std::max(sig.fpConflictPct, confFloor);
             const double sum2 = std::max(fq + fp, confFloor);
             const double ratio = std::min(
                 {fq / low_fq, fp / low_fp, sum2 / low_sum2});
-            const double balance = std::max(p.balance(), balanceFloor);
+            const double balance = std::max(sig.balance, balanceFloor);
             out.push_back(0.9 / ratio + 0.1 / balance);
         }
         return out;
@@ -301,14 +180,37 @@ std::vector<std::unique_ptr<Predictor>>
 makeBasePredictors()
 {
     std::vector<std::unique_ptr<Predictor>> out;
-    out.push_back(std::make_unique<IpcPredictor>());
-    out.push_back(std::make_unique<AllConfPredictor>());
-    out.push_back(std::make_unique<DcachePredictor>());
-    out.push_back(std::make_unique<FqPredictor>());
-    out.push_back(std::make_unique<FpPredictor>());
-    out.push_back(std::make_unique<Sum2Predictor>());
-    out.push_back(std::make_unique<DiversityPredictor>());
-    out.push_back(std::make_unique<BalancePredictor>());
+    // High observed IPC in the sample predicts symbiosis.
+    out.push_back(fieldPredictor(
+        "IPC", [](const ProfileSignature &s) { return s.ipc; }));
+    // Low total conflicts across all eight shared resources.
+    out.push_back(fieldPredictor(
+        "AllConf",
+        [](const ProfileSignature &s) { return -s.allConflictPct; }));
+    // High L1 data-cache hit rate.
+    out.push_back(fieldPredictor(
+        "Dcache", [](const ProfileSignature &s) { return s.l1dHitRate; }));
+    // Low conflicts on the floating-point issue queue.
+    out.push_back(fieldPredictor(
+        "FQ", [](const ProfileSignature &s) { return -s.fqConflictPct; }));
+    // Low conflicts on the floating-point units.
+    out.push_back(fieldPredictor(
+        "FP", [](const ProfileSignature &s) { return -s.fpConflictPct; }));
+    // Low combined FP-queue + FP-unit conflicts.
+    out.push_back(fieldPredictor(
+        "Sum2",
+        [](const ProfileSignature &s) { return -s.sum2ConflictPct; }));
+    // A balanced FP/integer mix over the whole schedule, as in the
+    // paper's Table 3 (whose Diversity column scores the segregated
+    // schedule best -- which is why the paper finds the predictor
+    // ineffective; see "SliceDiversity" for the repaired variant this
+    // library adds as an extension).
+    out.push_back(fieldPredictor(
+        "Diversity",
+        [](const ProfileSignature &s) { return -s.mixImbalance; }));
+    // Low variation of IPC between consecutive timeslices.
+    out.push_back(fieldPredictor(
+        "Balance", [](const ProfileSignature &s) { return -s.balance; }));
     out.push_back(std::make_unique<CompositePredictor>());
     return out;
 }
@@ -330,8 +232,18 @@ makeAllPredictors()
 std::unique_ptr<Predictor>
 makePredictor(const std::string &name)
 {
-    if (name == "SliceDiversity")
-        return std::make_unique<SliceDiversityPredictor>();
+    // Extensions outside the paper's ten-predictor set.
+    if (name == "SliceDiversity") {
+        // Diversity evaluated per timeslice, so a schedule that
+        // alternates an FP-only tuple with an integer-only tuple is
+        // correctly penalized even though its aggregate mix looks
+        // balanced.
+        return fieldPredictor(
+            "SliceDiversity",
+            [](const ProfileSignature &s) { return -s.sliceDiversity; });
+    }
+    if (name == "learned")
+        return std::make_unique<LearnedPredictor>();
     for (auto &predictor : makeAllPredictors()) {
         if (predictor->name() == name)
             return std::move(predictor);
@@ -353,6 +265,7 @@ predictorNames()
         out.push_back("SliceDiversity");
         for (const auto &predictor : makeAllPredictors())
             out.push_back(predictor->name());
+        out.push_back("learned");
         return out;
     }();
     return names;

@@ -46,6 +46,15 @@ struct ScheduleProfile
      */
     double sampleWs = 0.0;
 
+    /**
+     * True when this profile came from detail simulation. The samplek
+     * screen (see SimConfig::samplek) fills the skipped candidates
+     * with synthetic profiles (model-predicted sampleWs, no counters)
+     * so candidate indices stay stable; predictors only ever score
+     * the detailed ones.
+     */
+    bool detailed = true;
+
     /** Standard deviation of per-timeslice IPC (lower = smoother). */
     double
     balance() const

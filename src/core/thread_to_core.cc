@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "model/features.hh"
 
 namespace sos {
 
@@ -221,30 +222,20 @@ class SynpaPolicy : public ThreadToCorePolicy
         const std::size_t n = static_cast<std::size_t>(ctx.numJobs);
         const int group = ctx.numJobs / ctx.numCores;
 
-        // Mean sampled WS per coscheduled pair.
-        std::vector<std::vector<double>> sum(n,
-                                             std::vector<double>(n, 0.0));
-        std::vector<std::vector<int>> cnt(n, std::vector<int>(n, 0));
+        // Mean sampled WS per coscheduled pair (the shared
+        // PairAffinity table, model/features.hh).
+        model::PairAffinity table(n);
         for (const CoscheduleSample &sample : ctx.samples) {
             for (const std::vector<int> &tuple : sample.tuples) {
-                for (std::size_t i = 0; i < tuple.size(); ++i) {
-                    for (std::size_t j = i + 1; j < tuple.size(); ++j) {
-                        const auto a =
-                            static_cast<std::size_t>(tuple[i]);
-                        const auto b =
-                            static_cast<std::size_t>(tuple[j]);
-                        SOS_ASSERT(a < n && b < n,
-                                   "sampled job outside the mix");
-                        sum[a][b] += sample.ws;
-                        sum[b][a] += sample.ws;
-                        ++cnt[a][b];
-                        ++cnt[b][a];
-                    }
+                for (const int job : tuple) {
+                    SOS_ASSERT(static_cast<std::size_t>(job) < n,
+                               "sampled job outside the mix");
                 }
+                table.observe(tuple, sample.ws);
             }
         }
-        const auto affinity = [&](std::size_t a, std::size_t b) {
-            return cnt[a][b] ? sum[a][b] / cnt[a][b] : 0.0;
+        const auto affinity = [&table](std::size_t a, std::size_t b) {
+            return table.mean(a, b);
         };
 
         std::vector<bool> placed(n, false);

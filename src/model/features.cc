@@ -1,0 +1,280 @@
+#include "model/features.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sos::model {
+
+ProfileSignature profileSignature(const ScheduleProfile &profile)
+{
+    ProfileSignature sig;
+    sig.ipc = profile.counters.ipc();
+    sig.allConflictPct = profile.counters.allConflictPct();
+    sig.l1dHitRate = profile.counters.l1dHitRate();
+    sig.fqConflictPct = profile.counters.conflictPct(profile.counters.confFpQueue);
+    sig.fpConflictPct = profile.counters.conflictPct(profile.counters.confFpUnits);
+    sig.sum2ConflictPct = sig.fqConflictPct + sig.fpConflictPct;
+    sig.mixImbalance = profile.counters.mixImbalance();
+    sig.balance = profile.balance();
+    sig.sliceDiversity = profile.diversity();
+    return sig;
+}
+
+double normalizedWorkingSet(std::uint64_t working_set_bytes)
+{
+    return std::min(1.0, static_cast<double>(working_set_bytes) / 65536.0);
+}
+
+double counterFpShare(const PerfCounters &counters)
+{
+    const double arith =
+        static_cast<double>(counters.intOps) + static_cast<double>(counters.fpOps);
+    if (arith <= 0.0)
+        return 0.0;
+    return static_cast<double>(counters.fpOps) / arith;
+}
+
+ThreadSignature makeThreadSignature(int job_id,
+                                    const WorkloadProfile &profile,
+                                    double solo_ipc)
+{
+    ThreadSignature sig;
+    sig.jobId = job_id;
+    sig.soloIpc = solo_ipc;
+    sig.fp = profile.fpFraction();
+    sig.load = profile.fracLoad;
+    sig.store = profile.fracStore;
+    sig.workingSet = normalizedWorkingSet(profile.workingSetBytes);
+    sig.stream = profile.streamFraction;
+    sig.chase = profile.chaseFraction;
+    sig.ilp = std::min(1.0, profile.avgDepDistance / 16.0);
+    sig.branchRate =
+        profile.avgBasicBlock > 0 ? 1.0 / static_cast<double>(profile.avgBasicBlock) : 0.0;
+    sig.branchPredictability = profile.branchPredictability;
+    sig.code = std::min(1.0, static_cast<double>(profile.codeBytes) / 65536.0);
+    sig.syncs = profile.syncInterval > 0;
+    return sig;
+}
+
+ThreadSignature signatureFromCounters(const PerfCounters &counters)
+{
+    ThreadSignature sig;
+    sig.soloIpc = counters.ipc();
+    sig.fp = counterFpShare(counters);
+    const double retired = static_cast<double>(counters.retired);
+    if (retired > 0.0) {
+        sig.load = static_cast<double>(counters.loads) / retired;
+        sig.store = static_cast<double>(counters.stores) / retired;
+        sig.branchRate = static_cast<double>(counters.branches) / retired;
+    }
+    // Counters cannot see the static footprint; L1D pressure is the
+    // closest observable stand-in for a large working set.
+    sig.workingSet = 1.0 - counters.l1dHitRate();
+    const double branches = static_cast<double>(counters.branches);
+    if (branches > 0.0) {
+        sig.branchPredictability =
+            1.0 - static_cast<double>(counters.branchMispredicts) / branches;
+    }
+    return sig;
+}
+
+namespace {
+
+const std::vector<std::string> kFeatureNames = {
+    "units",          // schedulable units in the mix
+    "tuple_size",     // mean coscheduled-tuple cardinality
+    "solo_mean",      // mean over tuples of mean member solo IPC
+    "solo_min",       // mean over tuples of min member solo IPC
+    "solo_spread",    // mean over tuples of (max - min) solo IPC
+    "solo_balance",   // stddev over tuples of tuple-mean solo IPC
+    "fp_mean",        // mean over tuples of mean member FP fraction
+    "fp_imbalance",   // mean over tuples of |2*fp_mean - 1|
+    "fp_spread",      // mean over tuples of mean pairwise |fp_i - fp_j|
+    "mem_mean",       // mean over tuples of mean (load + store) fraction
+    "ws_pressure",    // mean over tuples of summed working-set norm
+    "ws_overlap",     // mean over tuples of mean pairwise min(ws_i, ws_j)
+    "stream_mean",    // mean over tuples of mean streaming fraction
+    "chase_mean",     // mean over tuples of mean pointer-chase fraction
+    "ilp_mean",       // mean over tuples of mean ILP norm
+    "branch_payload", // mean over tuples of mean branch*(1-predictability)
+    "code_pressure",  // mean over tuples of summed code-footprint norm
+    "sibling_pairs",  // mean over tuples of same-job pair fraction
+    "sync_pairs",     // mean over tuples of syncing-sibling pair fraction
+};
+
+} // namespace
+
+const std::vector<std::string> &featureNames() { return kFeatureNames; }
+
+std::size_t numFeatures() { return kFeatureNames.size(); }
+
+FeatureVector
+composeScheduleFeatures(const std::vector<ThreadSignature> &signatures,
+                        const std::vector<std::vector<int>> &tuples)
+{
+    FeatureVector out(kFeatureNames.size(), 0.0);
+    out[0] = static_cast<double>(signatures.size());
+    if (tuples.empty())
+        return out;
+
+    double sum_size = 0.0;
+    double sum_solo_mean = 0.0;
+    double sum_solo_sq = 0.0;
+    double sum_solo_min = 0.0;
+    double sum_solo_spread = 0.0;
+    double sum_fp_mean = 0.0;
+    double sum_fp_imbalance = 0.0;
+    double sum_fp_spread = 0.0;
+    double sum_mem = 0.0;
+    double sum_ws_pressure = 0.0;
+    double sum_ws_overlap = 0.0;
+    double sum_stream = 0.0;
+    double sum_chase = 0.0;
+    double sum_ilp = 0.0;
+    double sum_branch = 0.0;
+    double sum_code = 0.0;
+    double sum_sibling = 0.0;
+    double sum_sync = 0.0;
+
+    for (const std::vector<int> &tuple : tuples) {
+        if (tuple.empty())
+            continue;
+        const double size = static_cast<double>(tuple.size());
+        sum_size += size;
+
+        double solo = 0.0;
+        double solo_min = 0.0;
+        double solo_max = 0.0;
+        double fp = 0.0;
+        double mem = 0.0;
+        double ws_sum = 0.0;
+        double stream = 0.0;
+        double chase = 0.0;
+        double ilp = 0.0;
+        double branch = 0.0;
+        double code = 0.0;
+        bool first = true;
+        for (int unit : tuple) {
+            const ThreadSignature &sig = signatures[static_cast<std::size_t>(unit)];
+            solo += sig.soloIpc;
+            if (first || sig.soloIpc < solo_min)
+                solo_min = sig.soloIpc;
+            if (first || sig.soloIpc > solo_max)
+                solo_max = sig.soloIpc;
+            first = false;
+            fp += sig.fp;
+            mem += sig.load + sig.store;
+            ws_sum += sig.workingSet;
+            stream += sig.stream;
+            chase += sig.chase;
+            ilp += sig.ilp;
+            branch += sig.branchRate * (1.0 - sig.branchPredictability);
+            code += sig.code;
+        }
+        const double tuple_solo_mean = solo / size;
+        const double tuple_fp_mean = fp / size;
+        sum_solo_mean += tuple_solo_mean;
+        sum_solo_sq += tuple_solo_mean * tuple_solo_mean;
+        sum_solo_min += solo_min;
+        sum_solo_spread += solo_max - solo_min;
+        sum_fp_mean += tuple_fp_mean;
+        sum_fp_imbalance += std::abs(2.0 * tuple_fp_mean - 1.0);
+        sum_mem += mem / size;
+        sum_ws_pressure += ws_sum;
+        sum_stream += stream / size;
+        sum_chase += chase / size;
+        sum_ilp += ilp / size;
+        sum_branch += branch / size;
+        sum_code += code;
+
+        // Pairwise interaction terms; singleton tuples contribute 0.
+        double fp_spread = 0.0;
+        double ws_overlap = 0.0;
+        double sibling = 0.0;
+        double sync = 0.0;
+        int pairs = 0;
+        for (std::size_t a = 0; a + 1 < tuple.size(); ++a) {
+            const ThreadSignature &sa = signatures[static_cast<std::size_t>(tuple[a])];
+            for (std::size_t b = a + 1; b < tuple.size(); ++b) {
+                const ThreadSignature &sb =
+                    signatures[static_cast<std::size_t>(tuple[b])];
+                fp_spread += std::abs(sa.fp - sb.fp);
+                ws_overlap += std::min(sa.workingSet, sb.workingSet);
+                const bool same_job =
+                    sa.jobId >= 0 && sa.jobId == sb.jobId;
+                if (same_job)
+                    sibling += 1.0;
+                if (same_job && sa.syncs && sb.syncs)
+                    sync += 1.0;
+                ++pairs;
+            }
+        }
+        if (pairs > 0) {
+            const double denom = static_cast<double>(pairs);
+            sum_fp_spread += fp_spread / denom;
+            sum_ws_overlap += ws_overlap / denom;
+            sum_sibling += sibling / denom;
+            sum_sync += sync / denom;
+        }
+    }
+
+    const double n = static_cast<double>(tuples.size());
+    out[1] = sum_size / n;
+    out[2] = sum_solo_mean / n;
+    out[3] = sum_solo_min / n;
+    out[4] = sum_solo_spread / n;
+    const double mean_solo = sum_solo_mean / n;
+    const double var = std::max(0.0, sum_solo_sq / n - mean_solo * mean_solo);
+    out[5] = std::sqrt(var);
+    out[6] = sum_fp_mean / n;
+    out[7] = sum_fp_imbalance / n;
+    out[8] = sum_fp_spread / n;
+    out[9] = sum_mem / n;
+    out[10] = sum_ws_pressure / n;
+    out[11] = sum_ws_overlap / n;
+    out[12] = sum_stream / n;
+    out[13] = sum_chase / n;
+    out[14] = sum_ilp / n;
+    out[15] = sum_branch / n;
+    out[16] = sum_code / n;
+    out[17] = sum_sibling / n;
+    out[18] = sum_sync / n;
+    return out;
+}
+
+FeatureVector
+composeTupleFeatures(const std::vector<ThreadSignature> &signatures)
+{
+    std::vector<int> tuple(signatures.size());
+    for (std::size_t i = 0; i < signatures.size(); ++i)
+        tuple[i] = static_cast<int>(i);
+    return composeScheduleFeatures(signatures, {tuple});
+}
+
+PairAffinity::PairAffinity(std::size_t num_units)
+    : n_(num_units), sum_(num_units * num_units, 0.0),
+      count_(num_units * num_units, 0)
+{
+}
+
+void PairAffinity::observe(const std::vector<int> &tuple, double ws)
+{
+    for (std::size_t a = 0; a < tuple.size(); ++a) {
+        for (std::size_t b = a + 1; b < tuple.size(); ++b) {
+            const std::size_t i = static_cast<std::size_t>(tuple[a]);
+            const std::size_t j = static_cast<std::size_t>(tuple[b]);
+            sum_[i * n_ + j] += ws;
+            sum_[j * n_ + i] += ws;
+            ++count_[i * n_ + j];
+            ++count_[j * n_ + i];
+        }
+    }
+}
+
+double PairAffinity::mean(std::size_t a, std::size_t b) const
+{
+    const std::size_t idx = a * n_ + b;
+    return count_[idx] > 0 ? sum_[idx] / count_[idx] : 0.0;
+}
+
+} // namespace sos::model

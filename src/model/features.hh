@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The shared feature pipeline of the learned-model subsystem.
+ *
+ * Three places in the repo used to turn "what we know about threads
+ * and counters" into a goodness number with private, ad-hoc
+ * arithmetic: the Predictor registry (core/predictors.cc), the SYNPA
+ * thread-to-core policies (core/thread_to_core.cc), and the cluster's
+ * signature dispatcher (cluster/dispatch.cc). This header is the one
+ * place that arithmetic lives now:
+ *
+ *  - ProfileSignature: the normalized per-schedule counter signature
+ *    every hand-tuned predictor consumes (IPC, conflict percentages,
+ *    cache hit rate, mix imbalance, balance/diversity). Extraction is
+ *    a pure function of the ScheduleProfile, so the refactored
+ *    predictors are bit-identical to their pre-refactor selves
+ *    (golden-pinned, like the section 8/9 refactors).
+ *
+ *  - ThreadSignature: the static per-unit signature (instruction mix,
+ *    footprint, ILP, branch behaviour, solo IPC) a learned model sees
+ *    *before* any co-run simulation. Built from a WorkloadProfile or,
+ *    as a proxy, from measured PerfCounters (cluster nodes).
+ *
+ *  - FeatureVector composition: per-tuple aggregates plus pairwise
+ *    interaction terms (mix complement, working-set overlap, sibling
+ *    coscheduling), averaged over a schedule's period. Composable
+ *    pre-simulation -- which is exactly what lets the samplek online
+ *    mode score candidates before deciding which to detail-simulate.
+ *
+ *  - PairAffinity: the sampled pairwise-WS table behind SYNPA's
+ *    greedy grouping.
+ *
+ * Trace events and model files both carry kFeatureSchemaVersion; the
+ * trainer refuses mismatched traces so a model is never fit on
+ * features with a different meaning.
+ */
+
+#ifndef SOS_MODEL_FEATURES_HH
+#define SOS_MODEL_FEATURES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule_profile.hh"
+#include "cpu/perf_counters.hh"
+#include "trace/workload_profile.hh"
+
+namespace sos::model {
+
+/** Version stamped on trace feature fields and model files. */
+constexpr int kFeatureSchemaVersion = 1;
+
+/**
+ * The counter signature of one sampled schedule, normalized the way
+ * the paper's predictors read it. Each field is computed exactly as
+ * the pre-refactor predictor arithmetic did (same helpers, same
+ * order), so scores built from this struct are bit-identical.
+ */
+struct ProfileSignature
+{
+    double ipc = 0.0;            ///< retired per cycle
+    double allConflictPct = 0.0; ///< sum of all eight conflict %
+    double l1dHitRate = 0.0;     ///< [0, 1]
+    double fqConflictPct = 0.0;  ///< FP issue-queue conflict %
+    double fpConflictPct = 0.0;  ///< FP unit conflict %
+    double sum2ConflictPct = 0.0;///< fq + fp
+    double mixImbalance = 0.0;   ///< aggregate |fp share - int share|
+    double balance = 0.0;        ///< stddev of per-slice IPC
+    double sliceDiversity = 0.0; ///< mean per-slice mix imbalance
+};
+
+/** Extract the predictor-facing signature of one profile. */
+ProfileSignature profileSignature(const ScheduleProfile &profile);
+
+/**
+ * Working sets land in [0, 1] against a 64 KiB yardstick (the largest
+ * Table 1 sets; anything bigger is equally "large").
+ */
+double normalizedWorkingSet(std::uint64_t working_set_bytes);
+
+/**
+ * FP share of the dispatched arithmetic mix measured by @p counters
+ * (0 when the interval dispatched no arithmetic at all).
+ */
+double counterFpShare(const PerfCounters &counters);
+
+/** Static signature of one schedulable unit (thread). */
+struct ThreadSignature
+{
+    /** Owning job id (-1 = unknown); sibling detection only. */
+    int jobId = -1;
+
+    double soloIpc = 0.0;   ///< calibrated solo IPC (0 if unknown)
+    double fp = 0.0;        ///< FP fraction of the dynamic stream
+    double load = 0.0;      ///< load fraction
+    double store = 0.0;     ///< store fraction
+    double workingSet = 0.0;///< normalizedWorkingSet()
+    double stream = 0.0;    ///< streaming-access fraction
+    double chase = 0.0;     ///< pointer-chase fraction
+    double ilp = 0.0;       ///< dependence distance, normalized to [0,1]
+    double branchRate = 0.0;///< branches per instruction
+    double branchPredictability = 0.0;
+    double code = 0.0;      ///< code footprint, normalized to [0,1]
+    bool syncs = false;     ///< barrier-synchronizing thread
+};
+
+/** Signature of a unit from its static workload model + solo IPC. */
+ThreadSignature makeThreadSignature(int job_id,
+                                    const WorkloadProfile &profile,
+                                    double solo_ipc);
+
+/**
+ * Proxy signature from measured counters (a cluster node's recent
+ * live slices): mix shares from the dispatch-class counters, cache
+ * pressure standing in for the working set. Static-only fields
+ * (stream/chase/ILP/code) stay zero -- counters cannot see them.
+ */
+ThreadSignature signatureFromCounters(const PerfCounters &counters);
+
+/** Fixed-order feature values; index into featureNames(). */
+using FeatureVector = std::vector<double>;
+
+/** Names of the composed features, in FeatureVector order. */
+const std::vector<std::string> &featureNames();
+
+/** Number of composed features (featureNames().size()). */
+std::size_t numFeatures();
+
+/**
+ * Compose the feature vector of one candidate schedule: per-tuple
+ * aggregates (solo-IPC level and spread, FP mix and its pairwise
+ * complement, working-set pressure and overlap, ILP, branch payload,
+ * sibling/sync coscheduling) averaged over every tuple of the period,
+ * plus the schedule-level balance of per-tuple solo IPC. @p tuples
+ * holds unit indices into @p signatures (Schedule::tuples() or any
+ * window of OpenCandidate core tuples). Pure and allocation-cheap:
+ * callable for every candidate before any simulation.
+ */
+FeatureVector
+composeScheduleFeatures(const std::vector<ThreadSignature> &signatures,
+                        const std::vector<std::vector<int>> &tuples);
+
+/**
+ * Feature vector of a single coschedule tuple -- the degenerate
+ * one-tuple schedule. The learned cluster dispatcher scores a
+ * (job, node) pair this way.
+ */
+FeatureVector
+composeTupleFeatures(const std::vector<ThreadSignature> &signatures);
+
+/**
+ * Mean sampled WS per coscheduled pair (SYNPA's affinity table).
+ * observe() calls must happen in deterministic order; mean() is 0 for
+ * never-coscheduled pairs (the honest cold-start behaviour).
+ */
+class PairAffinity
+{
+  public:
+    explicit PairAffinity(std::size_t num_units);
+
+    /** Credit @p ws to every unordered pair in @p tuple. */
+    void observe(const std::vector<int> &tuple, double ws);
+
+    /** Mean observed WS of the pair (0 when never coscheduled). */
+    double mean(std::size_t a, std::size_t b) const;
+
+  private:
+    std::size_t n_;
+    std::vector<double> sum_; ///< n x n, row-major
+    std::vector<int> count_;
+};
+
+} // namespace sos::model
+
+#endif // SOS_MODEL_FEATURES_HH

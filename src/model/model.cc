@@ -1,0 +1,435 @@
+#include "model/model.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace sos::model {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void
+appendDouble(std::string &out, double value)
+{
+    // Same shortest-round-trip rule as the manifests: a save/load
+    // round-trip reproduces every prediction bit-for-bit.
+    out += stats::formatDouble(value);
+}
+
+[[noreturn]] void
+throwAt(const std::string &context, int line, const std::string &message)
+{
+    std::ostringstream os;
+    os << context << ":" << line << ": " << message;
+    throw ModelError(os.str());
+}
+
+/** Tokenized line with its 1-based source line number. */
+struct Line
+{
+    int number = 0;
+    std::vector<std::string> tokens;
+};
+
+std::vector<Line>
+tokenize(const std::string &text)
+{
+    std::vector<Line> lines;
+    std::istringstream stream(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(stream, raw)) {
+        ++number;
+        Line line;
+        line.number = number;
+        std::istringstream fields(raw);
+        std::string token;
+        while (fields >> token)
+            line.tokens.push_back(token);
+        if (!line.tokens.empty() && line.tokens.front().front() != '#')
+            lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+class Parser
+{
+  public:
+    Parser(std::vector<Line> lines, std::string context)
+        : lines_(std::move(lines)), context_(std::move(context))
+    {
+    }
+
+    bool done() const { return next_ >= lines_.size(); }
+
+    const Line &
+    take(const std::string &expectation)
+    {
+        if (done()) {
+            throwAt(context_, lastLine() + 1,
+                    "unexpected end of model file, expected " + expectation);
+        }
+        return lines_[next_++];
+    }
+
+    [[noreturn]] void
+    fail(const Line &line, const std::string &message) const
+    {
+        throwAt(context_, line.number, message);
+    }
+
+    double
+    number(const Line &line, const std::string &token) const
+    {
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0')
+            fail(line, "expected a number, got '" + token + "'");
+        return value;
+    }
+
+    int
+    integer(const Line &line, const std::string &token) const
+    {
+        const double value = number(line, token);
+        const int as_int = static_cast<int>(value);
+        if (static_cast<double>(as_int) != value)
+            fail(line, "expected an integer, got '" + token + "'");
+        return as_int;
+    }
+
+    void
+    expect(const Line &line, const std::string &keyword,
+           std::size_t operands) const
+    {
+        if (line.tokens.front() != keyword) {
+            fail(line, "expected '" + keyword + "', got '" +
+                           line.tokens.front() + "'");
+        }
+        if (line.tokens.size() != operands + 1) {
+            std::ostringstream os;
+            os << "'" << keyword << "' takes " << operands
+               << " operand(s), got " << (line.tokens.size() - 1);
+            fail(line, os.str());
+        }
+    }
+
+  private:
+    int
+    lastLine() const
+    {
+        return lines_.empty() ? 0 : lines_.back().number;
+    }
+
+    std::vector<Line> lines_;
+    std::string context_;
+    std::size_t next_ = 0;
+};
+
+std::unique_ptr<LinearModel>
+parseLinearBody(Parser &parser, std::size_t nfeatures)
+{
+    auto model = std::make_unique<LinearModel>();
+    {
+        const Line &line = parser.take("'bias'");
+        parser.expect(line, "bias", 1);
+        model->bias = parser.number(line, line.tokens[1]);
+    }
+    model->weights.reserve(nfeatures);
+    for (std::size_t i = 0; i < nfeatures; ++i) {
+        const Line &line = parser.take("'weight'");
+        parser.expect(line, "weight", 2);
+        model->weights.push_back(parser.number(line, line.tokens[2]));
+    }
+    {
+        const Line &line = parser.take("'residual_std'");
+        parser.expect(line, "residual_std", 1);
+        model->residualStd = parser.number(line, line.tokens[1]);
+    }
+    return model;
+}
+
+std::unique_ptr<RegressionTree>
+parseTreeBody(Parser &parser, std::size_t nfeatures)
+{
+    auto model = std::make_unique<RegressionTree>();
+    const Line &header = parser.take("'nodes'");
+    parser.expect(header, "nodes", 1);
+    const int count = parser.integer(header, header.tokens[1]);
+    if (count < 1)
+        parser.fail(header, "a tree needs at least one node");
+    model->nodes.resize(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const Line &line = parser.take("'node'");
+        if (line.tokens.front() != "node" || line.tokens.size() < 3)
+            parser.fail(line, "expected 'node <index> split|leaf ...'");
+        const int index = parser.integer(line, line.tokens[1]);
+        if (index != i)
+            parser.fail(line, "tree nodes must appear in index order");
+        RegressionTree::Node &node =
+            model->nodes[static_cast<std::size_t>(index)];
+        if (line.tokens[2] == "split") {
+            if (line.tokens.size() != 7)
+                parser.fail(line,
+                            "'split' takes feature threshold left right");
+            node.feature = parser.integer(line, line.tokens[3]);
+            if (node.feature < 0 ||
+                static_cast<std::size_t>(node.feature) >= nfeatures) {
+                parser.fail(line, "split feature index out of range");
+            }
+            node.threshold = parser.number(line, line.tokens[4]);
+            node.left = parser.integer(line, line.tokens[5]);
+            node.right = parser.integer(line, line.tokens[6]);
+            if (node.left <= index || node.left >= count ||
+                node.right <= index || node.right >= count) {
+                parser.fail(line, "split children must be later nodes");
+            }
+        } else if (line.tokens[2] == "leaf") {
+            if (line.tokens.size() != 6)
+                parser.fail(line, "'leaf' takes mean stddev count");
+            node.feature = -1;
+            node.mean = parser.number(line, line.tokens[3]);
+            node.stddev = parser.number(line, line.tokens[4]);
+            node.count = parser.integer(line, line.tokens[5]);
+        } else {
+            parser.fail(line, "node kind must be 'split' or 'leaf', got '" +
+                                  line.tokens[2] + "'");
+        }
+    }
+    return model;
+}
+
+} // namespace
+
+std::string
+WsModel::render() const
+{
+    std::string out;
+    out += "sos-model ";
+    out += std::to_string(kFormatVersion);
+    out += "\nfeatures ";
+    out += std::to_string(kFeatureSchemaVersion);
+    out += "\nkind ";
+    out += kind();
+    out += "\nuncertainty_threshold ";
+    appendDouble(out, uncertaintyThreshold_);
+    out += "\nnfeatures ";
+    out += std::to_string(featureNames_.size());
+    out += "\n";
+    const LinearModel *linear = dynamic_cast<const LinearModel *>(this);
+    for (std::size_t i = 0; i < featureNames_.size(); ++i) {
+        out += "feature ";
+        out += featureNames_[i];
+        out += " ";
+        appendDouble(out, linear ? linear->mean[i] : 0.0);
+        out += " ";
+        appendDouble(out, linear ? linear->stddev[i] : 0.0);
+        out += "\n";
+    }
+    renderBody(out);
+    out += "end\n";
+    return out;
+}
+
+void
+WsModel::save(const std::string &path) const
+{
+    std::ofstream file(path, std::ios::trunc);
+    if (!file)
+        throw ModelError(path + ":0: cannot open model file for writing");
+    file << render();
+    file.flush();
+    if (!file)
+        throw ModelError(path + ":0: write failed");
+}
+
+double
+LinearModel::predict(const FeatureVector &features) const
+{
+    double out = bias;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double sd = stddev[i] > 0.0 ? stddev[i] : 1.0;
+        out += weights[i] * ((features[i] - mean[i]) / sd);
+    }
+    return out;
+}
+
+double
+LinearModel::uncertainty(const FeatureVector &features) const
+{
+    // Residual error, inflated by how far the query sits from the
+    // training distribution in z-space (extrapolation penalty).
+    double sq = 0.0;
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+        const double sd = stddev[i] > 0.0 ? stddev[i] : 1.0;
+        const double z = (features[i] - mean[i]) / sd;
+        sq += z * z;
+    }
+    const double rms =
+        mean.empty() ? 0.0 : std::sqrt(sq / static_cast<double>(mean.size()));
+    return residualStd * (1.0 + rms);
+}
+
+void
+LinearModel::renderBody(std::string &out) const
+{
+    out += "bias ";
+    appendDouble(out, bias);
+    out += "\n";
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        out += "weight ";
+        out += featureNames_[i];
+        out += " ";
+        appendDouble(out, weights[i]);
+        out += "\n";
+    }
+    out += "residual_std ";
+    appendDouble(out, residualStd);
+    out += "\n";
+}
+
+const RegressionTree::Node &
+RegressionTree::descend(const FeatureVector &features) const
+{
+    std::size_t at = 0;
+    while (!nodes[at].leaf()) {
+        const Node &node = nodes[at];
+        const double value = features[static_cast<std::size_t>(node.feature)];
+        at = static_cast<std::size_t>(value <= node.threshold ? node.left
+                                                              : node.right);
+    }
+    return nodes[at];
+}
+
+double
+RegressionTree::predict(const FeatureVector &features) const
+{
+    return descend(features).mean;
+}
+
+double
+RegressionTree::uncertainty(const FeatureVector &features) const
+{
+    return descend(features).stddev;
+}
+
+void
+RegressionTree::renderBody(std::string &out) const
+{
+    out += "nodes ";
+    out += std::to_string(nodes.size());
+    out += "\n";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &node = nodes[i];
+        out += "node ";
+        out += std::to_string(i);
+        if (node.leaf()) {
+            out += " leaf ";
+            appendDouble(out, node.mean);
+            out += " ";
+            appendDouble(out, node.stddev);
+            out += " ";
+            out += std::to_string(node.count);
+        } else {
+            out += " split ";
+            out += std::to_string(node.feature);
+            out += " ";
+            appendDouble(out, node.threshold);
+            out += " ";
+            out += std::to_string(node.left);
+            out += " ";
+            out += std::to_string(node.right);
+        }
+        out += "\n";
+    }
+}
+
+std::unique_ptr<WsModel>
+parseModel(const std::string &text, const std::string &context)
+{
+    Parser parser(tokenize(text), context);
+
+    const Line &magic = parser.take("'sos-model <version>'");
+    parser.expect(magic, "sos-model", 1);
+    const int version = parser.integer(magic, magic.tokens[1]);
+    if (version != kFormatVersion) {
+        parser.fail(magic, "unsupported model format version " +
+                               magic.tokens[1] + " (this build reads " +
+                               std::to_string(kFormatVersion) + ")");
+    }
+
+    const Line &features = parser.take("'features <schema-version>'");
+    parser.expect(features, "features", 1);
+    const int schema = parser.integer(features, features.tokens[1]);
+    if (schema != kFeatureSchemaVersion) {
+        parser.fail(features,
+                    "feature schema version mismatch: file has " +
+                        features.tokens[1] + ", this build composes " +
+                        std::to_string(kFeatureSchemaVersion));
+    }
+
+    const Line &kind = parser.take("'kind linear|tree'");
+    parser.expect(kind, "kind", 1);
+    const std::string &which = kind.tokens[1];
+    if (which != "linear" && which != "tree")
+        parser.fail(kind, "unknown model kind '" + which + "'");
+
+    const Line &threshold = parser.take("'uncertainty_threshold'");
+    parser.expect(threshold, "uncertainty_threshold", 1);
+    const double cutoff = parser.number(threshold, threshold.tokens[1]);
+
+    const Line &header = parser.take("'nfeatures'");
+    parser.expect(header, "nfeatures", 1);
+    const int declared = parser.integer(header, header.tokens[1]);
+    if (declared < 1)
+        parser.fail(header, "a model needs at least one feature");
+    const auto nfeatures = static_cast<std::size_t>(declared);
+
+    std::vector<std::string> names;
+    std::vector<double> means;
+    std::vector<double> stddevs;
+    names.reserve(nfeatures);
+    for (std::size_t i = 0; i < nfeatures; ++i) {
+        const Line &line = parser.take("'feature'");
+        parser.expect(line, "feature", 3);
+        names.push_back(line.tokens[1]);
+        means.push_back(parser.number(line, line.tokens[2]));
+        stddevs.push_back(parser.number(line, line.tokens[3]));
+    }
+
+    std::unique_ptr<WsModel> model;
+    if (which == "linear") {
+        auto linear = parseLinearBody(parser, nfeatures);
+        linear->mean = std::move(means);
+        linear->stddev = std::move(stddevs);
+        model = std::move(linear);
+    } else {
+        model = parseTreeBody(parser, nfeatures);
+    }
+    model->setFeatureNames(std::move(names));
+    model->setUncertaintyThreshold(cutoff);
+
+    const Line &end = parser.take("'end'");
+    parser.expect(end, "end", 0);
+    if (!parser.done())
+        parser.fail(parser.take("nothing"), "trailing content after 'end'");
+    return model;
+}
+
+std::unique_ptr<WsModel>
+loadModel(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        throw ModelError(path + ":0: cannot open model file");
+    std::ostringstream text;
+    text << file.rdbuf();
+    return parseModel(text.str(), path);
+}
+
+} // namespace sos::model

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Learned WS models and their versioned text file format.
+ *
+ * A WsModel maps the feature vector of a candidate coschedule
+ * (model/features.hh) to a predicted weighted speedup, plus an
+ * uncertainty estimate the online samplek mode uses to decide which
+ * low-ranked candidates still deserve a detailed simulation. Two
+ * concrete models exist, both fit offline by sostrain from JSONL
+ * decision traces with no dependencies beyond the standard library:
+ *
+ *  - LinearModel: ridge regression over z-scored features. Its
+ *    uncertainty grows with the z-space distance of a query from the
+ *    training distribution (extrapolation is what a linear fit is
+ *    worst at).
+ *
+ *  - RegressionTree: a depth-capped CART fit by variance reduction.
+ *    Its uncertainty is the training-target stddev of the leaf the
+ *    query lands in.
+ *
+ * Model files are plain text, versioned, and written with the same
+ * shortest-round-trip double rendering as the run manifests, so a
+ * save/load round-trip reproduces predictions bit-for-bit:
+ *
+ *     sos-model 1
+ *     features <schema-version>
+ *     kind linear|tree
+ *     uncertainty_threshold <double>
+ *     nfeatures <n>
+ *     feature <name> <mean> <std>        (one per feature)
+ *     ... kind-specific lines ...
+ *     end
+ *
+ * Every load failure throws ModelError with a "<file>:<line>: message"
+ * context, mirroring MachineConfigError.
+ */
+
+#ifndef SOS_MODEL_MODEL_HH
+#define SOS_MODEL_MODEL_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/features.hh"
+
+namespace sos::model {
+
+/** Raised on malformed model files; what() carries file:line. */
+class ModelError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A trained features -> predicted-WS regressor. */
+class WsModel
+{
+  public:
+    virtual ~WsModel() = default;
+
+    /** "linear" or "tree" (the file-format kind token). */
+    virtual std::string kind() const = 0;
+
+    /** Predicted weighted speedup of the candidate. */
+    virtual double predict(const FeatureVector &features) const = 0;
+
+    /**
+     * Estimated prediction error (WS units). The samplek screen
+     * detail-simulates any candidate whose uncertainty exceeds
+     * uncertaintyThreshold() even when the model ranks it low.
+     */
+    virtual double uncertainty(const FeatureVector &features) const = 0;
+
+    /** Feature names the model was fit on, in vector order. */
+    const std::vector<std::string> &features() const { return featureNames_; }
+
+    /** Screening cutoff stored at fit time (a training quantile). */
+    double uncertaintyThreshold() const { return uncertaintyThreshold_; }
+
+    /** Serialize to the versioned text format. */
+    std::string render() const;
+
+    /** render() to @p path; throws ModelError on I/O failure. */
+    void save(const std::string &path) const;
+
+    /** @name Fit-time metadata (set by the trainer / the loader) @{ */
+    void setFeatureNames(std::vector<std::string> names)
+    {
+        featureNames_ = std::move(names);
+    }
+    void setUncertaintyThreshold(double threshold)
+    {
+        uncertaintyThreshold_ = threshold;
+    }
+    /** @} */
+
+  protected:
+    /** Emit the kind-specific lines between the header and "end". */
+    virtual void renderBody(std::string &out) const = 0;
+
+    std::vector<std::string> featureNames_;
+    double uncertaintyThreshold_ = 0.0;
+};
+
+/** Ridge regression over z-scored features. */
+class LinearModel : public WsModel
+{
+  public:
+    std::string kind() const override { return "linear"; }
+    double predict(const FeatureVector &features) const override;
+    double uncertainty(const FeatureVector &features) const override;
+
+    /** @name Fit parameters (set by the trainer / the loader) @{ */
+    std::vector<double> mean;    ///< per-feature training mean
+    std::vector<double> stddev;  ///< per-feature training stddev
+    std::vector<double> weights; ///< per-feature weight in z-space
+    double bias = 0.0;
+    double residualStd = 0.0;    ///< training residual stddev
+    /** @} */
+
+  protected:
+    void renderBody(std::string &out) const override;
+};
+
+/** Depth-capped CART regressor (variance-reduction splits). */
+class RegressionTree : public WsModel
+{
+  public:
+    /** One node; leaves carry the training mean/stddev of the leaf. */
+    struct Node
+    {
+        int feature = -1;       ///< split feature (-1 = leaf)
+        double threshold = 0.0; ///< go left when value <= threshold
+        int left = -1;
+        int right = -1;
+        double mean = 0.0;      ///< leaf prediction
+        double stddev = 0.0;    ///< leaf uncertainty
+        int count = 0;          ///< training rows in the leaf
+        bool leaf() const { return feature < 0; }
+    };
+
+    std::string kind() const override { return "tree"; }
+    double predict(const FeatureVector &features) const override;
+    double uncertainty(const FeatureVector &features) const override;
+
+    std::vector<Node> nodes; ///< node 0 is the root
+
+  protected:
+    void renderBody(std::string &out) const override;
+
+  private:
+    const Node &descend(const FeatureVector &features) const;
+};
+
+/**
+ * Parse a model from the text format. @p context names the source in
+ * errors (a file path, or e.g. "<inline>" in tests).
+ */
+std::unique_ptr<WsModel> parseModel(const std::string &text,
+                                    const std::string &context);
+
+/** Read and parse @p path; throws ModelError with file:line context. */
+std::unique_ptr<WsModel> loadModel(const std::string &path);
+
+} // namespace sos::model
+
+#endif // SOS_MODEL_MODEL_HH

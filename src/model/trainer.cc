@@ -1,0 +1,487 @@
+#include "model/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace sos::model {
+
+namespace {
+
+constexpr const char *kFeaturePrefix = "feat_";
+
+/** Average-rank vector of @p values (ties share their mean rank). */
+std::vector<double>
+averageRanks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&values](std::size_t a, std::size_t b) {
+                         return values[a] < values[b];
+                     });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        const double rank =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const double n = static_cast<double>(a.size());
+    if (a.size() < 2)
+        return 0.0;
+    double mean_a = 0.0, mean_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        mean_a += a[i];
+        mean_b += b[i];
+    }
+    mean_a /= n;
+    mean_b /= n;
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - mean_a;
+        const double db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if (var_a <= 0.0 || var_b <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(var_a * var_b);
+}
+
+/** Training-set quantile of per-row model uncertainty. */
+double
+uncertaintyQuantile(const WsModel &model, const std::vector<TrainRow> &rows,
+                    double quantile)
+{
+    if (rows.empty())
+        return 0.0;
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const TrainRow &row : rows)
+        values.push_back(model.uncertainty(row.features));
+    std::sort(values.begin(), values.end());
+    const double clamped = std::min(1.0, std::max(0.0, quantile));
+    const auto index = static_cast<std::size_t>(
+        clamped * static_cast<double>(values.size() - 1));
+    return values[index];
+}
+
+/**
+ * Solve the symmetric system A x = b with partial-pivot Gaussian
+ * elimination (A is small: one row/column per feature).
+ */
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t d = b.size();
+    for (std::size_t col = 0; col < d; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < d; ++row) {
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        const double diag = a[col][col];
+        if (diag == 0.0)
+            continue; // the ridge term keeps this from happening
+        for (std::size_t row = col + 1; row < d; ++row) {
+            const double factor = a[row][col] / diag;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t k = col; k < d; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(d, 0.0);
+    for (std::size_t col = d; col-- > 0;) {
+        double sum = b[col];
+        for (std::size_t k = col + 1; k < d; ++k)
+            sum -= a[col][k] * x[k];
+        x[col] = a[col][col] != 0.0 ? sum / a[col][col] : 0.0;
+    }
+    return x;
+}
+
+/** Recursive CART builder over row indices. */
+class TreeBuilder
+{
+  public:
+    TreeBuilder(const std::vector<TrainRow> &rows, const FitOptions &options)
+        : rows_(rows), options_(options)
+    {
+    }
+
+    std::vector<RegressionTree::Node>
+    build()
+    {
+        std::vector<std::size_t> all(rows_.size());
+        std::iota(all.begin(), all.end(), std::size_t{0});
+        grow(all, 0);
+        return std::move(nodes_);
+    }
+
+  private:
+    struct Moments
+    {
+        double mean = 0.0;
+        double stddev = 0.0;
+        double sse = 0.0;
+    };
+
+    Moments
+    moments(const std::vector<std::size_t> &members) const
+    {
+        Moments m;
+        if (members.empty())
+            return m;
+        for (const std::size_t i : members)
+            m.mean += rows_[i].ws;
+        m.mean /= static_cast<double>(members.size());
+        for (const std::size_t i : members) {
+            const double d = rows_[i].ws - m.mean;
+            m.sse += d * d;
+        }
+        m.stddev = std::sqrt(m.sse / static_cast<double>(members.size()));
+        return m;
+    }
+
+    int
+    grow(const std::vector<std::size_t> &members, int depth)
+    {
+        const int self = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        const Moments m = moments(members);
+
+        int best_feature = -1;
+        double best_threshold = 0.0;
+        double best_sse = m.sse - 1e-12;
+        std::vector<std::size_t> best_left, best_right;
+
+        const std::size_t min_leaf =
+            static_cast<std::size_t>(std::max(1, options_.minLeaf));
+        const bool splittable = depth < options_.maxDepth &&
+                                members.size() >= 2 * min_leaf &&
+                                m.sse > 0.0;
+        if (splittable) {
+            const std::size_t nfeat = rows_[members[0]].features.size();
+            std::vector<std::size_t> order = members;
+            for (std::size_t f = 0; f < nfeat; ++f) {
+                std::stable_sort(
+                    order.begin(), order.end(),
+                    [this, f](std::size_t a, std::size_t b) {
+                        return rows_[a].features[f] < rows_[b].features[f];
+                    });
+                // Prefix sums let every boundary be scored in O(1).
+                double left_sum = 0.0, left_sq = 0.0;
+                double total_sum = 0.0, total_sq = 0.0;
+                for (const std::size_t i : order) {
+                    total_sum += rows_[i].ws;
+                    total_sq += rows_[i].ws * rows_[i].ws;
+                }
+                for (std::size_t cut = 0; cut + 1 < order.size(); ++cut) {
+                    const double y = rows_[order[cut]].ws;
+                    left_sum += y;
+                    left_sq += y * y;
+                    const double lo = rows_[order[cut]].features[f];
+                    const double hi = rows_[order[cut + 1]].features[f];
+                    if (lo == hi)
+                        continue; // no threshold separates equal values
+                    const std::size_t nl = cut + 1;
+                    const std::size_t nr = order.size() - nl;
+                    if (nl < min_leaf || nr < min_leaf)
+                        continue;
+                    const double right_sum = total_sum - left_sum;
+                    const double right_sq = total_sq - left_sq;
+                    const double sse_l =
+                        left_sq - left_sum * left_sum /
+                                      static_cast<double>(nl);
+                    const double sse_r =
+                        right_sq - right_sum * right_sum /
+                                       static_cast<double>(nr);
+                    const double sse = sse_l + sse_r;
+                    if (sse < best_sse) {
+                        best_sse = sse;
+                        best_feature = static_cast<int>(f);
+                        best_threshold = (lo + hi) / 2.0;
+                    }
+                }
+            }
+        }
+
+        if (best_feature < 0) {
+            RegressionTree::Node &leaf =
+                nodes_[static_cast<std::size_t>(self)];
+            leaf.feature = -1;
+            leaf.mean = m.mean;
+            leaf.stddev = m.stddev;
+            leaf.count = static_cast<int>(members.size());
+            return self;
+        }
+
+        std::vector<std::size_t> left, right;
+        for (const std::size_t i : members) {
+            const auto f = static_cast<std::size_t>(best_feature);
+            if (rows_[i].features[f] <= best_threshold)
+                left.push_back(i);
+            else
+                right.push_back(i);
+        }
+        const int left_node = grow(left, depth + 1);
+        const int right_node = grow(right, depth + 1);
+        RegressionTree::Node &node = nodes_[static_cast<std::size_t>(self)];
+        node.feature = best_feature;
+        node.threshold = best_threshold;
+        node.left = left_node;
+        node.right = right_node;
+        return self;
+    }
+
+    const std::vector<TrainRow> &rows_;
+    const FitOptions &options_;
+    std::vector<RegressionTree::Node> nodes_;
+};
+
+/**
+ * FitOptions::contrast applied: each row's target becomes
+ * ws + contrast * (ws - mean ws of its experiment). Per-experiment
+ * means are unchanged, so cross-mix levels survive; within-mix
+ * deviations -- the part the argmax depends on -- are amplified.
+ */
+std::vector<TrainRow>
+amplifyContrast(const std::vector<TrainRow> &rows, double contrast)
+{
+    if (contrast == 0.0)
+        return rows;
+    std::map<std::string, std::pair<double, int>> totals;
+    for (const TrainRow &row : rows) {
+        totals[row.experiment].first += row.ws;
+        totals[row.experiment].second += 1;
+    }
+    std::vector<TrainRow> out = rows;
+    for (TrainRow &row : out) {
+        const auto &[sum, count] = totals[row.experiment];
+        const double mean = sum / static_cast<double>(count);
+        row.ws += contrast * (row.ws - mean);
+    }
+    return out;
+}
+
+} // namespace
+
+Dataset
+datasetFromTrace(const std::vector<stats::TraceEvent> &events)
+{
+    Dataset dataset;
+    std::map<std::pair<std::string, int>, double> realized;
+    for (const stats::TraceEvent &event : events) {
+        if (event.type != "symbios_result")
+            continue;
+        const std::pair<std::string, int> key(
+            event.text("experiment"),
+            static_cast<int>(event.number("index")));
+        realized[key] = event.number("ws");
+    }
+
+    for (const stats::TraceEvent &event : events) {
+        if (event.type != "sample_candidate")
+            continue;
+        std::vector<std::string> names;
+        FeatureVector features;
+        for (const stats::TraceEvent::Field &field : event.fields) {
+            if (field.name.rfind(kFeaturePrefix, 0) != 0)
+                continue;
+            names.push_back(field.name.substr(
+                std::string(kFeaturePrefix).size()));
+            features.push_back(field.isString ? 0.0 : field.number);
+        }
+        if (names.empty()) {
+            // e.g. the hierarchical driver's allocation candidates.
+            ++dataset.skippedNoFeatures;
+            continue;
+        }
+        const auto version =
+            static_cast<int>(event.number("features_version"));
+        if (version != kFeatureSchemaVersion) {
+            throw ModelError(
+                "trace line " + std::to_string(event.line) +
+                ": features_version " + std::to_string(version) +
+                " does not match this build's feature schema " +
+                std::to_string(kFeatureSchemaVersion));
+        }
+        if (dataset.featureNames.empty()) {
+            dataset.featureNames = names;
+        } else if (dataset.featureNames != names) {
+            throw ModelError("trace line " + std::to_string(event.line) +
+                             ": sample_candidate feature set differs from "
+                             "earlier events in the same trace");
+        }
+
+        TrainRow row;
+        row.experiment = event.text("experiment");
+        row.index = static_cast<int>(event.number("index"));
+        row.features = std::move(features);
+        row.sampleWs = event.number("sample_ws");
+        const auto it = realized.find({row.experiment, row.index});
+        if (it == realized.end()) {
+            ++dataset.skippedNoResult;
+            continue;
+        }
+        row.ws = it->second;
+        dataset.rows.push_back(std::move(row));
+    }
+    return dataset;
+}
+
+void
+splitDataset(const std::vector<TrainRow> &rows, int holdout_stride,
+             std::vector<TrainRow> &train, std::vector<TrainRow> &holdout)
+{
+    train.clear();
+    holdout.clear();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (holdout_stride > 1 &&
+            (i + 1) % static_cast<std::size_t>(holdout_stride) == 0) {
+            holdout.push_back(rows[i]);
+        } else {
+            train.push_back(rows[i]);
+        }
+    }
+}
+
+std::unique_ptr<LinearModel>
+fitLinearModel(const std::vector<std::string> &feature_names,
+               const std::vector<TrainRow> &raw_rows,
+               const FitOptions &options)
+{
+    const std::vector<TrainRow> rows =
+        amplifyContrast(raw_rows, options.contrast);
+    const std::size_t d = feature_names.size();
+    const std::size_t n = rows.size();
+    auto model = std::make_unique<LinearModel>();
+    model->setFeatureNames(feature_names);
+    model->mean.assign(d, 0.0);
+    model->stddev.assign(d, 0.0);
+    model->weights.assign(d, 0.0);
+    if (n == 0)
+        return model;
+
+    for (const TrainRow &row : rows) {
+        for (std::size_t f = 0; f < d; ++f)
+            model->mean[f] += row.features[f];
+    }
+    for (std::size_t f = 0; f < d; ++f)
+        model->mean[f] /= static_cast<double>(n);
+    for (const TrainRow &row : rows) {
+        for (std::size_t f = 0; f < d; ++f) {
+            const double dv = row.features[f] - model->mean[f];
+            model->stddev[f] += dv * dv;
+        }
+    }
+    for (std::size_t f = 0; f < d; ++f)
+        model->stddev[f] = std::sqrt(model->stddev[f] /
+                                     static_cast<double>(n));
+
+    double mean_y = 0.0;
+    for (const TrainRow &row : rows)
+        mean_y += row.ws;
+    mean_y /= static_cast<double>(n);
+    model->bias = mean_y;
+
+    // Z-scored design matrix; normal equations with a ridge term.
+    const auto z = [&model](const TrainRow &row, std::size_t f) {
+        const double sd = model->stddev[f] > 0.0 ? model->stddev[f] : 1.0;
+        return (row.features[f] - model->mean[f]) / sd;
+    };
+    std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+    std::vector<double> b(d, 0.0);
+    for (const TrainRow &row : rows) {
+        for (std::size_t i = 0; i < d; ++i) {
+            const double zi = z(row, i);
+            b[i] += zi * (row.ws - mean_y);
+            for (std::size_t j = i; j < d; ++j)
+                a[i][j] += zi * z(row, j);
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            a[i][j] = a[j][i];
+        a[i][i] += options.ridge * static_cast<double>(n);
+    }
+    model->weights = solveLinearSystem(std::move(a), std::move(b));
+
+    double sse = 0.0;
+    for (const TrainRow &row : rows) {
+        const double err = model->predict(row.features) - row.ws;
+        sse += err * err;
+    }
+    model->residualStd = std::sqrt(sse / static_cast<double>(n));
+    model->setUncertaintyThreshold(uncertaintyQuantile(
+        *model, rows, options.uncertaintyQuantile));
+    return model;
+}
+
+std::unique_ptr<RegressionTree>
+fitRegressionTree(const std::vector<std::string> &feature_names,
+                  const std::vector<TrainRow> &raw_rows,
+                  const FitOptions &options)
+{
+    const std::vector<TrainRow> rows =
+        amplifyContrast(raw_rows, options.contrast);
+    auto model = std::make_unique<RegressionTree>();
+    model->setFeatureNames(feature_names);
+    if (rows.empty()) {
+        model->nodes.push_back(RegressionTree::Node{});
+        return model;
+    }
+    TreeBuilder builder(rows, options);
+    model->nodes = builder.build();
+    model->setUncertaintyThreshold(uncertaintyQuantile(
+        *model, rows, options.uncertaintyQuantile));
+    return model;
+}
+
+double
+meanAbsoluteError(const WsModel &model, const std::vector<TrainRow> &rows)
+{
+    if (rows.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const TrainRow &row : rows)
+        sum += std::abs(model.predict(row.features) - row.ws);
+    return sum / static_cast<double>(rows.size());
+}
+
+double
+rankCorrelation(const WsModel &model, const std::vector<TrainRow> &rows)
+{
+    if (rows.size() < 2)
+        return 0.0;
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(rows.size());
+    actual.reserve(rows.size());
+    for (const TrainRow &row : rows) {
+        predicted.push_back(model.predict(row.features));
+        actual.push_back(row.ws);
+    }
+    return pearson(averageRanks(predicted), averageRanks(actual));
+}
+
+} // namespace sos::model

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Offline fitting of WS models from JSONL decision traces.
+ *
+ * The batch drivers record one `sample_candidate` event per profiled
+ * schedule (carrying the composed feature vector, feat_* fields) and
+ * one `symbios_result` event per candidate from the full-length
+ * validation sweep (carrying the realized WS). Joining the two on
+ * (experiment, index) yields exactly the supervised dataset the
+ * ROADMAP's learned-predictor item calls for: static signature
+ * features -> realized weighted speedup.
+ *
+ * Everything here is deterministic: rows keep trace order, the
+ * held-out split takes every Nth row, ridge systems are solved with
+ * partial-pivot Gaussian elimination, and CART split search visits
+ * features and thresholds in fixed order (first strict improvement
+ * wins). Fitting the same trace twice produces byte-identical model
+ * files.
+ */
+
+#ifndef SOS_MODEL_TRAINER_HH
+#define SOS_MODEL_TRAINER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/features.hh"
+#include "model/model.hh"
+#include "stats/trace_reader.hh"
+
+namespace sos::model {
+
+/** One training row: features, realized WS, and its provenance. */
+struct TrainRow
+{
+    FeatureVector features;
+    double ws = 0.0;          ///< realized WS (symbios validation)
+    double sampleWs = 0.0;    ///< sample-phase WS estimate
+    std::string experiment;   ///< source mix label
+    int index = 0;            ///< candidate index within the experiment
+};
+
+/** The joined dataset plus bookkeeping about what the join skipped. */
+struct Dataset
+{
+    std::vector<std::string> featureNames;
+    std::vector<TrainRow> rows;
+
+    /** sample_candidate events without feature fields (e.g. the
+     * hierarchical driver's allocation candidates). */
+    int skippedNoFeatures = 0;
+    /** sample_candidate events with features but no symbios_result. */
+    int skippedNoResult = 0;
+};
+
+/**
+ * Join sample_candidate features with symbios_result WS. Throws
+ * ModelError when a features_version field does not match this
+ * build's kFeatureSchemaVersion, or when feature-carrying events
+ * disagree on the feature set.
+ */
+Dataset datasetFromTrace(const std::vector<stats::TraceEvent> &events);
+
+/**
+ * Split @p rows into train/holdout: every @p holdout_stride-th row
+ * (1-based) is held out. A stride of 0 or 1 holds out nothing.
+ */
+void splitDataset(const std::vector<TrainRow> &rows, int holdout_stride,
+                  std::vector<TrainRow> &train,
+                  std::vector<TrainRow> &holdout);
+
+/** Knobs for the two fitters. */
+struct FitOptions
+{
+    double ridge = 1e-3;          ///< per-row ridge strength (linear)
+    int maxDepth = 4;             ///< split depth cap (tree)
+    int minLeaf = 3;              ///< min rows per leaf (tree)
+    double uncertaintyQuantile = 0.9; ///< training quantile stored as
+                                      ///< the screening threshold
+
+    /**
+     * Within-mix contrast amplification: fit against
+     * ws + contrast * (ws - mean ws of the row's experiment) instead
+     * of raw ws. A predictor is judged by its within-mix argmax, not
+     * by absolute accuracy; amplifying the within-mix deviations
+     * makes the least-squares objective weight exactly that, while
+     * keeping cross-mix levels (so pooled rank metrics stay
+     * meaningful). 0 restores plain least squares on raw WS.
+     */
+    double contrast = 1.0;
+};
+
+/** Ridge regression over z-scored features. */
+std::unique_ptr<LinearModel>
+fitLinearModel(const std::vector<std::string> &feature_names,
+               const std::vector<TrainRow> &rows, const FitOptions &options);
+
+/** Depth-capped CART by variance reduction. */
+std::unique_ptr<RegressionTree>
+fitRegressionTree(const std::vector<std::string> &feature_names,
+                  const std::vector<TrainRow> &rows,
+                  const FitOptions &options);
+
+/** Mean absolute prediction error over @p rows (0 when empty). */
+double meanAbsoluteError(const WsModel &model,
+                         const std::vector<TrainRow> &rows);
+
+/**
+ * Spearman rank correlation between predictions and realized WS over
+ * @p rows (average ranks on ties; 0 when degenerate). Rank quality is
+ * what matters to a predictor: the schedule picked is the argmax.
+ */
+double rankCorrelation(const WsModel &model,
+                       const std::vector<TrainRow> &rows);
+
+} // namespace sos::model
+
+#endif // SOS_MODEL_TRAINER_HH

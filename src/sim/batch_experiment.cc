@@ -1,10 +1,12 @@
 #include "batch_experiment.hh"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "metrics/weighted_speedup.hh"
+#include "model/model.hh"
 #include "sim/sweep_backend.hh"
 #include "stats/stats.hh"
 #include "stats/trace.hh"
@@ -86,6 +88,102 @@ BatchExperiment::makeSweep() const
     return sweep;
 }
 
+std::vector<model::ThreadSignature>
+BatchExperiment::unitSignatures() const
+{
+    std::vector<model::ThreadSignature> signatures;
+    for (int u = 0; u < mix_.numUnits(); ++u) {
+        const Job *job = mix_.unit(u).job;
+        SOS_ASSERT(job != nullptr);
+        signatures.push_back(model::makeThreadSignature(
+            static_cast<int>(job->id()), job->profile(), job->soloIpc));
+    }
+    return signatures;
+}
+
+std::vector<model::FeatureVector>
+BatchExperiment::candidateFeatures() const
+{
+    SOS_ASSERT(!schedules_.empty(), "run the sample phase first");
+    const std::vector<model::ThreadSignature> signatures =
+        unitSignatures();
+    std::vector<model::FeatureVector> features;
+    features.reserve(schedules_.size());
+    for (const Schedule &schedule : schedules_)
+        features.push_back(model::composeScheduleFeatures(
+            signatures, schedule.tuples()));
+    return features;
+}
+
+void
+BatchExperiment::runScreenedSamplePhase(std::uint64_t periods)
+{
+    std::shared_ptr<const model::WsModel> ws_model;
+    try {
+        ws_model = model::loadModel(config_.modelPath);
+    } catch (const model::ModelError &error) {
+        fatal("samplek screen: ", error.what());
+    }
+
+    const std::vector<model::FeatureVector> features =
+        candidateFeatures();
+    std::vector<double> predicted(features.size());
+    std::vector<double> uncertainty(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        predicted[i] = ws_model->predict(features[i]);
+        uncertainty[i] = ws_model->uncertainty(features[i]);
+    }
+
+    // Shortlist = top-K predictions plus every candidate whose
+    // uncertainty exceeds the model's stored (training-p90)
+    // threshold; ties in prediction break toward the lower index so
+    // the screen is deterministic.
+    std::vector<std::size_t> order(features.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return predicted[a] > predicted[b];
+                     });
+    const std::size_t keep_top = std::min(
+        features.size(), static_cast<std::size_t>(config_.samplek));
+    std::vector<bool> keep(features.size(), false);
+    for (std::size_t i = 0; i < keep_top; ++i)
+        keep[order[i]] = true;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        if (uncertainty[i] > ws_model->uncertaintyThreshold())
+            keep[i] = true;
+    }
+
+    std::vector<std::size_t> shortlist;
+    std::vector<Schedule> shortlisted;
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        if (!keep[i])
+            continue;
+        shortlist.push_back(i);
+        shortlisted.push_back(schedules_[i]);
+    }
+
+    // Synthetic profiles for the screened-out candidates: the model's
+    // prediction stands in for the sample-phase WS, and no counters
+    // exist (predictors never score these; see
+    // SosKernel::predictedIndex).
+    std::vector<ScheduleProfile> synthetic(schedules_.size());
+    for (std::size_t i = 0; i < schedules_.size(); ++i) {
+        synthetic[i].label = schedules_[i].label();
+        synthetic[i].sampleWs = predicted[i];
+        synthetic[i].detailed = false;
+    }
+
+    const ScheduleSweepBackend backend(runner_, makeSweep(),
+                                       shortlisted);
+    kernel_.runSamplePhaseScreened(
+        backend,
+        [&](std::size_t i) {
+            return shortlisted[i].periodTimeslices() * periods;
+        },
+        shortlist, std::move(synthetic));
+}
+
 void
 BatchExperiment::runSamplePhase()
 {
@@ -96,6 +194,12 @@ BatchExperiment::runSamplePhase()
 
     const auto periods =
         static_cast<std::uint64_t>(std::max(1, config_.samplePeriods));
+
+    if (config_.samplek > 0 && !config_.modelPath.empty()) {
+        runScreenedSamplePhase(periods);
+        return;
+    }
+
     const ScheduleSweepBackend backend(runner_, makeSweep(),
                                        schedules_);
     kernel_.runSamplePhase(backend, [&](std::size_t i) {
@@ -162,13 +266,24 @@ BatchExperiment::recordTrace(stats::EventTrace &trace) const
 {
     const std::vector<ScheduleProfile> &profiles = kernel_.profiles();
     const std::vector<double> &symbios = kernel_.symbiosWs();
+    // Candidate features ride along so sostrain can join them against
+    // the symbios_result labels without re-deriving the mix.
+    const std::vector<model::FeatureVector> features =
+        candidateFeatures();
+    const std::vector<std::string> &names = model::featureNames();
     for (std::size_t i = 0; i < profiles.size(); ++i) {
-        trace.event("sample_candidate")
-            .field("experiment", spec_.label)
-            .field("index", static_cast<std::uint64_t>(i))
-            .field("schedule", profiles[i].label)
-            .field("sample_ws", profiles[i].sampleWs)
-            .field("ipc", profiles[i].counters.ipc());
+        auto event =
+            trace.event("sample_candidate")
+                .field("experiment", spec_.label)
+                .field("index", static_cast<std::uint64_t>(i))
+                .field("schedule", profiles[i].label)
+                .field("sample_ws", profiles[i].sampleWs)
+                .field("ipc", profiles[i].counters.ipc())
+                .field("features_version",
+                       static_cast<std::uint64_t>(
+                           model::kFeatureSchemaVersion));
+        for (std::size_t f = 0; f < names.size(); ++f)
+            event.field("feat_" + names[f], features[i][f]);
     }
     if (symbios.empty())
         return;

@@ -26,6 +26,7 @@
 #include "core/predictor.hh"
 #include "core/schedule_profile.hh"
 #include "metrics/calibrator.hh"
+#include "model/features.hh"
 #include "sched/jobmix.hh"
 #include "sched/schedule.hh"
 #include "sim/experiment_defs.hh"
@@ -70,6 +71,17 @@ class BatchExperiment
     {
         return kernel_.profiles();
     }
+
+    /**
+     * Model features of every sampled candidate, in candidate order:
+     * composeScheduleFeatures over the calibrated mix's per-unit
+     * signatures and each schedule's tuple structure. Pure static
+     * information -- computable before any candidate is simulated --
+     * which is what lets the samplek screen shortlist candidates and
+     * the learned predictor score them. Requires a completed sample
+     * phase (the schedules must have been drawn).
+     */
+    std::vector<model::FeatureVector> candidateFeatures() const;
 
     /** Simulated cycles spent in the sample phase. */
     std::uint64_t
@@ -133,6 +145,17 @@ class BatchExperiment
 
     /** Sweep recipe: private per-task mixes cloned from the spec. */
     ParallelScheduleRunner::SweepSpec makeSweep() const;
+
+    /** Static per-unit signatures of the calibrated mix. */
+    std::vector<model::ThreadSignature> unitSignatures() const;
+
+    /**
+     * The samplek screen: score every candidate with the model named
+     * by config_.modelPath, detail-simulate only the top-K plus the
+     * high-uncertainty ones, and fill the rest with synthetic
+     * profiles.
+     */
+    void runScreenedSamplePhase(std::uint64_t periods);
 
     ExperimentSpec spec_;
     SimConfig config_;

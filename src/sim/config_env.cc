@@ -34,6 +34,10 @@ benchConfigFromEnv()
     // configPairs (long cluster runs keep traces bounded with it).
     if (const char *stride = std::getenv("SOS_TRACE_SAMPLE"))
         applyOverride(config, std::string("traceSample=") + stride);
+    // Trained WS model for the learned predictor/dispatcher and the
+    // samplek screen (a file written by sostrain).
+    if (const char *model = std::getenv("SOS_MODEL"))
+        config.modelPath = model;
     // Machine description file: core count, per-core params, shared
     // L2 geometry. Parsed (and validated) before any --set flag so
     // explicit CLI overrides still win over the file's defaults.
@@ -82,6 +86,8 @@ parseBenchArgs(int argc, char **argv)
         else if (arg == "--machine-config")
             applyMachineConfig(options.config,
                                valueOf("--machine-config"));
+        else if (arg == "--model")
+            options.config.modelPath = valueOf("--model");
         else if (arg == "--out")
             options.out.manifest = valueOf("--out");
         else if (arg == "--trace")
@@ -95,8 +101,8 @@ parseBenchArgs(int argc, char **argv)
         else
             fatal("unknown argument '", arg,
                   "' (bench harnesses accept --set key=value, "
-                  "--jobs N, --machine-config FILE, --out FILE, "
-                  "--trace FILE, --bench-sweep FILE, "
+                  "--jobs N, --machine-config FILE, --model FILE, "
+                  "--out FILE, --trace FILE, --bench-sweep FILE, "
                   "--bench-core FILE, --bench-cluster FILE)");
     }
     return options;

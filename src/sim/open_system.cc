@@ -16,6 +16,7 @@
 #include "sim/params_io.hh"
 #include "sim/timeslice_engine.hh"
 #include "sos/kernel.hh"
+#include "sos/model_screen.hh"
 #include "sos/open_backend.hh"
 #include "stats/trace.hh"
 #include "trace/workload_library.hh"
@@ -245,6 +246,9 @@ runOpenSystem(const SimConfig &sim, const OpenSystemConfig &config,
         sim.scaled(config.effectiveInterarrivalPaper(sim));
     kernel_config.seed = config.seed ^ 0x5051d67eULL;
     kernel_config.jobs = sim.jobs;
+    if (sim.samplek > 0 && !sim.modelPath.empty())
+        kernel_config.screen =
+            makeModelScreen(sim.modelPath, sim.samplek);
 
     SosKernel kernel;
     return kernel.runOpen(

@@ -127,6 +127,16 @@ fields()
               [](const SimConfig &c) {
                   return renderSampleWindows(c.sample);
               }},
+        SOS_FIELD_INT(samplek,
+                      "detail-simulate only the model's top-K sample "
+                      "candidates plus uncertain ones (0 = screen off)"),
+        Field{"model",
+              "trained WS model file for the learned predictor/"
+              "dispatcher and samplek ('' = none)",
+              [](SimConfig &c, const std::string &v) {
+                  c.modelPath = v;
+              },
+              [](const SimConfig &c) { return c.modelPath; }},
         // Core.
         SOS_FIELD_INT(core.fetchWidth, "instructions fetched per cycle"),
         SOS_FIELD_INT(core.fetchThreads, "threads fetched per cycle"),
@@ -313,6 +323,13 @@ configPairs(const SimConfig &config)
         // golden manifests byte-stable.
         if (std::string("sample") == field.key &&
             !config.sample.enabled())
+            continue;
+        // Same contract for the model knobs: recorded when active,
+        // omitted when off so golden manifests stay byte-stable.
+        if (std::string("samplek") == field.key && config.samplek == 0)
+            continue;
+        if (std::string("model") == field.key &&
+            config.modelPath.empty())
             continue;
         out.emplace_back(field.key, field.get(config));
     }

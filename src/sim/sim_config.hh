@@ -159,6 +159,26 @@ struct SimConfig
      */
     SampleWindows sample;
 
+    /**
+     * Online sample shrinking (--set samplek=K): score every sampled
+     * candidate with the trained model named by `model`, then
+     * detail-simulate only the top-K predictions plus any candidate
+     * whose prediction uncertainty exceeds the model's stored
+     * threshold. 0 (the default) disables screening and the sample
+     * phase is bit-identical to pre-model builds. Like `sample`, this
+     * IS simulation configuration (the predictor sees fewer detailed
+     * profiles), so manifests record it whenever it is active.
+     */
+    int samplek = 0;
+
+    /**
+     * Path of a trained WS model file (--model / SOS_MODEL), written
+     * by sostrain. Consumed by the "learned" predictor, the "learned"
+     * cluster dispatcher, and the samplek screen. Empty = no model;
+     * recorded in manifests only when set.
+     */
+    std::string modelPath;
+
     /** Scale a paper-time duration into simulated cycles. */
     std::uint64_t
     scaled(std::uint64_t paper_cycles) const

@@ -62,6 +62,47 @@ SosKernel::runSamplePhase(const ClosedSweepBackend &backend,
 }
 
 void
+SosKernel::runSamplePhaseScreened(
+    const ClosedSweepBackend &backend, const TimeslicesFn &timeslices,
+    const std::vector<std::size_t> &shortlist,
+    std::vector<ScheduleProfile> synthetic)
+{
+    SOS_ASSERT(profiles_.empty(), "sample phase already ran");
+    SOS_ASSERT(!shortlist.empty(),
+               "the samplek screen kept no candidate");
+    SOS_ASSERT(shortlist.size() == backend.numCandidates(),
+               "backend/shortlist size mismatch");
+    advance(Phase::Sample);
+
+    profiles_ = std::move(synthetic);
+    for (ScheduleProfile &profile : profiles_)
+        profile.detailed = false;
+
+    const std::vector<ParallelScheduleRunner::ScheduleRun> runs =
+        backend.runCandidates(timeslices);
+    SOS_ASSERT(runs.size() == backend.numCandidates(),
+               "backend returned a partial sweep");
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const std::size_t full = shortlist[i];
+        SOS_ASSERT(full < profiles_.size(),
+                   "shortlist index out of range");
+        SOS_ASSERT(i == 0 || shortlist[i - 1] < full,
+                   "shortlist must be strictly increasing");
+        const ParallelScheduleRunner::ScheduleRun &result = runs[i];
+        ScheduleProfile profile;
+        profile.label = backend.candidateLabel(i);
+        profile.counters = result.run.total;
+        profile.sliceIpc = result.run.sliceIpc;
+        profile.sliceMixImbalance = result.run.sliceMixImbalance;
+        profile.sampleWs = result.ws;
+        profile.detailed = true;
+        profiles_[full] = std::move(profile);
+        sampleCycles_ += result.run.cycles;
+    }
+}
+
+void
 SosKernel::runSymbiosValidation(const ClosedSweepBackend &backend,
                                 const TimeslicesFn &timeslices)
 {
@@ -107,7 +148,26 @@ int
 SosKernel::predictedIndex(const Predictor &predictor) const
 {
     SOS_ASSERT(!profiles_.empty(), "run the sample phase first");
-    return predictor.best(profiles_);
+    // Under the samplek screen, only detailed profiles carry the
+    // counters predictors read; score those and map the winner back
+    // to its full candidate index.
+    bool screened = false;
+    for (const ScheduleProfile &profile : profiles_)
+        screened = screened || !profile.detailed;
+    if (!screened)
+        return predictor.best(profiles_);
+
+    std::vector<ScheduleProfile> detailed;
+    std::vector<int> full_index;
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+        if (!profiles_[i].detailed)
+            continue;
+        detailed.push_back(profiles_[i]);
+        full_index.push_back(static_cast<int>(i));
+    }
+    SOS_ASSERT(!detailed.empty(), "no detailed profile to score");
+    return full_index[static_cast<std::size_t>(
+        predictor.best(detailed))];
 }
 
 double

@@ -93,6 +93,22 @@ class SosKernel
                         const TimeslicesFn &timeslices);
 
     /**
+     * SAMPLE with the samplek screen: detail-simulate only the
+     * shortlisted candidates and fill the rest with @p synthetic
+     * profiles (detailed = false, model-predicted sampleWs).
+     *
+     * @p backend and @p timeslices are indexed by shortlist position;
+     * @p shortlist maps each position to its full candidate index and
+     * must be strictly increasing. @p synthetic must hold one profile
+     * per full candidate; shortlisted entries are overwritten with the
+     * detailed measurements. Only detailed runs charge sample cycles.
+     */
+    void runSamplePhaseScreened(const ClosedSweepBackend &backend,
+                                const TimeslicesFn &timeslices,
+                                const std::vector<std::size_t> &shortlist,
+                                std::vector<ScheduleProfile> synthetic);
+
+    /**
      * SYMBIOS: run every candidate for the validation interval and
      * record its measured weighted speedup. Requires a completed
      * sample phase; ends the state machine (closed runs validate all
@@ -159,6 +175,18 @@ class SosKernel
 
         /** Sweep worker count (SimConfig::jobs semantics). */
         int jobs = 0;
+
+        /**
+         * Optional samplek screen: given the drawn candidates and
+         * the resident pool (pool order), return the indices of the
+         * candidates worth detail-profiling, strictly increasing and
+         * non-empty. Unset (the default) profiles every candidate,
+         * bit-identical to pre-model builds. See makeModelScreen().
+         */
+        std::function<std::vector<std::size_t>(
+            const std::vector<OpenCandidate> &,
+            const std::vector<Job *> &)>
+            screen;
     };
 
     /** Materialize the job of arrival @p index, ready to run. */

@@ -142,6 +142,25 @@ OpenRun::beginPhase(bool from_timer)
         budget_slices / std::max<std::uint64_t>(1, window_), 2,
         static_cast<std::uint64_t>(config_.sampleSchedules)));
     candidates_ = backend_.drawCandidates(n, count, rng_);
+    // The samplek screen thins the drawn set before any fork is
+    // profiled; with no screen installed the draw is used as-is
+    // (bit-identical to pre-model builds).
+    if (config_.screen && candidates_.size() > 1) {
+        const std::vector<std::size_t> kept =
+            config_.screen(candidates_, poolPointers());
+        SOS_ASSERT(!kept.empty(),
+                   "the samplek screen kept no candidate");
+        std::vector<OpenCandidate> screened;
+        screened.reserve(kept.size());
+        for (std::size_t k = 0; k < kept.size(); ++k) {
+            SOS_ASSERT(kept[k] < candidates_.size(),
+                       "screen index out of range");
+            SOS_ASSERT(k == 0 || kept[k - 1] < kept[k],
+                       "screen indices must be strictly increasing");
+            screened.push_back(std::move(candidates_[kept[k]]));
+        }
+        candidates_ = std::move(screened);
+    }
     timer_triggered_ = from_timer;
     ++sample_phases_;
     if (from_timer)

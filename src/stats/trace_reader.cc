@@ -1,0 +1,325 @@
+#include "stats/trace_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace sos::stats {
+
+namespace {
+
+[[noreturn]] void
+throwAt(const std::string &context, int line, const std::string &message)
+{
+    std::ostringstream os;
+    os << context << ":" << line << ": " << message;
+    throw TraceReadError(os.str());
+}
+
+/** Cursor over one JSONL line. */
+class LineParser
+{
+  public:
+    LineParser(const std::string &line, const std::string &context,
+               int line_number)
+        : line_(line), context_(context), number_(line_number)
+    {
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throwAt(context_, number_, message);
+    }
+
+    void
+    skipSpace()
+    {
+        while (at_ < line_.size() &&
+               std::isspace(static_cast<unsigned char>(line_[at_]))) {
+            ++at_;
+        }
+    }
+
+    bool done() const { return at_ >= line_.size(); }
+
+    char
+    peek() const
+    {
+        if (done())
+            fail("unexpected end of line (truncated trace?)");
+        return line_[at_];
+    }
+
+    char
+    take()
+    {
+        const char c = peek();
+        ++at_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        const char got = take();
+        if (got != c) {
+            fail(std::string("expected '") + c + "', got '" + got + "'");
+        }
+    }
+
+    /** Parse a quoted JSON string (cursor on the opening quote). */
+    std::string
+    quoted()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = take();
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = take();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                int code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = take();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += 10 + (h - 'a');
+                    else if (h >= 'A' && h <= 'F')
+                        code += 10 + (h - 'A');
+                    else
+                        fail("bad \\u escape");
+                }
+                // EventTrace only escapes control characters, so the
+                // code point always fits one byte.
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail(std::string("unknown escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    /** Parse one scalar value into @p field. */
+    void
+    value(TraceEvent::Field &field)
+    {
+        skipSpace();
+        const char c = peek();
+        if (c == '"') {
+            field.isString = true;
+            field.text = quoted();
+            return;
+        }
+        if (c == '{' || c == '[')
+            fail("nested containers are not valid trace values");
+        if (literal("true")) {
+            field.number = 1.0;
+            return;
+        }
+        if (literal("false")) {
+            field.number = 0.0;
+            return;
+        }
+        if (literal("null")) {
+            // formatDouble renders non-finite values as null.
+            field.number = std::numeric_limits<double>::quiet_NaN();
+            return;
+        }
+        const std::size_t start = at_;
+        while (at_ < line_.size() && line_[at_] != ',' && line_[at_] != '}' &&
+               !std::isspace(static_cast<unsigned char>(line_[at_]))) {
+            ++at_;
+        }
+        const std::string token = line_.substr(start, at_ - start);
+        char *end = nullptr;
+        field.number = std::strtod(token.c_str(), &end);
+        if (token.empty() || end != token.c_str() + token.size())
+            fail("expected a JSON value, got '" + token + "'");
+    }
+
+  private:
+    /** Consume @p word if it appears at the cursor. */
+    bool
+    literal(const std::string &word)
+    {
+        if (line_.compare(at_, word.size(), word) != 0)
+            return false;
+        at_ += word.size();
+        return true;
+    }
+
+    const std::string &line_;
+    const std::string &context_;
+    int number_;
+    std::size_t at_ = 0;
+};
+
+TraceEvent
+parseLine(const std::string &line, const std::string &context,
+          int line_number, const std::vector<std::string> &known_types)
+{
+    LineParser parser(line, context, line_number);
+    TraceEvent event;
+    event.line = line_number;
+
+    parser.skipSpace();
+    parser.expect('{');
+    parser.skipSpace();
+    if (parser.peek() == '}') {
+        parser.fail("event object has no fields");
+    }
+    while (true) {
+        parser.skipSpace();
+        TraceEvent::Field field;
+        field.name = parser.quoted();
+        parser.skipSpace();
+        parser.expect(':');
+        parser.value(field);
+        event.fields.push_back(std::move(field));
+        parser.skipSpace();
+        const char c = parser.take();
+        if (c == '}')
+            break;
+        if (c != ',')
+            parser.fail(std::string("expected ',' or '}', got '") + c + "'");
+    }
+    parser.skipSpace();
+    if (!parser.done())
+        parser.fail("trailing content after the event object");
+
+    // EventTrace writes the event type under the "event" key.
+    const TraceEvent::Field *type = nullptr;
+    for (const TraceEvent::Field &field : event.fields) {
+        if (field.name == "event") {
+            type = &field;
+            break;
+        }
+    }
+    if (type == nullptr)
+        parser.fail("event has no \"event\" field");
+    if (!type->isString)
+        parser.fail("event \"event\" must be a string");
+    event.type = type->text;
+
+    if (!known_types.empty()) {
+        bool known = false;
+        for (const std::string &candidate : known_types)
+            known = known || candidate == event.type;
+        if (!known) {
+            std::string listed;
+            for (const std::string &candidate : known_types)
+                listed += (listed.empty() ? "" : ", ") + candidate;
+            parser.fail("unknown event type \"" + event.type +
+                        "\" (known: " + listed + ")");
+        }
+    }
+    return event;
+}
+
+} // namespace
+
+const TraceEvent::Field *
+TraceEvent::find(const std::string &name) const
+{
+    for (const Field &field : fields) {
+        if (field.name == name)
+            return &field;
+    }
+    return nullptr;
+}
+
+bool
+TraceEvent::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+double
+TraceEvent::number(const std::string &name) const
+{
+    const Field *field = find(name);
+    if (!field) {
+        throw TraceReadError("trace line " + std::to_string(line) + ": \"" +
+                             type + "\" event has no \"" + name + "\" field");
+    }
+    if (field->isString) {
+        throw TraceReadError("trace line " + std::to_string(line) + ": \"" +
+                             type + "\" field \"" + name +
+                             "\" is a string, expected a number");
+    }
+    return field->number;
+}
+
+const std::string &
+TraceEvent::text(const std::string &name) const
+{
+    const Field *field = find(name);
+    if (!field) {
+        throw TraceReadError("trace line " + std::to_string(line) + ": \"" +
+                             type + "\" event has no \"" + name + "\" field");
+    }
+    if (!field->isString) {
+        throw TraceReadError("trace line " + std::to_string(line) + ": \"" +
+                             type + "\" field \"" + name +
+                             "\" is not a string");
+    }
+    return field->text;
+}
+
+std::vector<TraceEvent>
+parseTraceText(const std::string &text, const std::string &context,
+               const std::vector<std::string> &known_types)
+{
+    std::vector<TraceEvent> events;
+    std::size_t start = 0;
+    int line_number = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        ++line_number;
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        bool blank = true;
+        for (const char c : line)
+            blank = blank && std::isspace(static_cast<unsigned char>(c));
+        if (blank)
+            continue;
+        events.push_back(parseLine(line, context, line_number, known_types));
+    }
+    return events;
+}
+
+std::vector<TraceEvent>
+readTraceFile(const std::string &path,
+              const std::vector<std::string> &known_types)
+{
+    std::ifstream file(path);
+    if (!file)
+        throw TraceReadError(path + ":0: cannot open trace file");
+    std::ostringstream text;
+    text << file.rdbuf();
+    return parseTraceText(text.str(), path, known_types);
+}
+
+} // namespace sos::stats

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reader for the JSONL decision traces the stats layer emits.
+ *
+ * EventTrace writes one flat JSON object per line: string, number, or
+ * boolean values only, never nested containers. This reader parses
+ * exactly that dialect back into TraceEvent records so offline tools
+ * (sostrain) can consume a trace without a JSON dependency. It is
+ * strict on purpose: a malformed line, an unknown event type, or a
+ * truncated file is a named TraceReadError carrying "<file>:<line>:"
+ * context (mirroring MachineConfigError), never a crash or a silently
+ * skipped record -- training data that parses wrong is worse than no
+ * training data.
+ */
+
+#ifndef SOS_STATS_TRACE_READER_HH
+#define SOS_STATS_TRACE_READER_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sos::stats {
+
+/** Raised on malformed traces; what() carries file:line context. */
+class TraceReadError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed trace event: the type plus its fields in file order. */
+struct TraceEvent
+{
+    /** One field; numbers and booleans are normalized to double. */
+    struct Field
+    {
+        std::string name;
+        std::string text;    ///< string value ("" for numbers)
+        double number = 0.0; ///< numeric value (booleans: 0/1)
+        bool isString = false;
+    };
+
+    std::string type;
+    std::vector<Field> fields;
+    int line = 0; ///< 1-based source line (for caller diagnostics)
+
+    /** True when a field of that name exists. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Numeric field accessor; throws TraceReadError naming the field
+     * when it is missing or holds a string.
+     */
+    double number(const std::string &name) const;
+
+    /** String field accessor; throws like number(). */
+    const std::string &text(const std::string &name) const;
+
+  private:
+    const Field *find(const std::string &name) const;
+};
+
+/**
+ * Parse a JSONL trace. @p context names the source in errors. When
+ * @p known_types is non-empty, an event whose type is not listed is a
+ * TraceReadError ("unknown event type") -- tools declare the schema
+ * they understand so a renamed event fails loudly instead of fitting
+ * a model on partial data.
+ */
+std::vector<TraceEvent>
+parseTraceText(const std::string &text, const std::string &context,
+               const std::vector<std::string> &known_types = {});
+
+/** Read @p path and parseTraceText() it. */
+std::vector<TraceEvent>
+readTraceFile(const std::string &path,
+              const std::vector<std::string> &known_types = {});
+
+} // namespace sos::stats
+
+#endif // SOS_STATS_TRACE_READER_HH

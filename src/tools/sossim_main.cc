@@ -184,6 +184,9 @@ configFor(const Args &args)
     const std::string machine = args.flag("machine-config", "");
     if (!machine.empty())
         applyMachineConfig(config, machine);
+    const std::string model = args.flag("model", "");
+    if (!model.empty())
+        config.modelPath = model;
     applyOverrides(config, args.overrides);
     return config;
 }

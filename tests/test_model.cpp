@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The model subsystem: feature composition, the two fitters, the
+ * versioned model-file format, and the trace-to-dataset join.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/features.hh"
+#include "model/model.hh"
+#include "model/trainer.hh"
+#include "stats/trace.hh"
+#include "stats/trace_reader.hh"
+
+namespace {
+
+using namespace sos;
+using namespace sos::model;
+
+ThreadSignature
+signature(double solo, double fp, double ws)
+{
+    ThreadSignature sig;
+    sig.soloIpc = solo;
+    sig.fp = fp;
+    sig.workingSet = ws;
+    return sig;
+}
+
+TEST(Features, NamesMatchVectorLayout)
+{
+    EXPECT_EQ(featureNames().size(), static_cast<std::size_t>(numFeatures()));
+    const std::vector<ThreadSignature> sigs{signature(1.0, 0.5, 0.25),
+                                            signature(0.5, 0.0, 0.75)};
+    const FeatureVector fv = composeScheduleFeatures(sigs, {{0, 1}});
+    EXPECT_EQ(fv.size(), featureNames().size());
+}
+
+TEST(Features, CompositionIsDeterministicAndTupleSensitive)
+{
+    const std::vector<ThreadSignature> sigs{
+        signature(1.2, 0.9, 0.3), signature(0.6, 0.1, 0.8),
+        signature(0.9, 0.5, 0.5), signature(1.5, 0.0, 0.1)};
+    const std::vector<std::vector<int>> paired{{0, 1}, {2, 3}};
+    const std::vector<std::vector<int>> crossed{{0, 2}, {1, 3}};
+    const FeatureVector a = composeScheduleFeatures(sigs, paired);
+    const FeatureVector b = composeScheduleFeatures(sigs, paired);
+    const FeatureVector c = composeScheduleFeatures(sigs, crossed);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c) << "tuple structure must be visible in features";
+    // Schedule-independent aggregates agree across groupings.
+    EXPECT_EQ(a[0], c[0]); // units
+    EXPECT_EQ(a[1], c[1]); // tuple_size
+}
+
+TEST(Features, SiblingAndSyncPairsCountSameJobTuples)
+{
+    ThreadSignature t0 = signature(1.0, 0.2, 0.4);
+    ThreadSignature t1 = t0;
+    t0.jobId = t1.jobId = 7;
+    t0.syncs = t1.syncs = true;
+    ThreadSignature other = signature(0.8, 0.6, 0.2);
+    other.jobId = 9;
+
+    const std::vector<std::string> &names = featureNames();
+    const auto index = [&names](const std::string &name) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == name)
+                return i;
+        }
+        ADD_FAILURE() << "no feature " << name;
+        return std::size_t{0};
+    };
+    const FeatureVector together =
+        composeScheduleFeatures({t0, t1, other}, {{0, 1}, {2}});
+    const FeatureVector apart =
+        composeScheduleFeatures({t0, t1, other}, {{0, 2}, {1}});
+    EXPECT_GT(together[index("sibling_pairs")],
+              apart[index("sibling_pairs")]);
+    EXPECT_GT(together[index("sync_pairs")], apart[index("sync_pairs")]);
+}
+
+/** Rows with ws = 2*f0 - f1 + 0.5 (plus a constant third feature). */
+std::vector<TrainRow>
+syntheticRows()
+{
+    std::vector<TrainRow> rows;
+    for (int i = 0; i < 40; ++i) {
+        TrainRow row;
+        const double f0 = static_cast<double>(i % 8) / 4.0;
+        const double f1 = static_cast<double>((i * 5) % 11) / 5.0;
+        row.features = {f0, f1, 3.0};
+        row.ws = 2.0 * f0 - f1 + 0.5;
+        row.experiment = "mix" + std::to_string(i / 10);
+        row.index = i % 10;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+TEST(Trainer, LinearFitRecoversALinearTarget)
+{
+    FitOptions options;
+    options.ridge = 1e-9;
+    options.contrast = 0.0;
+    const auto model =
+        fitLinearModel({"f0", "f1", "const"}, syntheticRows(), options);
+    for (const TrainRow &row : syntheticRows()) {
+        EXPECT_NEAR(model->predict(row.features), row.ws, 1e-6)
+            << "f0=" << row.features[0] << " f1=" << row.features[1];
+    }
+    EXPECT_NEAR(model->residualStd, 0.0, 1e-6);
+    EXPECT_LT(meanAbsoluteError(*model, syntheticRows()), 1e-6);
+    EXPECT_GT(rankCorrelation(*model, syntheticRows()), 0.999);
+}
+
+TEST(Trainer, ContrastAmplifiesWithinMixDeviations)
+{
+    // One mix with an exactly-linear target: contrast 1 fits
+    // ws + (ws - mean), so predictions stretch around the mix mean
+    // while the mean row itself is unchanged.
+    std::vector<TrainRow> rows = syntheticRows();
+    double mean = 0.0;
+    for (TrainRow &row : rows) {
+        row.experiment = "only";
+        mean += row.ws;
+    }
+    mean /= static_cast<double>(rows.size());
+    FitOptions options;
+    options.ridge = 1e-9;
+    options.contrast = 1.0;
+    const auto contrasted =
+        fitLinearModel({"f0", "f1", "c"}, rows, options);
+    for (const TrainRow &row : rows) {
+        EXPECT_NEAR(contrasted->predict(row.features),
+                    row.ws + (row.ws - mean), 1e-5);
+    }
+}
+
+TEST(Trainer, TreeFitsStepTargetsAndLeavesCarryUncertainty)
+{
+    std::vector<TrainRow> rows;
+    for (int i = 0; i < 24; ++i) {
+        TrainRow row;
+        row.features = {static_cast<double>(i), 1.0};
+        row.ws = i < 12 ? 1.0 : 2.0;
+        row.experiment = "mix";
+        row.index = i;
+        rows.push_back(std::move(row));
+    }
+    FitOptions options;
+    options.contrast = 0.0;
+    const auto model = fitRegressionTree({"f0", "c"}, rows, options);
+    EXPECT_NEAR(model->predict({3.0, 1.0}), 1.0, 1e-12);
+    EXPECT_NEAR(model->predict({20.0, 1.0}), 2.0, 1e-12);
+    // Perfect split: leaf stddev (the uncertainty) is zero.
+    EXPECT_NEAR(model->uncertainty({3.0, 1.0}), 0.0, 1e-12);
+    EXPECT_GE(model->uncertaintyThreshold(), 0.0);
+}
+
+TEST(Trainer, SplitDatasetHoldsOutEveryNthRow)
+{
+    const std::vector<TrainRow> rows = syntheticRows();
+    std::vector<TrainRow> train, holdout;
+    splitDataset(rows, 5, train, holdout);
+    EXPECT_EQ(holdout.size(), rows.size() / 5);
+    EXPECT_EQ(train.size() + holdout.size(), rows.size());
+    EXPECT_EQ(holdout[0].index, rows[4].index);
+    splitDataset(rows, 0, train, holdout);
+    EXPECT_TRUE(holdout.empty());
+    EXPECT_EQ(train.size(), rows.size());
+}
+
+template <typename Model>
+void
+expectRoundTripExact(const Model &model, const FeatureVector &probe)
+{
+    const std::string text = model.render();
+    const auto loaded = parseModel(text, "<inline>");
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->kind(), model.kind());
+    EXPECT_EQ(loaded->features(), model.features());
+    // Bit-for-bit: formatDouble renders shortest-round-trip doubles.
+    EXPECT_EQ(loaded->predict(probe), model.predict(probe));
+    EXPECT_EQ(loaded->uncertainty(probe), model.uncertainty(probe));
+    EXPECT_EQ(loaded->uncertaintyThreshold(),
+              model.uncertaintyThreshold());
+    EXPECT_EQ(loaded->render(), text) << "render must be a fixpoint";
+}
+
+TEST(ModelFormat, LinearRoundTripIsExact)
+{
+    FitOptions options;
+    const auto model =
+        fitLinearModel({"f0", "f1", "c"}, syntheticRows(), options);
+    expectRoundTripExact(*model, {0.37, 1.21, 3.0});
+}
+
+TEST(ModelFormat, TreeRoundTripIsExact)
+{
+    FitOptions options;
+    const auto model =
+        fitRegressionTree({"f0", "f1", "c"}, syntheticRows(), options);
+    expectRoundTripExact(*model, {0.37, 1.21, 3.0});
+}
+
+TEST(ModelFormat, SaveAndLoadThroughAFile)
+{
+    FitOptions options;
+    const auto model =
+        fitLinearModel({"f0", "f1", "c"}, syntheticRows(), options);
+    const std::string path = ::testing::TempDir() + "ws_model.txt";
+    model->save(path);
+    const auto loaded = loadModel(path);
+    EXPECT_EQ(loaded->render(), model->render());
+    std::remove(path.c_str());
+    EXPECT_THROW(loadModel("/no/such/model.txt"), ModelError);
+}
+
+/** EXPECT that parsing throws and what() contains every needle. */
+void
+expectModelError(const std::string &text,
+                 const std::vector<std::string> &needles)
+{
+    try {
+        parseModel(text, "m.txt");
+        FAIL() << "expected ModelError";
+    } catch (const ModelError &err) {
+        const std::string what = err.what();
+        for (const std::string &needle : needles) {
+            EXPECT_NE(what.find(needle), std::string::npos)
+                << "missing '" << needle << "' in: " << what;
+        }
+    }
+}
+
+TEST(ModelFormat, MalformedFilesAreNamedErrors)
+{
+    expectModelError("", {"m.txt"});
+    expectModelError("sos-model 2\n", {"m.txt:1", "version"});
+    expectModelError("sos-model 1\nfeatures 99\n",
+                     {"m.txt:2", "feature schema"});
+    expectModelError("sos-model 1\nfeatures 1\nkind spline\n",
+                     {"m.txt:3", "spline"});
+    const std::string header = "sos-model 1\nfeatures 1\nkind linear\n"
+                               "uncertainty_threshold 0.5\n";
+    expectModelError(header + "nfeatures 2\nfeature a 0 1\n",
+                     {"m.txt"});
+    // A complete model followed by trailing junk must not parse.
+    FitOptions options;
+    const auto model = fitLinearModel({"a"}, {}, options);
+    expectModelError(model->render() + "junk\n", {"m.txt"});
+    // ...and a truncated one (no "end") must not either.
+    std::string text = model->render();
+    text.resize(text.rfind("end"));
+    expectModelError(text, {"m.txt"});
+}
+
+TEST(Dataset, JoinsCandidatesWithResultsAndCountsSkips)
+{
+    stats::EventTrace trace;
+    const std::vector<std::string> &names = featureNames();
+    const auto candidate = [&](const std::string &exp, int index,
+                               double seed) {
+        auto event = trace.event("sample_candidate")
+                         .field("experiment", exp)
+                         .field("index", index)
+                         .field("sample_ws", seed)
+                         .field("features_version",
+                                kFeatureSchemaVersion);
+        for (std::size_t f = 0; f < names.size(); ++f)
+            event.field("feat_" + names[f],
+                        seed + static_cast<double>(f));
+    };
+    candidate("A", 0, 0.25);
+    candidate("A", 1, 0.5);
+    candidate("A", 2, 0.75); // no symbios_result -> skippedNoResult
+    // A featureless candidate (hierarchical driver style).
+    trace.event("sample_candidate")
+        .field("experiment", "H")
+        .field("index", 0)
+        .field("allocation", "4+2");
+    trace.event("symbios_result")
+        .field("experiment", "A")
+        .field("index", 0)
+        .field("ws", 1.25);
+    trace.event("symbios_result")
+        .field("experiment", "A")
+        .field("index", 1)
+        .field("ws", 1.5);
+
+    const Dataset dataset =
+        datasetFromTrace(stats::parseTraceText(trace.render(), "t"));
+    EXPECT_EQ(dataset.featureNames, names);
+    ASSERT_EQ(dataset.rows.size(), 2u);
+    EXPECT_EQ(dataset.rows[0].experiment, "A");
+    EXPECT_EQ(dataset.rows[0].ws, 1.25);
+    EXPECT_EQ(dataset.rows[1].ws, 1.5);
+    EXPECT_EQ(dataset.rows[1].sampleWs, 0.5);
+    EXPECT_EQ(dataset.skippedNoResult, 1);
+    EXPECT_EQ(dataset.skippedNoFeatures, 1);
+}
+
+TEST(Dataset, FeatureSchemaMismatchIsAnError)
+{
+    stats::EventTrace trace;
+    trace.event("sample_candidate")
+        .field("experiment", "A")
+        .field("index", 0)
+        .field("sample_ws", 0.5)
+        .field("features_version", kFeatureSchemaVersion + 1)
+        .field("feat_units", 4.0);
+    EXPECT_THROW(
+        datasetFromTrace(stats::parseTraceText(trace.render(), "t")),
+        ModelError);
+}
+
+} // namespace
+

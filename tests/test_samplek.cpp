@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The samplek online screen, end to end: train a model from one full
+ * run's decision trace, re-run the same experiment with --set
+ * samplek=K, and check the contract -- at most half the candidates are
+ * detail-simulated, every predictor's pick stays within 2% WS of its
+ * full-sample pick, and the default-off path is untouched.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hh"
+#include "model/trainer.hh"
+#include "sim/batch_experiment.hh"
+#include "stats/trace.hh"
+#include "stats/trace_reader.hh"
+
+namespace sos {
+namespace {
+
+constexpr const char *kLabel = "Jsb(6,3,1)"; // 10 candidates of 60
+
+/** Fit a model on one experiment's own trace; return its file path. */
+std::string
+trainModelFrom(const BatchExperiment &exp)
+{
+    stats::EventTrace trace;
+    exp.recordTrace(trace);
+    const model::Dataset dataset = model::datasetFromTrace(
+        stats::parseTraceText(trace.render(), "samplek-test"));
+    EXPECT_EQ(dataset.rows.size(), exp.schedules().size());
+    const model::FitOptions options;
+    const auto ws_model = model::fitLinearModel(dataset.featureNames,
+                                                dataset.rows, options);
+    const std::string path = ::testing::TempDir() + "samplek_model.txt";
+    ws_model->save(path);
+    return path;
+}
+
+TEST(Samplek, ScreensToHalfTheCandidatesWithinTwoPercentWs)
+{
+    // Full-sample reference run; its symbios WS per candidate is the
+    // ground truth (candidate drawing is deterministic per config, so
+    // both runs see the same 10 schedules).
+    BatchExperiment full(experimentByLabel(kLabel), makeFastConfig());
+    full.runSamplePhase();
+    full.runSymbiosValidation();
+    const std::size_t count = full.schedules().size();
+    ASSERT_EQ(count, 10u);
+
+    const std::string model_path = trainModelFrom(full);
+
+    SimConfig screened_config = makeFastConfig();
+    screened_config.samplek = 3;
+    screened_config.modelPath = model_path;
+    BatchExperiment screened(experimentByLabel(kLabel), screened_config);
+    screened.runSamplePhase();
+
+    ASSERT_EQ(screened.schedules().size(), count);
+    ASSERT_EQ(screened.profiles().size(), count);
+    std::size_t detailed = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const ScheduleProfile &profile = screened.profiles()[i];
+        EXPECT_EQ(profile.label, full.schedules()[i].label());
+        if (profile.detailed) {
+            ++detailed;
+            // Detailed profiles are bit-identical to the full run's.
+            EXPECT_EQ(profile.counters.cycles,
+                      full.profiles()[i].counters.cycles);
+            EXPECT_DOUBLE_EQ(profile.sampleWs,
+                             full.profiles()[i].sampleWs);
+        } else {
+            // Synthetic fill-ins carry the prediction, no counters.
+            EXPECT_EQ(profile.counters.cycles, 0u);
+            EXPECT_TRUE(profile.sliceIpc.empty());
+        }
+    }
+    EXPECT_GE(detailed, 3u);
+    EXPECT_LE(detailed, count / 2) << "screen must simulate <= half";
+    EXPECT_LT(screened.samplePhaseCycles(), full.samplePhaseCycles());
+
+    // Every predictor's screened pick must be a detailed candidate
+    // whose realized WS is within 2% of its full-sample pick's.
+    screened.runSymbiosValidation();
+    for (const auto &predictor : makeAllPredictors()) {
+        const int full_pick = full.predictedIndex(*predictor);
+        const int pick = screened.predictedIndex(*predictor);
+        ASSERT_GE(pick, 0);
+        ASSERT_LT(static_cast<std::size_t>(pick), count);
+        EXPECT_TRUE(screened.profiles()[pick].detailed)
+            << predictor->name();
+        const double full_ws =
+            full.symbiosWs()[static_cast<std::size_t>(full_pick)];
+        const double ws =
+            screened.symbiosWs()[static_cast<std::size_t>(pick)];
+        EXPECT_GE(ws, 0.98 * full_ws) << predictor->name();
+    }
+
+    std::remove(model_path.c_str());
+}
+
+TEST(Samplek, ModelPathAloneLeavesTheSamplePhaseUntouched)
+{
+    // samplek=0 (the default) must stay bit-identical even when a
+    // model is configured -- the golden manifests pin the same thing
+    // end to end; this isolates it to the profile level.
+    BatchExperiment full(experimentByLabel(kLabel), makeFastConfig());
+    full.runSamplePhase();
+    full.runSymbiosValidation(); // recordTrace needs symbios_result
+    const std::string model_path = trainModelFrom(full);
+
+    SimConfig config = makeFastConfig();
+    config.modelPath = model_path;
+    BatchExperiment with_model(experimentByLabel(kLabel), config);
+    with_model.runSamplePhase();
+
+    ASSERT_EQ(with_model.profiles().size(), full.profiles().size());
+    for (std::size_t i = 0; i < full.profiles().size(); ++i) {
+        EXPECT_TRUE(with_model.profiles()[i].detailed);
+        EXPECT_DOUBLE_EQ(with_model.profiles()[i].sampleWs,
+                         full.profiles()[i].sampleWs);
+        EXPECT_EQ(with_model.profiles()[i].counters.retired,
+                  full.profiles()[i].counters.retired);
+    }
+    std::remove(model_path.c_str());
+}
+
+} // namespace
+} // namespace sos

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The JSONL trace reader: EventTrace round-trips, and every malformed
+ * input is a named TraceReadError with file:line context (mirroring
+ * MachineConfigError's contract in test_machine_config.cpp).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/trace.hh"
+#include "stats/trace_reader.hh"
+
+namespace {
+
+using namespace sos;
+using stats::TraceEvent;
+using stats::TraceReadError;
+
+std::vector<TraceEvent>
+parse(const std::string &text,
+      const std::vector<std::string> &known_types = {})
+{
+    return stats::parseTraceText(text, "test.jsonl", known_types);
+}
+
+/** EXPECT that parsing throws and what() contains every needle. */
+void
+expectError(const std::string &text,
+            const std::vector<std::string> &needles,
+            const std::vector<std::string> &known_types = {})
+{
+    try {
+        parse(text, known_types);
+        FAIL() << "expected TraceReadError for: " << text;
+    } catch (const TraceReadError &err) {
+        const std::string what = err.what();
+        for (const std::string &needle : needles) {
+            EXPECT_NE(what.find(needle), std::string::npos)
+                << "missing '" << needle << "' in: " << what;
+        }
+    }
+}
+
+TEST(TraceReader, RoundTripsARenderedEventTrace)
+{
+    stats::EventTrace trace;
+    trace.event("sample_candidate")
+        .field("experiment", "Jsb(6,3,3)")
+        .field("index", std::uint64_t{3})
+        .field("sample_ws", 1.625)
+        .field("little", false)
+        .field("note", "a \"quoted\" back\\slash");
+    trace.event("symbios_result").field("ws", 1.5);
+
+    const std::vector<TraceEvent> events = parse(trace.render());
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].type, "sample_candidate");
+    EXPECT_EQ(events[0].line, 1);
+    EXPECT_EQ(events[0].text("experiment"), "Jsb(6,3,3)");
+    EXPECT_EQ(events[0].number("index"), 3.0);
+    EXPECT_EQ(events[0].number("sample_ws"), 1.625);
+    EXPECT_EQ(events[0].number("little"), 0.0);
+    EXPECT_EQ(events[0].text("note"), "a \"quoted\" back\\slash");
+    EXPECT_EQ(events[1].type, "symbios_result");
+    EXPECT_EQ(events[1].line, 2);
+    EXPECT_EQ(events[1].number("ws"), 1.5);
+}
+
+TEST(TraceReader, SkipsBlankLines)
+{
+    const auto events =
+        parse("\n{\"event\":\"a\",\"x\":1}\n\n{\"event\":\"b\",\"x\":2}\n\n");
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].line, 2);
+    EXPECT_EQ(events[1].line, 4);
+}
+
+TEST(TraceReader, MalformedLinesAreNamedErrors)
+{
+    expectError("not json\n", {"test.jsonl:1"});
+    expectError("{\"event\":\"a\",\"x\":1}\n{\"event\"\n",
+                {"test.jsonl:2"});
+    expectError("{}\n", {"test.jsonl:1", "no fields"});
+    expectError("{\"event\":\"a\",\"x\":1} trailing\n",
+                {"test.jsonl:1", "trailing"});
+    expectError("{\"event\":\"a\",\"x\":bogus}\n",
+                {"test.jsonl:1", "bogus"});
+    expectError("{\"event\":\"a\",\"x\":{\"nested\":1}}\n",
+                {"test.jsonl:1"});
+}
+
+TEST(TraceReader, TruncatedEventIsANamedError)
+{
+    // A file cut off mid-object (e.g. a killed run) must not parse.
+    expectError("{\"event\":\"a\",\"x\":1}\n{\"event\":\"b\",\"x\":",
+                {"test.jsonl:2"});
+    expectError("{\"event\":\"a\",\"x\":1}\n{\"event\":\"b\"",
+                {"test.jsonl:2"});
+}
+
+TEST(TraceReader, EventsNeedATypeField)
+{
+    expectError("{\"x\":1}\n", {"test.jsonl:1", "event"});
+    expectError("{\"event\":7}\n", {"test.jsonl:1", "string"});
+}
+
+TEST(TraceReader, UnknownEventTypesAreRejectedWhenSchemaDeclared)
+{
+    const std::string line = "{\"event\":\"renamed_thing\",\"x\":1}\n";
+    // Without a declared schema anything parses...
+    EXPECT_EQ(parse(line).size(), 1u);
+    // ...with one, unknown types fail and the error lists the schema.
+    expectError(line,
+                {"test.jsonl:1", "unknown event type", "renamed_thing",
+                 "sample_candidate", "symbios_result"},
+                {"sample_candidate", "symbios_result"});
+}
+
+TEST(TraceReader, MissingFieldAccessorsThrowNamedErrors)
+{
+    const auto events = parse("{\"event\":\"a\",\"n\":1,\"s\":\"x\"}\n");
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].has("n"));
+    EXPECT_FALSE(events[0].has("missing"));
+    EXPECT_THROW((void)events[0].number("missing"), TraceReadError);
+    EXPECT_THROW((void)events[0].text("missing"), TraceReadError);
+    // Type confusion is an error too, not a silent 0/"".
+    EXPECT_THROW((void)events[0].number("s"), TraceReadError);
+    EXPECT_THROW((void)events[0].text("n"), TraceReadError);
+}
+
+TEST(TraceReader, ReadsFilesAndNamesThemInErrors)
+{
+    const std::string path = ::testing::TempDir() + "trace_reader.jsonl";
+    {
+        std::ofstream out(path);
+        out << "{\"event\":\"a\",\"x\":4}\n{\"event\":\"b\",\"y\":";
+    }
+    try {
+        stats::readTraceFile(path);
+        FAIL() << "expected TraceReadError";
+    } catch (const TraceReadError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find(path + ":2"), std::string::npos) << what;
+    }
+    std::remove(path.c_str());
+
+    EXPECT_THROW(stats::readTraceFile("/no/such/trace.jsonl"),
+                 TraceReadError);
+}
+
+} // namespace
